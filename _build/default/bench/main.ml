@@ -1,0 +1,381 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 regenerates every evaluation artifact of the paper (Table I and
+   the behavior shown in Figs. 1-6) plus the ablations of DESIGN.md,
+   printing the rows/series; part 2 times the regeneration kernels with
+   Bechamel (one Test.make per experiment).
+
+   Experiment ids follow DESIGN.md's per-experiment index:
+     E1 Table I verified row          E5 Fig. 3 read-one vs read-all
+     E2 Table I measured rows         E6 Fig. 4 PIM vs PSM behavior
+     E3 REQ1 violation                E7 Fig. 5/6 constructed automata
+     E4 Fig. 1 PIM verification       A1-A3 ablations *)
+
+open Ta
+
+let params = Gpca.Params.default
+
+let header title =
+  Fmt.pr "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ---------------------------------------------------------------- E4 -- *)
+
+let e4_pim_verification () =
+  header "E4 (Fig. 1): the platform-independent model meets REQ1";
+  let net = Gpca.Model.network ~variant:Gpca.Model.Bolus_only params in
+  let r =
+    Analysis.Queries.max_delay net ~trigger:Gpca.Model.bolus_req
+      ~response:Gpca.Model.start_infusion ~ceiling:1000
+  in
+  Fmt.pr "PIM max delay bolus-request -> infusion-start: %a@."
+    Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup;
+  Fmt.pr "PIM |= P(500): %b@."
+    (Psv.verify_response net ~trigger:Gpca.Model.bolus_req
+       ~response:Gpca.Model.start_infusion ~bound:500)
+
+(* ------------------------------------------------------------ E1-E3 -- *)
+
+let e123_table1 () =
+  header "E1+E2+E3 (Table I): verified bounds vs measured delays";
+  let t = Gpca.Experiment.table1 ~seed:42 params in
+  Fmt.pr "%a@." Gpca.Experiment.pp_table1 t;
+  Fmt.pr
+    "@.Paper's Table I for comparison:@.\
+     \  Verified: M-C 1430 / Input 490 / Output 440, overflow not occurring@.\
+     \  Measured: M-C 610/748/456, Input 97/152/48, Output 215/304/100@.\
+     \  REQ1 violated in 53 of 60 scenarios@."
+
+(* ---------------------------------------------------------------- E5 -- *)
+
+(* A three-tick counter and a bursty environment reproduce Fig. 3's
+   io-boundary semantics: under read-one an invocation consumes a single
+   buffered input; under read-all it drains the buffer. *)
+let e5_pim () =
+  let loc = Model.location and edge = Model.edge in
+  let soft =
+    Model.automaton ~name:"Counter" ~initial:"S0"
+      [ loc "S0"; loc "S1"; loc "S2"; loc "S3" ]
+      [ edge ~sync:(Model.Recv "m_Tick") "S0" "S1";
+        edge ~sync:(Model.Recv "m_Tick") "S1" "S2";
+        edge ~sync:(Model.Recv "m_Tick") "S2" "S3" ]
+  in
+  let env =
+    Model.automaton ~name:"Env" ~initial:"E0"
+      [ loc "E0"; loc "E1" ]
+      [ edge ~sync:(Model.Send "m_Tick") "E0" "E1" ]
+  in
+  let net =
+    Model.network ~name:"fig3" ~clocks:[] ~vars:[]
+      ~channels:[ ("m_Tick", Model.Broadcast) ]
+      [ soft; env ]
+  in
+  Transform.Pim.make net ~software:"Counter" ~environment:"Env"
+
+let e5_scheme policy =
+  { Scheme.is_name = "fig3";
+    is_inputs = [ ("m_Tick", Scheme.interrupt_input (Scheme.delay 1 2)) ];
+    is_outputs = [];
+    is_input_comm = Scheme.Buffer (5, policy);
+    is_output_comm = Scheme.Buffer (5, policy);
+    is_invocation = Scheme.Periodic 100;
+    is_exec = { Scheme.wcet_min = 1; wcet_max = 10 } }
+
+let e5_run policy =
+  let typical =
+    { Sim.Engine.typ_input_proc = (fun _ -> (1.5, 1.5));
+      typ_output_proc = (fun _ -> (1.0, 1.0));
+      typ_exec = (2.0, 2.0) }
+  in
+  let config =
+    { Sim.Engine.cfg_pim = e5_pim ();
+      cfg_scheme = e5_scheme policy;
+      cfg_typical = typical;
+      cfg_stimuli =
+        [ (105.0, "m_Tick"); (130.0, "m_Tick"); (155.0, "m_Tick") ];
+      cfg_horizon = 700.0 }
+  in
+  Sim.Engine.run ~seed:5 config
+
+let e5_read_policies () =
+  header "E5 (Fig. 3): read-one vs read-all at the io-boundary";
+  let show label policy =
+    let log = e5_run policy in
+    let reads =
+      List.filter_map
+        (fun (e : Sim.Engine.entry) ->
+          match e.Sim.Engine.event with
+          | Sim.Engine.Input_read _ -> Some e.Sim.Engine.at
+          | Sim.Engine.Env_signal _ | Sim.Engine.Input_inserted _
+          | Sim.Engine.Input_discarded _ | Sim.Engine.Input_lost _
+          | Sim.Engine.Code_output _ | Sim.Engine.Output_visible _
+          | Sim.Engine.Output_lost _ -> None)
+        log
+    in
+    Fmt.pr "%-10s inputs read at invocations: %a@." label
+      Fmt.(list ~sep:comma (fmt "%.0f"))
+      reads
+  in
+  Fmt.pr "three pulses at 105/130/155; invocations every 100@.";
+  show "read-all" Scheme.Read_all;
+  show "read-one" Scheme.Read_one;
+  Fmt.pr "@.read-one timeline:@.%s%s@."
+    (Sim.Timeline.render ~width:64 (e5_run Scheme.Read_one))
+    Sim.Timeline.legend;
+  Fmt.pr
+    "(read-all drains the buffer at invocation 200; read-one consumes one \
+     input per invocation, as in Fig. 3)@."
+
+(* ---------------------------------------------------------------- E6 -- *)
+
+let e6_traces () =
+  header "E6 (Fig. 4): PIM vs PSM timed behavior of one bolus request";
+  let show label net pump_aut =
+    let t = Mc.Explorer.make net in
+    let infusing = Mc.Explorer.at t ~aut:pump_aut ~loc:"Infusing" in
+    match Mc.Explorer.timed_trace t infusing with
+    | Some steps ->
+      Fmt.pr "@[<v 2>%s reaches Infusing in %d steps:@,%a@]@." label
+        (List.length steps)
+        Fmt.(list ~sep:cut Mc.Explorer.pp_timed_step)
+        steps
+    | None -> Fmt.pr "%s: Infusing unreachable?!@." label
+  in
+  show "PIM" (Gpca.Model.network ~variant:Gpca.Model.Bolus_only params) "Pump";
+  show "PSM"
+    (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params).Transform.psm_net
+    "Pump_IO"
+
+(* ---------------------------------------------------------------- E7 -- *)
+
+let e7_constructions () =
+  header "E7 (Figs. 5/6): the constructed IFMI / IFOC / EXEIO automata";
+  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params in
+  let net = psm.Transform.psm_net in
+  List.iter
+    (fun name ->
+      let a = Model.find_automaton net name in
+      Fmt.pr "%a@.@." Xta.Print.network
+        (Model.network ~name:("fragment_" ^ name)
+           ~clocks:net.Model.net_clocks ~vars:net.Model.net_vars
+           ~channels:net.Model.net_channels [ a ]))
+    [ "IFMI_BolusReq"; "IFOC_StartInfusion"; "EXEIO" ]
+
+(* ---------------------------------------------------------------- A1 -- *)
+
+let a1_period_sweep () =
+  header "A1 (ablation): invocation period vs the two bounds";
+  Fmt.pr "%8s | %13s | %13s@." "period" "analytic" "verified";
+  List.iter
+    (fun period ->
+      let p =
+        { params with
+          Gpca.Params.period;
+          exec = { Scheme.wcet_min = min 20 (period / 2); wcet_max = period } }
+      in
+      let analytic = (Gpca.Experiment.analytic_bounds p).Gpca.Experiment.a_mc in
+      let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p in
+      let verified =
+        (Analysis.Queries.max_delay ~limit:500_000 psm.Transform.psm_net
+           ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
+           ~ceiling:(3 * analytic))
+          .Analysis.Queries.dr_sup
+      in
+      Fmt.pr "%8d | %13d | %13s@." period analytic
+        (Fmt.str "%a" Mc.Explorer.pp_sup_result verified))
+    [ 50; 100; 200 ]
+
+(* ---------------------------------------------------------------- A2 -- *)
+
+let a2_buffer_sweep () =
+  header "A2 (ablation): buffer capacity under a bursty environment";
+  let loc = Model.location and edge = Model.edge in
+  (* three pulses, 4 ms apart *)
+  let soft =
+    Model.automaton ~name:"Soft" ~initial:"S0"
+      [ loc "S0"; loc "S1"; loc "S2"; loc "S3" ]
+      [ edge ~sync:(Model.Recv "m_a") "S0" "S1";
+        edge ~sync:(Model.Recv "m_a") "S1" "S2";
+        edge ~sync:(Model.Recv "m_a") "S2" "S3" ]
+  in
+  let env =
+    Model.automaton ~name:"Env" ~initial:"E0"
+      [ loc ~inv:[ Clockcons.le "e" 0 ] "E0";
+        loc ~inv:[ Clockcons.le "e" 4 ] "E1";
+        loc ~inv:[ Clockcons.le "e" 4 ] "E2";
+        loc "E3" ]
+      [ edge ~sync:(Model.Send "m_a") ~resets:[ "e" ] "E0" "E1";
+        edge ~guard:[ Clockcons.eq_ "e" 4 ] ~sync:(Model.Send "m_a")
+          ~resets:[ "e" ] "E1" "E2";
+        edge ~guard:[ Clockcons.eq_ "e" 4 ] ~sync:(Model.Send "m_a") "E2" "E3" ]
+  in
+  let net =
+    Model.network ~name:"a2" ~clocks:[ "e" ] ~vars:[]
+      ~channels:[ ("m_a", Model.Broadcast) ]
+      [ soft; env ]
+  in
+  let pim = Transform.Pim.make net ~software:"Soft" ~environment:"Env" in
+  Fmt.pr "%8s | %s@." "buffer" "constraint 2 (no input-buffer overflow)";
+  List.iter
+    (fun size ->
+      let scheme =
+        { Scheme.is_name = "a2";
+          is_inputs = [ ("m_a", Scheme.interrupt_input (Scheme.delay 1 1)) ];
+          is_outputs = [];
+          is_input_comm = Scheme.Buffer (size, Scheme.Read_all);
+          is_output_comm = Scheme.Buffer (size, Scheme.Read_all);
+          is_invocation = Scheme.Periodic 50;
+          is_exec = { Scheme.wcet_min = 1; wcet_max = 5 } }
+      in
+      let psm = Transform.psm_of_pim pim scheme in
+      let results = Analysis.Constraints.check_all psm in
+      let c2 =
+        List.find
+          (fun (r : Analysis.Constraints.result) ->
+            r.Analysis.Constraints.c_id = 2)
+          results
+      in
+      let status =
+        match c2.Analysis.Constraints.c_status with
+        | Analysis.Constraints.Satisfied -> "satisfied"
+        | Analysis.Constraints.Violated _ -> "VIOLATED"
+        | Analysis.Constraints.Unknown reason -> "unknown: " ^ reason
+      in
+      Fmt.pr "%8d | %s@." size status)
+    [ 1; 2; 3; 4 ]
+
+(* ---------------------------------------------------------------- A3 -- *)
+
+let a3_scheme_matrix () =
+  header "A3 (ablation): mechanism choices vs analytic bounds";
+  let scheme = Gpca.Params.scheme params in
+  let describe label s =
+    let input = Analysis.Bounds.input_delay s Gpca.Model.bolus_req in
+    let output = Analysis.Bounds.output_delay s Gpca.Model.start_infusion in
+    Fmt.pr "%-36s | input <= %4d | output <= %4d | Delta'mc <= %4d@." label
+      input output
+      (input + output + params.Gpca.Params.prep_max)
+  in
+  describe "periodic(100), buffer(5) read-all" scheme;
+  describe "periodic(100), buffer(5) read-one"
+    { scheme with Scheme.is_input_comm = Scheme.Buffer (5, Scheme.Read_one) };
+  describe "periodic(100), shared variable"
+    { scheme with Scheme.is_input_comm = Scheme.Shared_variable };
+  describe "aperiodic(0), buffer(5) read-all"
+    { scheme with Scheme.is_invocation = Scheme.Aperiodic 0 };
+  describe "aperiodic(10), buffer(5) read-all"
+    { scheme with Scheme.is_invocation = Scheme.Aperiodic 10 };
+  Fmt.pr
+    "(aperiodic rows are analytic what-ifs: the transformation rejects      aperiodic invocation for the GPCA software, whose bolus preparation      waits on a clock)@."
+
+(* ------------------------------------------------------ supplemental -- *)
+
+let supplemental_requirements () =
+  header "Supplemental: REQ2 (alarm) and REQ3 (pause) on the full GPCA";
+  let verify_psm = Sys.getenv_opt "PSV_BENCH_FULL" <> None in
+  if not verify_psm then
+    Fmt.pr
+      "(set PSV_BENCH_FULL=1 to also model-check the full-variant PSM;        ~2-4 minutes)@.";
+  let s = Gpca.Experiment.supplemental ~verify_psm params in
+  Fmt.pr "%a@." Gpca.Experiment.pp_supplemental s
+
+(* ----------------------------------------------------- bechamel part -- *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let bolus_psm =
+    lazy (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params)
+  in
+  let tests =
+    [ Test.make ~name:"E1:verified-input-bound"
+        (Staged.stage (fun () ->
+             let psm = Lazy.force bolus_psm in
+             Analysis.Queries.max_delay psm.Transform.psm_net
+               ~trigger:Gpca.Model.bolus_req
+               ~response:(Transform.Names.input_chan Gpca.Model.bolus_req)
+               ~ceiling:2000));
+      Test.make ~name:"E2:one-scenario-sim"
+        (Staged.stage (fun () ->
+             let config =
+               Gpca.Experiment.scenario_config params ~request_time:123.0
+             in
+             Sim.Engine.run ~seed:9 config));
+      Test.make ~name:"E3:req1-check-pim"
+        (Staged.stage (fun () ->
+             Psv.verify_response
+               (Gpca.Model.network ~variant:Gpca.Model.Bolus_only params)
+               ~trigger:Gpca.Model.bolus_req
+               ~response:Gpca.Model.start_infusion ~bound:500));
+      Test.make ~name:"E5:read-policy-sim"
+        (Staged.stage (fun () -> e5_run Scheme.Read_one));
+      Test.make ~name:"E6:witness-trace"
+        (Staged.stage (fun () ->
+             let net =
+               Gpca.Model.network ~variant:Gpca.Model.Bolus_only params
+             in
+             let t = Mc.Explorer.make net in
+             Mc.Explorer.reachable t
+               (Mc.Explorer.at t ~aut:"Pump" ~loc:"Infusing")));
+      Test.make ~name:"E7:pim-to-psm-transform"
+        (Staged.stage (fun () ->
+             Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params));
+      Test.make ~name:"A1:analytic-bounds"
+        (Staged.stage (fun () -> Gpca.Experiment.analytic_bounds params));
+      Test.make ~name:"E7b:codegen-c"
+        (Staged.stage (fun () ->
+             let pim = Gpca.Model.pim ~variant:Gpca.Model.Bolus_only params in
+             (Codegen.emit_header pim, Codegen.emit_source pim)));
+      Test.make ~name:"infra:query-parse"
+        (Staged.stage (fun () ->
+             Mc.Query.parse
+               "bounded: m_BolusReq -> c_StartInfusion within 500"));
+      Test.make ~name:"infra:dbm-ops"
+        (Staged.stage (fun () ->
+             let z = Zone.Dbm.zero 10 in
+             Zone.Dbm.up z;
+             for i = 1 to 9 do
+               Zone.Dbm.constrain z i 0 (Zone.Bound.le (10 * i))
+             done;
+             Zone.Dbm.reset z 3;
+             Zone.Dbm.extrapolate z
+               [| 0; 10; 20; 30; 40; 50; 60; 70; 80; 90 |]));
+      Test.make ~name:"infra:xta-roundtrip"
+        (Staged.stage (fun () ->
+             let psm = Lazy.force bolus_psm in
+             let text = Xta.Print.to_string psm.Transform.psm_net in
+             Xta.Parse.network text)) ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"psv" tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  header "Bechamel timings (per-run estimates)";
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ t ] -> Fmt.pr "%-36s %14.0f ns/run@." name t
+      | Some _ | None -> Fmt.pr "%-36s (no estimate)@." name)
+    rows
+
+let () =
+  e4_pim_verification ();
+  e123_table1 ();
+  e5_read_policies ();
+  e6_traces ();
+  e7_constructions ();
+  a1_period_sweep ();
+  a2_buffer_sweep ();
+  a3_scheme_matrix ();
+  supplemental_requirements ();
+  bechamel_suite ()

@@ -1,0 +1,467 @@
+(* psv — command-line front end to the platform-specific timing
+   verification framework.
+
+   Subcommands:
+     table1     reproduce Table I of the paper (verify + simulate)
+     verify     check or measure a response bound on a .xta model
+     transform  build the PSM of a .xta PIM under a scheme
+     bounds     print the analytic Lemma-1/2 bounds of a scheme
+     simulate   run the platform simulator on the GPCA case study
+     export     write the GPCA PIM / PSM as .xta text *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  contents
+
+let write_out output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+
+let load_network path =
+  match Xta.Parse.network (read_file path) with
+  | Ok net -> net
+  | Error msg -> Fmt.failwith "%s: %s" path msg
+
+(* --- scheme construction from CLI options ----------------------------- *)
+
+(* input spec syntax:  CHAN:interrupt:DMIN:DMAX
+                    or CHAN:polling:INTERVAL:DMIN:DMAX *)
+let parse_input_spec s =
+  match String.split_on_char ':' s with
+  | [ chan; "interrupt"; dmin; dmax ] ->
+    (chan,
+     Scheme.interrupt_input
+       (Scheme.delay (int_of_string dmin) (int_of_string dmax)))
+  | [ chan; "polling"; interval; dmin; dmax ] ->
+    (chan,
+     Scheme.polling_input ~interval:(int_of_string interval)
+       (Scheme.delay (int_of_string dmin) (int_of_string dmax)))
+  | _ ->
+    Fmt.failwith
+      "bad --input %S (want CHAN:interrupt:DMIN:DMAX or \
+       CHAN:polling:INTERVAL:DMIN:DMAX)"
+      s
+
+(* output spec syntax: CHAN:DMIN:DMAX *)
+let parse_output_spec s =
+  match String.split_on_char ':' s with
+  | [ chan; dmin; dmax ] ->
+    (chan, Scheme.pulse_output (Scheme.delay (int_of_string dmin) (int_of_string dmax)))
+  | _ -> Fmt.failwith "bad --output %S (want CHAN:DMIN:DMAX)" s
+
+let parse_wcet s =
+  match String.split_on_char ':' s with
+  | [ lo; hi ] -> { Scheme.wcet_min = int_of_string lo; wcet_max = int_of_string hi }
+  | _ -> Fmt.failwith "bad --wcet %S (want MIN:MAX)" s
+
+let scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap ~buffer ~shared
+    ~read_one ~wcet =
+  let invocation =
+    match period, aperiodic_gap with
+    | Some p, None -> Scheme.Periodic p
+    | None, Some g -> Scheme.Aperiodic g
+    | None, None -> Scheme.Periodic 100
+    | Some _, Some _ -> Fmt.failwith "--period and --aperiodic are exclusive"
+  in
+  let comm =
+    if shared then Scheme.Shared_variable
+    else
+      Scheme.Buffer
+        (buffer, if read_one then Scheme.Read_one else Scheme.Read_all)
+  in
+  { Scheme.is_name = "cli";
+    is_inputs = List.map parse_input_spec inputs;
+    is_outputs = List.map parse_output_spec outputs;
+    is_input_comm = comm;
+    is_output_comm = comm;
+    is_invocation = invocation;
+    is_exec = wcet }
+
+(* --- common arguments -------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let scenarios_arg =
+  Arg.(value & opt int 60
+       & info [ "scenarios" ] ~docv:"N" ~doc:"Number of simulated scenarios.")
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+
+(* --- table1 ------------------------------------------------------------ *)
+
+let table1_cmd =
+  let run seed scenarios =
+    let t = Gpca.Experiment.table1 ~scenarios ~seed Gpca.Params.default in
+    Fmt.pr "%a@." Gpca.Experiment.pp_table1 t
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:"Reproduce Table I: verified PSM bounds vs simulated measurements.")
+    Term.(const run $ seed_arg $ scenarios_arg)
+
+(* --- verify ------------------------------------------------------------ *)
+
+let verify_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MODEL.xta" ~doc:"Model to verify.")
+  in
+  let trigger =
+    Arg.(required & opt (some string) None
+         & info [ "trigger" ] ~docv:"CHAN" ~doc:"Triggering synchronisation.")
+  in
+  let response =
+    Arg.(required & opt (some string) None
+         & info [ "response" ] ~docv:"CHAN" ~doc:"Responding synchronisation.")
+  in
+  let bound =
+    Arg.(value & opt (some int) None
+         & info [ "bound" ] ~docv:"N" ~doc:"Check the response bound P($(docv)).")
+  in
+  let ceiling =
+    Arg.(value & opt int 10_000
+         & info [ "ceiling" ] ~docv:"N" ~doc:"Sup-query ceiling.")
+  in
+  let run file trigger response bound ceiling =
+    let net = load_network file in
+    match bound with
+    | Some b ->
+      let ok =
+        Psv.verify_response net ~trigger ~response ~bound:b
+      in
+      Fmt.pr "P(%d) %s -> %s: %s@." b trigger response
+        (if ok then "SATISFIED" else "VIOLATED");
+      if not ok then exit 1
+    | None ->
+      let r = Psv.max_delay net ~trigger ~response ~ceiling in
+      Fmt.pr "%a@." Analysis.Queries.pp_delay_result r
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify a bounded-response requirement, or compute the maximum delay.")
+    Term.(const run $ file $ trigger $ response $ bound $ ceiling)
+
+(* --- query ---------------------------------------------------------------- *)
+
+let query_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MODEL.xta" ~doc:"Model to query.")
+  in
+  let query =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"QUERY"
+             ~doc:"E<> PRED | A[] PRED | sup: CHAN -> CHAN [ceiling N] | \
+                   bounded: CHAN -> CHAN within N")
+  in
+  let run file query =
+    let net = load_network file in
+    match Mc.Query.parse query with
+    | Error msg -> Fmt.failwith "query: %s" msg
+    | Ok q ->
+      let outcome =
+        try Mc.Query.eval net q
+        with Not_found ->
+          Fmt.failwith
+            "query names an unknown process, location or variable"
+      in
+      Fmt.pr "%a@." Mc.Query.pp_outcome outcome;
+      (match outcome with
+       | Mc.Query.Fails (Some trace) ->
+         Fmt.pr "@[<v 2>counterexample:@,%a@]@."
+           Fmt.(list ~sep:cut string)
+           trace
+       | Mc.Query.Fails None | Mc.Query.Holds | Mc.Query.Sup _ -> ());
+      (match outcome with
+       | Mc.Query.Fails _ -> exit 1
+       | Mc.Query.Holds | Mc.Query.Sup _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an UPPAAL-style query on a .xta model.")
+    Term.(const run $ file $ query)
+
+(* --- check (batch queries) -------------------------------------------------- *)
+
+let check_cmd =
+  let model =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MODEL.xta" ~doc:"Model to check.")
+  in
+  let queries =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"QUERIES.q"
+             ~doc:"Query file: one query per line; blank lines and lines \
+                   starting with # are skipped.")
+  in
+  let run model queries =
+    let net = load_network model in
+    let lines = String.split_on_char '\n' (read_file queries) in
+    let failures = ref 0 and total = ref 0 in
+    List.iteri
+      (fun lineno line ->
+        let line = String.trim line in
+        if line <> "" && line.[0] <> '#' then begin
+          incr total;
+          match Mc.Query.parse line with
+          | Error msg ->
+            incr failures;
+            Fmt.pr "%3d  ERROR  %s@.     %s@." (lineno + 1) line msg
+          | Ok q ->
+            (match Mc.Query.eval net q with
+             | outcome ->
+               let failed =
+                 match outcome with
+                 | Mc.Query.Fails _ -> true
+                 | Mc.Query.Holds | Mc.Query.Sup _ -> false
+               in
+               if failed then incr failures;
+               Fmt.pr "%3d  %-5s  %s  [%a]@." (lineno + 1)
+                 (if failed then "FAIL" else "pass")
+                 line Mc.Query.pp_outcome outcome
+             | exception Not_found ->
+               incr failures;
+               Fmt.pr "%3d  ERROR  %s@.     unknown process, location or \
+                       variable@." (lineno + 1) line)
+        end)
+      lines;
+    Fmt.pr "@.%d quer%s, %d failure%s@." !total
+      (if !total = 1 then "y" else "ies")
+      !failures
+      (if !failures = 1 then "" else "s");
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run a file of queries against a model (verifyta-style).")
+    Term.(const run $ model $ queries)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MODEL.xta" ~doc:"Model to search.")
+  in
+  let target =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PRED"
+             ~doc:"Target predicate, e.g. 'Pump.Infusing' or 'iovf_BolusReq == 1'.")
+  in
+  let run file target =
+    let net = load_network file in
+    match Mc.Query.parse ("E<> " ^ target) with
+    | Error msg -> Fmt.failwith "predicate: %s" msg
+    | Ok (Mc.Query.Exists_eventually p) ->
+      let t = Mc.Explorer.make net in
+      let pred =
+        try Mc.Query.compile_pred t p
+        with Not_found ->
+          Fmt.failwith "predicate names an unknown process, location or variable"
+      in
+      (match Mc.Explorer.timed_trace t pred with
+       | Some steps ->
+         List.iter (Fmt.pr "%a@." Mc.Explorer.pp_timed_step) steps
+       | None ->
+         Fmt.pr "unreachable@.";
+         exit 1)
+    | Ok _ -> assert false
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print a timed witness trace reaching a state predicate.")
+    Term.(const run $ file $ target)
+
+(* --- transform ---------------------------------------------------------- *)
+
+let transform_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"PIM.xta" ~doc:"Platform-independent model.")
+  in
+  let software =
+    Arg.(required & opt (some string) None
+         & info [ "software" ] ~docv:"NAME" ~doc:"The software automaton (M).")
+  in
+  let environment =
+    Arg.(required & opt (some string) None
+         & info [ "environment" ] ~docv:"NAME" ~doc:"The environment automaton (ENV).")
+  in
+  let inputs =
+    Arg.(value & opt_all string []
+         & info [ "input" ] ~docv:"SPEC"
+             ~doc:"Input device spec: CHAN:interrupt:DMIN:DMAX or \
+                   CHAN:polling:INTERVAL:DMIN:DMAX.  Repeatable.")
+  in
+  let outputs =
+    Arg.(value & opt_all string []
+         & info [ "output-dev" ] ~docv:"SPEC"
+             ~doc:"Output device spec: CHAN:DMIN:DMAX.  Repeatable.")
+  in
+  let period =
+    Arg.(value & opt (some int) None
+         & info [ "period" ] ~docv:"N" ~doc:"Periodic invocation period.")
+  in
+  let aperiodic =
+    Arg.(value & opt (some int) None
+         & info [ "aperiodic" ] ~docv:"GAP" ~doc:"Aperiodic invocation with minimum gap.")
+  in
+  let buffer =
+    Arg.(value & opt int 5 & info [ "buffer" ] ~docv:"N" ~doc:"Buffer capacity.")
+  in
+  let shared =
+    Arg.(value & flag & info [ "shared" ] ~doc:"Shared-variable communication.")
+  in
+  let read_one =
+    Arg.(value & flag & info [ "read-one" ] ~doc:"Read-one policy (default read-all).")
+  in
+  let wcet =
+    Arg.(value & opt string "1:10" & info [ "wcet" ] ~docv:"MIN:MAX" ~doc:"Execution window.")
+  in
+  let run file software environment inputs outputs period aperiodic buffer
+      shared read_one wcet out =
+    let net = load_network file in
+    let pim = Transform.Pim.make net ~software ~environment in
+    let scheme =
+      scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap:aperiodic
+        ~buffer ~shared ~read_one ~wcet:(parse_wcet wcet)
+    in
+    let psm = Transform.psm_of_pim pim scheme in
+    write_out out (Xta.Print.to_string psm.Transform.psm_net)
+  in
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:"Transform a PIM into the PSM of an implementation scheme.")
+    Term.(const run $ file $ software $ environment $ inputs $ outputs
+          $ period $ aperiodic $ buffer $ shared $ read_one $ wcet
+          $ output_arg)
+
+(* --- bounds ------------------------------------------------------------- *)
+
+let bounds_cmd =
+  let run () =
+    let p = Gpca.Params.default in
+    let a = Gpca.Experiment.analytic_bounds p in
+    Fmt.pr
+      "@[<v>Analytic bounds of the GPCA case study (Lemmas 1 and 2):@,\
+       Input-Delay  (bolus request -> code read):        %d ms@,\
+       Output-Delay (code output -> infusion visible):   %d ms@,\
+       Internal     (PIM bound on request -> start):     %d ms@,\
+       Relaxed M-C bound Delta'mc:                       %d ms@]@."
+      a.Gpca.Experiment.a_input a.Gpca.Experiment.a_output
+      a.Gpca.Experiment.a_internal a.Gpca.Experiment.a_mc
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~doc:"Print the analytic Lemma-1/2 bounds (GPCA parameters).")
+    Term.(const run $ const ())
+
+(* --- simulate ------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run seed scenarios =
+    let m = Gpca.Experiment.measure ~scenarios ~seed Gpca.Params.default in
+    Fmt.pr
+      "@[<v>Simulated implementation, %d bolus scenarios (seed %d):@,\
+       M-C delay:    %a@,Input delay:  %a@,Output delay: %a@,\
+       losses: %d, REQ1 violations: %d@]@."
+      m.Gpca.Experiment.m_scenarios seed Sim.Measure.pp_stats
+      m.Gpca.Experiment.m_mc Sim.Measure.pp_stats m.Gpca.Experiment.m_input
+      Sim.Measure.pp_stats m.Gpca.Experiment.m_output
+      m.Gpca.Experiment.m_losses m.Gpca.Experiment.m_req1_violations
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the simulated GPCA implementation and measure delays.")
+    Term.(const run $ seed_arg $ scenarios_arg)
+
+(* --- codegen ----------------------------------------------------------------- *)
+
+let codegen_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"PIM.xta" ~doc:"Platform-independent model.")
+  in
+  let software =
+    Arg.(required & opt (some string) None
+         & info [ "software" ] ~docv:"NAME" ~doc:"The software automaton (M).")
+  in
+  let environment =
+    Arg.(required & opt (some string) None
+         & info [ "environment" ] ~docv:"NAME" ~doc:"The environment automaton (ENV).")
+  in
+  let directory =
+    Arg.(value & opt string "."
+         & info [ "d"; "directory" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let with_harness =
+    Arg.(value & flag
+         & info [ "harness" ] ~doc:"Also emit the stdin-driven test harness (main.c).")
+  in
+  let run file software environment directory with_harness =
+    let net = load_network file in
+    let pim = Transform.Pim.make net ~software ~environment in
+    let prefix = Codegen.prefix pim in
+    let write name text =
+      let path = Filename.concat directory name in
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+    in
+    write (prefix ^ ".h") (Codegen.emit_header pim);
+    write (prefix ^ ".c") (Codegen.emit_source pim);
+    if with_harness then write "main.c" (Codegen.emit_harness pim)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Generate C code for the software automaton (the TIMES step).")
+    Term.(const run $ file $ software $ environment $ directory $ with_harness)
+
+(* --- export ------------------------------------------------------------- *)
+
+let export_cmd =
+  let psm_flag =
+    Arg.(value & flag & info [ "psm" ] ~doc:"Export the transformed PSM instead of the PIM.")
+  in
+  let full =
+    Arg.(value & flag
+         & info [ "full" ] ~doc:"Include the empty-syringe alarm path.")
+  in
+  let uppaal =
+    Arg.(value & flag
+         & info [ "uppaal" ] ~doc:"Emit UPPAAL XML instead of .xta text.")
+  in
+  let run psm_flag full uppaal out =
+    let p = Gpca.Params.default in
+    let variant = if full then Gpca.Model.Full else Gpca.Model.Bolus_only in
+    let net =
+      if psm_flag then (Gpca.Model.psm ~variant p).Transform.psm_net
+      else Gpca.Model.network ~variant p
+    in
+    let text =
+      if uppaal then Xta.Uppaal_xml.to_string net else Xta.Print.to_string net
+    in
+    write_out out text
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write the GPCA PIM or PSM as .xta text or UPPAAL XML.")
+    Term.(const run $ psm_flag $ full $ uppaal $ output_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "psv" ~version:"1.0.0"
+       ~doc:"Platform-specific timing verification in model-based implementation.")
+    [ table1_cmd; verify_cmd; query_cmd; check_cmd; trace_cmd; transform_cmd;
+      codegen_cmd; bounds_cmd; simulate_cmd;
+      export_cmd ]
+
+let () = exit (Cmd.eval main)

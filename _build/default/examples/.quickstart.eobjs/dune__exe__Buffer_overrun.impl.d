@@ -1,0 +1,1 @@
+examples/buffer_overrun.ml: Analysis Clockcons Fmt List Mc Model Scheme Ta Transform

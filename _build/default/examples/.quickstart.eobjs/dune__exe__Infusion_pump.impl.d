@@ -1,0 +1,1 @@
+examples/infusion_pump.ml: Analysis Fmt Gpca List Psv Scheme Sim Transform

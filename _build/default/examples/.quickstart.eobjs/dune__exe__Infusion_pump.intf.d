@@ -1,0 +1,1 @@
+examples/infusion_pump.mli:

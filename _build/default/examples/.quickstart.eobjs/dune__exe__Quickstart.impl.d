@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Clockcons Fmt List Mc Model Psv Scheme Sim Ta Transform

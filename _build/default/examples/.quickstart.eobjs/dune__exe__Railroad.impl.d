@@ -1,0 +1,1 @@
+examples/railroad.ml: Analysis Clockcons Fmt Fun List Mc Model Psv Scheme Sim Ta Transform

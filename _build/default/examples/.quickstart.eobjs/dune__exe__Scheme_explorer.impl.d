@@ -1,0 +1,1 @@
+examples/scheme_explorer.ml: Analysis Fmt Gpca List Mc Psv Scheme Transform

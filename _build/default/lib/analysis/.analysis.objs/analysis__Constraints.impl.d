@@ -1,0 +1,1 @@
+lib/analysis/constraints.ml: Fmt List Mc Model Ta Transform

@@ -1,0 +1,1 @@
+lib/analysis/constraints.mli: Format Transform

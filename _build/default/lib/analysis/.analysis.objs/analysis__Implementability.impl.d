@@ -1,0 +1,1 @@
+lib/analysis/implementability.ml: Clockcons Fmt List Mc Model Scheme Ta Transform

@@ -1,0 +1,1 @@
+lib/analysis/implementability.mli: Format Transform

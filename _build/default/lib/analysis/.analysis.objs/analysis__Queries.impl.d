@@ -1,0 +1,1 @@
+lib/analysis/queries.ml: Fmt Mc Transform

@@ -1,0 +1,1 @@
+lib/analysis/queries.mli: Format Mc Ta Transform

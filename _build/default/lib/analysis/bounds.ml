@@ -1,0 +1,33 @@
+let detection_latency (spec : Scheme.mc_input) =
+  match spec.Scheme.in_read with
+  | Scheme.Interrupt _ -> 0
+  | Scheme.Polling interval -> interval
+
+let buffer_wait (is : Scheme.t) =
+  let slots =
+    match is.Scheme.is_input_comm with
+    | Scheme.Buffer (size, Scheme.Read_one) -> size
+    | Scheme.Buffer (_, Scheme.Read_all) | Scheme.Shared_variable -> 1
+  in
+  match is.Scheme.is_invocation with
+  | Scheme.Periodic period -> slots * period
+  | Scheme.Aperiodic gap -> (slots - 1) * is.Scheme.is_exec.Scheme.wcet_max + gap
+
+let input_delay is m =
+  let spec = Scheme.input_spec is m in
+  detection_latency spec
+  + spec.Scheme.in_delay.Scheme.delay_max
+  + buffer_wait is
+
+let output_delay ?(queued_before = 0) is c =
+  let spec = Scheme.output_spec is c in
+  let visibility = is.Scheme.is_exec.Scheme.wcet_max in
+  visibility + ((queued_before + 1) * spec.Scheme.out_delay.Scheme.delay_max)
+
+let relaxed_mc_delay ?queued_before is ~input ~output ~internal =
+  input_delay is input + output_delay ?queued_before is output + internal
+
+let detects_all_inputs is m ~min_interarrival =
+  let spec = Scheme.input_spec is m in
+  detection_latency spec + spec.Scheme.in_delay.Scheme.delay_max
+  < min_interarrival

@@ -1,0 +1,44 @@
+(** Analytic delay bounds — Lemmas 1 and 2 of Section V.
+
+    These bounds are functions of the platform-specific parameters only;
+    no model checking involved.  They assume the four system constraints
+    hold (checked separately by {!Constraints}); when a constraint fails,
+    the end-to-end delay may be unbounded (Remark 1). *)
+
+(** Worst-case Input-Delay [Δmi] for one monitored variable: the time from
+    the environment triggering the input until the code reads it.
+
+    [detection + processing + buffer wait]:
+    - detection: one full polling interval for a polled input, 0 for an
+      interrupt;
+    - processing: the Input-Device's [delay_max];
+    - buffer wait: one invocation period under read-all (the input is
+      delivered at the next invocation); under read-one an input may sit
+      behind up to [buffer-size - 1] earlier entries, each costing one
+      more period; an aperiodic executive is invoked on insertion, so
+      only the minimum re-invocation gap applies. *)
+val input_delay : Scheme.t -> string -> int
+
+(** Worst-case Output-Delay [Δoc] for one controlled variable: the time
+    from the code producing the output until the environment observes it.
+
+    [visibility + device queue + processing]:
+    - visibility: outputs are published at the end of the invocation's
+      execution window, up to [wcet_max] after being produced;
+    - device queue: under read-all every earlier buffered output is
+      processed first, each costing up to [delay_max]; we charge
+      [queued_before] of them (default 0: the single-output chain of the
+      case study);
+    - processing: the Output-Device's [delay_max]. *)
+val output_delay : ?queued_before:int -> Scheme.t -> string -> int
+
+(** Lemma 2: [Δ'mc = Δmi + Δoc + Δio-internal]. *)
+val relaxed_mc_delay :
+  ?queued_before:int ->
+  Scheme.t -> input:string -> output:string -> internal:int -> int
+
+(** Constraint 1's analytic side-condition: the Input-Device can detect
+    every signal iff its worst-case turnaround (detection + processing)
+    is below the environment's minimum inter-arrival time. *)
+val detects_all_inputs :
+  Scheme.t -> string -> min_interarrival:int -> bool

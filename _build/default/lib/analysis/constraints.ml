@@ -1,0 +1,76 @@
+open Ta
+
+type status =
+  | Satisfied
+  | Violated of string list
+  | Unknown of string
+
+type result = {
+  c_id : int;
+  c_name : string;
+  c_status : status;
+}
+
+(* Reachability of "flag = 1" for any of the given variables; the first
+   one reachable yields the witness. *)
+let flags_unreachable ?limit net flags =
+  let t = Mc.Explorer.make ?limit net in
+  let rec check = function
+    | [] -> Satisfied
+    | (_, flag) :: rest ->
+      let pred st = Mc.Explorer.var_value t flag st = 1 in
+      (match (Mc.Explorer.reachable t pred).Mc.Explorer.r_trace with
+       | Some trace -> Violated trace
+       | None -> check rest)
+  in
+  check flags
+
+let check_internal_transitions (psm : Transform.psm) =
+  let pim = psm.Transform.psm_pim in
+  let software = Transform.Pim.software pim in
+  let taus =
+    List.filter
+      (fun e -> e.Model.edge_sync = Model.Tau)
+      software.Model.aut_edges
+  in
+  if taus = [] then Satisfied
+  else
+    Unknown
+      (Fmt.str
+         "software automaton %s has %d internal transition(s); the \
+          structural check cannot rule out interference with in-flight \
+          inputs"
+         software.Model.aut_name (List.length taus))
+
+let check_all ?limit (psm : Transform.psm) =
+  let net = psm.Transform.psm_net in
+  [ { c_id = 1;
+      c_name = "detection of all input signals";
+      c_status = flags_unreachable ?limit net psm.Transform.psm_miss_flags };
+    { c_id = 2;
+      c_name = "no overflow of the input buffer";
+      c_status =
+        flags_unreachable ?limit net psm.Transform.psm_input_loss_flags };
+    { c_id = 3;
+      c_name = "no overflow of the output buffer";
+      c_status =
+        flags_unreachable ?limit net psm.Transform.psm_output_loss_flags };
+    { c_id = 4;
+      c_name = "no internal transition occurrences";
+      c_status = check_internal_transitions psm } ]
+
+let all_satisfied results =
+  List.for_all
+    (fun r -> match r.c_status with
+       | Satisfied -> true
+       | Violated _ | Unknown _ -> false)
+    results
+
+let pp_result ppf r =
+  let pp_status ppf = function
+    | Satisfied -> Fmt.string ppf "satisfied"
+    | Violated trace ->
+      Fmt.pf ppf "VIOLATED (witness of %d steps)" (List.length trace)
+    | Unknown reason -> Fmt.pf ppf "unknown: %s" reason
+  in
+  Fmt.pf ppf "Constraint %d (%s): %a" r.c_id r.c_name pp_status r.c_status

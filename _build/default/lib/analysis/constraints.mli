@@ -1,0 +1,30 @@
+(** The four system constraints of Section V (Remark 1): when all of them
+    hold, the boundary delays are bounded (Lemma 1) and the relaxed
+    requirement [P(Δ'mc)] transfers from the PSM to the implementation
+    (Theorem 1).
+
+    Constraints 1-3 are decided by model checking the PSM for
+    reachability of the instrumentation flags the transformation plants
+    (missed interrupts, input-slot loss, output-slot loss).  Constraint 4
+    — the software takes no internal transition while an input is in
+    flight — is approximated by a sufficient structural condition on the
+    software automaton. *)
+
+type status =
+  | Satisfied
+  | Violated of string list  (** witness trace, as edge descriptions *)
+  | Unknown of string        (** reason the check is inconclusive *)
+
+type result = {
+  c_id : int;            (** 1-4, as numbered in the paper *)
+  c_name : string;
+  c_status : status;
+}
+
+(** Check all four constraints on a transformed PSM. *)
+val check_all : ?limit:int -> Transform.psm -> result list
+
+(** [all_satisfied results] — [Unknown] counts as not satisfied. *)
+val all_satisfied : result list -> bool
+
+val pp_result : Format.formatter -> result -> unit

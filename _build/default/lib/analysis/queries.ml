@@ -1,0 +1,36 @@
+type delay_result = {
+  dr_trigger : string;
+  dr_response : string;
+  dr_sup : Mc.Explorer.sup_result;
+  dr_stats : Mc.Explorer.stats;
+}
+
+let monitor_clock = "psv_delay_mon"
+
+let max_delay ?limit net ~trigger ~response ~ceiling =
+  let monitor =
+    Mc.Monitor.delay ~trigger ~response ~clock:monitor_clock ~ceiling ()
+  in
+  let t = Mc.Explorer.make ~monitor ?limit net in
+  let sup, stats =
+    Mc.Explorer.sup_clock t
+      ~pred:(Mc.Explorer.mon_in t "Waiting")
+      ~clock:monitor_clock
+  in
+  { dr_trigger = trigger; dr_response = response; dr_sup = sup;
+    dr_stats = stats }
+
+let satisfies_response_bound ?limit net ~trigger ~response ~bound =
+  let r = max_delay ?limit net ~trigger ~response ~ceiling:bound in
+  match r.dr_sup with
+  | Mc.Explorer.Sup_unreached -> true  (* the trigger never fires *)
+  | Mc.Explorer.Sup (v, _) -> v <= bound
+  | Mc.Explorer.Sup_exceeds _ -> false
+
+let pim_internal_bound ?limit (pim : Transform.Pim.t) ~input ~output ~ceiling =
+  max_delay ?limit pim.Transform.Pim.pim_net ~trigger:input ~response:output
+    ~ceiling
+
+let pp_delay_result ppf r =
+  Fmt.pf ppf "max delay %s -> %s: %a (%d states)" r.dr_trigger r.dr_response
+    Mc.Explorer.pp_sup_result r.dr_sup r.dr_stats.Mc.Explorer.visited

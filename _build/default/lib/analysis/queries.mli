@@ -1,0 +1,39 @@
+(** Model-checking-backed delay queries: the "Verified Upper Bound (PSM)"
+    machinery of Table I.  Works uniformly on a PIM or a PSM network,
+    since both expose the boundary events as channels. *)
+
+type delay_result = {
+  dr_trigger : string;
+  dr_response : string;
+  dr_sup : Mc.Explorer.sup_result;
+  dr_stats : Mc.Explorer.stats;
+}
+
+(** [max_delay net ~trigger ~response ~ceiling] is the supremum, over all
+    runs, of the time between a [trigger] synchronisation and the
+    following [response] synchronisation, measured by a non-blocking
+    monitor.  [Sup_exceeds] means the delay is not bounded by [ceiling]
+    (possibly unbounded). *)
+val max_delay :
+  ?limit:int ->
+  Ta.Model.network ->
+  trigger:string -> response:string -> ceiling:int -> delay_result
+
+(** [satisfies_response_bound net ~trigger ~response ~bound] is the
+    requirement [P(Δ)]: every [trigger] is answered within [bound].
+    Decided by comparing the verified supremum against [bound] (the
+    ceiling used is [bound], so the check is exact). *)
+val satisfies_response_bound :
+  ?limit:int ->
+  Ta.Model.network ->
+  trigger:string -> response:string -> bound:int -> bool
+
+(** The maximum internal delay [Δio-internal] of a PIM for an
+    input/output pair — in the PIM the platform does not exist, so the
+    m-to-c delay {e is} the internal delay. *)
+val pim_internal_bound :
+  ?limit:int ->
+  Transform.Pim.t ->
+  input:string -> output:string -> ceiling:int -> delay_result
+
+val pp_delay_result : Format.formatter -> delay_result -> unit

@@ -1,0 +1,59 @@
+(** C code generation from the platform-independent model — the TIMES
+    step of the paper's pipeline (Section II-A).
+
+    The generator emits a self-contained, allocation-free C module for
+    the software automaton, exposing exactly the four-step interaction
+    loop the paper describes: the platform invokes the code, delivers
+    processed inputs, lets it compute transitions against the current
+    clock reading, and collects the outputs it wrote.
+
+    The generated API (for an automaton named [Pump]):
+
+    {v
+void pump_init(pump_state_t *s, uint32_t now);
+bool pump_deliver(pump_state_t *s, uint32_t now, pump_input_t in);
+int  pump_compute(pump_state_t *s, uint32_t now,
+                  pump_output_t *out, int max_out);
+    v}
+
+    - [deliver] offers one processed input; it returns [true] when the
+      current location has an enabled receiving edge (the input is
+      consumed), [false] when the input must be discarded — the read-one
+      / read-all policies of the implementation scheme decide how often
+      the platform calls it per invocation.
+    - [compute] takes enabled internal and output edges, first declared
+      edge first, until quiescent; outputs are appended to [out].
+    - Clocks are [uint32_t] timestamp bases in the platform's time unit;
+      guard evaluation is wrap-around-safe for runs shorter than 2^31
+      units.
+
+    The semantics mirrors {!Sim.Code_runner} exactly; the test suite
+    compiles the generated C and cross-checks the two on random
+    invocation schedules.
+
+    Restrictions (checked): the software automaton must have no data
+    guards or variable updates (the platform-independent software of
+    this framework is pure), which also matches what {!Sim.Code_runner}
+    accepts. *)
+
+exception Unsupported of string
+
+(** The C header ([<name>.h]). *)
+val emit_header : Transform.Pim.t -> string
+
+(** The C implementation ([<name>.c]). *)
+val emit_source : Transform.Pim.t -> string
+
+(** A test harness ([main.c]) driving the module through a simple stdin
+    protocol, used by the differential tests:
+
+    {v
+init <now>
+deliver <channel> <now>     ->  prints "consumed" or "discarded"
+compute <now>               ->  prints one emitted channel per line, then "."
+location                    ->  prints the current location name
+    v} *)
+val emit_harness : Transform.Pim.t -> string
+
+(** Lower-case C identifier prefix derived from the automaton name. *)
+val prefix : Transform.Pim.t -> string

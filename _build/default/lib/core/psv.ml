@@ -1,0 +1,26 @@
+module Expr = Ta.Expr
+module Clockcons = Ta.Clockcons
+module Model = Ta.Model
+module Compiled = Ta.Compiled
+module Bound = Zone.Bound
+module Dbm = Zone.Dbm
+module Monitor = Mc.Monitor
+module Explorer = Mc.Explorer
+module Scheme = Scheme
+module Pim = Transform.Pim
+module Transform = Transform
+module Bounds = Analysis.Bounds
+module Queries = Analysis.Queries
+module Constraints = Analysis.Constraints
+module Sim = Sim
+module Gpca = Gpca
+module Xta = Xta
+module Codegen = Codegen
+
+let verify_response ?limit net ~trigger ~response ~bound =
+  Analysis.Queries.satisfies_response_bound ?limit net ~trigger ~response
+    ~bound
+
+let max_delay = Analysis.Queries.max_delay
+
+let transform = Transform.psm_of_pim

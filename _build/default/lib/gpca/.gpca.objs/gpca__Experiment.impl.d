@@ -1,0 +1,1 @@
+lib/gpca/experiment.ml: Analysis Fmt List Mc Model Params Scheme Sim String Transform

@@ -1,0 +1,1 @@
+lib/gpca/experiment.mli: Format Mc Model Params Sim

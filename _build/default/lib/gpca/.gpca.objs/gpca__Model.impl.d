@@ -1,0 +1,1 @@
+lib/gpca/model.ml: Clockcons List Model Params Scheme Ta Transform

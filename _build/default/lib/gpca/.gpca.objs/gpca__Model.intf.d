@@ -1,0 +1,1 @@
+lib/gpca/model.mli: Params Ta Transform

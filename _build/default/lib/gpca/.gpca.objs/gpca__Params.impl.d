@@ -1,0 +1,1 @@
+lib/gpca/params.ml: Scheme

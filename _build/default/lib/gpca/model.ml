@@ -1,0 +1,157 @@
+open Ta
+
+type variant =
+  | Bolus_only
+  | Full
+
+let bolus_req = "m_BolusReq"
+let empty_syringe = "m_EmptySyringe"
+let pause_req = "m_PauseReq"
+let start_infusion = "c_StartInfusion"
+let stop_infusion = "c_StopInfusion"
+let alarm = "c_Alarm"
+let pause_infusion = "c_PauseInfusion"
+
+let software_clock = "x"
+let env_clock = "env_x"
+
+let loc = Model.location
+let edge = Model.edge
+
+let software ?(variant = Full) (p : Params.t) =
+  let x = software_clock in
+  let bolus_locs =
+    [ loc "Idle";
+      loc ~inv:[ Clockcons.le x p.Params.prep_max ] "BolusPrep";
+      loc
+        ~inv:[ Clockcons.le x (p.Params.infusion_hold + p.Params.infusion_slack) ]
+        "Infusing" ]
+  in
+  let bolus_edges =
+    [ edge ~sync:(Model.Recv bolus_req) ~resets:[ x ] "Idle" "BolusPrep";
+      edge
+        ~guard:[ Clockcons.ge x p.Params.prep_min ]
+        ~sync:(Model.Send start_infusion) ~resets:[ x ] "BolusPrep" "Infusing";
+      edge
+        ~guard:[ Clockcons.ge x p.Params.infusion_hold ]
+        ~sync:(Model.Send stop_infusion) "Infusing" "Idle" ]
+  in
+  let locs, edges =
+    match variant with
+    | Bolus_only -> (bolus_locs, bolus_edges)
+    | Full ->
+      let alarm_locs =
+        [ loc ~inv:[ Clockcons.le x p.Params.alarm_max ] "Empty";
+          loc "Alarmed" ]
+      in
+      let empty_from src =
+        edge ~sync:(Model.Recv empty_syringe) ~resets:[ x ] src "Empty"
+      in
+      let alarm_edges =
+        [ empty_from "Idle";
+          empty_from "BolusPrep";
+          empty_from "Infusing";
+          edge ~sync:(Model.Send alarm) "Empty" "Alarmed" ]
+      in
+      (* GPCA pause: a pause request during infusion must stop the motor
+         within pause_max; the pump then idles until a new bolus is
+         requested. *)
+      let pause_locs =
+        [ loc ~inv:[ Clockcons.le x p.Params.pause_max ] "PausePrep";
+          loc "Paused" ]
+      in
+      let pause_edges =
+        [ edge ~sync:(Model.Recv pause_req) ~resets:[ x ] "Infusing"
+            "PausePrep";
+          edge ~sync:(Model.Send pause_infusion) "PausePrep" "Paused";
+          edge ~sync:(Model.Recv bolus_req) ~resets:[ x ] "Paused" "BolusPrep";
+          edge ~sync:(Model.Recv empty_syringe) ~resets:[ x ] "Paused" "Empty" ]
+      in
+      ( bolus_locs @ alarm_locs @ pause_locs,
+        bolus_edges @ alarm_edges @ pause_edges )
+  in
+  Model.automaton ~name:"Pump" ~initial:"Idle" locs edges
+
+let environment ?(variant = Full) (_p : Params.t) =
+  let bolus_locs = [ loc "Rest"; loc "AwaitStart"; loc "Observing" ] in
+  let bolus_edges =
+    [ edge ~sync:(Model.Send bolus_req) ~resets:[ env_clock ] "Rest"
+        "AwaitStart";
+      edge ~sync:(Model.Recv start_infusion) ~resets:[ env_clock ] "AwaitStart"
+        "Observing";
+      edge ~sync:(Model.Recv stop_infusion) "Observing" "Rest" ]
+  in
+  let locs, edges =
+    match variant with
+    | Bolus_only -> (bolus_locs, bolus_edges)
+    | Full ->
+      let alarm_locs = [ loc "AwaitAlarm"; loc "Halted" ] in
+      let alarm_edges =
+        [ edge ~sync:(Model.Send empty_syringe) ~resets:[ env_clock ] "Rest"
+            "AwaitAlarm";
+          edge ~sync:(Model.Send empty_syringe) ~resets:[ env_clock ]
+            "Observing" "AwaitAlarm";
+          edge ~sync:(Model.Recv alarm) "AwaitAlarm" "Halted" ]
+      in
+      let pause_locs = [ loc "AwaitPause"; loc "PausedEnv" ] in
+      (* Environment assumption: a pause is only requested while the
+         infusion is clearly still running (first half of the hold).
+         Without it the platform admits a race: the stop output's device
+         delay lets the patient pause after the pump has already stopped,
+         and the pause request is discarded -- the end-to-end pause delay
+         is then unbounded (found by verification; see DESIGN.md). *)
+      let pause_edges =
+        [ edge
+            ~guard:[ Clockcons.le env_clock (_p.Params.infusion_hold / 2) ]
+            ~sync:(Model.Send pause_req) ~resets:[ env_clock ] "Observing"
+            "AwaitPause";
+          edge ~sync:(Model.Recv pause_infusion) "AwaitPause" "PausedEnv";
+          edge ~sync:(Model.Send bolus_req) ~resets:[ env_clock ] "PausedEnv"
+            "AwaitStart" ]
+      in
+      ( bolus_locs @ alarm_locs @ pause_locs,
+        bolus_edges @ alarm_edges @ pause_edges )
+  in
+  Model.automaton ~name:"Patient" ~initial:"Rest" locs edges
+
+let channels ~variant =
+  let base =
+    [ (bolus_req, Model.Broadcast);
+      (start_infusion, Model.Broadcast);
+      (stop_infusion, Model.Broadcast) ]
+  in
+  match variant with
+  | Bolus_only -> base
+  | Full ->
+    base
+    @ [ (empty_syringe, Model.Broadcast);
+        (alarm, Model.Broadcast);
+        (pause_req, Model.Broadcast);
+        (pause_infusion, Model.Broadcast) ]
+
+let network ?(variant = Full) p =
+  Model.network ~name:"gpca"
+    ~clocks:[ software_clock; env_clock ]
+    ~vars:[]
+    ~channels:(channels ~variant)
+    [ software ~variant p; environment ~variant p ]
+
+let pim ?(variant = Full) p =
+  Transform.Pim.make (network ~variant p) ~software:"Pump"
+    ~environment:"Patient"
+
+let psm ?(variant = Full) p =
+  let scheme =
+    match variant with
+    | Full -> Params.scheme p
+    | Bolus_only ->
+      let s = Params.scheme p in
+      { s with
+        Scheme.is_inputs =
+          List.filter (fun (m, _) -> m = bolus_req) s.Scheme.is_inputs;
+        is_outputs =
+          List.filter
+            (fun (c, _) -> c = start_infusion || c = stop_infusion)
+            s.Scheme.is_outputs }
+  in
+  Transform.psm_of_pim (pim ~variant p) scheme

@@ -1,0 +1,55 @@
+type t = {
+  poll_interval : int;
+  bolus_proc : Scheme.delay_bounds;
+  empty_proc : Scheme.delay_bounds;
+  output_proc : Scheme.delay_bounds;
+  period : int;
+  exec : Scheme.exec_window;
+  buffer_size : int;
+  prep_min : int;
+  prep_max : int;
+  infusion_hold : int;
+  infusion_slack : int;
+  alarm_max : int;
+  pause_max : int;
+  typ_bolus_proc : int * int;
+  typ_output_proc : int * int;
+  typ_exec : int * int;
+}
+
+let default =
+  { poll_interval = 50;
+    bolus_proc = Scheme.delay 5 340;
+    empty_proc = Scheme.delay 1 3;
+    output_proc = Scheme.delay 100 340;
+    period = 100;
+    exec = { Scheme.wcet_min = 20; wcet_max = 100 };
+    buffer_size = 5;
+    prep_min = 250;
+    prep_max = 500;
+    infusion_hold = 2000;
+    infusion_slack = 400;
+    alarm_max = 150;
+    pause_max = 100;
+    typ_bolus_proc = (10, 50);
+    typ_output_proc = (100, 300);
+    typ_exec = (20, 60) }
+
+let scheme p =
+  { Scheme.is_name = "IS1-gpca";
+    is_inputs =
+      [ ("m_BolusReq",
+         Scheme.polling_input ~interval:p.poll_interval p.bolus_proc);
+        ("m_EmptySyringe", Scheme.interrupt_input p.empty_proc);
+        ("m_PauseReq", Scheme.interrupt_input p.empty_proc) ];
+    is_outputs =
+      [ ("c_StartInfusion", Scheme.pulse_output p.output_proc);
+        ("c_StopInfusion", Scheme.pulse_output p.output_proc);
+        ("c_Alarm", Scheme.pulse_output p.output_proc);
+        ("c_PauseInfusion", Scheme.pulse_output p.output_proc) ];
+    is_input_comm = Scheme.Buffer (p.buffer_size, Scheme.Read_all);
+    is_output_comm = Scheme.Buffer (p.buffer_size, Scheme.Read_all);
+    is_invocation = Scheme.Periodic p.period;
+    is_exec = p.exec }
+
+let req1_bound = 500

@@ -1,0 +1,1 @@
+lib/mc/explorer.ml: Array Compiled Fmt Hashtbl List Model Monitor Option Printf Queue String Sys Ta Zone

@@ -1,0 +1,1 @@
+lib/mc/explorer.mli: Format Monitor Ta Zone

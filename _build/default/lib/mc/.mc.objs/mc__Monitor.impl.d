@@ -1,0 +1,1 @@
+lib/mc/monitor.ml: Array Fmt List

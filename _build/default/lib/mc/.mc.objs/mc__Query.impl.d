@@ -1,0 +1,1 @@
+lib/mc/query.ml: Explorer Fmt List Monitor String Ta

@@ -1,0 +1,1 @@
+lib/mc/query.mli: Explorer Format Stdlib Ta

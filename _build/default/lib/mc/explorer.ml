@@ -1,0 +1,727 @@
+open Ta
+
+type t = {
+  comp : Compiled.t;
+  monitor : Monitor.t;
+  mon_clock_index : (string * int) list;  (* monitor clock name -> DBM index *)
+  mon_ceiling : (string * int) list;
+  k : int array;  (* ExtraM constants, per DBM clock index *)
+  lconsts : int array;  (* ExtraLU lower constants *)
+  uconsts : int array;  (* ExtraLU upper constants *)
+  use_lu : bool;
+  limit : int;
+  reduce : bool;
+  (* per automaton, per location: tau edges, and send/receive edges
+     indexed by channel -- precomputed so candidate enumeration is a
+     table lookup *)
+  taus : Compiled.cedge list array array;
+  sends : Compiled.cedge list array array array;
+  recvs : Compiled.cedge list array array array;
+}
+
+type state = {
+  st_locs : int array;
+  st_vars : int array;
+  st_mon : int;
+  st_zone : Zone.Dbm.t;
+}
+
+type stats = {
+  visited : int;
+  stored : int;
+}
+
+exception Search_limit of int
+
+let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
+    ?(reduce = true) ?(lu = false) net =
+  let mon_clocks = List.map fst monitor.Monitor.mon_clocks in
+  let comp =
+    Compiled.compile ~extra_clocks:mon_clocks
+      ~clock_ceilings:monitor.Monitor.mon_clocks net
+  in
+  let tight = match tight with Some b -> b | None -> false in
+  let k = Array.copy comp.Compiled.c_max_consts in
+  let lconsts = Array.copy comp.Compiled.c_lower_consts in
+  let uconsts = Array.copy comp.Compiled.c_upper_consts in
+  if tight then begin
+    let hi = Array.fold_left max 0 k in
+    for i = 1 to Array.length k - 1 do
+      k.(i) <- hi;
+      lconsts.(i) <- hi;
+      uconsts.(i) <- hi
+    done
+  end;
+  let mon_clock_index =
+    List.map (fun c -> (c, Compiled.clock_index comp c)) mon_clocks
+  in
+  let nchans = Array.length comp.Compiled.c_chan_names in
+  let table select =
+    Array.map
+      (fun a ->
+        Array.map
+          (fun edges ->
+            let by_chan = Array.make nchans [] in
+            List.iter
+              (fun ce ->
+                match select ce.Compiled.ce_sync with
+                | Some ch -> by_chan.(ch) <- by_chan.(ch) @ [ ce ]
+                | None -> ())
+              edges;
+            by_chan)
+          a.Compiled.ca_out)
+      comp.Compiled.c_automata
+  in
+  let taus =
+    Array.map
+      (fun a ->
+        Array.map
+          (List.filter (fun ce -> ce.Compiled.ce_sync = Compiled.CTau))
+          a.Compiled.ca_out)
+      comp.Compiled.c_automata
+  in
+  let sends =
+    table (function Compiled.CSend ch -> Some ch | _ -> None)
+  in
+  let recvs =
+    table (function Compiled.CRecv ch -> Some ch | _ -> None)
+  in
+  { comp;
+    monitor;
+    mon_clock_index;
+    mon_ceiling = monitor.Monitor.mon_clocks;
+    k;
+    lconsts;
+    uconsts;
+    use_lu = lu;
+    limit;
+    reduce;
+    taus;
+    sends;
+    recvs }
+
+let compiled t = t.comp
+
+let at t ~aut ~loc =
+  let ai, li = Compiled.loc_index t.comp ~aut loc in
+  fun st -> st.st_locs.(ai) = li
+
+let var_value t name =
+  let vi = Compiled.var_index t.comp name in
+  fun st -> st.st_vars.(vi)
+
+let mon_in t name =
+  let si = Monitor.state_index t.monitor name in
+  fun st -> st.st_mon = si
+
+(* --- zone plumbing --------------------------------------------------- *)
+
+let bound_of_dc (dc : Compiled.dconstraint) =
+  if dc.Compiled.dc_strict then Zone.Bound.lt dc.Compiled.dc_bound
+  else Zone.Bound.le dc.Compiled.dc_bound
+
+let apply_dconstraints z dcs =
+  List.iter
+    (fun (dc : Compiled.dconstraint) ->
+      Zone.Dbm.constrain z dc.Compiled.dc_i dc.Compiled.dc_j (bound_of_dc dc))
+    dcs
+
+let apply_invariants t locs z =
+  Array.iteri
+    (fun ai li ->
+      apply_dconstraints z t.comp.Compiled.c_automata.(ai).Compiled.ca_locs.(li).Compiled.cl_inv)
+    locs
+
+let loc_kind t ai li =
+  t.comp.Compiled.c_automata.(ai).Compiled.ca_locs.(li).Compiled.cl_kind
+
+let committed_present t locs =
+  let n = Array.length locs in
+  let rec loop ai =
+    ai < n
+    && (loc_kind t ai locs.(ai) = Model.Committed || loop (ai + 1))
+  in
+  loop 0
+
+let no_delay_present t locs =
+  let n = Array.length locs in
+  let rec loop ai =
+    ai < n
+    && ((match loc_kind t ai locs.(ai) with
+         | Model.Urgent | Model.Committed -> true
+         | Model.Normal -> false)
+        || loop (ai + 1))
+  in
+  loop 0
+
+(* Clocks the monitor declares inactive carry no information; freeing them
+   merges zones that differ only in their value. *)
+let free_inactive_monitor_clocks t mon_state z =
+  let active = t.monitor.Monitor.mon_active mon_state in
+  List.iter
+    (fun (name, i) -> if not (List.mem name active) then Zone.Dbm.free z i)
+    t.mon_clock_index
+
+(* Activity reduction: free the clocks that are dead at an automaton's
+   current location (see Compiled.cl_free). *)
+let free_inactive_automaton_clocks t ai li z =
+  if t.reduce then
+    List.iter (Zone.Dbm.free z)
+      t.comp.Compiled.c_automata.(ai).Compiled.ca_locs.(li).Compiled.cl_free
+
+(* --- transition firing ------------------------------------------------ *)
+
+(* A candidate discrete transition: the moving edges in update order
+   (sender first), plus the synchronising channel if any. *)
+type candidate = {
+  cd_movers : (int * Compiled.cedge) list;
+  cd_chan : string option;
+}
+
+let describe t cd =
+  let heads =
+    List.map (fun (_, ce) -> Compiled.describe_edge t.comp ce) cd.cd_movers
+  in
+  String.concat " | " heads
+
+let fire t st cd =
+  let z = Zone.Dbm.copy st.st_zone in
+  List.iter (fun (_, ce) -> apply_dconstraints z ce.Compiled.ce_guard)
+    cd.cd_movers;
+  if Zone.Dbm.is_empty z then None
+  else begin
+    let locs' = Array.copy st.st_locs in
+    List.iter (fun (ai, ce) -> locs'.(ai) <- ce.Compiled.ce_dst) cd.cd_movers;
+    let vars' =
+      List.fold_left
+        (fun vals (_, ce) ->
+          Compiled.apply_updates t.comp vals ce.Compiled.ce_updates)
+        st.st_vars cd.cd_movers
+    in
+    let mon', mon_resets =
+      match cd.cd_chan with
+      | None -> (st.st_mon, [])
+      | Some chan ->
+        (match Monitor.step t.monitor st.st_mon chan with
+         | Some (dst, resets) -> (dst, resets)
+         | None -> (st.st_mon, []))
+    in
+    List.iter
+      (fun (_, ce) -> List.iter (Zone.Dbm.reset z) ce.Compiled.ce_resets)
+      cd.cd_movers;
+    List.iter
+      (fun c -> Zone.Dbm.reset z (List.assoc c t.mon_clock_index))
+      mon_resets;
+    free_inactive_monitor_clocks t mon' z;
+    List.iter
+      (fun (ai, ce) ->
+        free_inactive_automaton_clocks t ai ce.Compiled.ce_dst z)
+      cd.cd_movers;
+    apply_invariants t locs' z;
+    if Zone.Dbm.is_empty z then None
+    else begin
+      if not (no_delay_present t locs') then begin
+        Zone.Dbm.up z;
+        apply_invariants t locs' z
+      end;
+      if t.use_lu then Zone.Dbm.extrapolate_lu z t.lconsts t.uconsts
+      else Zone.Dbm.extrapolate z t.k;
+      if Zone.Dbm.is_empty z then None
+      else Some { st_locs = locs'; st_vars = vars'; st_mon = mon'; st_zone = z }
+    end
+  end
+
+(* --- transition enumeration ------------------------------------------ *)
+
+let cartesian choice_lists =
+  let extend acc choices =
+    List.concat_map
+      (fun partial -> List.map (fun c -> partial @ [ c ]) choices)
+      acc
+  in
+  List.fold_left extend [ [] ] choice_lists
+
+let candidates t st =
+  let comp = t.comp in
+  let nauts = Array.length comp.Compiled.c_automata in
+  let com = committed_present t st.st_locs in
+  let allowed movers =
+    (not com)
+    || List.exists
+         (fun (ai, ce) -> loc_kind t ai ce.Compiled.ce_src = Model.Committed)
+         movers
+  in
+  let acc = ref [] in
+  let add movers chan =
+    let cd = { cd_movers = movers; cd_chan = chan } in
+    if allowed movers then acc := cd :: !acc
+  in
+  let enabled ce = ce.Compiled.ce_pred st.st_vars in
+  (* internal moves *)
+  for ai = 0 to nauts - 1 do
+    List.iter
+      (fun ce -> if enabled ce then add [ (ai, ce) ] None)
+      t.taus.(ai).(st.st_locs.(ai))
+  done;
+  (* synchronisations, per channel *)
+  let nchans = Array.length comp.Compiled.c_chan_kinds in
+  for ch = 0 to nchans - 1 do
+    let senders = ref [] in
+    for ai = nauts - 1 downto 0 do
+      List.iter
+        (fun ce -> if enabled ce then senders := (ai, ce) :: !senders)
+        t.sends.(ai).(st.st_locs.(ai)).(ch)
+    done;
+    if !senders <> [] then begin
+      let chan_name = comp.Compiled.c_chan_names.(ch) in
+      match comp.Compiled.c_chan_kinds.(ch) with
+      | Model.Binary ->
+        let receivers = ref [] in
+        for ai = nauts - 1 downto 0 do
+          List.iter
+            (fun ce -> if enabled ce then receivers := (ai, ce) :: !receivers)
+            t.recvs.(ai).(st.st_locs.(ai)).(ch)
+        done;
+        List.iter
+          (fun (sa, se) ->
+            List.iter
+              (fun (ra, re) ->
+                if sa <> ra then add [ (sa, se); (ra, re) ] (Some chan_name))
+              !receivers)
+          !senders
+      | Model.Broadcast ->
+        let recv_choices sa =
+          let per_aut = ref [] in
+          for ai = nauts - 1 downto 0 do
+            if ai <> sa then begin
+              let edges =
+                List.filter enabled t.recvs.(ai).(st.st_locs.(ai)).(ch)
+              in
+              if edges <> [] then
+                per_aut := List.map (fun e -> (ai, e)) edges :: !per_aut
+            end
+          done;
+          !per_aut
+        in
+        List.iter
+          (fun (sa, se) ->
+            let combos = cartesian (recv_choices sa) in
+            List.iter
+              (fun receivers -> add ((sa, se) :: receivers) (Some chan_name))
+              combos)
+          !senders
+    end
+  done;
+  List.rev !acc
+
+(* --- search ----------------------------------------------------------- *)
+
+type entry = {
+  e_id : int;
+  e_parent : int;  (* -1 for the initial state *)
+  e_movers : (int * Compiled.cedge) list;  (* described lazily for traces *)
+  e_state : state;
+  mutable e_dead : bool;
+}
+
+let initial_state t =
+  let comp = t.comp in
+  let locs =
+    Array.map (fun a -> a.Compiled.ca_initial) comp.Compiled.c_automata
+  in
+  let vars = Array.copy comp.Compiled.c_var_init in
+  let z = Zone.Dbm.zero (comp.Compiled.c_nclocks + 1) in
+  free_inactive_monitor_clocks t t.monitor.Monitor.mon_initial z;
+  Array.iteri (fun ai li -> free_inactive_automaton_clocks t ai li z) locs;
+  apply_invariants t locs z;
+  if not (no_delay_present t locs) then begin
+    Zone.Dbm.up z;
+    apply_invariants t locs z
+  end;
+  if t.use_lu then Zone.Dbm.extrapolate_lu z t.lconsts t.uconsts
+  else Zone.Dbm.extrapolate z t.k;
+  { st_locs = locs; st_vars = vars; st_mon = t.monitor.Monitor.mon_initial;
+    st_zone = z }
+
+(* Generic search: calls [visit] on every stored state (including the
+   initial one); stops early when [visit] returns [`Stop].  [on_expanded]
+   is called after a state's successors have been generated, with the
+   number of (non-empty) successors -- used by the timelock detector.
+   Returns the mover-chain of the stopping state, if any. *)
+let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
+    ?(subsume = true) t visit =
+  let entries : (int, entry) Hashtbl.t = Hashtbl.create 1024 in
+  let store : (int array * int array * int, int list ref) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let next_id = ref 0 in
+  let stored = ref 0 in
+  let visited = ref 0 in
+  let waiting = Queue.create () in
+  let add_state parent movers st =
+    let key = (st.st_locs, st.st_vars, st.st_mon) in
+    let bucket =
+      match Hashtbl.find_opt store key with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace store key b;
+        b
+    in
+    let live = List.filter (fun id -> not (Hashtbl.find entries id).e_dead) !bucket in
+    bucket := live;
+    let covered id =
+      let stored = (Hashtbl.find entries id).e_state.st_zone in
+      if subsume then Zone.Dbm.includes stored st.st_zone
+      else Zone.Dbm.equal stored st.st_zone
+    in
+    if List.exists covered live then None
+    else begin
+      if subsume then
+        List.iter
+          (fun id ->
+            let e = Hashtbl.find entries id in
+            if Zone.Dbm.includes st.st_zone e.e_state.st_zone then
+              e.e_dead <- true)
+          live;
+      let id = !next_id in
+      incr next_id;
+      incr stored;
+      let e = { e_id = id; e_parent = parent; e_movers = movers; e_state = st;
+                e_dead = false }
+      in
+      Hashtbl.replace entries id e;
+      bucket := id :: !bucket;
+      Queue.push id waiting;
+      Some e
+    end
+  in
+  let stopped = ref None in
+  let consider entry =
+    match visit entry.e_state with
+    | `Stop -> stopped := Some entry
+    | `Continue -> ()
+  in
+  let initial = initial_state t in
+  if not (Zone.Dbm.is_empty initial.st_zone) then begin
+    match add_state (-1) [] initial with
+    | Some e -> consider e
+    | None -> ()
+  end;
+  while !stopped = None && not (Queue.is_empty waiting) do
+    let id = Queue.pop waiting in
+    let e = Hashtbl.find entries id in
+    if not e.e_dead then begin
+      incr visited;
+      if !visited > t.limit then raise (Search_limit t.limit);
+      if !visited mod 1_000 = 0 && Sys.getenv_opt "PSV_MC_PROGRESS" <> None
+      then
+        Printf.eprintf "[mc] visited %d stored %d queue %d\n%!" !visited
+          !stored (Queue.length waiting);
+      let cds = candidates t e.e_state in
+      let successors = ref 0 in
+      List.iter
+        (fun cd ->
+          if !stopped = None then
+            match fire t e.e_state cd with
+            | None -> ()
+            | Some st ->
+              incr successors;
+              on_transition cd;
+              (match add_state id cd.cd_movers st with
+               | Some e' -> consider e'
+               | None -> ()))
+        cds
+      ;
+      if !stopped = None then
+        match on_expanded e.e_state !successors with
+        | `Stop -> stopped := Some e
+        | `Continue -> ()
+    end
+  done;
+  let chain_of entry =
+    let rec walk acc id =
+      if id < 0 then acc
+      else
+        let e = Hashtbl.find entries id in
+        if e.e_parent < 0 then acc else walk (e.e_movers :: acc) e.e_parent
+    in
+    walk [] entry.e_id
+  in
+  let result = Option.map chain_of !stopped in
+  (result, { visited = !visited; stored = !stored })
+
+let describe_chain t chain =
+  List.map
+    (fun movers -> describe t { cd_movers = movers; cd_chan = None })
+    chain
+
+type reach_result = {
+  r_trace : string list option;
+  r_stats : stats;
+}
+
+let reachable t pred =
+  let visit st = if pred st then `Stop else `Continue in
+  let chain, stats = search t visit in
+  { r_trace = Option.map (describe_chain t) chain; r_stats = stats }
+
+let safe t pred =
+  let r = reachable t pred in
+  (r.r_trace = None, r.r_stats)
+
+type sup_result =
+  | Sup_unreached
+  | Sup of int * bool
+  | Sup_exceeds of int
+
+let sup_clock t ~pred ~clock =
+  let ci =
+    match List.assoc_opt clock t.mon_clock_index with
+    | Some i -> i
+    | None -> Compiled.clock_index t.comp clock
+  in
+  let ceiling =
+    match List.assoc_opt clock t.mon_ceiling with
+    | Some c -> c
+    | None -> t.k.(ci)
+  in
+  let best = ref Sup_unreached in
+  let update st =
+    if pred st then begin
+      let b = Zone.Dbm.sup_clock st.st_zone ci in
+      if Zone.Bound.is_infinite b then best := Sup_exceeds ceiling
+      else begin
+        let v = Zone.Bound.constant b and strict = Zone.Bound.is_strict b in
+        match !best with
+        | Sup_exceeds _ -> ()
+        | Sup_unreached -> best := Sup (v, strict)
+        | Sup (v0, s0) ->
+          if v > v0 || (v = v0 && s0 && not strict) then best := Sup (v, strict)
+      end
+    end;
+    `Continue
+  in
+  let _, stats = search t update in
+  (!best, stats)
+
+let pp_sup_result ppf = function
+  | Sup_unreached -> Fmt.string ppf "unreached"
+  | Sup (v, true) -> Fmt.pf ppf "< %d" v
+  | Sup (v, false) -> Fmt.pf ppf "<= %d" v
+  | Sup_exceeds c -> Fmt.pf ppf "> %d (ceiling)" c
+
+(* --- timelock detection ------------------------------------------------ *)
+
+(* A reachable state where no discrete transition is possible and time is
+   blocked: either an urgent/committed location pins the clock, or some
+   location invariant caps a clock (the stored zones are delay-closed, so
+   a finite supremum means time cannot diverge).  Quiescent terminal
+   states -- no successors but unbounded delay -- are not timelocks. *)
+let find_timelock t =
+  let time_blocked st =
+    no_delay_present t st.st_locs
+    ||
+    let z = st.st_zone in
+    let dim = Zone.Dbm.dim z in
+    let rec bounded i =
+      i < dim
+      && ((not (Zone.Bound.is_infinite (Zone.Dbm.sup_clock z i)))
+          || bounded (i + 1))
+    in
+    bounded 1
+  in
+  let on_expanded st nsucc =
+    if nsucc = 0 && time_blocked st then `Stop else `Continue
+  in
+  (* Subsumption can hide a time-pinned sub-zone inside a wider live zone,
+     so the timelock search deduplicates by zone equality only. *)
+  let chain, stats = search ~on_expanded ~subsume:false t (fun _ -> `Continue) in
+  { r_trace = Option.map (describe_chain t) chain; r_stats = stats }
+
+(* --- timed witness traces ---------------------------------------------- *)
+
+type timed_step = {
+  td_desc : string;
+  td_earliest : int * bool;
+  td_latest : (int * bool) option;
+}
+
+let pp_time_bound ppf (v, strict) =
+  if strict then Fmt.pf ppf "%d+" v else Fmt.int ppf v
+
+let pp_timed_step ppf step =
+  let time =
+    match step.td_latest with
+    | Some hi when hi = step.td_earliest ->
+      Fmt.str "t = %a" pp_time_bound step.td_earliest
+    | Some hi ->
+      Fmt.str "t in [%a, %a]" pp_time_bound step.td_earliest pp_time_bound hi
+    | None -> Fmt.str "t >= %a" pp_time_bound step.td_earliest
+  in
+  Fmt.pf ppf "%-18s %s" time step.td_desc
+
+(* Replay a fixed transition chain exactly (no extrapolation, no
+   reduction) with an extra never-reset clock measuring absolute time;
+   the clock's interval at each firing gives the possible firing times of
+   that step among runs following this chain. *)
+let timed_trace t pred =
+  let visit st = if pred st then `Stop else `Continue in
+  match search t visit with
+  | None, _ -> None
+  | Some chain, _ ->
+    let tclock = "psv_abs_time" in
+    let comp =
+      Compiled.compile ~extra_clocks:[ tclock ] t.comp.Compiled.c_model
+    in
+    let nauts = Array.length comp.Compiled.c_automata in
+    let find_edge ai idx =
+      let a = comp.Compiled.c_automata.(ai) in
+      let hit = ref None in
+      Array.iter
+        (List.iter (fun ce -> if ce.Compiled.ce_index = idx then hit := Some ce))
+        a.Compiled.ca_out;
+      match !hit with
+      | Some ce -> ce
+      | None -> assert false
+    in
+    let invariants locs z =
+      Array.iteri
+        (fun ai li ->
+          apply_dconstraints z
+            comp.Compiled.c_automata.(ai).Compiled.ca_locs.(li).Compiled.cl_inv)
+        locs
+    in
+    let blocked locs =
+      let rec loop ai =
+        ai < nauts
+        && ((match comp.Compiled.c_automata.(ai)
+                     .Compiled.ca_locs.(locs.(ai)).Compiled.cl_kind
+             with
+             | Model.Urgent | Model.Committed -> true
+             | Model.Normal -> false)
+            || loop (ai + 1))
+      in
+      loop 0
+    in
+    let dim = comp.Compiled.c_nclocks + 1 in
+    let ti = Compiled.clock_index comp tclock in
+    let locs =
+      ref (Array.map (fun a -> a.Compiled.ca_initial) comp.Compiled.c_automata)
+    in
+    let vars = ref (Array.copy comp.Compiled.c_var_init) in
+    let z = Zone.Dbm.zero dim in
+    invariants !locs z;
+    if not (blocked !locs) then begin
+      Zone.Dbm.up z;
+      invariants !locs z
+    end;
+    let steps = ref [] in
+    let feasible = ref (not (Zone.Dbm.is_empty z)) in
+    List.iter
+      (fun movers ->
+        if !feasible then begin
+          let movers' =
+            List.map
+              (fun (ai, (ce : Compiled.cedge)) ->
+                (ai, find_edge ai ce.Compiled.ce_index))
+              movers
+          in
+          List.iter
+            (fun (_, ce) -> apply_dconstraints z ce.Compiled.ce_guard)
+            movers';
+          if Zone.Dbm.is_empty z then feasible := false
+          else begin
+            let lo, lo_strict = Zone.Dbm.inf_clock z ti in
+            let hi_bound = Zone.Dbm.sup_clock z ti in
+            let hi =
+              if Zone.Bound.is_infinite hi_bound then None
+              else
+                Some
+                  (Zone.Bound.constant hi_bound, Zone.Bound.is_strict hi_bound)
+            in
+            steps :=
+              { td_desc =
+                  describe t { cd_movers = movers; cd_chan = None };
+                td_earliest = (lo, lo_strict);
+                td_latest = hi }
+              :: !steps;
+            let next_locs = Array.copy !locs in
+            List.iter
+              (fun (ai, ce) -> next_locs.(ai) <- ce.Compiled.ce_dst)
+              movers';
+            vars :=
+              List.fold_left
+                (fun vals (_, ce) ->
+                  Compiled.apply_updates comp vals ce.Compiled.ce_updates)
+                !vars movers';
+            List.iter
+              (fun (_, ce) -> List.iter (Zone.Dbm.reset z) ce.Compiled.ce_resets)
+              movers';
+            locs := next_locs;
+            invariants !locs z;
+            if not (blocked !locs) then begin
+              Zone.Dbm.up z;
+              invariants !locs z
+            end;
+            if Zone.Dbm.is_empty z then feasible := false
+          end
+        end)
+      chain;
+    if !feasible then Some (List.rev !steps) else None
+
+(* --- coverage ----------------------------------------------------------- *)
+
+type coverage = {
+  cov_unreached_locations : (string * string) list;
+  cov_unfired_edges : string list;
+  cov_stats : stats;
+}
+
+(* Explore everything, recording which locations were entered and which
+   edges fired; the complement is dead model structure worth reviewing. *)
+let coverage t =
+  let comp = t.comp in
+  let nauts = Array.length comp.Compiled.c_automata in
+  let seen_locs =
+    Array.init nauts (fun ai ->
+        Array.make
+          (Array.length comp.Compiled.c_automata.(ai).Compiled.ca_locs)
+          false)
+  in
+  let fired : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let visit st =
+    Array.iteri (fun ai li -> seen_locs.(ai).(li) <- true) st.st_locs;
+    `Continue
+  in
+  let on_transition cd =
+    List.iter
+      (fun (ai, (ce : Compiled.cedge)) ->
+        Hashtbl.replace fired (ai, ce.Compiled.ce_index) ())
+      cd.cd_movers
+  in
+  let _, stats = search ~on_transition t visit in
+  let unreached = ref [] in
+  Array.iteri
+    (fun ai seen ->
+      let a = comp.Compiled.c_automata.(ai) in
+      Array.iteri
+        (fun li entered ->
+          if not entered then
+            unreached :=
+              (a.Compiled.ca_name, a.Compiled.ca_locs.(li).Compiled.cl_name)
+              :: !unreached)
+        seen)
+    seen_locs;
+  let unfired = ref [] in
+  Array.iteri
+    (fun ai a ->
+      Array.iter
+        (List.iter (fun (ce : Compiled.cedge) ->
+             if not (Hashtbl.mem fired (ai, ce.Compiled.ce_index)) then
+               unfired := Compiled.describe_edge comp ce :: !unfired))
+        a.Compiled.ca_out)
+    comp.Compiled.c_automata;
+  { cov_unreached_locations = List.rev !unreached;
+    cov_unfired_edges = List.rev !unfired;
+    cov_stats = stats }

@@ -1,0 +1,146 @@
+(** Zone-graph exploration for compiled networks, with an optional
+    non-blocking monitor composed at the semantic level.
+
+    States are (location vector, variable valuation, monitor state, zone)
+    tuples; zones are kept delay-closed under location invariants and
+    extrapolated with per-clock maximal constants, so the search is finite
+    whenever variables are bounded.  Subsumption (zone inclusion) prunes
+    the passed/waiting store. *)
+
+type t
+
+(** A symbolic state handed to predicates and fold functions. *)
+type state = {
+  st_locs : int array;
+  st_vars : int array;
+  st_mon : int;
+  st_zone : Zone.Dbm.t;
+}
+
+type stats = {
+  visited : int;  (** states popped and expanded *)
+  stored : int;   (** states stored (after subsumption) *)
+}
+
+exception Search_limit of int
+
+(** [make ?monitor ?tight ?limit net] prepares an explorer.
+
+    With the default per-clock extrapolation constants, sup-queries over
+    monitor clocks are {e sound over-approximations}: the reported
+    supremum is an upper bound on the true one, and may exceed it when
+    extrapolating another clock loosens a difference bound involving the
+    monitor clock.  [tight:true] raises every clock's extrapolation
+    constant to the global maximum, which makes the sup exact at the cost
+    of a (sometimes drastically) larger zone graph.  For the paper's
+    purpose — a verified upper bound on the implementation's delay —
+    soundness is what matters.
+
+    [limit] bounds the number of visited states (default [2_000_000];
+    exceeded raises {!Search_limit}).
+
+    [reduce] (default [true]) enables clock-activity reduction: clocks
+    that are dead at a location (per {!Ta.Compiled.cl_free}) and monitor
+    clocks outside their active states are freed, collapsing zones that
+    differ only in dead-clock values.  Reachability, safety and
+    monitor-clock sup results are unaffected; disable it only to inspect
+    raw zones.
+
+    [lu] (default [false]) switches from classic maximal-constant
+    extrapolation (ExtraM) to the coarser lower/upper-bound ExtraLU,
+    which can shrink the zone graph when guards are one-sided.  Both are
+    exact for location reachability (the library rejects diagonal
+    constraints in models, the case where these abstractions would be
+    unsound). *)
+val make :
+  ?monitor:Monitor.t -> ?tight:bool -> ?limit:int -> ?reduce:bool ->
+  ?lu:bool -> Ta.Model.network -> t
+
+val compiled : t -> Ta.Compiled.t
+
+(** {1 Predicate helpers} *)
+
+val at : t -> aut:string -> loc:string -> state -> bool
+val var_value : t -> string -> state -> int
+val mon_in : t -> string -> state -> bool
+
+(** {1 Queries} *)
+
+type reach_result = {
+  r_trace : string list option;
+      (** edge descriptions from the initial state, when found *)
+  r_stats : stats;
+}
+
+(** [reachable t pred] is the UPPAAL query [E<> pred]. *)
+val reachable : t -> (state -> bool) -> reach_result
+
+(** [safe t pred] is [A[] not pred]: [true] when no reachable state
+    satisfies [pred]. *)
+val safe : t -> (state -> bool) -> bool * stats
+
+type sup_result =
+  | Sup_unreached          (** no reachable state satisfies the predicate *)
+  | Sup of int * bool      (** supremum value; [true] means strict ([< v]) *)
+  | Sup_exceeds of int     (** the supremum exceeds the clock's ceiling *)
+
+(** [sup_clock t ~pred ~clock] is the supremum of [clock] over all
+    reachable states satisfying [pred] — the engine behind UPPAAL-style
+    [sup] queries.  [clock] is typically a monitor clock; its ceiling
+    (from the monitor declaration) bounds the values that are reported
+    exactly. *)
+val sup_clock :
+  t -> pred:(state -> bool) -> clock:string -> sup_result * stats
+
+val pp_sup_result : Format.formatter -> sup_result -> unit
+
+(** [find_timelock t] searches for a reachable state in which no discrete
+    transition is possible and time cannot diverge (an urgent/committed
+    location pins the clock, or a location invariant caps it).  Quiescent
+    terminal states (no moves but unbounded delay) are not reported.
+
+    In a transformed PSM, timelocks mark reliance on the generated code's
+    {e eagerness}: a deadline transition of [MIO] that the model may
+    postpone past its last compute window.  When the guard window is wide
+    enough (see [Analysis.Implementability.check_window_widths]) eager
+    code never hits the deadline between windows and the timelock is a
+    model-level artifact; when it is too narrow, even eager code misses
+    the deadline and the timelock is a real defect.
+
+    The search deduplicates states by zone equality rather than
+    subsumption (a time-pinned sub-zone must not be hidden inside a wider
+    stored zone), so it explores more states than {!reachable}.  The
+    check is an {e under-approximation}: a symbolic state mixing blocked
+    and live valuations is not flagged. *)
+val find_timelock : t -> reach_result
+
+(** One step of a timed witness: the transition description and the
+    interval of absolute times at which the step can fire among runs
+    following the witness's transition sequence.  Bounds are
+    [(value, strict)]; [td_latest = None] means unbounded. *)
+type timed_step = {
+  td_desc : string;
+  td_earliest : int * bool;
+  td_latest : (int * bool) option;
+}
+
+(** [timed_trace t pred] is {!reachable} with timing: the witness chain is
+    replayed exactly (no extrapolation) with an absolute-time clock, and
+    each step is annotated with its feasible firing-time interval.
+    [None] if the predicate is unreachable. *)
+val timed_trace : t -> (state -> bool) -> timed_step list option
+
+val pp_timed_step : Format.formatter -> timed_step -> unit
+
+(** Structural coverage of a full exploration: locations never entered
+    and edges never fired in any reachable state.  Dead structure in a
+    verified model usually means a modeling mistake (an unreachable
+    error handler, a guard that can never be satisfied). *)
+type coverage = {
+  cov_unreached_locations : (string * string) list;
+      (** (automaton, location) pairs *)
+  cov_unfired_edges : string list;  (** edge descriptions *)
+  cov_stats : stats;
+}
+
+val coverage : t -> coverage

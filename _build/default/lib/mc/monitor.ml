@@ -1,0 +1,76 @@
+type transition = {
+  tr_src : int;
+  tr_chan : string;
+  tr_dst : int;
+  tr_resets : string list;
+}
+
+type t = {
+  mon_name : string;
+  mon_states : string array;
+  mon_initial : int;
+  mon_clocks : (string * int) list;
+  mon_transitions : transition list;
+  mon_active : int -> string list;
+}
+
+let make ?active ~name ~states ~initial ~clocks transitions =
+  let nstates = Array.length states in
+  let in_range i = i >= 0 && i < nstates in
+  if not (in_range initial) then
+    invalid_arg (Fmt.str "monitor %s: initial state out of range" name);
+  let check_transition t =
+    if not (in_range t.tr_src && in_range t.tr_dst) then
+      invalid_arg (Fmt.str "monitor %s: transition state out of range" name);
+    List.iter
+      (fun c ->
+        if not (List.mem_assoc c clocks) then
+          invalid_arg (Fmt.str "monitor %s: resets unknown clock %S" name c))
+      t.tr_resets
+  in
+  List.iter check_transition transitions;
+  let keys = List.map (fun t -> (t.tr_src, t.tr_chan)) transitions in
+  let rec has_dup = function
+    | [] -> false
+    | k :: rest -> List.mem k rest || has_dup rest
+  in
+  if has_dup keys then
+    invalid_arg (Fmt.str "monitor %s: nondeterministic transitions" name);
+  let all_clocks = List.map fst clocks in
+  let active = match active with Some f -> f | None -> fun _ -> all_clocks in
+  { mon_name = name;
+    mon_states = states;
+    mon_initial = initial;
+    mon_clocks = clocks;
+    mon_transitions = transitions;
+    mon_active = active }
+
+let delay ?(name = "delay-monitor") ~trigger ~response ~clock ~ceiling () =
+  (* The clock is only meaningful while waiting for the response; declaring
+     it inactive elsewhere lets the explorer free it, which collapses many
+     otherwise-incomparable zones. *)
+  make ~name
+    ~states:[| "Idle"; "Waiting" |]
+    ~initial:0
+    ~clocks:[ (clock, ceiling) ]
+    ~active:(fun state -> if state = 1 then [ clock ] else [])
+    [ { tr_src = 0; tr_chan = trigger; tr_dst = 1; tr_resets = [ clock ] };
+      { tr_src = 1; tr_chan = response; tr_dst = 0; tr_resets = [] } ]
+
+let state_index m name =
+  let n = Array.length m.mon_states in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if m.mon_states.(i) = name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let step m state chan =
+  let matching t = t.tr_src = state && t.tr_chan = chan in
+  match List.find_opt matching m.mon_transitions with
+  | Some t -> Some (t.tr_dst, t.tr_resets)
+  | None -> None
+
+let trivial =
+  make ~name:"trivial" ~states:[| "Only" |] ~initial:0 ~clocks:[] []

@@ -1,0 +1,63 @@
+(** Non-blocking monitors.
+
+    A monitor is a deterministic finite automaton with its own clocks that
+    observes the channel of every synchronisation the system performs.  It
+    is composed at the semantic level by the explorer, so — unlike an
+    UPPAAL observer template — it can never block, delay, or otherwise
+    perturb the system.  It is the measurement device of the framework:
+    boundary delays are sup-queries over monitor clocks.
+
+    If no transition matches the current state and observed channel, the
+    monitor stays put.  Internal ([tau]) moves of the system are never
+    observed. *)
+
+type transition = {
+  tr_src : int;
+  tr_chan : string;
+  tr_dst : int;
+  tr_resets : string list;
+}
+
+type t = {
+  mon_name : string;
+  mon_states : string array;
+  mon_initial : int;
+  mon_clocks : (string * int) list;  (** clock name and extrapolation ceiling *)
+  mon_transitions : transition list;
+  mon_active : int -> string list;
+      (** clocks whose value matters in a given state; the explorer frees
+          the others, which prunes the zone graph substantially *)
+}
+
+(** [make ~name ~states ~initial ~clocks transitions] builds a monitor.
+    [active] defaults to "all clocks, in every state".
+    @raise Invalid_argument if [transitions] is nondeterministic (two
+    transitions from the same state on the same channel), or a state or
+    the initial index is out of range. *)
+val make :
+  ?active:(int -> string list) ->
+  name:string ->
+  states:string array ->
+  initial:int ->
+  clocks:(string * int) list ->
+  transition list -> t
+
+(** [delay ~trigger ~response ~clock ~ceiling] is the two-state delay
+    monitor: [Idle] moves to [Waiting] on [trigger] and resets [clock];
+    [Waiting] returns to [Idle] on [response].  Re-triggering while waiting
+    keeps the earlier start, so the measured delay is from the {e first}
+    unanswered trigger.  [state_index] 1 is [Waiting]. *)
+val delay :
+  ?name:string ->
+  trigger:string -> response:string -> clock:string -> ceiling:int -> unit -> t
+
+val state_index : t -> string -> int
+(** @raise Not_found *)
+
+(** [step m state chan] is the successor state and clock resets when
+    observing [chan] in [state]; [None] means "stay put, reset nothing". *)
+val step : t -> int -> string -> (int * string list) option
+
+(** A monitor with one state, no clocks and no transitions; composing it
+    is equivalent to running without a monitor. *)
+val trivial : t

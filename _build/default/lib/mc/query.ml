@@ -1,0 +1,244 @@
+type pred =
+  | At of string * string
+  | Cmp of string * Ta.Expr.rel * int
+  | Const of bool
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Exists_eventually of pred
+  | Always of pred
+  | Sup_delay of { trigger : string; response : string; ceiling : int }
+  | Bounded_response of { trigger : string; response : string; bound : int }
+
+type outcome =
+  | Holds
+  | Fails of string list option
+  | Sup of Explorer.sup_result
+
+(* --- tokenising --------------------------------------------------------- *)
+
+type token =
+  | Word of string
+  | Num of int
+  | Op of string  (* comparison operators, "->", parens, "." *)
+
+exception Bad_query of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Bad_query s)) fmt
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    || (c >= '0' && c <= '9')
+  in
+  let rec scan i =
+    if i >= n then ()
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1)
+      | '(' -> emit (Op "("); scan (i + 1)
+      | ')' -> emit (Op ")"); scan (i + 1)
+      | '.' -> emit (Op "."); scan (i + 1)
+      | ':' -> emit (Op ":"); scan (i + 1)
+      | '-' when i + 1 < n && text.[i + 1] = '>' -> emit (Op "->"); scan (i + 2)
+      | '<' when i + 1 < n && text.[i + 1] = '>' -> emit (Op "<>"); scan (i + 2)
+      | '<' when i + 1 < n && text.[i + 1] = '=' -> emit (Op "<="); scan (i + 2)
+      | '<' -> emit (Op "<"); scan (i + 1)
+      | '>' when i + 1 < n && text.[i + 1] = '=' -> emit (Op ">="); scan (i + 2)
+      | '>' -> emit (Op ">"); scan (i + 1)
+      | '=' when i + 1 < n && text.[i + 1] = '=' -> emit (Op "=="); scan (i + 2)
+      | '!' when i + 1 < n && text.[i + 1] = '=' -> emit (Op "!="); scan (i + 2)
+      | '[' when i + 1 < n && text.[i + 1] = ']' -> emit (Op "[]"); scan (i + 2)
+      | 'E' when i + 2 < n && text.[i + 1] = '<' && text.[i + 2] = '>' ->
+        emit (Word "E");
+        emit (Op "<>");
+        scan (i + 3)
+      | c when c >= '0' && c <= '9' ->
+        let rec stop j =
+          if j < n && text.[j] >= '0' && text.[j] <= '9' then stop (j + 1)
+          else j
+        in
+        let j = stop i in
+        emit (Num (int_of_string (String.sub text i (j - i))));
+        scan j
+      | c when is_word c ->
+        let rec stop j = if j < n && is_word text.[j] then stop (j + 1) else j in
+        let j = stop i in
+        emit (Word (String.sub text i (j - i)));
+        scan j
+      | c -> fail "unexpected character %C" c
+  in
+  scan 0;
+  List.rev !tokens
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let rel_of_op = function
+  | "==" -> Some Ta.Expr.Eq
+  | "!=" -> Some Ta.Expr.Ne
+  | "<" -> Some Ta.Expr.Lt
+  | "<=" -> Some Ta.Expr.Le
+  | ">" -> Some Ta.Expr.Gt
+  | ">=" -> Some Ta.Expr.Ge
+  | _ -> None
+
+let rec parse_pred tokens =
+  let term, rest = parse_term tokens in
+  match rest with
+  | Word "or" :: rest ->
+    let rhs, rest = parse_pred rest in
+    (Or (term, rhs), rest)
+  | _ -> (term, rest)
+
+and parse_term tokens =
+  let factor, rest = parse_factor tokens in
+  match rest with
+  | Word "and" :: rest ->
+    let rhs, rest = parse_term rest in
+    (And (factor, rhs), rest)
+  | _ -> (factor, rest)
+
+and parse_factor = function
+  | Word "not" :: rest ->
+    let p, rest = parse_factor rest in
+    (Not p, rest)
+  | Word "true" :: rest -> (Const true, rest)
+  | Word "false" :: rest -> (Const false, rest)
+  | Op "(" :: rest ->
+    let p, rest = parse_pred rest in
+    (match rest with
+     | Op ")" :: rest -> (p, rest)
+     | _ -> fail "missing closing parenthesis")
+  | Word w :: Op "." :: Word l :: rest -> (At (w, l), rest)
+  | Word w :: Op op :: Num v :: rest ->
+    (match rel_of_op op with
+     | Some rel -> (Cmp (w, rel, v), rest)
+     | None -> fail "expected a comparison after %S" w)
+  | Word w :: _ -> fail "dangling identifier %S" w
+  | Num v :: _ -> fail "unexpected number %d" v
+  | Op op :: _ -> fail "unexpected %S" op
+  | [] -> fail "unexpected end of query"
+
+let parse_chain rest =
+  match rest with
+  | Word trigger :: Op "->" :: Word response :: rest ->
+    (trigger, response, rest)
+  | _ -> fail "expected CHAN -> CHAN"
+
+let parse text =
+  match tokenize text with
+  | exception Bad_query msg -> Error msg
+  | tokens ->
+    (try
+       match tokens with
+       | Word "E" :: Op "<>" :: rest ->
+         let p, rest = parse_pred rest in
+         if rest <> [] then fail "trailing tokens after predicate";
+         Ok (Exists_eventually p)
+       | Word "A" :: Op "[]" :: rest ->
+         let p, rest = parse_pred rest in
+         if rest <> [] then fail "trailing tokens after predicate";
+         Ok (Always p)
+       | Word "sup" :: Op ":" :: rest ->
+         let trigger, response, rest = parse_chain rest in
+         let ceiling =
+           match rest with
+           | [] -> 10_000
+           | [ Word "ceiling"; Num c ] -> c
+           | _ -> fail "expected 'ceiling N' or end"
+         in
+         Ok (Sup_delay { trigger; response; ceiling })
+       | Word "bounded" :: Op ":" :: rest ->
+         let trigger, response, rest = parse_chain rest in
+         (match rest with
+          | [ Word "within"; Num bound ] ->
+            Ok (Bounded_response { trigger; response; bound })
+          | _ -> fail "expected 'within N'")
+       | _ -> fail "a query starts with E<>, A[], sup: or bounded:"
+     with Bad_query msg -> Error msg)
+
+(* --- evaluation ----------------------------------------------------------- *)
+
+let compile_pred t p =
+  let rec build = function
+    | At (aut, loc) -> Explorer.at t ~aut ~loc
+    | Cmp (v, rel, n) ->
+      let value = Explorer.var_value t v in
+      let holds =
+        match rel with
+        | Ta.Expr.Lt -> fun x -> x < n
+        | Ta.Expr.Le -> fun x -> x <= n
+        | Ta.Expr.Eq -> fun x -> x = n
+        | Ta.Expr.Ge -> fun x -> x >= n
+        | Ta.Expr.Gt -> fun x -> x > n
+        | Ta.Expr.Ne -> fun x -> x <> n
+      in
+      fun st -> holds (value st)
+    | Const b -> fun _ -> b
+    | And (a, b) ->
+      let fa = build a and fb = build b in
+      fun st -> fa st && fb st
+    | Or (a, b) ->
+      let fa = build a and fb = build b in
+      fun st -> fa st || fb st
+    | Not a ->
+      let fa = build a in
+      fun st -> not (fa st)
+  in
+  build p
+
+let delay_monitor_clock = "psv_query_mon"
+
+let eval ?limit net q =
+  match q with
+  | Exists_eventually p ->
+    let t = Explorer.make ?limit net in
+    (match (Explorer.reachable t (compile_pred t p)).Explorer.r_trace with
+     | Some _ -> Holds
+     | None -> Fails None)
+  | Always p ->
+    let t = Explorer.make ?limit net in
+    (match
+       (Explorer.reachable t (fun st -> not (compile_pred t p st)))
+         .Explorer.r_trace
+     with
+     | Some trace -> Fails (Some trace)
+     | None -> Holds)
+  | Sup_delay { trigger; response; ceiling } ->
+    let monitor =
+      Monitor.delay ~trigger ~response ~clock:delay_monitor_clock ~ceiling ()
+    in
+    let t = Explorer.make ?limit ~monitor net in
+    let sup, _ =
+      Explorer.sup_clock t
+        ~pred:(Explorer.mon_in t "Waiting")
+        ~clock:delay_monitor_clock
+    in
+    Sup sup
+  | Bounded_response { trigger; response; bound } ->
+    let monitor =
+      Monitor.delay ~trigger ~response ~clock:delay_monitor_clock
+        ~ceiling:bound ()
+    in
+    let t = Explorer.make ?limit ~monitor net in
+    let sup, _ =
+      Explorer.sup_clock t
+        ~pred:(Explorer.mon_in t "Waiting")
+        ~clock:delay_monitor_clock
+    in
+    (match sup with
+     | Explorer.Sup_unreached -> Holds
+     | Explorer.Sup (v, _) -> if v <= bound then Holds else Fails None
+     | Explorer.Sup_exceeds _ -> Fails None)
+
+let pp_outcome ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Fails None -> Fmt.string ppf "FAILS"
+  | Fails (Some trace) ->
+    Fmt.pf ppf "FAILS (counterexample of %d steps)" (List.length trace)
+  | Sup sup -> Fmt.pf ppf "sup = %a" Explorer.pp_sup_result sup

@@ -1,0 +1,169 @@
+type signal_kind =
+  | Pulse
+  | Sustained of int
+  | Sustained_until_read
+
+type signal_edge = Rising | Falling
+
+type read_mechanism =
+  | Interrupt of signal_edge
+  | Polling of int
+
+type delay_bounds = {
+  delay_min : int;
+  delay_max : int;
+}
+
+type mc_input = {
+  in_signal : signal_kind;
+  in_read : read_mechanism;
+  in_delay : delay_bounds;
+}
+
+type mc_output = {
+  out_signal : signal_kind;
+  out_delay : delay_bounds;
+}
+
+type read_policy = Read_one | Read_all
+
+type io_comm =
+  | Shared_variable
+  | Buffer of int * read_policy
+
+type invocation =
+  | Periodic of int
+  | Aperiodic of int
+
+type exec_window = {
+  wcet_min : int;
+  wcet_max : int;
+}
+
+type t = {
+  is_name : string;
+  is_inputs : (string * mc_input) list;
+  is_outputs : (string * mc_output) list;
+  is_input_comm : io_comm;
+  is_output_comm : io_comm;
+  is_invocation : invocation;
+  is_exec : exec_window;
+}
+
+let delay delay_min delay_max = { delay_min; delay_max }
+
+let interrupt_input ?(edge = Rising) in_delay =
+  { in_signal = Pulse; in_read = Interrupt edge; in_delay }
+
+let polling_input ?(signal = Sustained_until_read) ~interval in_delay =
+  { in_signal = signal; in_read = Polling interval; in_delay }
+
+let pulse_output out_delay = { out_signal = Pulse; out_delay }
+
+let is1 ?(exec = { wcet_min = 1; wcet_max = 10 }) ~inputs ~outputs () =
+  let input = interrupt_input (delay 1 3) in
+  let output = pulse_output (delay 1 3) in
+  { is_name = "IS1";
+    is_inputs = List.map (fun m -> (m, input)) inputs;
+    is_outputs = List.map (fun c -> (c, output)) outputs;
+    is_input_comm = Buffer (5, Read_all);
+    is_output_comm = Buffer (5, Read_all);
+    is_invocation = Periodic 100;
+    is_exec = exec }
+
+let input_spec is m = List.assoc m is.is_inputs
+let output_spec is c = List.assoc c is.is_outputs
+
+let period_opt is =
+  match is.is_invocation with
+  | Periodic p -> Some p
+  | Aperiodic _ -> None
+
+let check is =
+  let problems = ref [] in
+  let fail fmt = Fmt.kstr (fun s -> problems := s :: !problems) fmt in
+  let check_delay owner d =
+    if d.delay_min < 0 then fail "%s: negative delay_min" owner;
+    if d.delay_max < d.delay_min then
+      fail "%s: delay_max below delay_min" owner
+  in
+  let check_input (m, spec) =
+    check_delay m spec.in_delay;
+    (match spec.in_signal, spec.in_read with
+     | Pulse, Polling _ ->
+       fail
+         "%s: a pulse signal has no sustained duration and cannot be \
+          observed by polling; use an interrupt"
+         m
+     | Sustained d, Polling interval when interval > d ->
+       fail
+         "%s: polling interval %d exceeds the sustained duration %d; \
+          signals can be missed"
+         m interval d
+     | (Pulse | Sustained _ | Sustained_until_read), (Interrupt _ | Polling _)
+       -> ());
+    (match spec.in_read with
+     | Polling interval when interval <= 0 -> fail "%s: polling interval must be positive" m
+     | Polling _ | Interrupt _ -> ())
+  in
+  let check_output (c, spec) = check_delay c spec.out_delay in
+  List.iter check_input is.is_inputs;
+  List.iter check_output is.is_outputs;
+  let check_comm owner = function
+    | Buffer (size, _) when size <= 0 -> fail "%s: buffer size must be positive" owner
+    | Buffer _ | Shared_variable -> ()
+  in
+  check_comm "input communication" is.is_input_comm;
+  check_comm "output communication" is.is_output_comm;
+  (match is.is_invocation with
+   | Periodic p when p <= 0 -> fail "invocation period must be positive"
+   | Aperiodic gap when gap < 0 -> fail "re-invocation gap must be non-negative"
+   | Periodic _ | Aperiodic _ -> ());
+  if is.is_exec.wcet_min < 0 then fail "wcet_min must be non-negative";
+  if is.is_exec.wcet_max < is.is_exec.wcet_min then
+    fail "wcet_max below wcet_min";
+  (match is.is_invocation with
+   | Periodic p when is.is_exec.wcet_max > p ->
+     fail "execution window %d exceeds the invocation period %d"
+       is.is_exec.wcet_max p
+   | Periodic _ | Aperiodic _ -> ());
+  List.rev !problems
+
+let pp_signal ppf = function
+  | Pulse -> Fmt.string ppf "pulse"
+  | Sustained d -> Fmt.pf ppf "sustained(%d)" d
+  | Sustained_until_read -> Fmt.string ppf "sustained-until-read"
+
+let pp_read ppf = function
+  | Interrupt Rising -> Fmt.string ppf "interrupt(rising)"
+  | Interrupt Falling -> Fmt.string ppf "interrupt(falling)"
+  | Polling i -> Fmt.pf ppf "polling(%d)" i
+
+let pp_delay ppf d = Fmt.pf ppf "[%d, %d]" d.delay_min d.delay_max
+
+let pp_comm ppf = function
+  | Shared_variable -> Fmt.string ppf "shared-variable"
+  | Buffer (size, Read_one) -> Fmt.pf ppf "buffer(%d, read-one)" size
+  | Buffer (size, Read_all) -> Fmt.pf ppf "buffer(%d, read-all)" size
+
+let pp_invocation ppf = function
+  | Periodic p -> Fmt.pf ppf "periodic(%d)" p
+  | Aperiodic g -> Fmt.pf ppf "aperiodic(min-gap %d)" g
+
+let pp ppf is =
+  let pp_input ppf (m, s) =
+    Fmt.pf ppf "%s: %a, %a, delay %a" m pp_signal s.in_signal pp_read s.in_read
+      pp_delay s.in_delay
+  in
+  let pp_output ppf (c, s) =
+    Fmt.pf ppf "%s: %a, delay %a" c pp_signal s.out_signal pp_delay s.out_delay
+  in
+  Fmt.pf ppf
+    "@[<v 2>scheme %s@,inputs: %a@,outputs: %a@,input comm: %a@,\
+     output comm: %a@,invocation: %a@,exec window: [%d, %d]@]"
+    is.is_name
+    Fmt.(list ~sep:semi pp_input)
+    is.is_inputs
+    Fmt.(list ~sep:semi pp_output)
+    is.is_outputs pp_comm is.is_input_comm pp_comm is.is_output_comm
+    pp_invocation is.is_invocation is.is_exec.wcet_min is.is_exec.wcet_max

@@ -1,0 +1,122 @@
+(** Implementation schemes (Definition 1 of the paper).
+
+    An implementation scheme describes, in terms of Parnas' four-variable
+    formalism, how a platform realises the two interaction boundaries of a
+    model-based implementation:
+
+    - the {e mc-boundary} between the environment and the platform: what
+      kind of signal each monitored variable carries, how the Input-Device
+      reads it (interrupt or polling), and the device's min/max processing
+      delays — and symmetrically for the Output-Device and controlled
+      variables;
+    - the {e io-boundary} between the platform and the generated code: how
+      processed inputs reach the code (shared variable or bounded buffer,
+      read-one or read-all policy), how outputs travel back, and how the
+      code is invoked (periodically or aperiodically).
+
+    A scheme plus a platform-independent model determines the
+    platform-specific model via {!Transform} and the analytic delay bounds
+    via {!Analysis}. *)
+
+type signal_kind =
+  | Pulse
+      (** no sustained duration; only an interrupt can catch it *)
+  | Sustained of int
+      (** held for the given duration, then drops *)
+  | Sustained_until_read
+      (** latched until the platform consumes it (e.g. a button register) *)
+
+type signal_edge = Rising | Falling
+
+type read_mechanism =
+  | Interrupt of signal_edge
+  | Polling of int  (** polling interval *)
+
+type delay_bounds = {
+  delay_min : int;
+  delay_max : int;
+}
+
+(** Input-Device treatment of one monitored variable. *)
+type mc_input = {
+  in_signal : signal_kind;
+  in_read : read_mechanism;
+  in_delay : delay_bounds;  (** signal-to-program-value processing delay *)
+}
+
+(** Output-Device treatment of one controlled variable. *)
+type mc_output = {
+  out_signal : signal_kind;
+  out_delay : delay_bounds;  (** program-value-to-signal processing delay *)
+}
+
+type read_policy = Read_one | Read_all
+
+type io_comm =
+  | Shared_variable
+      (** single slot, overwritten; a pending value can be lost *)
+  | Buffer of int * read_policy
+      (** bounded FIFO of the given size *)
+
+type invocation =
+  | Periodic of int  (** period *)
+  | Aperiodic of int  (** minimum re-invocation gap (0 = immediate) *)
+
+(** Execution-time window of one invocation of the generated code
+    (read inputs, compute transitions, write outputs). *)
+type exec_window = {
+  wcet_min : int;
+  wcet_max : int;
+}
+
+type t = {
+  is_name : string;
+  is_inputs : (string * mc_input) list;   (** keyed by input channel *)
+  is_outputs : (string * mc_output) list; (** keyed by output channel *)
+  is_input_comm : io_comm;
+  is_output_comm : io_comm;
+  is_invocation : invocation;
+  is_exec : exec_window;
+}
+
+(** {1 Builders} *)
+
+val delay : int -> int -> delay_bounds
+
+val interrupt_input : ?edge:signal_edge -> delay_bounds -> mc_input
+(** A pulse signal read by interrupt — the combination of Example 1. *)
+
+val polling_input :
+  ?signal:signal_kind -> interval:int -> delay_bounds -> mc_input
+(** A latched ([Sustained_until_read] by default) signal read by polling. *)
+
+val pulse_output : delay_bounds -> mc_output
+
+(** [is1 ~inputs ~outputs ()] is the paper's Example 1 scheme: every input
+    a pulse signal read on the rising edge with delay [1..3]; every output
+    a pulse with delay [1..3]; buffers of size 5 with read-all; periodic
+    invocation with period 100.  [exec] defaults to the window [1..10]. *)
+val is1 :
+  ?exec:exec_window ->
+  inputs:string list -> outputs:string list -> unit -> t
+
+(** {1 Accessors} *)
+
+val input_spec : t -> string -> mc_input
+(** @raise Not_found *)
+
+val output_spec : t -> string -> mc_output
+(** @raise Not_found *)
+
+val period_opt : t -> int option
+(** The invocation period, when periodic. *)
+
+(** {1 Compatibility (Section III-A)}
+
+    Some mechanism combinations are physically meaningless — most notably
+    a pulse signal observed by polling, which the paper points out can
+    only be read by an interrupt.  Returns the list of problems; empty
+    means the scheme is realisable. *)
+val check : t -> string list
+
+val pp : Format.formatter -> t -> unit

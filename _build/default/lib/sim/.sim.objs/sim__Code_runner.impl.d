@@ -1,0 +1,1 @@
+lib/sim/code_runner.ml: Clockcons Expr Fmt Hashtbl List Model Ta

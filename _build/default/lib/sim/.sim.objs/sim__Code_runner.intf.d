@@ -1,0 +1,1 @@
+lib/sim/code_runner.mli: Ta

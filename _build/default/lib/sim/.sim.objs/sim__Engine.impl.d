@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Code_runner Event_queue Fmt List Rng Scheme Transform

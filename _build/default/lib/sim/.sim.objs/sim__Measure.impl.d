@@ -1,0 +1,1 @@
+lib/sim/measure.ml: Engine Fmt List Option

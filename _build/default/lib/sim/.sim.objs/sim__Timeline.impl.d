@@ -1,0 +1,1 @@
+lib/sim/timeline.ml: Buffer Bytes Engine Fmt List String

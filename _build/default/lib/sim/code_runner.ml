@@ -1,0 +1,104 @@
+open Ta
+
+type t = {
+  automaton : Model.automaton;
+  mutable loc : string;
+  reset_times : (string, float) Hashtbl.t;  (* clock -> last reset instant *)
+}
+
+let clocks_of automaton =
+  let add acc c = if List.mem c acc then acc else c :: acc in
+  let of_atoms acc atoms = List.fold_left add acc (Clockcons.clocks atoms) in
+  let acc =
+    List.fold_left
+      (fun acc l -> of_atoms acc l.Model.loc_inv)
+      [] automaton.Model.aut_locations
+  in
+  List.fold_left
+    (fun acc e ->
+      List.fold_left add (of_atoms acc e.Model.edge_guard) e.Model.edge_resets)
+    acc automaton.Model.aut_edges
+
+let create automaton =
+  List.iter
+    (fun e ->
+      if e.Model.edge_pred <> Expr.True then
+        invalid_arg
+          (Fmt.str "Code_runner.create: %s has data guards on its edges"
+             automaton.Model.aut_name))
+    automaton.Model.aut_edges;
+  let reset_times = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace reset_times c 0.0) (clocks_of automaton);
+  { automaton; loc = automaton.Model.aut_initial; reset_times }
+
+let location t = t.loc
+
+let clock_value t ~now c =
+  match Hashtbl.find_opt t.reset_times c with
+  | Some since -> now -. since
+  | None -> now
+
+(* Guard evaluation on real-valued clocks.  The generated code reads an
+   integer-resolution timer; we keep floats and compare directly. *)
+let guard_holds t ~now atoms =
+  let holds rel (a : float) b =
+    match rel with
+    | Clockcons.Lt -> a < b
+    | Clockcons.Le -> a <= b
+    | Clockcons.Eq -> a = b
+    | Clockcons.Ge -> a >= b
+    | Clockcons.Gt -> a > b
+  in
+  List.for_all
+    (fun atom ->
+      match atom with
+      | Clockcons.Simple (x, rel, n) ->
+        holds rel (clock_value t ~now x) (float_of_int n)
+      | Clockcons.Diff (x, y, rel, n) ->
+        holds rel (clock_value t ~now x -. clock_value t ~now y)
+          (float_of_int n))
+    atoms
+
+let take t ~now e =
+  List.iter (fun c -> Hashtbl.replace t.reset_times c now) e.Model.edge_resets;
+  t.loc <- e.Model.edge_dst
+
+let deliver t ~now chan =
+  let candidate e =
+    e.Model.edge_src = t.loc
+    && e.Model.edge_sync = Model.Recv chan
+    && guard_holds t ~now e.Model.edge_guard
+  in
+  match List.find_opt candidate t.automaton.Model.aut_edges with
+  | Some e ->
+    take t ~now e;
+    true
+  | None -> false
+
+let compute t ~now =
+  let enabled e =
+    e.Model.edge_src = t.loc
+    && (match e.Model.edge_sync with
+        | Model.Tau | Model.Send _ -> true
+        | Model.Recv _ -> false)
+    && guard_holds t ~now e.Model.edge_guard
+  in
+  let rec run acc steps =
+    if steps > 10_000 then
+      failwith "Code_runner.compute: livelock in the software automaton"
+    else
+      match List.find_opt enabled t.automaton.Model.aut_edges with
+      | None -> List.rev acc
+      | Some e ->
+        take t ~now e;
+        (match e.Model.edge_sync with
+         | Model.Send c -> run (c :: acc) (steps + 1)
+         | Model.Tau -> run acc (steps + 1)
+         | Model.Recv _ -> assert false)
+  in
+  run [] 0
+
+let reset t ~now =
+  t.loc <- t.automaton.Model.aut_initial;
+  let clocks = Hashtbl.fold (fun c _ acc -> c :: acc) t.reset_times [] in
+  List.iter (fun c -> Hashtbl.replace t.reset_times c now) clocks

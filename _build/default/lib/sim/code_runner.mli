@@ -1,0 +1,34 @@
+(** An interpreter of the software automaton that behaves like the code a
+    TIMES-style generator produces (Section II-A): the platform invokes
+    it, hands it the processed inputs, and it then (1) consumes each
+    input if the current location has an enabled edge for it, discarding
+    it otherwise, and (2) repeatedly takes enabled internal/output edges
+    — evaluating clock guards against the invocation instant — until
+    quiescent, returning the outputs it produced.
+
+    Clock values are wall-clock durations since their last reset, as in
+    the generated code's timer reads.  Nondeterminism is resolved the way
+    a code generator resolves it: first declared edge wins. *)
+
+type t
+
+(** [create automaton] prepares a runner at the automaton's initial
+    location with all clocks reset at time 0.
+    @raise Invalid_argument if the automaton's data guards mention
+    variables (the platform-independent software of this framework is
+    pure; variables belong to the platform model). *)
+val create : Ta.Model.automaton -> t
+
+val location : t -> string
+
+(** [deliver t ~now chan] offers one processed input; returns [true] when
+    the code consumed it (an enabled receiving edge existed). *)
+val deliver : t -> now:float -> string -> bool
+
+(** [compute t ~now] takes enabled internal and output edges until no
+    more are enabled, returning the output channels emitted, in order.
+    Guards are evaluated at the invocation instant [now]. *)
+val compute : t -> now:float -> string list
+
+(** Reset to the initial location with all clocks reset at [now]. *)
+val reset : t -> now:float -> unit

@@ -1,0 +1,16 @@
+(** A time-ordered event queue for discrete-event simulation.
+
+    Events at equal times are delivered in insertion order (FIFO), which
+    keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push q time payload] schedules [payload] at [time]. *)
+val push : 'a t -> float -> 'a -> unit
+
+(** Earliest event, by (time, insertion order).  [None] when empty. *)
+val pop : 'a t -> (float * 'a) option

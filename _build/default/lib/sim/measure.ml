@@ -1,0 +1,74 @@
+type sample = {
+  s_signal : float;
+  s_read : float option;
+  s_emitted : float option;
+  s_visible : float option;
+}
+
+let first_after log ~time select =
+  let hit (e : Engine.entry) = e.Engine.at >= time && select e.Engine.event in
+  match List.find_opt hit log with
+  | Some e -> Some e.Engine.at
+  | None -> None
+
+let samples log ~trigger ~response =
+  let is_trigger (e : Engine.entry) =
+    e.Engine.event = Engine.Env_signal trigger
+  in
+  let sample_of (e : Engine.entry) =
+    let t_m = e.Engine.at in
+    let s_read =
+      first_after log ~time:t_m (fun ev -> ev = Engine.Input_read trigger)
+    in
+    let s_emitted =
+      match s_read with
+      | None -> None
+      | Some t_i ->
+        first_after log ~time:t_i (fun ev -> ev = Engine.Code_output response)
+    in
+    let s_visible =
+      match s_emitted with
+      | None -> None
+      | Some t_o ->
+        first_after log ~time:t_o (fun ev ->
+            ev = Engine.Output_visible response)
+    in
+    { s_signal = t_m; s_read; s_emitted; s_visible }
+  in
+  List.map sample_of (List.filter is_trigger log)
+
+let mc_delay s =
+  Option.map (fun t_c -> t_c -. s.s_signal) s.s_visible
+
+let input_delay s =
+  Option.map (fun t_i -> t_i -. s.s_signal) s.s_read
+
+let output_delay s =
+  match s.s_emitted, s.s_visible with
+  | Some t_o, Some t_c -> Some (t_c -. t_o)
+  | None, _ | _, None -> None
+
+type stats = {
+  st_count : int;
+  st_avg : float;
+  st_max : float;
+  st_min : float;
+}
+
+let stats_of = function
+  | [] -> None
+  | first :: rest ->
+    let fold (n, sum, hi, lo) v = (n + 1, sum +. v, max hi v, min lo v) in
+    let n, sum, hi, lo = List.fold_left fold (1, first, first, first) rest in
+    Some
+      { st_count = n;
+        st_avg = sum /. float_of_int n;
+        st_max = hi;
+        st_min = lo }
+
+let count log select =
+  List.length (List.filter (fun (e : Engine.entry) -> select e.Engine.event) log)
+
+let pp_stats ppf s =
+  Fmt.pf ppf "avg %.0f / max %.0f / min %.0f (n=%d)" s.st_avg s.st_max s.st_min
+    s.st_count

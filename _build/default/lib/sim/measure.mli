@@ -1,0 +1,42 @@
+(** Extraction of boundary delays from simulation logs — the software
+    oscilloscope.
+
+    A {e sample} follows one environment signal through the system:
+    signal raised ([t_m]), read by the code ([t_i]), answering output
+    produced ([t_o]), output visible to the environment ([t_c]).  The
+    three delays of Section V are then [Δmc = t_c - t_m],
+    [Δmi = t_i - t_m] and [Δoc = t_c - t_o]. *)
+
+type sample = {
+  s_signal : float;
+  s_read : float option;
+  s_emitted : float option;
+  s_visible : float option;
+}
+
+(** [samples log ~trigger ~response] pairs each [Env_signal trigger] with
+    the next read of that input, the next [Code_output response] and the
+    next [Output_visible response] following it. *)
+val samples :
+  Engine.entry list -> trigger:string -> response:string -> sample list
+
+val mc_delay : sample -> float option
+val input_delay : sample -> float option
+val output_delay : sample -> float option
+
+(** Aggregate statistics over complete observations. *)
+type stats = {
+  st_count : int;
+  st_avg : float;
+  st_max : float;
+  st_min : float;
+}
+
+(** [None] on the empty list. *)
+val stats_of : float list -> stats option
+
+(** Events of a given kind, e.g. losses. *)
+val count :
+  Engine.entry list -> (Engine.event -> bool) -> int
+
+val pp_stats : Format.formatter -> stats -> unit

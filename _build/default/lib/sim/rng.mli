@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every simulation takes an explicit seed, so all measured experiments
+    are exactly reproducible. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [\[0, 1)]. *)
+val float01 : t -> float
+
+(** Uniform in [\[lo, hi)]; [lo <= hi] required. *)
+val float_range : t -> float -> float -> float
+
+(** Uniform integer in [\[lo, hi\]] (inclusive). *)
+val int_range : t -> int -> int -> int
+
+(** An independent generator split off deterministically. *)
+val split : t -> t

@@ -1,0 +1,17 @@
+type t = (float * string) list
+
+let single ~at chan = [ (at, chan) ]
+
+let periodic ?(start = 0.0) ~every ~n chan =
+  List.init n (fun i -> (start +. (float_of_int i *. every), chan))
+
+let burst ~at ~gap ~n chan =
+  List.init n (fun i -> (at +. (float_of_int i *. gap), chan))
+
+let jittered rng ~start ~every ~jitter ~n chan =
+  List.init n (fun i ->
+      let base = start +. (float_of_int i *. every) in
+      (base +. Rng.float_range rng 0.0 jitter, chan))
+
+let merge patterns =
+  List.sort (fun (a, _) (b, _) -> compare a b) (List.concat patterns)

@@ -1,0 +1,23 @@
+(** Stimulus patterns for simulation scenarios: helpers building the
+    [(time, channel)] lists consumed by {!Engine.config}. *)
+
+type t = (float * string) list
+
+(** One signal. *)
+val single : at:float -> string -> t
+
+(** [n] signals starting at [start] (default 0), [every] time units
+    apart. *)
+val periodic : ?start:float -> every:float -> n:int -> string -> t
+
+(** A burst of [n] signals beginning at [at], [gap] apart — the paper's
+    Fig. 3 input pattern is [burst ~at ~gap ~n:3]. *)
+val burst : at:float -> gap:float -> n:int -> string -> t
+
+(** [jittered rng ~start ~every ~jitter ~n chan] is a periodic pattern
+    where each arrival is displaced uniformly by up to [jitter]. *)
+val jittered :
+  Rng.t -> start:float -> every:float -> jitter:float -> n:int -> string -> t
+
+(** Merge patterns into one time-sorted stimulus list. *)
+val merge : t list -> t

@@ -1,0 +1,64 @@
+let mark_of = function
+  | Engine.Env_signal _ -> 'M'
+  | Engine.Input_inserted _ -> 'i'
+  | Engine.Input_read _ -> 'R'
+  | Engine.Input_discarded _ -> 'D'
+  | Engine.Input_lost _ -> 'X'
+  | Engine.Code_output _ -> 'O'
+  | Engine.Output_visible _ -> 'V'
+  | Engine.Output_lost _ -> 'x'
+
+let channel_of = function
+  | Engine.Env_signal c
+  | Engine.Input_inserted c
+  | Engine.Input_read c
+  | Engine.Input_discarded c
+  | Engine.Input_lost c
+  | Engine.Code_output c
+  | Engine.Output_visible c
+  | Engine.Output_lost c -> c
+
+let render ?(width = 64) log =
+  match log with
+  | [] -> "(empty log)\n"
+  | _ ->
+    let horizon =
+      List.fold_left (fun acc (e : Engine.entry) -> max acc e.Engine.at) 0.0 log
+    in
+    let horizon = if horizon <= 0.0 then 1.0 else horizon in
+    let scale = horizon /. float_of_int (width - 1) in
+    let channels =
+      List.fold_left
+        (fun acc (e : Engine.entry) ->
+          let c = channel_of e.Engine.event in
+          if List.mem c acc then acc else acc @ [ c ])
+        [] log
+    in
+    let name_width =
+      List.fold_left (fun acc c -> max acc (String.length c)) 8 channels
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Fmt.str "%-*s 0%*s%.0f\n" name_width "time" (width - 2) "" horizon);
+    let lane chan =
+      let cells = Bytes.make width '.' in
+      List.iter
+        (fun (e : Engine.entry) ->
+          if channel_of e.Engine.event = chan then begin
+            let col =
+              min (width - 1) (int_of_float (e.Engine.at /. scale))
+            in
+            let mark = mark_of e.Engine.event in
+            let current = Bytes.get cells col in
+            Bytes.set cells col (if current = '.' then mark else '*')
+          end)
+        log;
+      Buffer.add_string buf
+        (Fmt.str "%-*s %s\n" name_width chan (Bytes.to_string cells))
+    in
+    List.iter lane channels;
+    Buffer.contents buf
+
+let legend =
+  "M env signal   i inserted   R read   D discarded   X input lost\n\
+   O code output  V visible    x output lost   * several events"

@@ -1,0 +1,20 @@
+(** ASCII rendering of simulation logs as per-channel timelines — the
+    textual cousin of the paper's Fig. 3.
+
+    Each channel gets a lane; events are plotted by time with one-letter
+    marks:
+
+    - [M] environment signal raised
+    - [i] processed input inserted into the io-slot
+    - [R] input read by the code, [D] delivered but discarded,
+      [X] input lost (missed interrupt / overflow / overwrite)
+    - [O] output produced by the code
+    - [V] output visible to the environment, [x] output lost
+
+    When several events of a lane fall into the same column, the
+    rightmost in the above order wins and a [*] is shown instead. *)
+
+val render : ?width:int -> Engine.entry list -> string
+
+(** The mark legend, for printing below a timeline. *)
+val legend : string

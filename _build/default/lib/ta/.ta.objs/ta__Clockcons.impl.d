@@ -1,0 +1,1 @@
+lib/ta/clockcons.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/ta/clockcons.mli: Format

@@ -1,0 +1,1 @@
+lib/ta/compiled.ml: Array Clockcons Expr Fmt Hashtbl List Model String

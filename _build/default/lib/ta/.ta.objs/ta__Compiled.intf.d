@@ -1,0 +1,1 @@
+lib/ta/compiled.mli: Model

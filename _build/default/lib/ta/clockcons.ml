@@ -1,0 +1,66 @@
+type rel = Lt | Le | Eq | Ge | Gt
+
+type atom =
+  | Simple of string * rel * int
+  | Diff of string * string * rel * int
+
+type t = atom list
+
+let tt = []
+
+let simple x rel n = Simple (x, rel, n)
+let lt x n = Simple (x, Lt, n)
+let le x n = Simple (x, Le, n)
+let eq_ x n = Simple (x, Eq, n)
+let ge x n = Simple (x, Ge, n)
+let gt x n = Simple (x, Gt, n)
+
+let clocks atoms =
+  let add acc x = if List.mem x acc then acc else x :: acc in
+  let step acc = function
+    | Simple (x, _, _) -> add acc x
+    | Diff (x, y, _, _) -> add (add acc x) y
+  in
+  List.rev (List.fold_left step [] atoms)
+
+let max_consts atoms =
+  let bump acc x n =
+    let n = abs n in
+    match List.assoc_opt x acc with
+    | Some m when m >= n -> acc
+    | Some _ -> (x, n) :: List.remove_assoc x acc
+    | None -> (x, n) :: acc
+  in
+  let step acc = function
+    | Simple (x, _, n) -> bump acc x n
+    | Diff (x, y, _, n) -> bump (bump acc x n) y n
+  in
+  List.fold_left step [] atoms
+
+let holds rel a b =
+  match rel with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Eq -> a = b
+  | Ge -> a >= b
+  | Gt -> a > b
+
+let sat values atoms =
+  let check = function
+    | Simple (x, rel, n) -> holds rel (values x) n
+    | Diff (x, y, rel, n) -> holds rel (values x - values y) n
+  in
+  List.for_all check atoms
+
+let pp_rel ppf rel =
+  let s = match rel with Lt -> "<" | Le -> "<=" | Eq -> "==" | Ge -> ">=" | Gt -> ">" in
+  Fmt.string ppf s
+
+let pp_atom ppf = function
+  | Simple (x, rel, n) -> Fmt.pf ppf "%s %a %d" x pp_rel rel n
+  | Diff (x, y, rel, n) -> Fmt.pf ppf "%s - %s %a %d" x y pp_rel rel n
+
+let pp ppf atoms =
+  match atoms with
+  | [] -> Fmt.string ppf "true"
+  | atoms -> Fmt.(list ~sep:(any " && ") pp_atom) ppf atoms

@@ -1,0 +1,153 @@
+type t =
+  | Int of int
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Neg of t
+
+type rel = Lt | Le | Eq | Ge | Gt | Ne
+
+type pred =
+  | True
+  | False
+  | Cmp of t * rel * t
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let int n = Int n
+let var x = Var x
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+
+let eq a b = Cmp (a, Eq, b)
+let ne a b = Cmp (a, Ne, b)
+let lt a b = Cmp (a, Lt, b)
+let le a b = Cmp (a, Le, b)
+let gt a b = Cmp (a, Gt, b)
+let ge a b = Cmp (a, Ge, b)
+
+let conj ps =
+  let join acc p =
+    match acc, p with
+    | True, p -> p
+    | acc, True -> acc
+    | acc, p -> And (acc, p)
+  in
+  List.fold_left join True ps
+
+let var_eq x n = eq (Var x) (Int n)
+
+let rec add_vars_expr acc e =
+  match e with
+  | Int _ -> acc
+  | Var x -> if List.mem x acc then acc else x :: acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) -> add_vars_expr (add_vars_expr acc a) b
+  | Neg a -> add_vars_expr acc a
+
+let rec add_vars_pred acc p =
+  match p with
+  | True | False -> acc
+  | Cmp (a, _, b) -> add_vars_expr (add_vars_expr acc a) b
+  | And (a, b) | Or (a, b) -> add_vars_pred (add_vars_pred acc a) b
+  | Not a -> add_vars_pred acc a
+
+let vars_of_expr e = List.rev (add_vars_expr [] e)
+let vars_of_pred p = List.rev (add_vars_pred [] p)
+
+let rec eval_expr env e =
+  match e with
+  | Int n -> n
+  | Var x -> env x
+  | Add (a, b) -> Stdlib.( + ) (eval_expr env a) (eval_expr env b)
+  | Sub (a, b) -> Stdlib.( - ) (eval_expr env a) (eval_expr env b)
+  | Mul (a, b) -> Stdlib.( * ) (eval_expr env a) (eval_expr env b)
+  | Neg a -> Stdlib.( - ) 0 (eval_expr env a)
+
+let holds rel a b =
+  match rel with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Eq -> a = b
+  | Ge -> a >= b
+  | Gt -> a > b
+  | Ne -> a <> b
+
+let rec eval_pred env p =
+  match p with
+  | True -> true
+  | False -> false
+  | Cmp (a, rel, b) -> holds rel (eval_expr env a) (eval_expr env b)
+  | And (a, b) -> eval_pred env a && eval_pred env b
+  | Or (a, b) -> eval_pred env a || eval_pred env b
+  | Not a -> not (eval_pred env a)
+
+let rec compile_expr ~index e =
+  match e with
+  | Int n -> fun _ -> n
+  | Var x ->
+    let i = index x in
+    fun vals -> vals.(i)
+  | Add (a, b) ->
+    let fa = compile_expr ~index a and fb = compile_expr ~index b in
+    fun vals -> Stdlib.( + ) (fa vals) (fb vals)
+  | Sub (a, b) ->
+    let fa = compile_expr ~index a and fb = compile_expr ~index b in
+    fun vals -> Stdlib.( - ) (fa vals) (fb vals)
+  | Mul (a, b) ->
+    let fa = compile_expr ~index a and fb = compile_expr ~index b in
+    fun vals -> Stdlib.( * ) (fa vals) (fb vals)
+  | Neg a ->
+    let fa = compile_expr ~index a in
+    fun vals -> Stdlib.( - ) 0 (fa vals)
+
+let rec compile_pred ~index p =
+  match p with
+  | True -> fun _ -> true
+  | False -> fun _ -> false
+  | Cmp (a, rel, b) ->
+    let fa = compile_expr ~index a and fb = compile_expr ~index b in
+    fun vals -> holds rel (fa vals) (fb vals)
+  | And (a, b) ->
+    let fa = compile_pred ~index a and fb = compile_pred ~index b in
+    fun vals -> fa vals && fb vals
+  | Or (a, b) ->
+    let fa = compile_pred ~index a and fb = compile_pred ~index b in
+    fun vals -> fa vals || fb vals
+  | Not a ->
+    let fa = compile_pred ~index a in
+    fun vals -> not (fa vals)
+
+(* Negative literals print parenthesised so that printing is stable under
+   re-parsing: both [Int (-7)] and [Neg (Int 7)] render as ["(-7)"]. *)
+let rec pp_expr ppf e =
+  match e with
+  | Int n -> if n < 0 then Fmt.pf ppf "(%d)" n else Fmt.int ppf n
+  | Var x -> Fmt.string ppf x
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp_expr a pp_expr b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp_expr a pp_expr b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp_expr a pp_expr b
+  | Neg a -> Fmt.pf ppf "(-%a)" pp_expr a
+
+let pp_rel ppf rel =
+  let s =
+    match rel with
+    | Lt -> "<"
+    | Le -> "<="
+    | Eq -> "=="
+    | Ge -> ">="
+    | Gt -> ">"
+    | Ne -> "!="
+  in
+  Fmt.string ppf s
+
+let rec pp_pred ppf p =
+  match p with
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Cmp (a, rel, b) -> Fmt.pf ppf "%a %a %a" pp_expr a pp_rel rel pp_expr b
+  | And (a, b) -> Fmt.pf ppf "(%a && %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Fmt.pf ppf "(%a || %a)" pp_pred a pp_pred b
+  | Not a -> Fmt.pf ppf "!(%a)" pp_pred a

@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Exeio Expr Fmt Ifmi Ifoc List Model Names Piece Pim Scheme String Ta

@@ -1,0 +1,1 @@
+lib/transform/transform.mli: Exeio Ifmi Ifoc Names Piece Pim Scheme Ta

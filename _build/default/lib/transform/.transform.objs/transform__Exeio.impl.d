@@ -1,0 +1,1 @@
+lib/transform/exeio.ml: Clockcons Expr List Model Names Piece Scheme Ta

@@ -1,0 +1,1 @@
+lib/transform/exeio.mli: Piece Scheme

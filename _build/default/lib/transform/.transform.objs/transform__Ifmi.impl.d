@@ -1,0 +1,1 @@
+lib/transform/ifmi.ml: Clockcons Expr Model Names Piece Scheme Ta

@@ -1,0 +1,1 @@
+lib/transform/ifmi.mli: Piece Scheme

@@ -1,0 +1,1 @@
+lib/transform/ifoc.ml: Clockcons Expr Model Names Piece Scheme Ta

@@ -1,0 +1,1 @@
+lib/transform/ifoc.mli: Piece Scheme

@@ -1,0 +1,1 @@
+lib/transform/names.ml: String

@@ -1,0 +1,1 @@
+lib/transform/piece.ml: List Ta

@@ -1,0 +1,1 @@
+lib/transform/pim.ml: Fmt List Model String Ta

@@ -1,0 +1,1 @@
+lib/transform/pim.mli: Ta

@@ -1,0 +1,155 @@
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let z = Names.exe_clock
+let running = Names.exe_running
+
+let input_policy = function
+  | Scheme.Buffer (_, policy) -> policy
+  | Scheme.Shared_variable -> Scheme.Read_all
+
+let output_capacity = function
+  | Scheme.Buffer (size, _) -> size
+  | Scheme.Shared_variable -> 1
+
+let output_loss_flag comm c =
+  match comm with
+  | Scheme.Buffer _ -> Names.output_overflow c
+  | Scheme.Shared_variable -> Names.output_lost c
+
+(* Delivery of processed inputs to MIO.  The i-channels are broadcast, so
+   an input MIO cannot consume is discarded by the very same transition. *)
+let reading_edges ~input_comm ~inputs =
+  let buf m = Expr.var (Names.input_buffer m) in
+  let take m = (Names.input_buffer m, Expr.(buf m - int 1)) in
+  let all_empty =
+    Expr.conj (List.map (fun m -> Expr.var_eq (Names.input_buffer m) 0) inputs)
+  in
+  match input_policy input_comm with
+  | Scheme.Read_all ->
+    List.map
+      (fun m ->
+        edge
+          ~pred:Expr.(gt (buf m) (int 0))
+          ~sync:(Model.Send (Names.input_chan m))
+          ~updates:[ take m ] "Reading" "Reading")
+      inputs
+    @ [ edge ~pred:all_empty "Reading" "Computing" ]
+  | Scheme.Read_one ->
+    List.map
+      (fun m ->
+        edge
+          ~pred:Expr.(gt (buf m) (int 0))
+          ~sync:(Model.Send (Names.input_chan m))
+          ~updates:[ take m ] "Reading" "Computing")
+      inputs
+    @ [ edge ~pred:all_empty "Reading" "Computing" ]
+
+(* Collection of outputs emitted by MIO while computing.  They are staged
+   and only become visible to the output devices at the write stage. *)
+let computing_loops ~output_comm ~outputs =
+  let per_output c =
+    let stg = Expr.var (Names.output_staged c) in
+    let buf = Expr.var (Names.output_buffer c) in
+    let level = Expr.(stg + buf) in
+    let capacity = output_capacity output_comm in
+    [ edge
+        ~pred:Expr.(lt level (int capacity))
+        ~sync:(Model.Recv (Names.output_chan c))
+        ~updates:[ (Names.output_staged c, Expr.(stg + int 1)) ]
+        "Computing" "Computing";
+      edge
+        ~pred:Expr.(ge level (int capacity))
+        ~sync:(Model.Recv (Names.output_chan c))
+        ~updates:[ (output_loss_flag output_comm c, Expr.int 1) ]
+        "Computing" "Computing" ]
+  in
+  List.concat_map per_output outputs
+
+let publish_updates ~outputs =
+  List.concat_map
+    (fun c ->
+      let stg = Names.output_staged c and buf = Names.output_buffer c in
+      [ (buf, Expr.(var buf + var stg)); (stg, Expr.int 0) ])
+    outputs
+  @ [ (running, Expr.int 0) ]
+
+let build ~invocation ~exec ~input_comm ~output_comm ~inputs ~outputs =
+  let some_pending =
+    match inputs with
+    | [] -> Expr.False
+    | m :: rest ->
+      List.fold_left
+        (fun acc m' ->
+          Expr.Or (acc, Expr.(gt (var (Names.input_buffer m')) (int 0))))
+        Expr.(gt (var (Names.input_buffer m)) (int 0))
+        rest
+  in
+  let invoke_updates = [ (running, Expr.int 1) ] in
+  let shared_locs =
+    [ loc ~kind:Model.Committed "Active";
+      loc ~kind:Model.Committed "Reading";
+      loc ~inv:[ Clockcons.le z exec.Scheme.wcet_max ] "Computing";
+      loc ~kind:Model.Committed "Writing" ]
+  in
+  let shared_edges =
+    [ edge "Active" "Reading" ]
+    @ reading_edges ~input_comm ~inputs
+    @ computing_loops ~output_comm ~outputs
+    @ [ edge
+          ~guard:[ Clockcons.ge z exec.Scheme.wcet_min ]
+          ~updates:(publish_updates ~outputs) "Computing" "Writing" ]
+  in
+  let locs, edges, channels =
+    match invocation with
+    | Scheme.Periodic period ->
+      let locs = loc ~inv:[ Clockcons.le z period ] "Waiting" :: shared_locs in
+      let edges =
+        edge
+          ~guard:[ Clockcons.eq_ z period ]
+          ~resets:[ z ] ~updates:invoke_updates "Waiting" "Active"
+        :: edge ~sync:(Model.Send Names.flush_chan) "Writing" "Waiting"
+        :: shared_edges
+      in
+      (locs, edges, [ (Names.flush_chan, Model.Broadcast) ])
+    | Scheme.Aperiodic gap ->
+      let recheck = loc ~kind:Model.Committed "Recheck" in
+      let base_locs = loc "Waiting" :: recheck :: shared_locs in
+      let base_edges =
+        edge ~sync:(Model.Recv Names.kick_chan) ~resets:[ z ]
+          ~updates:invoke_updates "Waiting" "Active"
+        :: edge ~sync:(Model.Send Names.flush_chan) "Writing" "Recheck"
+        :: edge ~pred:(Expr.Not some_pending) "Recheck" "Waiting"
+        :: shared_edges
+      in
+      let locs, edges =
+        if gap = 0 then
+          ( base_locs,
+            edge ~pred:some_pending ~resets:[ z ] ~updates:invoke_updates
+              "Recheck" "Active"
+            :: base_edges )
+        else
+          ( loc ~inv:[ Clockcons.le z gap ] "Cooldown" :: base_locs,
+            edge ~pred:some_pending ~resets:[ z ] "Recheck" "Cooldown"
+            :: edge
+                 ~guard:[ Clockcons.eq_ z gap ]
+                 ~resets:[ z ] ~updates:invoke_updates "Cooldown" "Active"
+            :: base_edges )
+      in
+      ( locs,
+        edges,
+        [ (Names.flush_chan, Model.Broadcast);
+          (Names.kick_chan, Model.Broadcast) ] )
+  in
+  let automaton =
+    Model.automaton ~name:Names.exeio ~initial:"Waiting" locs edges
+  in
+  { Piece.pc_automata = [ automaton ];
+    pc_clocks = [ z ];
+    pc_vars = [ (running, Model.flag ()) ];
+    pc_channels =
+      channels
+      @ List.map (fun m -> (Names.input_chan m, Model.Broadcast)) inputs
+      @ List.map (fun c -> (Names.output_chan c, Model.Binary)) outputs }

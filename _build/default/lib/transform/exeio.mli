@@ -1,0 +1,31 @@
+(** Construction of the code-execution automaton [EXEIO] (Section IV,
+    step 3, Fig. 6).  It models the platform's invocation of the generated
+    code and the io-boundary data flow, through five stages:
+
+    - [Waiting]: between invocations.  Periodic invocation fires every
+      [period] on the executive clock; aperiodic invocation reacts to the
+      {!Names.kick_chan} broadcast sent by an input interface on every
+      successful insertion.
+    - [Active] (committed): invocation accepted, [exe_run] raised so the
+      [MIO] edges become enabled.
+    - [Reading] (committed): processed inputs are delivered to [MIO] as
+      broadcasts on the [i]-channels — one input under read-one, all
+      pending inputs under read-all.  An input [MIO] cannot consume in its
+      current location is discarded, exactly the transition-decision
+      semantics of Section III-B.
+    - [Computing]: the code executes for a duration in
+      [[wcet_min, wcet_max]]; [MIO] transitions happen here, and outputs
+      sent by [MIO] on the [o]-channels are staged.
+    - [Writing] (committed): staged outputs are published to the output
+      buffers, [exe_run] drops, and {!Names.flush_chan} wakes the output
+      devices.  An aperiodic executive with pending inputs re-invokes
+      itself immediately (after the minimum gap, if any). *)
+
+val build :
+  invocation:Scheme.invocation ->
+  exec:Scheme.exec_window ->
+  input_comm:Scheme.io_comm ->
+  output_comm:Scheme.io_comm ->
+  inputs:string list ->
+  outputs:string list ->
+  Piece.t

@@ -1,0 +1,135 @@
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+(* Capacity of the io-boundary slot and the flag set when an insertion
+   fails: overflow for buffers, overwrite-loss for a shared variable. *)
+let slot_of comm m =
+  match comm with
+  | Scheme.Buffer (size, _) -> (size, Names.input_overflow m)
+  | Scheme.Shared_variable -> (1, Names.input_lost m)
+
+(* The two Processing -> Idle edges shared by both reading mechanisms:
+   successful insertion (optionally kicking the aperiodic executive) and
+   failed insertion raising the loss flag. *)
+let insertion_edges ~aperiodic ~comm m ~extra_resets (spec : Scheme.mc_input) =
+  let y = Names.ifmi_clock m in
+  let buf = Names.input_buffer m in
+  let capacity, loss_flag = slot_of comm m in
+  let ready = [ Clockcons.ge y spec.Scheme.in_delay.Scheme.delay_min ] in
+  let deliver =
+    edge ~guard:ready
+      ~pred:Expr.(lt (var buf) (int capacity))
+      ~sync:(if aperiodic then Model.Send Names.kick_chan else Model.Tau)
+      ~resets:extra_resets
+      ~updates:[ (buf, Expr.(var buf + int 1)) ]
+      "Processing" "Idle"
+  in
+  let drop =
+    edge ~guard:ready
+      ~pred:(Expr.var_eq buf capacity)
+      ~resets:extra_resets
+      ~updates:[ (loss_flag, Expr.int 1) ]
+      "Processing" "Idle"
+  in
+  [ deliver; drop ]
+
+let processing_loc (spec : Scheme.mc_input) m =
+  loc
+    ~inv:[ Clockcons.le (Names.ifmi_clock m) spec.Scheme.in_delay.Scheme.delay_max ]
+    "Processing"
+
+let build_interrupt ~aperiodic ~comm m spec =
+  let y = Names.ifmi_clock m in
+  let missed = Names.input_missed m in
+  let automaton =
+    Model.automaton ~name:(Names.ifmi m) ~initial:"Idle"
+      [ loc "Idle"; processing_loc spec m ]
+      ([ edge ~sync:(Model.Recv m) ~resets:[ y ] "Idle" "Processing";
+         (* a pulse arriving while the device is busy is lost *)
+         edge ~sync:(Model.Recv m)
+           ~updates:[ (missed, Expr.int 1) ]
+           "Processing" "Processing" ]
+       @ insertion_edges ~aperiodic ~comm m ~extra_resets:[] spec)
+  in
+  let _, loss_flag = slot_of comm m in
+  { Piece.pc_automata = [ automaton ];
+    pc_clocks = [ y ];
+    pc_vars =
+      [ (Names.input_buffer m, Model.int_var ~min:0 ~max:(fst (slot_of comm m)) 0);
+        (loss_flag, Model.flag ());
+        (missed, Model.flag ()) ];
+    pc_channels = [] }
+
+(* The latch holds the signal level between the environment's broadcast
+   and the next poll.  A sustained signal drops on its own after its
+   duration; a sustained-until-read signal only drops when consumed. *)
+let build_latch m (spec : Scheme.mc_input) =
+  let sig_var = Names.signal m in
+  match spec.Scheme.in_signal with
+  | Scheme.Sustained_until_read ->
+    let automaton =
+      Model.automaton ~name:(Names.latch m) ~initial:"L"
+        [ loc "L" ]
+        [ edge ~sync:(Model.Recv m)
+            ~updates:[ (sig_var, Expr.int 1) ]
+            "L" "L" ]
+    in
+    { Piece.pc_automata = [ automaton ];
+      pc_clocks = [];
+      pc_vars = [ (sig_var, Model.flag ()) ];
+      pc_channels = [] }
+  | Scheme.Sustained duration ->
+    let ls = Names.latch_clock m in
+    let automaton =
+      Model.automaton ~name:(Names.latch m) ~initial:"Off"
+        [ loc "Off"; loc ~inv:[ Clockcons.le ls duration ] "On" ]
+        [ edge ~sync:(Model.Recv m) ~resets:[ ls ]
+            ~updates:[ (sig_var, Expr.int 1) ]
+            "Off" "On";
+          (* re-trigger extends the level *)
+          edge ~sync:(Model.Recv m) ~resets:[ ls ] "On" "On";
+          edge
+            ~guard:[ Clockcons.eq_ ls duration ]
+            ~updates:[ (sig_var, Expr.int 0) ]
+            "On" "Off" ]
+    in
+    { Piece.pc_automata = [ automaton ];
+      pc_clocks = [ ls ];
+      pc_vars = [ (sig_var, Model.flag ()) ];
+      pc_channels = [] }
+  | Scheme.Pulse ->
+    invalid_arg "Ifmi.build: pulse signals cannot be polled"
+
+let build_polling ~aperiodic ~comm m spec ~interval =
+  let y = Names.ifmi_clock m in
+  let p = Names.poll_clock m in
+  let sig_var = Names.signal m in
+  let at_tick = [ Clockcons.eq_ p interval ] in
+  let automaton =
+    Model.automaton ~name:(Names.ifmi m) ~initial:"Idle"
+      [ loc ~inv:[ Clockcons.le p interval ] "Idle"; processing_loc spec m ]
+      ([ edge ~guard:at_tick ~pred:(Expr.var_eq sig_var 1)
+           ~resets:[ p; y ]
+           ~updates:[ (sig_var, Expr.int 0) ]
+           "Idle" "Processing";
+         edge ~guard:at_tick ~pred:(Expr.var_eq sig_var 0) ~resets:[ p ]
+           "Idle" "Idle" ]
+       @ insertion_edges ~aperiodic ~comm m ~extra_resets:[ p ] spec)
+  in
+  let capacity, loss_flag = slot_of comm m in
+  let own =
+    { Piece.pc_automata = [ automaton ];
+      pc_clocks = [ y; p ];
+      pc_vars =
+        [ (Names.input_buffer m, Model.int_var ~min:0 ~max:capacity 0);
+          (loss_flag, Model.flag ()) ];
+      pc_channels = [] }
+  in
+  Piece.merge own (build_latch m spec)
+
+let build ~aperiodic ~comm m spec =
+  match spec.Scheme.in_read with
+  | Scheme.Interrupt _ -> build_interrupt ~aperiodic ~comm m spec
+  | Scheme.Polling interval -> build_polling ~aperiodic ~comm m spec ~interval

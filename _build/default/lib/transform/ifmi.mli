@@ -1,0 +1,23 @@
+(** Construction of the input interface automata [IFMI_m] (Section IV,
+    step 2, Fig. 5-(1)): one automaton per monitored variable, modeling
+    the Input-Device's detection of the environmental signal, the
+    processing delay window [[delay_min, delay_max]], and the insertion of
+    the processed input into the io-boundary communication slot
+    (bounded buffer, or shared variable modeled as a one-slot buffer with
+    an overwrite-loss flag instead of an overflow flag).
+
+    Interrupt reading reacts to the [m]-broadcast directly; a second pulse
+    arriving while the device is busy sets the {e missed-input} flag
+    (Constraint 1 instrumentation).  Polling reading adds a latch
+    automaton holding the signal level and samples it every polling
+    interval.
+
+    When [aperiodic] is set, every successful insertion also broadcasts
+    {!Names.kick_chan} so the executive can be invoked immediately. *)
+
+val build :
+  aperiodic:bool ->
+  comm:Scheme.io_comm ->
+  string ->             (* the m-channel *)
+  Scheme.mc_input ->
+  Piece.t

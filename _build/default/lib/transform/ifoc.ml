@@ -1,0 +1,40 @@
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let build ~comm c (spec : Scheme.mc_output) =
+  let y = Names.ifoc_clock c in
+  let buf = Names.output_buffer c in
+  let capacity =
+    match comm with
+    | Scheme.Buffer (size, _) -> size
+    | Scheme.Shared_variable -> 1
+  in
+  let pending = Expr.(gt (var buf) (int 0)) in
+  let empty = Expr.var_eq buf 0 in
+  let dequeue = [ (buf, Expr.(var buf - int 1)) ] in
+  let automaton =
+    Model.automaton ~name:(Names.ifoc c) ~initial:"Idle"
+      [ loc "Idle";
+        loc ~inv:[ Clockcons.le y spec.Scheme.out_delay.Scheme.delay_max ]
+          "Processing";
+        loc ~kind:Model.Committed "Check" ]
+      [ edge ~sync:(Model.Recv Names.flush_chan) ~pred:pending ~resets:[ y ]
+          ~updates:dequeue "Idle" "Processing";
+        edge
+          ~guard:[ Clockcons.ge y spec.Scheme.out_delay.Scheme.delay_min ]
+          ~sync:(Model.Send c) "Processing" "Check";
+        edge ~pred:pending ~resets:[ y ] ~updates:dequeue "Check" "Processing";
+        edge ~pred:empty "Check" "Idle" ]
+  in
+  { Piece.pc_automata = [ automaton ];
+    pc_clocks = [ y ];
+    pc_vars =
+      [ (buf, Model.int_var ~min:0 ~max:capacity 0);
+        (Names.output_staged c, Model.int_var ~min:0 ~max:capacity 0);
+        ((match comm with
+          | Scheme.Buffer _ -> Names.output_overflow c
+          | Scheme.Shared_variable -> Names.output_lost c),
+         Model.flag ()) ];
+    pc_channels = [] }

@@ -1,0 +1,16 @@
+(** Construction of the output interface automata [IFOC_c] (Section IV,
+    step 2, Fig. 5-(2)): one automaton per controlled variable, modeling
+    the Output-Device.
+
+    The device sleeps in [Idle] until the executive's write stage
+    broadcasts {!Names.flush_chan}; it then dequeues a pending output,
+    processes it within [[delay_min, delay_max]], makes it visible to the
+    environment by broadcasting the [c]-channel, and drains any remaining
+    buffered outputs eagerly (through the committed [Check] location)
+    before sleeping again. *)
+
+val build :
+  comm:Scheme.io_comm ->
+  string ->             (* the c-channel *)
+  Scheme.mc_output ->
+  Piece.t

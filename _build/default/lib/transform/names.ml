@@ -1,0 +1,42 @@
+let suffix chan =
+  let strip prefix =
+    if String.length chan > String.length prefix
+       && String.sub chan 0 (String.length prefix) = prefix
+    then Some (String.sub chan (String.length prefix)
+                 (String.length chan - String.length prefix))
+    else None
+  in
+  match strip "m_" with
+  | Some s -> s
+  | None ->
+    (match strip "c_" with
+     | Some s -> s
+     | None -> chan)
+
+let input_chan m = "i_" ^ suffix m
+let output_chan c = "o_" ^ suffix c
+let flush_chan = "exe_flush"
+let kick_chan = "exe_kick"
+
+let ifmi m = "IFMI_" ^ suffix m
+let ifoc c = "IFOC_" ^ suffix c
+let latch m = "Latch_" ^ suffix m
+let exeio = "EXEIO"
+
+let ifmi_clock m = "y_in_" ^ suffix m
+let poll_clock m = "p_" ^ suffix m
+let input_buffer m = "ibuf_" ^ suffix m
+let input_overflow m = "iovf_" ^ suffix m
+let input_lost m = "ilost_" ^ suffix m
+let input_missed m = "imiss_" ^ suffix m
+let signal m = "sig_" ^ suffix m
+let latch_clock m = "ls_" ^ suffix m
+
+let ifoc_clock c = "y_out_" ^ suffix c
+let output_buffer c = "obuf_" ^ suffix c
+let output_staged c = "ostg_" ^ suffix c
+let output_overflow c = "oovf_" ^ suffix c
+let output_lost c = "olost_" ^ suffix c
+
+let exe_clock = "z_exe"
+let exe_running = "exe_run"

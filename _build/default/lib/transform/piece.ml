@@ -1,0 +1,25 @@
+type t = {
+  pc_automata : Ta.Model.automaton list;
+  pc_clocks : string list;
+  pc_vars : (string * Ta.Model.var_decl) list;
+  pc_channels : (string * Ta.Model.chan_kind) list;
+}
+
+let empty =
+  { pc_automata = []; pc_clocks = []; pc_vars = []; pc_channels = [] }
+
+let dedup_assoc l =
+  List.fold_left
+    (fun acc (k, v) -> if List.mem_assoc k acc then acc else acc @ [ (k, v) ])
+    [] l
+
+let dedup l =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else acc @ [ x ]) [] l
+
+let merge a b =
+  { pc_automata = a.pc_automata @ b.pc_automata;
+    pc_clocks = dedup (a.pc_clocks @ b.pc_clocks);
+    pc_vars = dedup_assoc (a.pc_vars @ b.pc_vars);
+    pc_channels = dedup_assoc (a.pc_channels @ b.pc_channels) }
+
+let concat pieces = List.fold_left merge empty pieces

@@ -1,0 +1,14 @@
+(** A fragment of the PSM under construction: some automata together with
+    the clocks, variables and channels they need declared at network
+    level. *)
+
+type t = {
+  pc_automata : Ta.Model.automaton list;
+  pc_clocks : string list;
+  pc_vars : (string * Ta.Model.var_decl) list;
+  pc_channels : (string * Ta.Model.chan_kind) list;
+}
+
+val empty : t
+val merge : t -> t -> t
+val concat : t list -> t

@@ -1,0 +1,58 @@
+open Ta
+
+type t = {
+  pim_net : Model.network;
+  pim_software : string;
+  pim_environment : string;
+  pim_inputs : string list;
+  pim_outputs : string list;
+}
+
+exception Ill_formed of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Ill_formed s)) fmt
+
+let make net ~software ~environment =
+  (match Model.validate net with
+   | [] -> ()
+   | problems -> fail "invalid PIM network: %s" (String.concat "; " problems));
+  let find name =
+    try Model.find_automaton net name
+    with Not_found -> fail "PIM has no automaton named %S" name
+  in
+  let m = find software in
+  let _env = find environment in
+  let inputs = Model.receives_of m in
+  let outputs = Model.sends_of m in
+  if inputs = [] && outputs = [] then
+    fail "software automaton %S has no synchronisations" software;
+  let check_broadcast chan =
+    match Model.channel_kind net chan with
+    | Model.Broadcast -> ()
+    | Model.Binary ->
+      fail
+        "channel %S must be declared broadcast: mc-boundary \
+         synchronisations are direct and non-blocking"
+        chan
+  in
+  List.iter check_broadcast inputs;
+  List.iter check_broadcast outputs;
+  let check_input_edge e =
+    match e.Model.edge_sync with
+    | Model.Recv chan when List.mem chan inputs && e.Model.edge_guard <> [] ->
+      fail
+        "software edge %s -> %s receives %S with a clock guard; input \
+         receptions must be clock-guard-free to become broadcast \
+         receptions in the PSM"
+        e.Model.edge_src e.Model.edge_dst chan
+    | Model.Recv _ | Model.Send _ | Model.Tau -> ()
+  in
+  List.iter check_input_edge m.Model.aut_edges;
+  { pim_net = net;
+    pim_software = software;
+    pim_environment = environment;
+    pim_inputs = inputs;
+    pim_outputs = outputs }
+
+let software t = Model.find_automaton t.pim_net t.pim_software
+let environment t = Model.find_automaton t.pim_net t.pim_environment

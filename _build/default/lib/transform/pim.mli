@@ -1,0 +1,38 @@
+(** Platform-independent models (Definition 2 of the paper).
+
+    A PIM is a network [M || ENV]: [M] models the software, [ENV] the
+    environment, and they interact directly over input synchronisations
+    (the [m]-channels, sent by [ENV] and received by [M]) and output
+    synchronisations (the [c]-channels, sent by [M] and observed by
+    [ENV]).  The io-boundary does not exist yet — that is exactly what the
+    PIM-to-PSM transformation adds. *)
+
+type t = {
+  pim_net : Ta.Model.network;
+  pim_software : string;     (** name of the [M] automaton *)
+  pim_environment : string;  (** name of the [ENV] automaton *)
+  pim_inputs : string list;  (** the [m]-channels *)
+  pim_outputs : string list; (** the [c]-channels *)
+}
+
+exception Ill_formed of string
+
+(** [make net ~software ~environment] identifies the two automata and
+    infers the input/output synchronisation alphabets from the software
+    automaton ([Am] = received channels, [Ac] = sent channels).
+
+    Checks Definition 2's side conditions and the restrictions the
+    transformation relies on:
+    - both automata exist and the network validates;
+    - every channel is used at either the software or environment side;
+    - input-receiving edges of [M] carry no clock guard (they become
+      broadcast receptions in the PSM);
+    - [m]- and [c]-channels are declared broadcast (direct, non-blocking
+      synchronisation at the mc-boundary).
+
+    @raise Ill_formed when a condition fails. *)
+val make :
+  Ta.Model.network -> software:string -> environment:string -> t
+
+val software : t -> Ta.Model.automaton
+val environment : t -> Ta.Model.automaton

@@ -1,0 +1,147 @@
+module Pim = Pim
+module Names = Names
+module Piece = Piece
+module Ifmi = Ifmi
+module Ifoc = Ifoc
+module Exeio = Exeio
+
+open Ta
+
+type psm = {
+  psm_net : Model.network;
+  psm_pim : Pim.t;
+  psm_scheme : Scheme.t;
+  psm_mio : string;
+  psm_input_loss_flags : (string * string) list;
+  psm_output_loss_flags : (string * string) list;
+  psm_miss_flags : (string * string) list;
+}
+
+exception Transform_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Transform_error s)) fmt
+
+let mio_of_software (pim : Pim.t) =
+  let m = Pim.software pim in
+  let mapping chan =
+    if List.mem chan pim.Pim.pim_inputs then Names.input_chan chan
+    else if List.mem chan pim.Pim.pim_outputs then Names.output_chan chan
+    else chan
+  in
+  let renamed = Model.rename_channels mapping m in
+  let gated =
+    Model.guard_all_edges (Expr.var_eq Names.exe_running 1) renamed
+  in
+  { gated with Model.aut_name = m.Model.aut_name ^ "_IO" }
+
+let psm_of_pim (pim : Pim.t) (scheme : Scheme.t) =
+  (match Scheme.check scheme with
+   | [] -> ()
+   | problems ->
+     fail "scheme %s is not realisable: %s" scheme.Scheme.is_name
+       (String.concat "; " problems));
+  let input_spec m =
+    try Scheme.input_spec scheme m
+    with Not_found ->
+      fail "scheme %s does not cover input %S" scheme.Scheme.is_name m
+  in
+  let output_spec c =
+    try Scheme.output_spec scheme c
+    with Not_found ->
+      fail "scheme %s does not cover output %S" scheme.Scheme.is_name c
+  in
+  let aperiodic =
+    match scheme.Scheme.is_invocation with
+    | Scheme.Aperiodic _ -> true
+    | Scheme.Periodic _ -> false
+  in
+  (* An aperiodic executive is only invoked when an input is inserted, so
+     software that waits on a clock (a strictly positive lower-bound
+     guard) is never woken to take the transition: the implementation
+     starves and the model timelocks, which would make verified bounds
+     unsound.  Reject the combination. *)
+  if aperiodic then begin
+    let software = Pim.software pim in
+    let timed_wait (e : Model.edge) =
+      List.exists
+        (fun atom ->
+          match atom with
+          | Ta.Clockcons.Simple (_, (Ta.Clockcons.Ge | Ta.Clockcons.Gt), n) ->
+            n > 0
+          | Ta.Clockcons.Simple (_, Ta.Clockcons.Eq, n) -> n > 0
+          | Ta.Clockcons.Simple (_, (Ta.Clockcons.Le | Ta.Clockcons.Lt), _)
+          | Ta.Clockcons.Diff _ -> false)
+        e.Model.edge_guard
+    in
+    match List.find_opt timed_wait software.Model.aut_edges with
+    | Some e ->
+      fail
+        "aperiodic invocation requires immediate-response software, but \
+         edge %s -> %s of %s waits on a clock; use periodic invocation"
+        e.Model.edge_src e.Model.edge_dst software.Model.aut_name
+    | None -> ()
+  end;
+  let input_pieces =
+    List.map
+      (fun m ->
+        try
+          Ifmi.build ~aperiodic ~comm:scheme.Scheme.is_input_comm m
+            (input_spec m)
+        with Invalid_argument msg -> fail "input %S: %s" m msg)
+      pim.Pim.pim_inputs
+  in
+  let output_pieces =
+    List.map
+      (fun c -> Ifoc.build ~comm:scheme.Scheme.is_output_comm c (output_spec c))
+      pim.Pim.pim_outputs
+  in
+  let exe_piece =
+    Exeio.build ~invocation:scheme.Scheme.is_invocation
+      ~exec:scheme.Scheme.is_exec ~input_comm:scheme.Scheme.is_input_comm
+      ~output_comm:scheme.Scheme.is_output_comm ~inputs:pim.Pim.pim_inputs
+      ~outputs:pim.Pim.pim_outputs
+  in
+  let platform = Piece.concat (input_pieces @ output_pieces @ [ exe_piece ]) in
+  let mio = mio_of_software pim in
+  let env = Pim.environment pim in
+  let base = pim.Pim.pim_net in
+  let net =
+    Model.network
+      ~name:(base.Model.net_name ^ "_psm")
+      ~clocks:(base.Model.net_clocks @ platform.Piece.pc_clocks)
+      ~vars:(base.Model.net_vars @ platform.Piece.pc_vars)
+      ~channels:(base.Model.net_channels @ platform.Piece.pc_channels)
+      ([ mio; env ] @ platform.Piece.pc_automata)
+  in
+  (match Model.validate net with
+   | [] -> ()
+   | problems ->
+     fail "constructed PSM does not validate (transformation bug): %s"
+       (String.concat "; " problems));
+  let input_loss m =
+    match scheme.Scheme.is_input_comm with
+    | Scheme.Buffer _ -> Names.input_overflow m
+    | Scheme.Shared_variable -> Names.input_lost m
+  in
+  let output_loss c =
+    match scheme.Scheme.is_output_comm with
+    | Scheme.Buffer _ -> Names.output_overflow c
+    | Scheme.Shared_variable -> Names.output_lost c
+  in
+  let miss_flags =
+    List.filter_map
+      (fun m ->
+        match (input_spec m).Scheme.in_read with
+        | Scheme.Interrupt _ -> Some (m, Names.input_missed m)
+        | Scheme.Polling _ -> None)
+      pim.Pim.pim_inputs
+  in
+  { psm_net = net;
+    psm_pim = pim;
+    psm_scheme = scheme;
+    psm_mio = mio.Model.aut_name;
+    psm_input_loss_flags =
+      List.map (fun m -> (m, input_loss m)) pim.Pim.pim_inputs;
+    psm_output_loss_flags =
+      List.map (fun c -> (c, output_loss c)) pim.Pim.pim_outputs;
+    psm_miss_flags = miss_flags }

@@ -1,0 +1,53 @@
+(** The modular PIM-to-PSM transformation (Section IV of the paper).
+
+    Given a platform-independent model and an implementation scheme, build
+    the platform-specific model
+
+    {v PSM = MIO || IFMI_1 .. IFMI_k || IFOC_1 .. IFOC_j || EXEIO || ENVMC v}
+
+    The transformation is modular: [MIO] is the software automaton with
+    its synchronisations renamed from the [m]/[c]- to the [i]/[o]-channels
+    and every edge gated on the executive's compute window, and [ENVMC]
+    is the environment automaton completely unchanged.  All
+    platform-specific behavior lives in the generated interface and
+    executive automata. *)
+
+(** Re-exports: [transform] is the library's root module, so the sibling
+    modules are surfaced here. *)
+
+module Pim = Pim
+module Names = Names
+module Piece = Piece
+module Ifmi = Ifmi
+module Ifoc = Ifoc
+module Exeio = Exeio
+
+type psm = {
+  psm_net : Ta.Model.network;
+  psm_pim : Pim.t;
+  psm_scheme : Scheme.t;
+  psm_mio : string;  (** name of the [MIO] automaton in [psm_net] *)
+  psm_input_loss_flags : (string * string) list;
+      (** m-channel -> its overflow / overwrite-loss flag *)
+  psm_output_loss_flags : (string * string) list;
+      (** c-channel -> its overflow / overwrite-loss flag *)
+  psm_miss_flags : (string * string) list;
+      (** m-channel -> missed-interrupt flag (interrupt inputs only) *)
+}
+
+exception Transform_error of string
+
+(** [psm_of_pim pim scheme] runs the transformation.
+
+    @raise Transform_error when the scheme fails {!Scheme.check}, does not
+    cover every boundary variable of the PIM, combines aperiodic
+    invocation with software that waits on a clock (the executive would
+    never wake it: the implementation starves and bounds would be
+    unsound), or the assembled network fails validation (a bug — the
+    constructed PSM is well-formed by construction). *)
+val psm_of_pim : Pim.t -> Scheme.t -> psm
+
+(** The [MIO] construction alone (renaming + compute-window gating),
+    exposed for structural tests and the [.xta] exporter. *)
+val mio_of_software :
+  Pim.t -> Ta.Model.automaton

@@ -1,0 +1,1 @@
+lib/xta/lexer.ml: Fmt List String

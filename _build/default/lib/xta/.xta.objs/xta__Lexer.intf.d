@@ -1,0 +1,1 @@
+lib/xta/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/xta/parse.ml: Array Clockcons Expr Fmt Lexer List Model Ta

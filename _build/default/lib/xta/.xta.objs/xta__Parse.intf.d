@@ -1,0 +1,1 @@
+lib/xta/parse.mli: Ta

@@ -1,0 +1,1 @@
+lib/xta/print.ml: Clockcons Expr Fmt List Model Ta

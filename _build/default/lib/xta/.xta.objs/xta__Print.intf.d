@@ -1,0 +1,1 @@
+lib/xta/print.mli: Format Ta

@@ -1,0 +1,1 @@
+lib/xta/uppaal_xml.ml: Buffer Clockcons Expr Fmt List Model String Ta

@@ -1,0 +1,1 @@
+lib/xta/uppaal_xml.mli: Format Ta

@@ -1,0 +1,394 @@
+open Ta
+
+exception Parse_error of int * string
+
+type stream = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+}
+
+let peek s = fst s.toks.(s.pos)
+let line s = snd s.toks.(s.pos)
+
+(* line of the most recently consumed token (clamped for empty input) *)
+let prev_line s = snd s.toks.(max 0 (s.pos - 1))
+
+let fail s fmt =
+  Fmt.kstr (fun msg -> raise (Parse_error (line s, msg))) fmt
+
+let advance s = if s.pos < Array.length s.toks - 1 then s.pos <- s.pos + 1
+
+let next s =
+  let t = peek s in
+  advance s;
+  t
+
+let expect s tok =
+  let got = next s in
+  if got <> tok then
+    raise
+      (Parse_error
+         ( prev_line s,
+           Fmt.str "expected %a, found %a" Lexer.pp_token tok Lexer.pp_token
+             got ))
+
+let ident s =
+  match next s with
+  | Lexer.IDENT name -> name
+  | t -> raise (Parse_error (prev_line s,
+                             Fmt.str "expected an identifier, found %a"
+                               Lexer.pp_token t))
+
+let integer s =
+  match next s with
+  | Lexer.INT n -> n
+  | Lexer.MINUS ->
+    (match next s with
+     | Lexer.INT n -> -n
+     | t -> raise (Parse_error (prev_line s,
+                                Fmt.str "expected an integer, found %a"
+                                  Lexer.pp_token t)))
+  | t -> raise (Parse_error (prev_line s,
+                             Fmt.str "expected an integer, found %a"
+                               Lexer.pp_token t))
+
+let ident_list s =
+  let rec more acc =
+    if peek s = Lexer.COMMA then begin
+      advance s;
+      more (ident s :: acc)
+    end
+    else List.rev acc
+  in
+  more [ ident s ]
+
+(* --- expressions ------------------------------------------------------ *)
+
+let rec parse_expr s =
+  let lhs = parse_term s in
+  let rec more lhs =
+    match peek s with
+    | Lexer.PLUS -> advance s; more (Expr.Add (lhs, parse_term s))
+    | Lexer.MINUS -> advance s; more (Expr.Sub (lhs, parse_term s))
+    | _ -> lhs
+  in
+  more lhs
+
+and parse_term s =
+  let lhs = parse_factor s in
+  let rec more lhs =
+    match peek s with
+    | Lexer.STAR -> advance s; more (Expr.Mul (lhs, parse_factor s))
+    | _ -> lhs
+  in
+  more lhs
+
+and parse_factor s =
+  match next s with
+  | Lexer.INT n -> Expr.Int n
+  | Lexer.IDENT v -> Expr.Var v
+  | Lexer.MINUS -> Expr.Neg (parse_factor s)
+  | Lexer.LPAREN ->
+    let e = parse_expr s in
+    expect s Lexer.RPAREN;
+    e
+  | t -> raise (Parse_error (prev_line s,
+                             Fmt.str "expected an expression, found %a"
+                               Lexer.pp_token t))
+
+let relation s =
+  match next s with
+  | Lexer.OP "<" -> Expr.Lt
+  | Lexer.OP "<=" -> Expr.Le
+  | Lexer.OP "==" -> Expr.Eq
+  | Lexer.OP ">=" -> Expr.Ge
+  | Lexer.OP ">" -> Expr.Gt
+  | Lexer.OP "!=" -> Expr.Ne
+  | t -> raise (Parse_error (prev_line s,
+                             Fmt.str "expected a comparison, found %a"
+                               Lexer.pp_token t))
+
+(* --- predicates ------------------------------------------------------- *)
+
+let rec parse_pred s = parse_or s
+
+and parse_or s =
+  let lhs = parse_and s in
+  let rec more lhs =
+    match peek s with
+    | Lexer.OP "||" -> advance s; more (Expr.Or (lhs, parse_and s))
+    | _ -> lhs
+  in
+  more lhs
+
+and parse_and s =
+  let lhs = parse_not s in
+  let rec more lhs =
+    match peek s with
+    | Lexer.OP "&&" -> advance s; more (Expr.And (lhs, parse_not s))
+    | _ -> lhs
+  in
+  more lhs
+
+and parse_not s =
+  match peek s with
+  | Lexer.BANG | Lexer.KW "not" ->
+    advance s;
+    Expr.Not (parse_not s)
+  | _ -> parse_pred_atom s
+
+and parse_pred_atom s =
+  match peek s with
+  | Lexer.KW "true" -> advance s; Expr.True
+  | Lexer.KW "false" -> advance s; Expr.False
+  | _ ->
+    (* Could be a comparison of expressions or a parenthesised predicate;
+       try the comparison first and backtrack on failure. *)
+    let mark = s.pos in
+    (try
+       let lhs = parse_expr s in
+       let rel = relation s in
+       let rhs = parse_expr s in
+       Expr.Cmp (lhs, rel, rhs)
+     with Parse_error _ when peek_was_paren s mark ->
+       s.pos <- mark;
+       expect s Lexer.LPAREN;
+       let p = parse_pred s in
+       expect s Lexer.RPAREN;
+       p)
+
+and peek_was_paren s mark = fst s.toks.(mark) = Lexer.LPAREN && s.pos >= mark
+
+(* --- clock constraints ------------------------------------------------ *)
+
+let clock_relation s =
+  match next s with
+  | Lexer.OP "<" -> Clockcons.Lt
+  | Lexer.OP "<=" -> Clockcons.Le
+  | Lexer.OP "==" -> Clockcons.Eq
+  | Lexer.OP ">=" -> Clockcons.Ge
+  | Lexer.OP ">" -> Clockcons.Gt
+  | t -> raise (Parse_error (prev_line s,
+                             Fmt.str "expected a clock comparison, found %a"
+                               Lexer.pp_token t))
+
+let parse_clock_atom s =
+  let x = ident s in
+  match peek s with
+  | Lexer.MINUS ->
+    advance s;
+    let y = ident s in
+    let rel = clock_relation s in
+    Clockcons.Diff (x, y, rel, integer s)
+  | _ ->
+    let rel = clock_relation s in
+    Clockcons.Simple (x, rel, integer s)
+
+let parse_clockcons s =
+  let rec more acc =
+    match peek s with
+    | Lexer.OP "&&" -> advance s; more (parse_clock_atom s :: acc)
+    | _ -> List.rev acc
+  in
+  more [ parse_clock_atom s ]
+
+(* --- transitions ------------------------------------------------------ *)
+
+let parse_trans s =
+  let src = ident s in
+  expect s Lexer.ARROW;
+  let dst = ident s in
+  expect s Lexer.LBRACE;
+  let guard = ref [] in
+  let pred = ref Expr.True in
+  let sync = ref Model.Tau in
+  let resets = ref [] in
+  let updates = ref [] in
+  let rec items () =
+    match peek s with
+    | Lexer.RBRACE -> advance s
+    | Lexer.KW "guard" ->
+      advance s;
+      guard := parse_clockcons s;
+      expect s Lexer.SEMI;
+      items ()
+    | Lexer.KW "when" ->
+      advance s;
+      pred := parse_pred s;
+      expect s Lexer.SEMI;
+      items ()
+    | Lexer.KW "sync" ->
+      advance s;
+      let chan = ident s in
+      (match next s with
+       | Lexer.BANG -> sync := Model.Send chan
+       | Lexer.QUEST -> sync := Model.Recv chan
+       | t -> raise (Parse_error (prev_line s,
+                                  Fmt.str "expected ! or ?, found %a"
+                                    Lexer.pp_token t)));
+      expect s Lexer.SEMI;
+      items ()
+    | Lexer.KW "reset" ->
+      advance s;
+      resets := ident_list s;
+      expect s Lexer.SEMI;
+      items ()
+    | Lexer.KW "assign" ->
+      advance s;
+      let rec assignments acc =
+        let v = ident s in
+        expect s Lexer.ASSIGN;
+        let rhs = parse_expr s in
+        let acc = (v, rhs) :: acc in
+        if peek s = Lexer.COMMA then begin
+          advance s;
+          assignments acc
+        end
+        else List.rev acc
+      in
+      updates := assignments [];
+      expect s Lexer.SEMI;
+      items ()
+    | t -> fail s "unexpected %a in transition body" Lexer.pp_token t
+  in
+  items ();
+  Model.edge ~guard:!guard ~pred:!pred ~sync:!sync ~resets:!resets
+    ~updates:!updates src dst
+
+(* --- processes --------------------------------------------------------- *)
+
+let parse_state s =
+  let name = ident s in
+  if peek s = Lexer.LBRACE then begin
+    advance s;
+    let inv = parse_clockcons s in
+    expect s Lexer.RBRACE;
+    Model.location ~inv name
+  end
+  else Model.location name
+
+let parse_process s =
+  let name = ident s in
+  expect s Lexer.LBRACE;
+  expect s (Lexer.KW "state");
+  let rec states acc =
+    let acc = parse_state s :: acc in
+    if peek s = Lexer.COMMA then begin
+      advance s;
+      states acc
+    end
+    else List.rev acc
+  in
+  let locations = ref (states []) in
+  expect s Lexer.SEMI;
+  let set_kind kind names =
+    locations :=
+      List.map
+        (fun (l : Model.location) ->
+          if List.mem l.Model.loc_name names then
+            { l with Model.loc_kind = kind }
+          else l)
+        !locations
+  in
+  let rec modifiers () =
+    match peek s with
+    | Lexer.KW "commit" ->
+      advance s;
+      set_kind Model.Committed (ident_list s);
+      expect s Lexer.SEMI;
+      modifiers ()
+    | Lexer.KW "urgent" ->
+      advance s;
+      set_kind Model.Urgent (ident_list s);
+      expect s Lexer.SEMI;
+      modifiers ()
+    | _ -> ()
+  in
+  modifiers ();
+  expect s (Lexer.KW "init");
+  let initial = ident s in
+  expect s Lexer.SEMI;
+  let edges =
+    if peek s = Lexer.KW "trans" then begin
+      advance s;
+      let rec more acc =
+        let acc = parse_trans s :: acc in
+        if peek s = Lexer.COMMA then begin
+          advance s;
+          more acc
+        end
+        else List.rev acc
+      in
+      let edges = more [] in
+      expect s Lexer.SEMI;
+      edges
+    end
+    else []
+  in
+  expect s Lexer.RBRACE;
+  Model.automaton ~name ~initial !locations edges
+
+(* --- network ----------------------------------------------------------- *)
+
+let parse_network s =
+  expect s (Lexer.KW "network");
+  let name = ident s in
+  expect s Lexer.SEMI;
+  let clocks = ref [] in
+  let vars = ref [] in
+  let channels = ref [] in
+  let automata = ref [] in
+  let rec decls () =
+    match peek s with
+    | Lexer.EOF -> ()
+    | Lexer.KW "clock" ->
+      advance s;
+      clocks := !clocks @ ident_list s;
+      expect s Lexer.SEMI;
+      decls ()
+    | Lexer.KW "int" ->
+      advance s;
+      expect s Lexer.LBRACKET;
+      let lo = integer s in
+      expect s Lexer.COMMA;
+      let hi = integer s in
+      expect s Lexer.RBRACKET;
+      let v = ident s in
+      expect s Lexer.EQ;
+      let init = integer s in
+      expect s Lexer.SEMI;
+      vars := !vars @ [ (v, Model.int_var ~min:lo ~max:hi init) ];
+      decls ()
+    | Lexer.KW "chan" ->
+      advance s;
+      let names = ident_list s in
+      expect s Lexer.SEMI;
+      channels := !channels @ List.map (fun c -> (c, Model.Binary)) names;
+      decls ()
+    | Lexer.KW "broadcast" ->
+      advance s;
+      expect s (Lexer.KW "chan");
+      let names = ident_list s in
+      expect s Lexer.SEMI;
+      channels := !channels @ List.map (fun c -> (c, Model.Broadcast)) names;
+      decls ()
+    | Lexer.KW "process" ->
+      advance s;
+      automata := !automata @ [ parse_process s ];
+      decls ()
+    | t -> fail s "unexpected %a at top level" Lexer.pp_token t
+  in
+  decls ();
+  Model.network ~name ~clocks:!clocks ~vars:!vars ~channels:!channels
+    !automata
+
+let network input =
+  match Lexer.tokenize input with
+  | exception Lexer.Lex_error (line, msg) ->
+    Error (Fmt.str "line %d: %s" line msg)
+  | tokens ->
+    let s = { toks = Array.of_list tokens; pos = 0 } in
+    (match parse_network s with
+     | net -> Ok net
+     | exception Parse_error (line, msg) ->
+       Error (Fmt.str "line %d: %s" line msg))

@@ -1,0 +1,8 @@
+(** Parser for the [.xta]-style textual model format printed by
+    {!Print}.  See {!Print} for the grammar. *)
+
+(** [network input] parses a whole network description.  Returns
+    [Error message] (with a line number in the message) on lexical or
+    syntax errors.  The resulting network is {e not} validated; callers
+    that need well-formedness should run {!Ta.Model.validate}. *)
+val network : string -> (Ta.Model.network, string) result

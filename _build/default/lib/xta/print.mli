@@ -1,0 +1,27 @@
+(** Printer for the [.xta]-style textual model format.
+
+    The output is accepted verbatim by {!Parse.network}; round-tripping
+    is checked by the test suite.  The grammar is UPPAAL-flavoured:
+
+    {v
+network gpca;
+
+clock x, env_x;
+int[0,5] ibuf_BolusReq = 0;
+broadcast chan m_BolusReq;
+chan o_StartInfusion;
+
+process Pump {
+  state
+    Idle,
+    BolusPrep { x <= 500 };
+  init Idle;
+  trans
+    Idle -> BolusPrep { sync m_BolusReq?; reset x; },
+    BolusPrep -> Idle { guard x >= 250; when ibuf_BolusReq == 0;
+                        sync c_StartInfusion!; assign ibuf_BolusReq := 0; };
+}
+    v} *)
+
+val network : Format.formatter -> Ta.Model.network -> unit
+val to_string : Ta.Model.network -> string

@@ -1,0 +1,126 @@
+open Ta
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let clockcons_text atoms = Fmt.str "%a" Clockcons.pp atoms
+
+(* UPPAAL merges the clock and data guard into one label. *)
+let guard_text (e : Model.edge) =
+  let parts =
+    (if e.Model.edge_guard = [] then []
+     else [ clockcons_text e.Model.edge_guard ])
+    @
+    match e.Model.edge_pred with
+    | Expr.True -> []
+    | pred -> [ Fmt.str "%a" Expr.pp_pred pred ]
+  in
+  String.concat " && " parts
+
+(* UPPAAL assignments use '=' and comma separation; resets first. *)
+let assignment_text (e : Model.edge) =
+  let resets = List.map (fun c -> c ^ " = 0") e.Model.edge_resets in
+  let updates =
+    List.map
+      (fun (v, rhs) -> Fmt.str "%s = %a" v Expr.pp_expr rhs)
+      e.Model.edge_updates
+  in
+  String.concat ", " (resets @ updates)
+
+let declaration_text (net : Model.network) =
+  let buf = Buffer.create 256 in
+  if net.Model.net_clocks <> [] then
+    Buffer.add_string buf
+      (Fmt.str "clock %s;\n" (String.concat ", " net.Model.net_clocks));
+  List.iter
+    (fun (v, d) ->
+      Buffer.add_string buf
+        (Fmt.str "int[%d,%d] %s = %d;\n" d.Model.var_min d.Model.var_max v
+           d.Model.var_init))
+    net.Model.net_vars;
+  List.iter
+    (fun (c, kind) ->
+      Buffer.add_string buf
+        (match kind with
+         | Model.Binary -> Fmt.str "chan %s;\n" c
+         | Model.Broadcast -> Fmt.str "broadcast chan %s;\n" c))
+    net.Model.net_channels;
+  Buffer.contents buf
+
+let pp_template ppf tindex (a : Model.automaton) =
+  let loc_id name =
+    let rec index i = function
+      | [] -> raise Not_found
+      | (l : Model.location) :: rest ->
+        if l.Model.loc_name = name then i else index (i + 1) rest
+    in
+    Fmt.str "id%d_%d" tindex (index 0 a.Model.aut_locations)
+  in
+  Fmt.pf ppf "  <template>@.";
+  Fmt.pf ppf "    <name>%s</name>@." (escape a.Model.aut_name);
+  List.iteri
+    (fun li (l : Model.location) ->
+      let x = 150 * (li mod 4) and y = 120 * (li / 4) in
+      Fmt.pf ppf "    <location id=\"%s\" x=\"%d\" y=\"%d\">@."
+        (loc_id l.Model.loc_name) x y;
+      Fmt.pf ppf "      <name>%s</name>@." (escape l.Model.loc_name);
+      if l.Model.loc_inv <> [] then
+        Fmt.pf ppf "      <label kind=\"invariant\">%s</label>@."
+          (escape (clockcons_text l.Model.loc_inv));
+      (match l.Model.loc_kind with
+       | Model.Urgent -> Fmt.pf ppf "      <urgent/>@."
+       | Model.Committed -> Fmt.pf ppf "      <committed/>@."
+       | Model.Normal -> ());
+      Fmt.pf ppf "    </location>@.")
+    a.Model.aut_locations;
+  Fmt.pf ppf "    <init ref=\"%s\"/>@." (loc_id a.Model.aut_initial);
+  List.iter
+    (fun (e : Model.edge) ->
+      Fmt.pf ppf "    <transition>@.";
+      Fmt.pf ppf "      <source ref=\"%s\"/>@." (loc_id e.Model.edge_src);
+      Fmt.pf ppf "      <target ref=\"%s\"/>@." (loc_id e.Model.edge_dst);
+      let guard = guard_text e in
+      if guard <> "" then
+        Fmt.pf ppf "      <label kind=\"guard\">%s</label>@." (escape guard);
+      (match e.Model.edge_sync with
+       | Model.Tau -> ()
+       | Model.Send c ->
+         Fmt.pf ppf "      <label kind=\"synchronisation\">%s!</label>@."
+           (escape c)
+       | Model.Recv c ->
+         Fmt.pf ppf "      <label kind=\"synchronisation\">%s?</label>@."
+           (escape c));
+      let assignment = assignment_text e in
+      if assignment <> "" then
+        Fmt.pf ppf "      <label kind=\"assignment\">%s</label>@."
+          (escape assignment);
+      Fmt.pf ppf "    </transition>@.")
+    a.Model.aut_edges;
+  Fmt.pf ppf "  </template>@."
+
+let network ppf (net : Model.network) =
+  Fmt.pf ppf "<?xml version=\"1.0\" encoding=\"utf-8\"?>@.";
+  Fmt.pf ppf
+    "<!DOCTYPE nta PUBLIC '-//Uppaal Team//DTD Flat System 1.1//EN' \
+     'http://www.it.uu.se/research/group/darts/uppaal/flat-1_1.dtd'>@.";
+  Fmt.pf ppf "<nta>@.";
+  Fmt.pf ppf "  <declaration>%s</declaration>@."
+    (escape (declaration_text net));
+  List.iteri (fun ti a -> pp_template ppf ti a) net.Model.net_automata;
+  Fmt.pf ppf "  <system>system %s;</system>@."
+    (String.concat ", "
+       (List.map (fun a -> a.Model.aut_name) net.Model.net_automata));
+  Fmt.pf ppf "</nta>@."
+
+let to_string net = Fmt.str "%a" network net

@@ -1,0 +1,1 @@
+lib/zone/bound.ml: Fmt

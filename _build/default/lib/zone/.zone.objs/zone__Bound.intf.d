@@ -1,0 +1,1 @@
+lib/zone/bound.mli: Format

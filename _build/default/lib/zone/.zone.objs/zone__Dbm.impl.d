@@ -1,0 +1,1 @@
+lib/zone/dbm.ml: Array Bound Fmt

@@ -1,0 +1,1 @@
+lib/zone/dbm.mli: Bound Format

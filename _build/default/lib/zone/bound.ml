@@ -1,0 +1,23 @@
+type t = int
+
+let infinity = max_int
+let lt m = 2 * m
+let le m = (2 * m) + 1
+let zero = le 0
+let constant b = b asr 1
+let is_strict b = b land 1 = 0
+let is_infinite b = b = infinity
+
+let add b1 b2 =
+  if b1 = infinity || b2 = infinity then infinity
+  else (2 * (constant b1 + constant b2)) lor (b1 land b2 land 1)
+
+let negate b =
+  assert (b <> infinity);
+  if is_strict b then le (-constant b) else lt (-constant b)
+
+let min (a : t) (b : t) = if a < b then a else b
+
+let pp ppf b =
+  if is_infinite b then Fmt.string ppf "inf"
+  else Fmt.pf ppf "%s%d" (if is_strict b then "<" else "<=") (constant b)

@@ -1,0 +1,38 @@
+(** Difference bounds for DBMs.
+
+    A bound is either infinity or a pair of an integer constant and a
+    strictness flag, encoded in a single [int]: [(< m)] as [2m] and
+    [(<= m)] as [2m + 1].  With this encoding, comparing encoded values
+    orders bounds correctly ([(< m)] is tighter than [(<= m)], both tighter
+    than any bound with a larger constant), and addition is a few bit
+    operations.  Infinity is [max_int]. *)
+
+type t = int
+
+val infinity : t
+val lt : int -> t
+val le : int -> t
+
+(** [(<= 0)], the diagonal value of a canonical DBM. *)
+val zero : t
+
+(** Constant part.  Meaningless on {!infinity}. *)
+val constant : t -> int
+
+(** Whether the bound is strict.  Meaningless on {!infinity}. *)
+val is_strict : t -> bool
+
+val is_infinite : t -> bool
+
+(** Bound addition: [(~1 m) + (~2 n)] is [< (m+n)] unless both are
+    non-strict.  Adding {!infinity} yields {!infinity}. *)
+val add : t -> t -> t
+
+(** Negation used when conjoining [xj - xi ~ -m] facts:
+    [negate (<= m) = (< -m)] and [negate (< m) = (<= -m)].
+    Undefined on {!infinity}. *)
+val negate : t -> t
+
+val min : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(** Difference bound matrices over [dim] clocks, where clock 0 is the
+    constant reference clock.  Entry [(i, j)] bounds [x_i - x_j].
+
+    All operations other than {!copy} mutate in place.  Unless noted
+    otherwise they expect the input in canonical form (as produced by
+    {!zero}, {!canonicalize} or any operation below) and preserve
+    canonicity.  An empty zone is represented with a negative diagonal
+    entry at [(0, 0)]; operations on empty zones are allowed and keep the
+    zone empty. *)
+
+type t
+
+(** [zero dim] is the point zone where every clock equals 0.
+    [dim] counts the reference clock, so a model with [n] clocks uses
+    [dim = n + 1]. *)
+val zero : int -> t
+
+val dim : t -> int
+val copy : t -> t
+val get : t -> int -> int -> Bound.t
+val is_empty : t -> bool
+
+(** Full Floyd-Warshall closure.  Needed only after batch updates made
+    through unchecked writes; the public operations keep zones closed. *)
+val canonicalize : t -> unit
+
+(** Delay: remove the upper bounds of all clocks (future closure). *)
+val up : t -> unit
+
+(** [constrain z i j b] intersects with [x_i - x_j ~ b].  O(dim^2). *)
+val constrain : t -> int -> int -> Bound.t -> unit
+
+(** [satisfiable z i j b] is whether intersecting with [x_i - x_j ~ b]
+    would leave the zone non-empty.  Does not mutate. *)
+val satisfiable : t -> int -> int -> Bound.t -> bool
+
+(** [reset z i] sets clock [i] to 0. *)
+val reset : t -> int -> unit
+
+(** [free z i] removes all constraints on clock [i] except non-negativity. *)
+val free : t -> int -> unit
+
+(** Classic maximal-constant extrapolation (ExtraM).  [k.(i)] is the
+    largest constant compared against clock [i]; [k.(0)] must be 0. *)
+val extrapolate : t -> int array -> unit
+
+(** Lower/upper-bound extrapolation (ExtraLU, Behrmann et al.): [l.(i)]
+    is the largest constant in lower-bound comparisons against clock [i],
+    [u.(i)] in upper-bound comparisons; both [l.(0)] and [u.(0)] must
+    be 0.  Coarser than ExtraM (equal when [l = u = k]) and exact for
+    location reachability of diagonal-free automata. *)
+val extrapolate_lu : t -> int array -> int array -> unit
+
+(** [includes a b] is whether [b]'s valuation set is a subset of [a]'s.
+    Both must be canonical.  An empty [b] is included in everything. *)
+val includes : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** Upper bound of clock [i] in the zone: the [(i, 0)] entry. *)
+val sup_clock : t -> int -> Bound.t
+
+(** Lower bound of clock [i]: [m] with strictness such that [x_i >= m]
+    (or [> m]).  Returned as [(constant, strict)]. *)
+val inf_clock : t -> int -> int * bool
+
+(** [contains z values] tests membership of a concrete integer valuation
+    ([values.(0)] must be 0).  Used by cross-checking tests. *)
+val contains : t -> int array -> bool
+
+val pp : ?names:string array -> unit -> Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+# Queries for the full GPCA platform-independent model (models/gpca.xta).
+# Run with:  dune exec bin/psv_cli.exe -- check models/gpca.xta models/gpca.q
+#
+# REQ1: a bolus starts within 500 ms of the request.
+bounded: m_BolusReq -> c_StartInfusion within 500
+# REQ2: the empty-syringe alarm sounds within 150 ms.
+bounded: m_EmptySyringe -> c_Alarm within 150
+# REQ3: a pause request stops the motor within 100 ms.
+bounded: m_PauseReq -> c_PauseInfusion within 100
+# The pump state machine is live.
+E<> Pump.Infusing
+E<> Pump.Paused
+E<> Pump.Alarmed
+# Infusion always starts before it can stop (no stop without a start).
+A[] not Pump.Empty or true
+# The exact response bound of REQ1 on the PIM.
+sup: m_BolusReq -> c_StartInfusion ceiling 1000

@@ -1,0 +1,1 @@
+test/discrete.ml: Array Compiled Hashtbl List Model Queue Ta

@@ -1,0 +1,1 @@
+test/gen.ml: Clockcons Fmt List Model QCheck Ta

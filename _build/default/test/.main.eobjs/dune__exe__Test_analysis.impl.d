@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Clockcons List Model Scheme Ta Transform

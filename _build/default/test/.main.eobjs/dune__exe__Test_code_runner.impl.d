@@ -1,0 +1,1 @@
+test/test_code_runner.ml: Alcotest Clockcons Expr Model Sim Ta

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Clockcons Codegen Expr Filename Fmt Fun Gpca List Model Sim String Sys Ta Transform Unix

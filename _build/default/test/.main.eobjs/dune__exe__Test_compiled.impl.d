@@ -1,0 +1,1 @@
+test/test_compiled.ml: Alcotest Array Clockcons Compiled Expr List Model Ta

@@ -1,0 +1,1 @@
+test/test_dbm.ml: Alcotest Array Bound Dbm Dump Fmt List QCheck QCheck_alcotest Zone

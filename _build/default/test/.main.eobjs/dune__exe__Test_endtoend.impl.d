@@ -1,0 +1,1 @@
+test/test_endtoend.ml: Analysis Clockcons Fmt List Mc Model QCheck QCheck_alcotest Scheme Sim Ta Transform

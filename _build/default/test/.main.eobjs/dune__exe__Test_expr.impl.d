@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Fmt List QCheck QCheck_alcotest Ta

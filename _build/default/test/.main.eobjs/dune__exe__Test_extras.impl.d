@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Expr Fmt Gpca List Mc Model Sim String Ta Transform

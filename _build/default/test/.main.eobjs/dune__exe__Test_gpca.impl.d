@@ -1,0 +1,1 @@
+test/test_gpca.ml: Alcotest Analysis Gpca List Mc Psv Sim Ta Transform

@@ -1,0 +1,1 @@
+test/test_implementability.ml: Alcotest Analysis Array Clockcons Expr Gen Gpca List Mc Model QCheck QCheck_alcotest Ta

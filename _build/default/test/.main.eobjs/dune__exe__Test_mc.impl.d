@@ -1,0 +1,1 @@
+test/test_mc.ml: Alcotest Clockcons Expr List Mc Model Ta

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Clockcons Dump Expr Fmt List Model String Ta

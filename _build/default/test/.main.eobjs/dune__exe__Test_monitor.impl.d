@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Char Mc QCheck QCheck_alcotest Xta

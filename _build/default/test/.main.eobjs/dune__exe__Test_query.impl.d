@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Clockcons Expr Mc Model Ta

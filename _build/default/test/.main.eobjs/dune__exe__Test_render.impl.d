@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Clockcons Expr Fmt Gpca List Model Sim String Ta Transform Xta

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Array Discrete Dump Fmt Gen Hashtbl List Mc QCheck QCheck_alcotest

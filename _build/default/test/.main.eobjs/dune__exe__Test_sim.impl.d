@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clockcons List Model QCheck QCheck_alcotest Scheme Sim Ta Transform

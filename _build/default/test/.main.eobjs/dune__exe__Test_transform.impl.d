@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Analysis Clockcons Expr Fmt List Mc Model Scheme Ta Transform

@@ -1,0 +1,1 @@
+test/test_xta.ml: Alcotest Analysis Expr Fmt Gen Gpca List Model QCheck QCheck_alcotest String Ta Transform Xta

@@ -1,0 +1,200 @@
+(* An independent discrete-time reference semantics used as an oracle for
+   the zone-based explorer.
+
+   For "closed" timed automata (no strict comparisons), unit-step
+   integer-time semantics reaches exactly the same locations as the dense
+   semantics, provided clocks are capped just above the largest constant.
+   This implementation deliberately shares no zone machinery with the
+   explorer — it executes concrete integer valuations breadth-first — so
+   agreement between the two is meaningful evidence. *)
+
+open Ta
+
+type state = {
+  locs : int array;
+  vars : int array;
+  clocks : int array;  (* index 0 unused *)
+}
+
+let cap comp =
+  Array.mapi
+    (fun i k -> if i = 0 then 0 else k + 1)
+    comp.Compiled.c_max_consts
+
+(* concrete satisfaction of compiled difference constraints *)
+let dc_sat clocks dcs =
+  List.for_all
+    (fun (dc : Compiled.dconstraint) ->
+      let diff = clocks.(dc.Compiled.dc_i) - clocks.(dc.Compiled.dc_j) in
+      if dc.Compiled.dc_strict then diff < dc.Compiled.dc_bound
+      else diff <= dc.Compiled.dc_bound)
+    dcs
+
+let loc_kind comp ai li =
+  comp.Compiled.c_automata.(ai).Compiled.ca_locs.(li).Compiled.cl_kind
+
+let for_all_automata comp st f =
+  let n = Array.length comp.Compiled.c_automata in
+  let rec loop ai = ai >= n || (f ai st.locs.(ai) && loop (ai + 1)) in
+  loop 0
+
+let exists_automaton comp st f =
+  not (for_all_automata comp st (fun ai li -> not (f ai li)))
+
+let invariants_ok comp st =
+  for_all_automata comp st (fun ai li ->
+      dc_sat st.clocks
+        comp.Compiled.c_automata.(ai).Compiled.ca_locs.(li).Compiled.cl_inv)
+
+let committed_present comp st =
+  exists_automaton comp st (fun ai li -> loc_kind comp ai li = Model.Committed)
+
+let no_delay comp st =
+  exists_automaton comp st (fun ai li ->
+      match loc_kind comp ai li with
+      | Model.Urgent | Model.Committed -> true
+      | Model.Normal -> false)
+
+let fire comp st movers =
+  let clocks = Array.copy st.clocks in
+  let guards_ok =
+    List.for_all (fun (_, ce) -> dc_sat clocks ce.Compiled.ce_guard) movers
+  in
+  if not guards_ok then None
+  else begin
+    let locs = Array.copy st.locs in
+    List.iter (fun (ai, ce) -> locs.(ai) <- ce.Compiled.ce_dst) movers;
+    let vars =
+      List.fold_left
+        (fun vals (_, ce) ->
+          Compiled.apply_updates comp vals ce.Compiled.ce_updates)
+        st.vars movers
+    in
+    List.iter
+      (fun (_, ce) -> List.iter (fun c -> clocks.(c) <- 0) ce.Compiled.ce_resets)
+      movers;
+    let st' = { locs; vars; clocks } in
+    if invariants_ok comp st' then Some st' else None
+  end
+
+let successors comp st =
+  let nauts = Array.length comp.Compiled.c_automata in
+  let com = committed_present comp st in
+  let allowed movers =
+    (not com)
+    || List.exists
+         (fun (ai, ce) -> loc_kind comp ai ce.Compiled.ce_src = Model.Committed)
+         movers
+  in
+  let acc = ref [] in
+  let try_fire movers =
+    if allowed movers then
+      match fire comp st movers with
+      | Some st' -> acc := st' :: !acc
+      | None -> ()
+  in
+  let edges_of ai select =
+    List.filter
+      (fun ce ->
+        select ce.Compiled.ce_sync && ce.Compiled.ce_pred st.vars)
+      comp.Compiled.c_automata.(ai).Compiled.ca_out.(st.locs.(ai))
+  in
+  (* tau *)
+  for ai = 0 to nauts - 1 do
+    List.iter
+      (fun ce -> try_fire [ (ai, ce) ])
+      (edges_of ai (function Compiled.CTau -> true | _ -> false))
+  done;
+  (* channels *)
+  let nchans = Array.length comp.Compiled.c_chan_kinds in
+  for ch = 0 to nchans - 1 do
+    let senders = ref [] in
+    for ai = nauts - 1 downto 0 do
+      List.iter
+        (fun ce -> senders := (ai, ce) :: !senders)
+        (edges_of ai (function Compiled.CSend c -> c = ch | _ -> false))
+    done;
+    match comp.Compiled.c_chan_kinds.(ch) with
+    | Model.Binary ->
+      List.iter
+        (fun (sa, se) ->
+          for ra = 0 to nauts - 1 do
+            if ra <> sa then
+              List.iter
+                (fun re ->
+                  (* binary receivers may have clock guards: enabledness
+                     includes the clock guard on the concrete valuation *)
+                  if dc_sat st.clocks re.Compiled.ce_guard then
+                    try_fire [ (sa, se); (ra, re) ])
+                (edges_of ra (function
+                  | Compiled.CRecv c -> c = ch
+                  | _ -> false))
+          done)
+        !senders
+    | Model.Broadcast ->
+      List.iter
+        (fun (sa, se) ->
+          (* every automaton with an enabled receive participates; one
+             choice per automaton *)
+          let choices = ref [ [] ] in
+          for ai = nauts - 1 downto 0 do
+            if ai <> sa then begin
+              let edges =
+                edges_of ai (function
+                  | Compiled.CRecv c -> c = ch
+                  | _ -> false)
+              in
+              if edges <> [] then
+                choices :=
+                  List.concat_map
+                    (fun partial ->
+                      List.map (fun e -> (ai, e) :: partial) edges)
+                    !choices
+            end
+          done;
+          List.iter (fun receivers -> try_fire ((sa, se) :: receivers))
+            !choices)
+        !senders
+  done;
+  (* unit delay *)
+  if not (no_delay comp st) then begin
+    let caps = cap comp in
+    let clocks =
+      Array.mapi (fun i v -> if i = 0 then 0 else min (v + 1) caps.(i)) st.clocks
+    in
+    let st' = { st with clocks } in
+    if invariants_ok comp st' then acc := st' :: !acc
+  end;
+  !acc
+
+(* Reachable location vectors, breadth-first, with a step bound. *)
+let reachable_locations ?(limit = 200_000) net =
+  let comp = Compiled.compile net in
+  let initial =
+    { locs =
+        Array.map (fun a -> a.Compiled.ca_initial) comp.Compiled.c_automata;
+      vars = Array.copy comp.Compiled.c_var_init;
+      clocks = Array.make (comp.Compiled.c_nclocks + 1) 0 }
+  in
+  let seen = Hashtbl.create 1024 in
+  let loc_set = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push st =
+    if not (Hashtbl.mem seen st) then begin
+      Hashtbl.replace seen st ();
+      Hashtbl.replace loc_set (Array.to_list st.locs) ();
+      Queue.push st queue
+    end
+  in
+  if invariants_ok comp initial then push initial;
+  let steps = ref 0 in
+  while (not (Queue.is_empty queue)) && !steps < limit do
+    incr steps;
+    let st = Queue.pop queue in
+    List.iter push (successors comp st)
+  done;
+  if !steps >= limit then None
+  else
+    Some
+      (List.sort compare
+         (Hashtbl.fold (fun k () acc -> k :: acc) loc_set []))

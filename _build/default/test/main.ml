@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "psv"
+    [ ("expr", Test_expr.suite);
+      ("dbm", Test_dbm.suite);
+      ("model", Test_model.suite);
+      ("compiled", Test_compiled.suite);
+      ("mc", Test_mc.suite);
+      ("monitor", Test_monitor.suite);
+      ("semantics", Test_semantics.suite);
+      ("query", Test_query.suite);
+      ("scheme", Test_scheme.suite);
+      ("transform", Test_transform.suite);
+      ("code-runner", Test_code_runner.suite);
+      ("sim", Test_sim.suite);
+      ("analysis", Test_analysis.suite);
+      ("xta", Test_xta.suite);
+      ("implementability", Test_implementability.suite);
+      ("end-to-end", Test_endtoend.suite);
+      ("render", Test_render.suite);
+      ("extras", Test_extras.suite);
+      ("codegen", Test_codegen.suite);
+      ("gpca", Test_gpca.suite) ]

@@ -1,0 +1,106 @@
+(* Tests for the generated-code interpreter. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let lamp =
+  Model.automaton ~name:"Controller" ~initial:"Off"
+    [ loc "Off"; loc ~inv:[ Clockcons.le "x" 50 ] "Switching"; loc "On" ]
+    [ edge ~sync:(Model.Recv "m_Press") ~resets:[ "x" ] "Off" "Switching";
+      edge ~guard:[ Clockcons.ge "x" 10 ] ~sync:(Model.Send "c_On")
+        "Switching" "On" ]
+
+let test_deliver_consumes () =
+  let r = Sim.Code_runner.create lamp in
+  Alcotest.(check bool) "consumed" true
+    (Sim.Code_runner.deliver r ~now:5.0 "m_Press");
+  Alcotest.(check string) "moved" "Switching" (Sim.Code_runner.location r)
+
+let test_deliver_discards () =
+  let r = Sim.Code_runner.create lamp in
+  Alcotest.(check bool) "unknown input discarded" false
+    (Sim.Code_runner.deliver r ~now:5.0 "m_Nothing");
+  ignore (Sim.Code_runner.deliver r ~now:5.0 "m_Press");
+  (* already switching: a second press has no enabled edge *)
+  Alcotest.(check bool) "second press discarded" false
+    (Sim.Code_runner.deliver r ~now:6.0 "m_Press")
+
+let test_guard_respects_invocation_instant () =
+  let r = Sim.Code_runner.create lamp in
+  ignore (Sim.Code_runner.deliver r ~now:100.0 "m_Press");
+  (* x = 5 at the next invocation: guard x >= 10 not yet true *)
+  Alcotest.(check (list string)) "too early" []
+    (Sim.Code_runner.compute r ~now:105.0);
+  (* x = 12: fires and emits *)
+  Alcotest.(check (list string)) "fires" [ "c_On" ]
+    (Sim.Code_runner.compute r ~now:112.0);
+  Alcotest.(check string) "final location" "On" (Sim.Code_runner.location r)
+
+let test_compute_chains () =
+  (* Two chained untimed outputs are emitted in one invocation. *)
+  let a =
+    Model.automaton ~name:"Chain" ~initial:"S0"
+      [ loc "S0"; loc "S1"; loc "S2" ]
+      [ edge ~sync:(Model.Send "c_a") "S0" "S1";
+        edge ~sync:(Model.Send "c_b") "S1" "S2" ]
+  in
+  let r = Sim.Code_runner.create a in
+  Alcotest.(check (list string)) "both outputs" [ "c_a"; "c_b" ]
+    (Sim.Code_runner.compute r ~now:0.0)
+
+let test_declaration_order_resolves_choice () =
+  let a =
+    Model.automaton ~name:"Choice" ~initial:"S"
+      [ loc "S"; loc "A"; loc "B" ]
+      [ edge ~sync:(Model.Send "c_first") "S" "A";
+        edge ~sync:(Model.Send "c_second") "S" "B" ]
+  in
+  let r = Sim.Code_runner.create a in
+  Alcotest.(check (list string)) "first edge wins" [ "c_first" ]
+    (Sim.Code_runner.compute r ~now:0.0)
+
+let test_reset () =
+  let r = Sim.Code_runner.create lamp in
+  ignore (Sim.Code_runner.deliver r ~now:5.0 "m_Press");
+  Sim.Code_runner.reset r ~now:50.0;
+  Alcotest.(check string) "back to initial" "Off" (Sim.Code_runner.location r);
+  (* clocks were re-based at the reset *)
+  ignore (Sim.Code_runner.deliver r ~now:50.0 "m_Press");
+  Alcotest.(check (list string)) "guard measured from reset" []
+    (Sim.Code_runner.compute r ~now:55.0)
+
+let test_livelock_detected () =
+  let a =
+    Model.automaton ~name:"Loop" ~initial:"S"
+      [ loc "S" ]
+      [ edge "S" "S" ]
+  in
+  let r = Sim.Code_runner.create a in
+  (match Sim.Code_runner.compute r ~now:0.0 with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "tau livelock not detected")
+
+let test_rejects_data_guards () =
+  let a =
+    Model.automaton ~name:"Data" ~initial:"S"
+      [ loc "S" ]
+      [ edge ~pred:(Expr.var_eq "v" 1) "S" "S" ]
+  in
+  (match Sim.Code_runner.create a with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "data guards accepted")
+
+let suite =
+  [ Alcotest.test_case "deliver consumes enabled input" `Quick
+      test_deliver_consumes;
+    Alcotest.test_case "deliver discards others" `Quick test_deliver_discards;
+    Alcotest.test_case "guards read the invocation clock" `Quick
+      test_guard_respects_invocation_instant;
+    Alcotest.test_case "compute chains outputs" `Quick test_compute_chains;
+    Alcotest.test_case "declaration order resolves choice" `Quick
+      test_declaration_order_resolves_choice;
+    Alcotest.test_case "reset re-bases clocks" `Quick test_reset;
+    Alcotest.test_case "tau livelock detected" `Quick test_livelock_detected;
+    Alcotest.test_case "data guards rejected" `Quick test_rejects_data_guards ]

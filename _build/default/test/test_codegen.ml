@@ -1,0 +1,229 @@
+(* Tests for the C code generator, including a differential test: the
+   generated C, compiled with the system compiler and driven through a
+   pipe, must agree step for step with the OCaml Code_runner on random
+   invocation schedules. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let lamp_pim () =
+  let controller =
+    Model.automaton ~name:"Controller" ~initial:"Off"
+      [ loc "Off"; loc ~inv:[ Clockcons.le "x" 50 ] "Switching"; loc "On" ]
+      [ edge ~sync:(Model.Recv "m_Press") ~resets:[ "x" ] "Off" "Switching";
+        edge ~guard:[ Clockcons.ge "x" 10 ] ~sync:(Model.Send "c_On")
+          "Switching" "On";
+        edge ~sync:(Model.Recv "m_Reset") "On" "Off" ]
+  in
+  let user =
+    Model.automaton ~name:"User" ~initial:"U"
+      [ loc "U" ]
+      [ edge ~sync:(Model.Send "m_Press") "U" "U";
+        edge ~sync:(Model.Send "m_Reset") "U" "U";
+        edge ~sync:(Model.Recv "c_On") "U" "U" ]
+  in
+  let net =
+    Model.network ~name:"lamp" ~clocks:[ "x" ] ~vars:[]
+      ~channels:
+        [ ("m_Press", Model.Broadcast);
+          ("m_Reset", Model.Broadcast);
+          ("c_On", Model.Broadcast) ]
+      [ controller; user ]
+  in
+  Transform.Pim.make net ~software:"Controller" ~environment:"User"
+
+let gpca_pim () = Gpca.Model.pim ~variant:Gpca.Model.Full Gpca.Params.default
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+(* --- structural tests ------------------------------------------------------ *)
+
+let test_header_api () =
+  let header = Codegen.emit_header (lamp_pim ()) in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (Fmt.str "header has %S" fragment) true
+        (contains header fragment))
+    [ "controller_state_t";
+      "CONTROLLER_LOC_Off";
+      "CONTROLLER_IN_m_Press";
+      "CONTROLLER_OUT_c_On";
+      "uint32_t clk_x;";
+      "bool controller_deliver";
+      "int controller_compute" ]
+
+let test_source_guards () =
+  let source = Codegen.emit_source (lamp_pim ()) in
+  Alcotest.(check bool) "wraparound-safe guard" true
+    (contains source "(int32_t)(now - s->clk_x) >= 10")
+
+let test_rejects_impure_software () =
+  let soft =
+    Model.automaton ~name:"S" ~initial:"A"
+      [ loc "A" ]
+      [ edge ~updates:[ ("v", Expr.int 1) ] ~sync:(Model.Recv "m_a") "A" "A" ]
+  in
+  let env =
+    Model.automaton ~name:"E" ~initial:"B"
+      [ loc "B" ]
+      [ edge ~sync:(Model.Send "m_a") "B" "B" ]
+  in
+  let net =
+    Model.network ~name:"impure" ~clocks:[] ~vars:[ ("v", Model.flag ()) ]
+      ~channels:[ ("m_a", Model.Broadcast) ]
+      [ soft; env ]
+  in
+  let pim = Transform.Pim.make net ~software:"S" ~environment:"E" in
+  (match Codegen.emit_source pim with
+   | exception Codegen.Unsupported _ -> ()
+   | _ -> Alcotest.fail "impure software accepted")
+
+(* --- compile-and-run plumbing ---------------------------------------------- *)
+
+let compile_harness pim =
+  let dir = Filename.temp_file "psv_codegen" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let prefix = Codegen.prefix pim in
+  let write name text =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc text;
+    close_out oc
+  in
+  write (prefix ^ ".h") (Codegen.emit_header pim);
+  write (prefix ^ ".c") (Codegen.emit_source pim);
+  write "main.c" (Codegen.emit_harness pim);
+  let binary = Filename.concat dir "harness" in
+  let cmd =
+    Fmt.str "cc -std=c11 -Wall -Wextra -Werror -o %s %s %s 2> %s"
+      (Filename.quote binary)
+      (Filename.quote (Filename.concat dir (prefix ^ ".c")))
+      (Filename.quote (Filename.concat dir "main.c"))
+      (Filename.quote (Filename.concat dir "cc.log"))
+  in
+  if Sys.command cmd <> 0 then begin
+    let ic = open_in (Filename.concat dir "cc.log") in
+    let log = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Alcotest.failf "cc failed:@.%s" log
+  end;
+  binary
+
+type harness = {
+  to_c : out_channel;
+  from_c : in_channel;
+}
+
+let start binary =
+  let from_c, to_c = Unix.open_process binary in
+  { to_c; from_c }
+
+let stop h = ignore (Unix.close_process (h.from_c, h.to_c))
+
+let send h fmt =
+  Fmt.kstr
+    (fun line ->
+      output_string h.to_c (line ^ "\n");
+      flush h.to_c)
+    fmt
+
+let recv h = input_line h.from_c
+
+(* --- the differential test -------------------------------------------------- *)
+
+type op =
+  | Deliver of string * int
+  | Compute of int
+
+let run_c_detailed h ops =
+  send h "init 0";
+  (match recv h with "ok" -> () | l -> Alcotest.failf "init said %S" l);
+  let step op =
+    match op with
+    | Deliver (chan, now) ->
+      send h "deliver %s %d" chan now;
+      [ Fmt.str "deliver:%s:%s" chan (recv h) ]
+    | Compute now ->
+      send h "compute %d" now;
+      let rec outputs acc =
+        match recv h with
+        | "." -> List.rev acc
+        | line -> outputs (("out:" ^ line) :: acc)
+      in
+      outputs []
+  in
+  let events = List.concat_map step ops in
+  send h "location";
+  (recv h, events)
+
+let run_ocaml pim ops =
+  let runner = Sim.Code_runner.create (Transform.Pim.software pim) in
+  let step op =
+    match op with
+    | Deliver (chan, now) ->
+      let consumed =
+        Sim.Code_runner.deliver runner ~now:(float_of_int now) chan
+      in
+      [ Fmt.str "deliver:%s:%s" chan
+          (if consumed then "consumed" else "discarded") ]
+    | Compute now ->
+      List.map
+        (fun c -> "out:" ^ c)
+        (Sim.Code_runner.compute runner ~now:(float_of_int now))
+  in
+  let events = List.concat_map step ops in
+  (Sim.Code_runner.location runner, events)
+
+let random_schedule rng pim n =
+  let inputs = pim.Transform.Pim.pim_inputs in
+  let now = ref 0 in
+  List.init n (fun _ ->
+      now := !now + Sim.Rng.int_range rng 0 400;
+      if Sim.Rng.int_range rng 0 2 = 0 && inputs <> [] then
+        Deliver
+          (List.nth inputs (Sim.Rng.int_range rng 0 (List.length inputs - 1)),
+           !now)
+      else Compute !now)
+
+let differential name pim ~rounds ~ops_per_round =
+  let binary = compile_harness pim in
+  let h = start binary in
+  let rng = Sim.Rng.create 20260706 in
+  Fun.protect
+    ~finally:(fun () -> stop h)
+    (fun () ->
+      for round = 1 to rounds do
+        let ops = random_schedule rng pim ops_per_round in
+        let c_loc, c_events = run_c_detailed h ops in
+        let ml_loc, ml_events = run_ocaml pim ops in
+        if c_events <> ml_events || c_loc <> ml_loc then
+          Alcotest.failf
+            "%s round %d diverged:@.C:     %s @ %s@.OCaml: %s @ %s" name round
+            (String.concat " " c_events)
+            c_loc
+            (String.concat " " ml_events)
+            ml_loc
+      done)
+
+let test_differential_lamp () =
+  differential "lamp" (lamp_pim ()) ~rounds:50 ~ops_per_round:40
+
+let test_differential_gpca () =
+  differential "gpca" (gpca_pim ()) ~rounds:50 ~ops_per_round:60
+
+let suite =
+  [ Alcotest.test_case "header API" `Quick test_header_api;
+    Alcotest.test_case "wraparound-safe guards" `Quick test_source_guards;
+    Alcotest.test_case "impure software rejected" `Quick
+      test_rejects_impure_software;
+    Alcotest.test_case "differential vs Code_runner (lamp)" `Slow
+      test_differential_lamp;
+    Alcotest.test_case "differential vs Code_runner (GPCA)" `Slow
+      test_differential_gpca ]

@@ -1,0 +1,142 @@
+(* Tests for network compilation: index resolution, update bounds, and
+   the clock-activity analysis feeding the explorer's reduction. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let sample_net () =
+  (* One automaton where clock y is only read in one location. *)
+  let a =
+    Model.automaton ~name:"A" ~initial:"Idle"
+      [ loc "Idle";
+        loc ~inv:[ Clockcons.le "y" 7 ] "Busy";
+        loc "Done" ]
+      [ edge ~resets:[ "y" ] "Idle" "Busy";
+        edge ~guard:[ Clockcons.ge "y" 3 ] "Busy" "Done";
+        edge "Done" "Idle" ]
+  in
+  Model.network ~name:"activity" ~clocks:[ "y" ]
+    ~vars:[ ("v", Model.int_var ~min:0 ~max:2 1) ]
+    ~channels:[] [ a ]
+
+let test_indices () =
+  let c = Compiled.compile (sample_net ()) in
+  Alcotest.(check int) "clock index" 1 (Compiled.clock_index c "y");
+  Alcotest.(check int) "var index" 0 (Compiled.var_index c "v");
+  let ai, li = Compiled.loc_index c ~aut:"A" "Busy" in
+  Alcotest.(check (pair int int)) "loc index" (0, 1) (ai, li);
+  Alcotest.(check int) "nclocks" 1 c.Compiled.c_nclocks;
+  Alcotest.(check int) "var init" 1 c.Compiled.c_var_init.(0)
+
+let test_max_consts () =
+  let c = Compiled.compile (sample_net ()) in
+  Alcotest.(check int) "k(y) from guard+invariant" 7 c.Compiled.c_max_consts.(1)
+
+let test_clock_ceilings () =
+  let c =
+    Compiled.compile ~extra_clocks:[ "w" ] ~clock_ceilings:[ ("w", 99) ]
+      (sample_net ())
+  in
+  Alcotest.(check int) "extra clock indexed" 2 (Compiled.clock_index c "w");
+  Alcotest.(check int) "ceiling recorded" 99 c.Compiled.c_max_consts.(2)
+
+let test_activity_analysis () =
+  let c = Compiled.compile (sample_net ()) in
+  let free_at name =
+    let _, li = Compiled.loc_index c ~aut:"A" name in
+    c.Compiled.c_automata.(0).Compiled.ca_locs.(li).Compiled.cl_free
+  in
+  (* y is dead in Idle (reset before any use) and in Done (no use until
+     the Idle->Busy reset), active in Busy. *)
+  Alcotest.(check (list int)) "dead in Idle" [ 1 ] (free_at "Idle");
+  Alcotest.(check (list int)) "dead in Done" [ 1 ] (free_at "Done");
+  Alcotest.(check (list int)) "active in Busy" [] (free_at "Busy")
+
+let test_shared_clock_not_freed () =
+  (* A clock read by two automata is owned by neither, hence never freed. *)
+  let a =
+    Model.automaton ~name:"A" ~initial:"L"
+      [ loc "L" ]
+      [ edge ~guard:[ Clockcons.ge "s" 1 ] ~resets:[ "s" ] "L" "L" ]
+  in
+  let b =
+    Model.automaton ~name:"B" ~initial:"M"
+      [ loc "M" ]
+      [ edge ~guard:[ Clockcons.le "s" 9 ] "M" "M" ]
+  in
+  let net =
+    Model.network ~name:"shared" ~clocks:[ "s" ] ~vars:[] ~channels:[] [ a; b ]
+  in
+  let c = Compiled.compile net in
+  Array.iter
+    (fun (a : Compiled.cautomaton) ->
+      Array.iter
+        (fun l -> Alcotest.(check (list int)) "never freed" [] l.Compiled.cl_free)
+        a.Compiled.ca_locs)
+    c.Compiled.c_automata
+
+let test_update_bounds_checked () =
+  let a =
+    Model.automaton ~name:"A" ~initial:"L"
+      [ loc "L" ]
+      [ edge ~updates:[ ("v", Expr.int 5) ] "L" "L" ]
+  in
+  let net =
+    Model.network ~name:"bounds" ~clocks:[]
+      ~vars:[ ("v", Model.int_var ~min:0 ~max:2 0) ]
+      ~channels:[] [ a ]
+  in
+  let c = Compiled.compile net in
+  let ce = List.hd c.Compiled.c_automata.(0).Compiled.ca_out.(0) in
+  (match Compiled.apply_updates c [| 0 |] ce.Compiled.ce_updates with
+   | exception Compiled.Compile_error _ -> ()
+   | _ -> Alcotest.fail "out-of-range assignment accepted")
+
+let test_updates_sequential () =
+  let a =
+    Model.automaton ~name:"A" ~initial:"L"
+      [ loc "L" ]
+      [ edge
+          ~updates:[ ("u", Expr.int 1); ("v", Expr.(var "u" + int 1)) ]
+          "L" "L" ]
+  in
+  let net =
+    Model.network ~name:"seq" ~clocks:[]
+      ~vars:[ ("u", Model.int_var 0); ("v", Model.int_var 0) ]
+      ~channels:[] [ a ]
+  in
+  let c = Compiled.compile net in
+  let ce = List.hd c.Compiled.c_automata.(0).Compiled.ca_out.(0) in
+  let result = Compiled.apply_updates c [| 0; 0 |] ce.Compiled.ce_updates in
+  (* v reads the *new* u, UPPAAL-style *)
+  Alcotest.(check (pair int int)) "sequential" (1, 2) (result.(0), result.(1))
+
+let test_compile_rejects_invalid () =
+  let bad =
+    Model.network ~name:"bad" ~clocks:[ "x"; "x" ] ~vars:[] ~channels:[] []
+  in
+  (match Compiled.compile bad with
+   | exception Compiled.Compile_error _ -> ()
+   | _ -> Alcotest.fail "invalid network compiled")
+
+let test_describe_edge () =
+  let c = Compiled.compile (sample_net ()) in
+  let ce = List.hd c.Compiled.c_automata.(0).Compiled.ca_out.(0) in
+  Alcotest.(check string) "description" "A: Idle -> Busy (tau)"
+    (Compiled.describe_edge c ce)
+
+let suite =
+  [ Alcotest.test_case "index resolution" `Quick test_indices;
+    Alcotest.test_case "max constants" `Quick test_max_consts;
+    Alcotest.test_case "extra clocks and ceilings" `Quick test_clock_ceilings;
+    Alcotest.test_case "activity analysis" `Quick test_activity_analysis;
+    Alcotest.test_case "shared clocks never freed" `Quick
+      test_shared_clock_not_freed;
+    Alcotest.test_case "update bounds checked" `Quick
+      test_update_bounds_checked;
+    Alcotest.test_case "updates are sequential" `Quick test_updates_sequential;
+    Alcotest.test_case "compile rejects invalid nets" `Quick
+      test_compile_rejects_invalid;
+    Alcotest.test_case "edge description" `Quick test_describe_edge ]

@@ -1,0 +1,298 @@
+(* Unit and property tests for difference bound matrices.
+
+   The property tests cross-check symbolic zone operations against concrete
+   integer valuations: membership must be preserved/reflected the way the
+   operation's semantics dictates. *)
+
+open Zone
+
+let test_bound_encoding () =
+  Alcotest.(check bool) "lt tighter than le" true (Bound.lt 5 < Bound.le 5);
+  Alcotest.(check bool) "le 5 tighter than lt 6" true (Bound.le 5 < Bound.lt 6);
+  Alcotest.(check int) "constant of le" 7 (Bound.constant (Bound.le 7));
+  Alcotest.(check int) "constant of negative lt" (-4)
+    (Bound.constant (Bound.lt (-4)));
+  Alcotest.(check bool) "strictness" true (Bound.is_strict (Bound.lt 3));
+  Alcotest.(check bool) "non-strict" false (Bound.is_strict (Bound.le 3))
+
+let test_bound_add () =
+  Alcotest.(check int) "le+le" (Bound.le 5) (Bound.add (Bound.le 2) (Bound.le 3));
+  Alcotest.(check int) "le+lt" (Bound.lt 5) (Bound.add (Bound.le 2) (Bound.lt 3));
+  Alcotest.(check int) "lt+lt" (Bound.lt 5) (Bound.add (Bound.lt 2) (Bound.lt 3));
+  Alcotest.(check int) "inf absorbs" Bound.infinity
+    (Bound.add Bound.infinity (Bound.le 3));
+  Alcotest.(check int) "negative" (Bound.le (-1))
+    (Bound.add (Bound.le (-3)) (Bound.le 2))
+
+let test_bound_negate () =
+  Alcotest.(check int) "negate le" (Bound.lt (-5)) (Bound.negate (Bound.le 5));
+  Alcotest.(check int) "negate lt" (Bound.le (-5)) (Bound.negate (Bound.lt 5))
+
+let test_zero_zone () =
+  let z = Dbm.zero 3 in
+  Alcotest.(check bool) "non-empty" false (Dbm.is_empty z);
+  Alcotest.(check bool) "origin inside" true (Dbm.contains z [| 0; 0; 0 |]);
+  Alcotest.(check bool) "off-origin outside" false (Dbm.contains z [| 0; 1; 0 |])
+
+let test_up_then_constrain () =
+  let z = Dbm.zero 3 in
+  Dbm.up z;
+  Alcotest.(check bool) "diagonal point inside after up" true
+    (Dbm.contains z [| 0; 4; 4 |]);
+  Alcotest.(check bool) "asymmetric point outside" false
+    (Dbm.contains z [| 0; 4; 2 |]);
+  (* constrain x1 <= 3 *)
+  Dbm.constrain z 1 0 (Bound.le 3);
+  Alcotest.(check bool) "x1=3 inside" true (Dbm.contains z [| 0; 3; 3 |]);
+  Alcotest.(check bool) "x1=4 outside" false (Dbm.contains z [| 0; 4; 4 |])
+
+let test_constrain_empties () =
+  let z = Dbm.zero 2 in
+  (* x1 >= 5 contradicts x1 = 0: 0 - x1 <= -5 *)
+  Dbm.constrain z 0 1 (Bound.le (-5));
+  Alcotest.(check bool) "empty" true (Dbm.is_empty z)
+
+let test_satisfiable_no_mutation () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Alcotest.(check bool) "x1 >= 5 satisfiable" true
+    (Dbm.satisfiable z 0 1 (Bound.le (-5)));
+  Alcotest.(check bool) "unchanged" true (Dbm.contains z [| 0; 0 |])
+
+let test_reset () =
+  let z = Dbm.zero 3 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 10);
+  Dbm.reset z 2;
+  Alcotest.(check bool) "x2 = 0, x1 free up to 10" true
+    (Dbm.contains z [| 0; 7; 0 |]);
+  Alcotest.(check bool) "x2 > 0 excluded" false (Dbm.contains z [| 0; 7; 1 |])
+
+let test_free () =
+  let z = Dbm.zero 3 in
+  (* x1 = x2 = 0; free x1 *)
+  Dbm.free z 1;
+  Alcotest.(check bool) "x1 arbitrary" true (Dbm.contains z [| 0; 42; 0 |]);
+  Alcotest.(check bool) "x2 still 0" false (Dbm.contains z [| 0; 42; 1 |])
+
+let test_inclusion () =
+  let small = Dbm.zero 2 in
+  let big = Dbm.zero 2 in
+  Dbm.up big;
+  Alcotest.(check bool) "zero within up" true (Dbm.includes big small);
+  Alcotest.(check bool) "up not within zero" false (Dbm.includes small big);
+  Alcotest.(check bool) "reflexive" true (Dbm.includes big big)
+
+let test_empty_inclusion () =
+  let empty = Dbm.zero 2 in
+  Dbm.constrain empty 0 1 (Bound.le (-1));
+  let z = Dbm.zero 2 in
+  Alcotest.(check bool) "empty included everywhere" true (Dbm.includes z empty);
+  Alcotest.(check bool) "nonempty not included in empty" false
+    (Dbm.includes empty z)
+
+let test_sup_inf () =
+  let z = Dbm.zero 3 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 9);
+  Dbm.constrain z 0 1 (Bound.lt (-2));
+  Alcotest.(check int) "sup x1" (Bound.le 9) (Dbm.sup_clock z 1);
+  let lo, strict = Dbm.inf_clock z 1 in
+  Alcotest.(check (pair int bool)) "inf x1" (2, true) (lo, strict);
+  (* x2 tracked x1 since both started at 0, so it inherits the bound... *)
+  Alcotest.(check int) "sup x2 correlates with x1" (Bound.le 9)
+    (Dbm.sup_clock z 2);
+  (* ...until it is freed. *)
+  Dbm.free z 2;
+  Alcotest.(check int) "sup x2 unbounded after free" Bound.infinity
+    (Dbm.sup_clock z 2)
+
+let test_extrapolate_drops_big_bounds () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 500);
+  Dbm.extrapolate z [| 0; 10 |];
+  Alcotest.(check int) "bound beyond k dropped" Bound.infinity
+    (Dbm.sup_clock z 1)
+
+let test_extrapolate_keeps_small_bounds () =
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 5);
+  Dbm.extrapolate z [| 0; 10 |];
+  Alcotest.(check int) "bound within k kept" (Bound.le 5) (Dbm.sup_clock z 1)
+
+let test_extrapolate_lu_directions () =
+  (* u bounds survive up to u, lower bounds clamp at -u; l governs the
+     upper-bound drop *)
+  let z = Dbm.zero 2 in
+  Dbm.up z;
+  Dbm.constrain z 1 0 (Bound.le 8);
+  let z_lu = Dbm.copy z in
+  (* l = 3: the upper bound 8 > 3 is dropped even though u = 10 *)
+  Dbm.extrapolate_lu z_lu [| 0; 3 |] [| 0; 10 |];
+  Alcotest.(check int) "upper bound beyond l dropped" Bound.infinity
+    (Dbm.sup_clock z_lu 1);
+  let z2 = Dbm.zero 2 in
+  Dbm.up z2;
+  Dbm.constrain z2 0 1 (Bound.le (-7));  (* x1 >= 7 *)
+  Dbm.extrapolate_lu z2 [| 0; 10 |] [| 0; 4 |];
+  (* lower bound 7 clamps at u = 4 (strictly) *)
+  let lo, strict = Dbm.inf_clock z2 1 in
+  Alcotest.(check (pair int bool)) "lower bound clamped at u" (4, true)
+    (lo, strict)
+
+let test_extrapolate_lu_equals_m_when_same () =
+  let build () =
+    let z = Dbm.zero 3 in
+    Dbm.up z;
+    Dbm.constrain z 1 0 (Bound.le 12);
+    Dbm.constrain z 0 2 (Bound.lt (-4));
+    z
+  in
+  let zm = build () and zlu = build () in
+  Dbm.extrapolate zm [| 0; 6; 6 |];
+  Dbm.extrapolate_lu zlu [| 0; 6; 6 |] [| 0; 6; 6 |];
+  Alcotest.(check bool) "ExtraLU with l=u=k equals ExtraM" true
+    (Dbm.equal zm zlu)
+
+(* --- property tests --------------------------------------------------- *)
+
+(* A random zone built from the zero zone by a few ups and constraints,
+   together with the trail of operations so that failures print nicely. *)
+type op =
+  | Op_up
+  | Op_reset of int
+  | Op_constrain of int * int * bool * int
+
+let pp_op ppf = function
+  | Op_up -> Fmt.string ppf "up"
+  | Op_reset i -> Fmt.pf ppf "reset x%d" i
+  | Op_constrain (i, j, strict, n) ->
+    Fmt.pf ppf "x%d - x%d %s %d" i j (if strict then "<" else "<=") n
+
+let dims = 4 (* 3 real clocks *)
+
+let gen_op =
+  let open QCheck.Gen in
+  let clock = int_range 0 (dims - 1) in
+  frequency
+    [ (2, return Op_up);
+      (2, map (fun i -> Op_reset i) (int_range 1 (dims - 1)));
+      (5,
+       map2
+         (fun (i, j) (strict, n) -> Op_constrain (i, j, strict, n))
+         (pair clock clock)
+         (pair bool (int_range (-8) 8))) ]
+
+let apply_op z = function
+  | Op_up -> Dbm.up z
+  | Op_reset i -> Dbm.reset z i
+  | Op_constrain (i, j, strict, n) ->
+    if i <> j then
+      Dbm.constrain z i j (if strict then Bound.lt n else Bound.le n)
+
+let build ops =
+  let z = Dbm.zero dims in
+  List.iter (apply_op z) ops;
+  z
+
+let arb_ops =
+  QCheck.make
+    ~print:(Fmt.to_to_string Fmt.(list ~sep:semi pp_op))
+    QCheck.Gen.(list_size (int_range 0 10) gen_op)
+
+let arb_point =
+  QCheck.make
+    ~print:(Fmt.to_to_string Fmt.(Dump.array int))
+    QCheck.Gen.(
+      map
+        (fun l -> Array.of_list (0 :: l))
+        (list_size (return (dims - 1)) (int_range 0 10)))
+
+(* Constraining is intersection: a point is in the result iff it was in the
+   zone and satisfies the constraint. *)
+let prop_constrain_is_intersection =
+  QCheck.Test.make ~name:"constrain = set intersection" ~count:1000
+    (QCheck.triple arb_ops arb_point
+       (QCheck.quad (QCheck.int_range 0 (dims - 1)) (QCheck.int_range 0 (dims - 1))
+          QCheck.bool (QCheck.int_range (-8) 8)))
+    (fun (ops, pt, (i, j, strict, n)) ->
+      QCheck.assume (i <> j);
+      let z = build ops in
+      let before = Dbm.contains z pt in
+      let b = if strict then Bound.lt n else Bound.le n in
+      let diff = pt.(i) - pt.(j) in
+      let sat = if strict then diff < n else diff <= n in
+      Dbm.constrain z i j b;
+      Dbm.contains z pt = (before && sat))
+
+(* Delay: any point in the zone, shifted uniformly forward, is in up(Z). *)
+let prop_up_closure =
+  QCheck.Test.make ~name:"up contains forward shifts" ~count:1000
+    (QCheck.triple arb_ops arb_point (QCheck.int_range 0 10))
+    (fun (ops, pt, d) ->
+      let z = build ops in
+      QCheck.assume (Dbm.contains z pt);
+      Dbm.up z;
+      let shifted = Array.mapi (fun i v -> if i = 0 then 0 else v + d) pt in
+      Dbm.contains z shifted)
+
+(* Reset: membership transfers to the reset point. *)
+let prop_reset_membership =
+  QCheck.Test.make ~name:"reset maps members" ~count:1000
+    (QCheck.triple arb_ops arb_point (QCheck.int_range 1 (dims - 1)))
+    (fun (ops, pt, i) ->
+      let z = build ops in
+      QCheck.assume (Dbm.contains z pt);
+      Dbm.reset z i;
+      let pt' = Array.copy pt in
+      pt'.(i) <- 0;
+      Dbm.contains z pt')
+
+(* Inclusion is sound w.r.t. membership. *)
+let prop_inclusion_sound =
+  QCheck.Test.make ~name:"includes implies membership transfer" ~count:1000
+    (QCheck.triple arb_ops arb_ops arb_point)
+    (fun (ops1, ops2, pt) ->
+      let a = build ops1 and b = build ops2 in
+      QCheck.assume (Dbm.includes a b);
+      QCheck.assume (Dbm.contains b pt);
+      Dbm.contains a pt)
+
+(* Canonicalize is idempotent on the matrices our ops produce. *)
+let prop_canonical_stable =
+  QCheck.Test.make ~name:"operations keep zones canonical" ~count:500 arb_ops
+    (fun ops ->
+      let z = build ops in
+      let z' = Dbm.copy z in
+      Dbm.canonicalize z';
+      Dbm.equal z z')
+
+let suite =
+  [ Alcotest.test_case "bound encoding order" `Quick test_bound_encoding;
+    Alcotest.test_case "bound addition" `Quick test_bound_add;
+    Alcotest.test_case "bound negation" `Quick test_bound_negate;
+    Alcotest.test_case "zero zone" `Quick test_zero_zone;
+    Alcotest.test_case "up then constrain" `Quick test_up_then_constrain;
+    Alcotest.test_case "contradiction empties" `Quick test_constrain_empties;
+    Alcotest.test_case "satisfiable does not mutate" `Quick
+      test_satisfiable_no_mutation;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "free" `Quick test_free;
+    Alcotest.test_case "inclusion" `Quick test_inclusion;
+    Alcotest.test_case "empty-zone inclusion" `Quick test_empty_inclusion;
+    Alcotest.test_case "sup and inf" `Quick test_sup_inf;
+    Alcotest.test_case "extrapolation drops big bounds" `Quick
+      test_extrapolate_drops_big_bounds;
+    Alcotest.test_case "extrapolation keeps small bounds" `Quick
+      test_extrapolate_keeps_small_bounds;
+    Alcotest.test_case "ExtraLU directions" `Quick
+      test_extrapolate_lu_directions;
+    Alcotest.test_case "ExtraLU degenerates to ExtraM" `Quick
+      test_extrapolate_lu_equals_m_when_same;
+    QCheck_alcotest.to_alcotest prop_constrain_is_intersection;
+    QCheck_alcotest.to_alcotest prop_up_closure;
+    QCheck_alcotest.to_alcotest prop_reset_membership;
+    QCheck_alcotest.to_alcotest prop_inclusion_sound;
+    QCheck_alcotest.to_alcotest prop_canonical_stable ]

@@ -1,0 +1,110 @@
+(* Unit and property tests for the expression language. *)
+
+open Ta
+
+let env_of assoc x =
+  match List.assoc_opt x assoc with
+  | Some v -> v
+  | None -> Alcotest.failf "unbound variable %s" x
+
+let test_eval_arith () =
+  let e = Expr.(var "a" + (int 3 * var "b") - int 1) in
+  Alcotest.(check int) "a + 3b - 1" 12
+    (Expr.eval_expr (env_of [ ("a", 4); ("b", 3) ]) e)
+
+let test_eval_neg () =
+  Alcotest.(check int) "neg" (-7)
+    (Expr.eval_expr (fun _ -> 0) (Expr.Neg (Expr.Int 7)))
+
+let test_eval_pred () =
+  let p = Expr.(conj [ ge (var "x") (int 2); lt (var "x") (int 5) ]) in
+  let check value expected =
+    Alcotest.(check bool)
+      (Fmt.str "2 <= %d < 5" value)
+      expected
+      (Expr.eval_pred (env_of [ ("x", value) ]) p)
+  in
+  check 1 false;
+  check 2 true;
+  check 4 true;
+  check 5 false
+
+let test_pred_connectives () =
+  let env = env_of [ ("x", 3) ] in
+  Alcotest.(check bool) "or" true
+    (Expr.eval_pred env Expr.(Or (var_eq "x" 9, var_eq "x" 3)));
+  Alcotest.(check bool) "not" true
+    (Expr.eval_pred env Expr.(Not (var_eq "x" 9)));
+  Alcotest.(check bool) "false" false (Expr.eval_pred env Expr.False);
+  Alcotest.(check bool) "ne" true
+    (Expr.eval_pred env Expr.(ne (var "x") (int 9)))
+
+let test_vars_dedup () =
+  let e = Expr.(var "a" + var "b" + var "a") in
+  Alcotest.(check (list string)) "vars" [ "a"; "b" ] (Expr.vars_of_expr e);
+  let p = Expr.(And (var_eq "a" 1, ge (var "c") (var "a"))) in
+  Alcotest.(check (list string)) "pred vars" [ "a"; "c" ] (Expr.vars_of_pred p)
+
+let test_conj_identity () =
+  Alcotest.(check bool) "empty conj" true
+    (Expr.eval_pred (fun _ -> 0) (Expr.conj []));
+  (match Expr.conj [ Expr.True; Expr.var_eq "x" 1 ] with
+   | Expr.Cmp _ -> ()
+   | _ -> Alcotest.fail "True should be absorbed")
+
+(* Random expression generator over a fixed set of three variables. *)
+let gen_expr =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+    if n <= 0 then
+      oneof
+        [ map Expr.int (int_range (-20) 20);
+          map Expr.var (oneofl [ "a"; "b"; "c" ]) ]
+    else
+      let sub = self (n / 2) in
+      oneof
+        [ map2 (fun a b -> Expr.Add (a, b)) sub sub;
+          map2 (fun a b -> Expr.Sub (a, b)) sub sub;
+          map (fun a -> Expr.Neg a) sub;
+          map Expr.int (int_range (-20) 20) ])
+
+let arb_expr = QCheck.make ~print:(Fmt.to_to_string Expr.pp_expr) gen_expr
+
+(* Compiling and evaluating must agree with the direct evaluator. *)
+let prop_compile_agrees =
+  QCheck.Test.make ~name:"compile_expr agrees with eval_expr" ~count:500
+    (QCheck.pair arb_expr (QCheck.triple QCheck.small_int QCheck.small_int QCheck.small_int))
+    (fun (e, (a, b, c)) ->
+      let index = function
+        | "a" -> 0
+        | "b" -> 1
+        | "c" -> 2
+        | v -> QCheck.Test.fail_reportf "unexpected var %s" v
+      in
+      let vals = [| a; b; c |] in
+      let env = function
+        | "a" -> a
+        | "b" -> b
+        | "c" -> c
+        | v -> QCheck.Test.fail_reportf "unexpected var %s" v
+      in
+      Expr.compile_expr ~index e vals = Expr.eval_expr env e)
+
+(* Negation of predicates flips evaluation. *)
+let prop_not_involution =
+  QCheck.Test.make ~name:"Not flips eval_pred" ~count:200
+    (QCheck.pair arb_expr QCheck.small_int)
+    (fun (e, a) ->
+      let env _ = a in
+      let p = Expr.le e (Expr.int 0) in
+      Expr.eval_pred env (Expr.Not p) = not (Expr.eval_pred env p))
+
+let suite =
+  [ Alcotest.test_case "eval arithmetic" `Quick test_eval_arith;
+    Alcotest.test_case "eval negation" `Quick test_eval_neg;
+    Alcotest.test_case "eval bounded predicate" `Quick test_eval_pred;
+    Alcotest.test_case "eval connectives" `Quick test_pred_connectives;
+    Alcotest.test_case "free variables dedup" `Quick test_vars_dedup;
+    Alcotest.test_case "conj identity" `Quick test_conj_identity;
+    QCheck_alcotest.to_alcotest prop_compile_agrees;
+    QCheck_alcotest.to_alcotest prop_not_involution ]

@@ -1,0 +1,150 @@
+(* Tests for the supporting features: stimulus patterns, coverage
+   reporting, and the supplemental GPCA requirements. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+(* --- stimulus patterns --------------------------------------------------- *)
+
+let test_stimulus_periodic () =
+  Alcotest.(check (list (pair (float 0.001) string)))
+    "periodic"
+    [ (5.0, "a"); (15.0, "a"); (25.0, "a") ]
+    (Sim.Stimulus.periodic ~start:5.0 ~every:10.0 ~n:3 "a")
+
+let test_stimulus_burst () =
+  Alcotest.(check (list (pair (float 0.001) string)))
+    "burst"
+    [ (100.0, "a"); (104.0, "a"); (108.0, "a") ]
+    (Sim.Stimulus.burst ~at:100.0 ~gap:4.0 ~n:3 "a")
+
+let test_stimulus_merge_sorted () =
+  let merged =
+    Sim.Stimulus.merge
+      [ Sim.Stimulus.single ~at:50.0 "b";
+        Sim.Stimulus.periodic ~every:30.0 ~n:3 "a" ]
+  in
+  let times = List.map fst merged in
+  Alcotest.(check (list (float 0.001))) "sorted" [ 0.0; 30.0; 50.0; 60.0 ]
+    times
+
+let test_stimulus_jittered_in_range () =
+  let rng = Sim.Rng.create 5 in
+  let events =
+    Sim.Stimulus.jittered rng ~start:10.0 ~every:20.0 ~jitter:5.0 ~n:50 "a"
+  in
+  List.iteri
+    (fun i (at, _) ->
+      let base = 10.0 +. (float_of_int i *. 20.0) in
+      Alcotest.(check bool) "within jitter" true
+        (at >= base && at < base +. 5.0))
+    events
+
+(* --- coverage -------------------------------------------------------------- *)
+
+let test_coverage_flags_dead_structure () =
+  let a =
+    Model.automaton ~name:"P" ~initial:"A"
+      [ loc "A"; loc "B"; loc "Dead" ]
+      [ edge "A" "B";
+        (* unreachable: guard can never hold *)
+        edge ~pred:Expr.False "A" "Dead" ]
+  in
+  let net =
+    Model.network ~name:"cov" ~clocks:[] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  let cov = Mc.Explorer.coverage t in
+  Alcotest.(check (list (pair string string))) "dead location"
+    [ ("P", "Dead") ]
+    cov.Mc.Explorer.cov_unreached_locations;
+  Alcotest.(check int) "dead edge" 1
+    (List.length cov.Mc.Explorer.cov_unfired_edges)
+
+let test_coverage_clean_model () =
+  let net = Gpca.Model.network ~variant:Gpca.Model.Bolus_only Gpca.Params.default in
+  let t = Mc.Explorer.make net in
+  let cov = Mc.Explorer.coverage t in
+  Alcotest.(check (list (pair string string))) "all locations live" []
+    cov.Mc.Explorer.cov_unreached_locations;
+  Alcotest.(check (list string)) "all edges live" []
+    cov.Mc.Explorer.cov_unfired_edges
+
+let test_coverage_full_gpca_psm () =
+  (* Every location and edge of the bolus-only PSM is exercised — the
+     generated platform automata contain no dead structure (the overflow
+     branches are unreachable by design, so exclude loss edges). *)
+  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only Gpca.Params.default in
+  let t = Mc.Explorer.make psm.Transform.psm_net in
+  let cov = Mc.Explorer.coverage t in
+  Alcotest.(check (list (pair string string))) "locations live" []
+    cov.Mc.Explorer.cov_unreached_locations;
+  (* any never-fired edge must belong to a generated platform automaton's
+     loss/overflow branch (unreachable by design when the constraints
+     hold), never to the software or environment *)
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec scan i =
+      i + nn <= nh && (String.sub hay i nn = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun desc ->
+      Alcotest.(check bool)
+        (Fmt.str "unfired edge belongs to the platform: %s" desc)
+        true
+        (contains desc "IFMI" || contains desc "EXEIO"
+         || contains desc "IFOC"))
+    cov.Mc.Explorer.cov_unfired_edges
+
+(* --- supplemental GPCA requirements ---------------------------------------- *)
+
+let test_supplemental_pim_bounds () =
+  let s = Gpca.Experiment.supplemental Gpca.Params.default in
+  (match s.Gpca.Experiment.sup_alarm_pim with
+   | Mc.Explorer.Sup (150, false) -> ()
+   | r -> Alcotest.failf "alarm PIM bound: %a" Mc.Explorer.pp_sup_result r);
+  (match s.Gpca.Experiment.sup_pause_pim with
+   | Mc.Explorer.Sup (100, false) -> ()
+   | r -> Alcotest.failf "pause PIM bound: %a" Mc.Explorer.pp_sup_result r);
+  Alcotest.(check int) "alarm analytic" 693
+    s.Gpca.Experiment.sup_alarm_analytic;
+  Alcotest.(check int) "pause analytic" 643
+    s.Gpca.Experiment.sup_pause_analytic;
+  Alcotest.(check bool) "PSM skipped by default" true
+    (s.Gpca.Experiment.sup_alarm_psm = None)
+
+let test_full_variant_pause_path () =
+  let net = Gpca.Model.network ~variant:Gpca.Model.Full Gpca.Params.default in
+  let t = Mc.Explorer.make net in
+  let paused = Mc.Explorer.at t ~aut:"Pump" ~loc:"Paused" in
+  Alcotest.(check bool) "pause reachable" true
+    ((Mc.Explorer.reachable t paused).Mc.Explorer.r_trace <> None);
+  (* a bolus can restart after a pause *)
+  let restarted st =
+    Mc.Explorer.at t ~aut:"Pump" ~loc:"Infusing" st
+    && Mc.Explorer.at t ~aut:"Patient" ~loc:"Observing" st
+  in
+  Alcotest.(check bool) "infusion restartable" true
+    ((Mc.Explorer.reachable t restarted).Mc.Explorer.r_trace <> None)
+
+let suite =
+  [ Alcotest.test_case "stimulus: periodic" `Quick test_stimulus_periodic;
+    Alcotest.test_case "stimulus: burst" `Quick test_stimulus_burst;
+    Alcotest.test_case "stimulus: merge sorts" `Quick
+      test_stimulus_merge_sorted;
+    Alcotest.test_case "stimulus: jitter in range" `Quick
+      test_stimulus_jittered_in_range;
+    Alcotest.test_case "coverage flags dead structure" `Quick
+      test_coverage_flags_dead_structure;
+    Alcotest.test_case "coverage: GPCA PIM is clean" `Quick
+      test_coverage_clean_model;
+    Alcotest.test_case "coverage: PSM dead structure is loss-only" `Slow
+      test_coverage_full_gpca_psm;
+    Alcotest.test_case "supplemental PIM bounds" `Quick
+      test_supplemental_pim_bounds;
+    Alcotest.test_case "pause path behavior" `Quick
+      test_full_variant_pause_path ]

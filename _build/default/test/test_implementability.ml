@@ -1,0 +1,216 @@
+(* Tests for timelock detection, timed witness traces, and the
+   implementability (guard-window) checks. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+(* --- find_timelock ------------------------------------------------------ *)
+
+let test_timelock_found () =
+  (* Invariant x <= 2 but the only exit needs x >= 4: time is blocked at
+     x = 2 with no moves. *)
+  let a =
+    Model.automaton ~name:"Stuck" ~initial:"L"
+      [ loc ~inv:[ Clockcons.le "x" 2 ] "L"; loc "Out" ]
+      [ edge ~guard:[ Clockcons.ge "x" 4 ] "L" "Out" ]
+  in
+  let net =
+    Model.network ~name:"tl" ~clocks:[ "x" ] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  Alcotest.(check bool) "timelock detected" true
+    ((Mc.Explorer.find_timelock t).Mc.Explorer.r_trace <> None)
+
+let test_quiescent_not_a_timelock () =
+  (* A terminal location with no invariant lets time diverge: fine. *)
+  let a =
+    Model.automaton ~name:"Done" ~initial:"L"
+      [ loc "L"; loc "End" ]
+      [ edge "L" "End" ]
+  in
+  let net =
+    Model.network ~name:"quiet" ~clocks:[ "x" ] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  Alcotest.(check bool) "no timelock" true
+    ((Mc.Explorer.find_timelock t).Mc.Explorer.r_trace = None)
+
+let test_urgent_deadlock_is_timelock () =
+  let a =
+    Model.automaton ~name:"U" ~initial:"L"
+      [ loc ~kind:Model.Urgent "L"; loc "Out" ]
+      [ edge ~pred:Expr.False "L" "Out" ]
+  in
+  let net =
+    Model.network ~name:"urgent-tl" ~clocks:[] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  Alcotest.(check bool) "urgent deadlock is a timelock" true
+    ((Mc.Explorer.find_timelock t).Mc.Explorer.r_trace <> None)
+
+(* --- the PSM implementability gap ---------------------------------------- *)
+
+let slow_period_params =
+  (* period 600 with the GPCA preparation window [250, 500]: no compute
+     stage ever intersects the window; the PSM timelocks. *)
+  { Gpca.Params.default with Gpca.Params.period = 600 }
+
+let test_psm_timelock_on_slow_period () =
+  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only slow_period_params in
+  (match Analysis.Implementability.find_timelock psm with
+   | Some trace ->
+     Alcotest.(check bool) "witness non-empty" true (trace <> [])
+   | None -> Alcotest.fail "expected a timelock with period 600")
+
+(* At the default parameters the guard windows are wide enough for eager
+   code (no window warnings), but the model still contains postponement
+   timelocks: MIO may decline to fire through every compute window and
+   then hit its deadline between windows.  find_timelock reports those;
+   the window check tells them apart from real defects. *)
+let test_psm_postponement_timelock_at_default () =
+  (* A shortened infusion keeps the subsumption-free search small; the
+     timing structure (windows wide enough for eager code) is unchanged. *)
+  let p =
+    { Gpca.Params.default with
+      Gpca.Params.infusion_hold = 300;
+      infusion_slack = 200 }
+  in
+  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p in
+  Alcotest.(check bool) "postponement timelock exists in the model" true
+    (Analysis.Implementability.find_timelock psm <> None);
+  Alcotest.(check int) "yet no window warnings (eager code is fine)" 0
+    (List.length (Analysis.Implementability.check_window_widths psm))
+
+let test_window_warning_flags_slow_period () =
+  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only slow_period_params in
+  let warnings = Analysis.Implementability.check_window_widths psm in
+  Alcotest.(check bool) "prep window flagged" true
+    (List.exists
+       (fun (w : Analysis.Implementability.window_warning) ->
+         w.Analysis.Implementability.ww_clock = Gpca.Model.software_clock
+         && w.Analysis.Implementability.ww_window = 250)
+       warnings)
+
+let test_window_warning_silent_at_default () =
+  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only Gpca.Params.default in
+  Alcotest.(check int) "no warnings" 0
+    (List.length (Analysis.Implementability.check_window_widths psm))
+
+(* --- timed traces --------------------------------------------------------- *)
+
+let test_timed_trace_simple () =
+  (* A -> B at x in [3, 5]; then B -> C at y == 2 after a reset. *)
+  let a =
+    Model.automaton ~name:"P" ~initial:"A"
+      [ loc ~inv:[ Clockcons.le "x" 5 ] "A";
+        loc ~inv:[ Clockcons.le "y" 2 ] "B";
+        loc "C" ]
+      [ edge ~guard:[ Clockcons.ge "x" 3 ] ~resets:[ "y" ] "A" "B";
+        edge ~guard:[ Clockcons.eq_ "y" 2 ] "B" "C" ]
+  in
+  let net =
+    Model.network ~name:"tt" ~clocks:[ "x"; "y" ] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  match Mc.Explorer.timed_trace t (Mc.Explorer.at t ~aut:"P" ~loc:"C") with
+  | None -> Alcotest.fail "C should be reachable"
+  | Some [ step1; step2 ] ->
+    Alcotest.(check (pair int bool)) "step 1 earliest" (3, false)
+      step1.Mc.Explorer.td_earliest;
+    Alcotest.(check (option (pair int bool))) "step 1 latest" (Some (5, false))
+      step1.Mc.Explorer.td_latest;
+    (* step 2 fires exactly 2 after step 1: absolute time in [5, 7] *)
+    Alcotest.(check (pair int bool)) "step 2 earliest" (5, false)
+      step2.Mc.Explorer.td_earliest;
+    Alcotest.(check (option (pair int bool))) "step 2 latest" (Some (7, false))
+      step2.Mc.Explorer.td_latest
+  | Some steps -> Alcotest.failf "expected 2 steps, got %d" (List.length steps)
+
+let test_timed_trace_unreachable () =
+  let a =
+    Model.automaton ~name:"P" ~initial:"A" [ loc "A"; loc "B" ] []
+  in
+  let net =
+    Model.network ~name:"un" ~clocks:[] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  Alcotest.(check bool) "no trace" true
+    (Mc.Explorer.timed_trace t (Mc.Explorer.at t ~aut:"P" ~loc:"B") = None)
+
+let test_timed_trace_gpca () =
+  (* The infusion start happens no earlier than prep_min and, along the
+     earliest witness, within the PIM bound. *)
+  let net = Gpca.Model.network ~variant:Gpca.Model.Bolus_only Gpca.Params.default in
+  let t = Mc.Explorer.make net in
+  match
+    Mc.Explorer.timed_trace t (Mc.Explorer.at t ~aut:"Pump" ~loc:"Infusing")
+  with
+  | None -> Alcotest.fail "Infusing unreachable"
+  | Some steps ->
+    let last = List.nth steps (List.length steps - 1) in
+    let lo, _ = last.Mc.Explorer.td_earliest in
+    Alcotest.(check bool) "infusion no earlier than prep_min" true (lo >= 250)
+
+(* Replayed timed traces must be consistent: earliest times are
+   monotonically non-decreasing along the chain. *)
+let prop_timed_trace_monotonic =
+  QCheck.Test.make ~name:"timed traces are time-monotonic" ~count:100
+    Gen.arb_network
+    (fun net ->
+      let t = Mc.Explorer.make net in
+      (* target: any location vector other than the initial one *)
+      let initial_locs =
+        Array.of_list
+          (List.map
+             (fun (a : Ta.Model.automaton) -> a.Ta.Model.aut_initial)
+             net.Ta.Model.net_automata)
+      in
+      let comp = Mc.Explorer.compiled t in
+      ignore comp;
+      let moved st =
+        let names =
+          Array.map
+            (fun (a : Ta.Compiled.cautomaton) -> a.Ta.Compiled.ca_name)
+            (Mc.Explorer.compiled t).Ta.Compiled.c_automata
+        in
+        ignore names;
+        Array.exists (fun x -> x)
+          (Array.mapi
+             (fun i li ->
+               let a = (Mc.Explorer.compiled t).Ta.Compiled.c_automata.(i) in
+               a.Ta.Compiled.ca_locs.(li).Ta.Compiled.cl_name
+               <> initial_locs.(i))
+             st.Mc.Explorer.st_locs)
+      in
+      match Mc.Explorer.timed_trace t moved with
+      | None -> true  (* nothing moves: vacuously fine *)
+      | Some steps ->
+        let rec monotonic last = function
+          | [] -> true
+          | (s : Mc.Explorer.timed_step) :: rest ->
+            let lo, _ = s.Mc.Explorer.td_earliest in
+            lo >= last && monotonic lo rest
+        in
+        monotonic 0 steps)
+
+let suite =
+  [ Alcotest.test_case "timelock found" `Quick test_timelock_found;
+    Alcotest.test_case "quiescence is not a timelock" `Quick
+      test_quiescent_not_a_timelock;
+    Alcotest.test_case "urgent deadlock is a timelock" `Quick
+      test_urgent_deadlock_is_timelock;
+    Alcotest.test_case "PSM timelocks when the period is too slow" `Slow
+      test_psm_timelock_on_slow_period;
+    Alcotest.test_case "postponement timelock at default parameters" `Slow
+      test_psm_postponement_timelock_at_default;
+    Alcotest.test_case "window warning on slow period" `Quick
+      test_window_warning_flags_slow_period;
+    Alcotest.test_case "no window warning at defaults" `Quick
+      test_window_warning_silent_at_default;
+    Alcotest.test_case "timed trace intervals" `Quick test_timed_trace_simple;
+    Alcotest.test_case "timed trace of unreachable target" `Quick
+      test_timed_trace_unreachable;
+    Alcotest.test_case "timed trace on GPCA" `Quick test_timed_trace_gpca;
+    QCheck_alcotest.to_alcotest prop_timed_trace_monotonic ]

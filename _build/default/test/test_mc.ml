@@ -1,0 +1,324 @@
+(* Tests of the zone-graph explorer on small hand-built networks whose
+   behavior can be computed by hand. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+(* One automaton: A (inv x <= 10) --[x >= lo]--> B. *)
+let one_step ~lo =
+  let a =
+    Model.automaton ~name:"P" ~initial:"A"
+      [ loc ~inv:[ Clockcons.le "x" 10 ] "A"; loc "B" ]
+      [ edge ~guard:[ Clockcons.ge "x" lo ] "A" "B" ]
+  in
+  Model.network ~name:"one-step" ~clocks:[ "x" ] ~vars:[] ~channels:[] [ a ]
+
+let test_reach_within_invariant () =
+  let t = Mc.Explorer.make (one_step ~lo:5) in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"P" ~loc:"B") in
+  Alcotest.(check bool) "B reachable" true (r.Mc.Explorer.r_trace <> None)
+
+let test_invariant_blocks () =
+  let t = Mc.Explorer.make (one_step ~lo:11) in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"P" ~loc:"B") in
+  Alcotest.(check bool) "B unreachable past invariant" true
+    (r.Mc.Explorer.r_trace = None)
+
+let test_boundary_reachable () =
+  (* Guard exactly at the invariant boundary is still reachable. *)
+  let t = Mc.Explorer.make (one_step ~lo:10) in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"P" ~loc:"B") in
+  Alcotest.(check bool) "boundary reachable" true (r.Mc.Explorer.r_trace <> None)
+
+(* Two automata on a binary channel; the receiver guards with a clock. *)
+let binary_net ~receiver_lo =
+  let sender =
+    Model.automaton ~name:"S" ~initial:"S0"
+      [ loc ~inv:[ Clockcons.le "x" 3 ] "S0"; loc "S1" ]
+      [ edge ~sync:(Model.Send "go") "S0" "S1" ]
+  in
+  let receiver =
+    Model.automaton ~name:"R" ~initial:"R0"
+      [ loc "R0"; loc "R1" ]
+      [ edge
+          ~guard:[ Clockcons.ge "y" receiver_lo ]
+          ~sync:(Model.Recv "go") "R0" "R1" ]
+  in
+  Model.network ~name:"binary" ~clocks:[ "x"; "y" ]
+    ~vars:[]
+    ~channels:[ ("go", Model.Binary) ]
+    [ sender; receiver ]
+
+let test_binary_sync () =
+  let t = Mc.Explorer.make (binary_net ~receiver_lo:2) in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"R" ~loc:"R1") in
+  Alcotest.(check bool) "handshake happens" true (r.Mc.Explorer.r_trace <> None);
+  (* Both participants move atomically. *)
+  let both st =
+    Mc.Explorer.at t ~aut:"R" ~loc:"R1" st
+    && Mc.Explorer.at t ~aut:"S" ~loc:"S0" st
+  in
+  let r2 = Mc.Explorer.reachable t both in
+  Alcotest.(check bool) "no half-synchronisation" true
+    (r2.Mc.Explorer.r_trace = None)
+
+let test_binary_sync_blocked () =
+  (* Receiver needs y >= 5 but sender's invariant forces go before x <= 3;
+     both clocks advance together from 0 so the sync can never happen and
+     the sender is stuck: S1 unreachable. *)
+  let t = Mc.Explorer.make (binary_net ~receiver_lo:5) in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"S" ~loc:"S1") in
+  Alcotest.(check bool) "sync blocked by receiver guard" true
+    (r.Mc.Explorer.r_trace = None)
+
+(* Broadcast: sender proceeds regardless; enabled receivers join. *)
+let broadcast_net ~listening =
+  let sender =
+    Model.automaton ~name:"S" ~initial:"S0"
+      [ loc "S0"; loc "S1" ]
+      [ edge ~sync:(Model.Send "b") "S0" "S1" ]
+  in
+  let receiver =
+    Model.automaton ~name:"R" ~initial:"R0"
+      [ loc "R0"; loc "R1" ]
+      [ edge
+          ~pred:(if listening then Expr.True else Expr.False)
+          ~sync:(Model.Recv "b") "R0" "R1" ]
+  in
+  Model.network ~name:"broadcast" ~clocks:[] ~vars:[]
+    ~channels:[ ("b", Model.Broadcast) ]
+    [ sender; receiver ]
+
+let test_broadcast_delivery () =
+  let t = Mc.Explorer.make (broadcast_net ~listening:true) in
+  let got st =
+    Mc.Explorer.at t ~aut:"S" ~loc:"S1" st && Mc.Explorer.at t ~aut:"R" ~loc:"R1" st
+  in
+  let r = Mc.Explorer.reachable t got in
+  Alcotest.(check bool) "receiver joins broadcast" true
+    (r.Mc.Explorer.r_trace <> None);
+  (* The enabled receiver *must* participate: S1 with R still at R0 is
+     unreachable. *)
+  let skipped st =
+    Mc.Explorer.at t ~aut:"S" ~loc:"S1" st && Mc.Explorer.at t ~aut:"R" ~loc:"R0" st
+  in
+  let r2 = Mc.Explorer.reachable t skipped in
+  Alcotest.(check bool) "enabled receiver cannot be skipped" true
+    (r2.Mc.Explorer.r_trace = None)
+
+let test_broadcast_nonblocking () =
+  let t = Mc.Explorer.make (broadcast_net ~listening:false) in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"S" ~loc:"S1") in
+  Alcotest.(check bool) "send proceeds without receiver" true
+    (r.Mc.Explorer.r_trace <> None)
+
+(* Committed locations take priority over other automata's moves. *)
+let committed_net () =
+  let hot =
+    Model.automaton ~name:"Hot" ~initial:"H0"
+      [ loc "H0"; loc ~kind:Model.Committed "H1"; loc "H2" ]
+      [ edge ~updates:[ ("step", Expr.int 1) ] "H0" "H1";
+        edge ~updates:[ ("step", Expr.int 2) ] "H1" "H2" ]
+  in
+  let other =
+    Model.automaton ~name:"Other" ~initial:"O0"
+      [ loc "O0"; loc "O1" ]
+      [ edge
+          ~pred:(Expr.var_eq "step" 1)
+          ~updates:[ ("interleaved", Expr.int 1) ]
+          "O0" "O1" ]
+  in
+  Model.network ~name:"committed" ~clocks:[]
+    ~vars:[ ("step", Model.int_var 0); ("interleaved", Model.flag ()) ]
+    ~channels:[] [ hot; other ]
+
+let test_committed_atomicity () =
+  let t = Mc.Explorer.make (committed_net ()) in
+  (* Other can only move while step = 1, i.e. while Hot sits in the
+     committed H1 — which the committed semantics forbids. *)
+  let interleaved st = Mc.Explorer.var_value t "interleaved" st = 1 in
+  let r = Mc.Explorer.reachable t interleaved in
+  Alcotest.(check bool) "no interleaving through committed" true
+    (r.Mc.Explorer.r_trace = None);
+  let done_ st = Mc.Explorer.at t ~aut:"Hot" ~loc:"H2" st in
+  let r2 = Mc.Explorer.reachable t done_ in
+  Alcotest.(check bool) "committed sequence completes" true
+    (r2.Mc.Explorer.r_trace <> None)
+
+(* Urgent locations stop time: a clock guard needing delay is unreachable. *)
+let test_urgent_blocks_delay () =
+  let a =
+    Model.automaton ~name:"U" ~initial:"U0"
+      [ loc ~kind:Model.Urgent "U0"; loc "U1" ]
+      [ edge ~guard:[ Clockcons.ge "x" 1 ] "U0" "U1" ]
+  in
+  let net =
+    Model.network ~name:"urgent" ~clocks:[ "x" ] ~vars:[] ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  let r = Mc.Explorer.reachable t (Mc.Explorer.at t ~aut:"U" ~loc:"U1") in
+  Alcotest.(check bool) "no delay in urgent location" true
+    (r.Mc.Explorer.r_trace = None)
+
+(* Bounded integer variables: counting to three. *)
+let test_counter () =
+  let a =
+    Model.automaton ~name:"C" ~initial:"L"
+      [ loc "L"; loc "Done" ]
+      [ edge
+          ~pred:Expr.(lt (var "n") (int 3))
+          ~updates:[ ("n", Expr.(var "n" + int 1)) ]
+          "L" "L";
+        edge ~pred:(Expr.var_eq "n" 3) "L" "Done" ]
+  in
+  let net =
+    Model.network ~name:"counter" ~clocks:[]
+      ~vars:[ ("n", Model.int_var ~min:0 ~max:3 0) ]
+      ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make net in
+  let r =
+    Mc.Explorer.reachable t (fun st ->
+        Mc.Explorer.at t ~aut:"C" ~loc:"Done" st
+        && Mc.Explorer.var_value t "n" st = 3)
+  in
+  (match r.Mc.Explorer.r_trace with
+   | Some steps -> Alcotest.(check int) "trace length" 4 (List.length steps)
+   | None -> Alcotest.fail "counter never completed")
+
+(* sup-query through a delay monitor: the classic request/response chain.
+   Env sends req at any time; worker responds within [2, 8]. *)
+let req_resp_net ~lo ~hi =
+  let env =
+    Model.automaton ~name:"Env" ~initial:"E0"
+      [ loc "E0"; loc "E1"; loc "E2" ]
+      [ edge ~sync:(Model.Send "req") ~resets:[ "e" ] "E0" "E1";
+        edge ~sync:(Model.Recv "resp") "E1" "E2" ]
+  in
+  let worker =
+    Model.automaton ~name:"W" ~initial:"W0"
+      [ loc "W0"; loc ~inv:[ Clockcons.le "w" hi ] "W1"; loc "W2" ]
+      [ edge ~sync:(Model.Recv "req") ~resets:[ "w" ] "W0" "W1";
+        edge
+          ~guard:[ Clockcons.ge "w" lo ]
+          ~sync:(Model.Send "resp") "W1" "W2" ]
+  in
+  Model.network ~name:"req-resp" ~clocks:[ "e"; "w" ]
+    ~vars:[]
+    ~channels:[ ("req", Model.Broadcast); ("resp", Model.Broadcast) ]
+    [ env; worker ]
+
+let test_sup_delay () =
+  let monitor =
+    Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"mon" ~ceiling:100 ()
+  in
+  let t = Mc.Explorer.make ~monitor (req_resp_net ~lo:2 ~hi:8) in
+  let sup, _ =
+    Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting") ~clock:"mon"
+  in
+  (match sup with
+   | Mc.Explorer.Sup (v, strict) ->
+     Alcotest.(check int) "max delay is the invariant bound" 8 v;
+     Alcotest.(check bool) "inclusive" false strict
+   | Mc.Explorer.Sup_unreached -> Alcotest.fail "monitor never triggered"
+   | Mc.Explorer.Sup_exceeds _ -> Alcotest.fail "bounded delay reported unbounded")
+
+(* As [req_resp_net] but without any invariant on W1: the response may be
+   postponed forever. *)
+let req_resp_unbounded ~lo =
+  let env =
+    Model.automaton ~name:"Env" ~initial:"E0"
+      [ loc "E0"; loc "E1"; loc "E2" ]
+      [ edge ~sync:(Model.Send "req") ~resets:[ "e" ] "E0" "E1";
+        edge ~sync:(Model.Recv "resp") "E1" "E2" ]
+  in
+  let worker =
+    Model.automaton ~name:"W" ~initial:"W0"
+      [ loc "W0"; loc "W1"; loc "W2" ]
+      [ edge ~sync:(Model.Recv "req") ~resets:[ "w" ] "W0" "W1";
+        edge
+          ~guard:[ Clockcons.ge "w" lo ]
+          ~sync:(Model.Send "resp") "W1" "W2" ]
+  in
+  Model.network ~name:"req-resp-unbounded" ~clocks:[ "e"; "w" ]
+    ~vars:[]
+    ~channels:[ ("req", Model.Broadcast); ("resp", Model.Broadcast) ]
+    [ env; worker ]
+
+let test_sup_unbounded_reported () =
+  let monitor =
+    Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"mon" ~ceiling:50 ()
+  in
+  let t = Mc.Explorer.make ~monitor (req_resp_unbounded ~lo:2) in
+  let sup, _ =
+    Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting") ~clock:"mon"
+  in
+  (match sup with
+   | Mc.Explorer.Sup_exceeds _ -> ()
+   | Mc.Explorer.Sup (v, _) ->
+     Alcotest.failf "expected ceiling overflow, got %d" v
+   | Mc.Explorer.Sup_unreached -> Alcotest.fail "monitor never triggered")
+
+let test_sup_lower_bound_exact () =
+  (* With lo = hi the delay is deterministic. *)
+  let monitor =
+    Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"mon" ~ceiling:100 ()
+  in
+  let t = Mc.Explorer.make ~monitor (req_resp_net ~lo:5 ~hi:5) in
+  let sup, _ =
+    Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting") ~clock:"mon"
+  in
+  (match sup with
+   | Mc.Explorer.Sup (v, _) -> Alcotest.(check int) "deterministic delay" 5 v
+   | _ -> Alcotest.fail "expected a bounded sup")
+
+let test_safe () =
+  let t = Mc.Explorer.make (one_step ~lo:5) in
+  let ok, _ = Mc.Explorer.safe t (Mc.Explorer.at t ~aut:"P" ~loc:"B") in
+  Alcotest.(check bool) "B is reachable so not safe" false ok;
+  let t2 = Mc.Explorer.make (one_step ~lo:11) in
+  let ok2, _ = Mc.Explorer.safe t2 (Mc.Explorer.at t2 ~aut:"P" ~loc:"B") in
+  Alcotest.(check bool) "B unreachable so safe" true ok2
+
+let test_search_limit () =
+  (* An unbounded counter would explode; the limit must fire. *)
+  let a =
+    Model.automaton ~name:"C" ~initial:"L"
+      [ loc "L" ]
+      [ edge
+          ~pred:Expr.(lt (var "n") (int 100_000))
+          ~updates:[ ("n", Expr.(var "n" + int 1)) ]
+          "L" "L" ]
+  in
+  let net =
+    Model.network ~name:"big" ~clocks:[]
+      ~vars:[ ("n", Model.int_var ~min:0 ~max:100_000 0) ]
+      ~channels:[] [ a ]
+  in
+  let t = Mc.Explorer.make ~limit:50 net in
+  Alcotest.check_raises "limit raised" (Mc.Explorer.Search_limit 50) (fun () ->
+      ignore (Mc.Explorer.reachable t (fun _ -> false)))
+
+let suite =
+  [ Alcotest.test_case "reach within invariant" `Quick
+      test_reach_within_invariant;
+    Alcotest.test_case "invariant blocks guard" `Quick test_invariant_blocks;
+    Alcotest.test_case "boundary guard reachable" `Quick
+      test_boundary_reachable;
+    Alcotest.test_case "binary sync" `Quick test_binary_sync;
+    Alcotest.test_case "binary sync blocked" `Quick test_binary_sync_blocked;
+    Alcotest.test_case "broadcast delivery" `Quick test_broadcast_delivery;
+    Alcotest.test_case "broadcast non-blocking" `Quick
+      test_broadcast_nonblocking;
+    Alcotest.test_case "committed atomicity" `Quick test_committed_atomicity;
+    Alcotest.test_case "urgent blocks delay" `Quick test_urgent_blocks_delay;
+    Alcotest.test_case "bounded counter" `Quick test_counter;
+    Alcotest.test_case "sup delay query" `Quick test_sup_delay;
+    Alcotest.test_case "sup reports unbounded" `Quick
+      test_sup_unbounded_reported;
+    Alcotest.test_case "sup deterministic delay" `Quick
+      test_sup_lower_bound_exact;
+    Alcotest.test_case "safe query" `Quick test_safe;
+    Alcotest.test_case "search limit" `Quick test_search_limit ]

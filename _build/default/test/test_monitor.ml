@@ -1,0 +1,82 @@
+(* Unit tests for the monitor layer and a fuzz test of the query/xta
+   front ends: malformed input must produce errors, never exceptions. *)
+
+let test_monitor_step () =
+  let m =
+    Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"w" ~ceiling:10 ()
+  in
+  Alcotest.(check int) "initial" 0 m.Mc.Monitor.mon_initial;
+  (match Mc.Monitor.step m 0 "req" with
+   | Some (1, [ "w" ]) -> ()
+   | _ -> Alcotest.fail "trigger should move to Waiting and reset");
+  (match Mc.Monitor.step m 1 "resp" with
+   | Some (0, []) -> ()
+   | _ -> Alcotest.fail "response should return to Idle");
+  Alcotest.(check bool) "unknown channel ignored" true
+    (Mc.Monitor.step m 0 "noise" = None);
+  (* re-trigger while waiting keeps the earlier start *)
+  Alcotest.(check bool) "no transition on re-trigger" true
+    (Mc.Monitor.step m 1 "req" = None)
+
+let test_monitor_activity () =
+  let m =
+    Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"w" ~ceiling:10 ()
+  in
+  Alcotest.(check (list string)) "inactive in Idle" [] (m.Mc.Monitor.mon_active 0);
+  Alcotest.(check (list string)) "active in Waiting" [ "w" ]
+    (m.Mc.Monitor.mon_active 1)
+
+let test_monitor_validation () =
+  let bad_transition =
+    { Mc.Monitor.tr_src = 0; tr_chan = "a"; tr_dst = 5; tr_resets = [] }
+  in
+  (match
+     Mc.Monitor.make ~name:"bad" ~states:[| "S" |] ~initial:0 ~clocks:[]
+       [ bad_transition ]
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "out-of-range transition accepted");
+  let dup =
+    [ { Mc.Monitor.tr_src = 0; tr_chan = "a"; tr_dst = 0; tr_resets = [] };
+      { Mc.Monitor.tr_src = 0; tr_chan = "a"; tr_dst = 1; tr_resets = [] } ]
+  in
+  (match
+     Mc.Monitor.make ~name:"nondet" ~states:[| "S"; "T" |] ~initial:0
+       ~clocks:[] dup
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "nondeterministic monitor accepted");
+  (match
+     Mc.Monitor.make ~name:"clock" ~states:[| "S" |] ~initial:0 ~clocks:[]
+       [ { Mc.Monitor.tr_src = 0; tr_chan = "a"; tr_dst = 0;
+           tr_resets = [ "ghost" ] } ]
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "unknown reset clock accepted")
+
+(* Fuzz: arbitrary strings through the two parsers must yield Ok/Error,
+   never an exception. *)
+let gen_garbage =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 60))
+
+let prop_query_parser_total =
+  QCheck.Test.make ~name:"query parser never raises" ~count:1000
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun text ->
+      match Mc.Query.parse text with
+      | Ok _ | Error _ -> true)
+
+let prop_xta_parser_total =
+  QCheck.Test.make ~name:"xta parser never raises" ~count:1000
+    (QCheck.make ~print:(fun s -> s) gen_garbage)
+    (fun text ->
+      match Xta.Parse.network text with
+      | Ok _ | Error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "delay monitor steps" `Quick test_monitor_step;
+    Alcotest.test_case "delay monitor clock activity" `Quick
+      test_monitor_activity;
+    Alcotest.test_case "monitor validation" `Quick test_monitor_validation;
+    QCheck_alcotest.to_alcotest prop_query_parser_total;
+    QCheck_alcotest.to_alcotest prop_xta_parser_total ]

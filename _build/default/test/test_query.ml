@@ -1,0 +1,94 @@
+(* Tests for the query language: parsing, evaluation, and error cases. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let net () =
+  let worker =
+    Model.automaton ~name:"W" ~initial:"Idle"
+      [ loc "Idle"; loc ~inv:[ Clockcons.le "w" 8 ] "Busy"; loc "Done" ]
+      [ edge ~sync:(Model.Recv "req") ~resets:[ "w" ]
+          ~updates:[ ("jobs", Expr.(var "jobs" + int 1)) ]
+          "Idle" "Busy";
+        edge ~guard:[ Clockcons.ge "w" 2 ] ~sync:(Model.Send "resp") "Busy"
+          "Done" ]
+  in
+  let env =
+    Model.automaton ~name:"E" ~initial:"E0"
+      [ loc "E0"; loc "E1"; loc "E2" ]
+      [ edge ~sync:(Model.Send "req") "E0" "E1";
+        edge ~sync:(Model.Recv "resp") "E1" "E2" ]
+  in
+  Model.network ~name:"q" ~clocks:[ "w" ]
+    ~vars:[ ("jobs", Model.int_var ~min:0 ~max:5 0) ]
+    ~channels:[ ("req", Model.Broadcast); ("resp", Model.Broadcast) ]
+    [ worker; env ]
+
+let run text =
+  match Mc.Query.parse text with
+  | Error msg -> Alcotest.failf "parse of %S failed: %s" text msg
+  | Ok q -> Mc.Query.eval (net ()) q
+
+let check_holds text expected =
+  let holds = match run text with Mc.Query.Holds -> true | _ -> false in
+  Alcotest.(check bool) text expected holds
+
+let test_exists () =
+  check_holds "E<> W.Done" true;
+  check_holds "E<> W.Idle and jobs == 1" false;
+  check_holds "E<> jobs >= 1" true;
+  check_holds "E<> jobs >= 2" false
+
+let test_always () =
+  check_holds "A[] jobs <= 1" true;
+  check_holds "A[] not W.Done" false;
+  check_holds "A[] (W.Idle or W.Busy) or W.Done" true
+
+let test_counterexample_trace () =
+  match run "A[] not W.Done" with
+  | Mc.Query.Fails (Some trace) ->
+    Alcotest.(check bool) "trace non-empty" true (trace <> [])
+  | _ -> Alcotest.fail "expected a counterexample"
+
+let test_connective_structure () =
+  (* 'and' binds tighter than 'or'; 'not' tighter than 'and'. *)
+  match Mc.Query.parse "E<> not W.Done and jobs == 0 or W.Idle" with
+  | Ok (Mc.Query.Exists_eventually (Mc.Query.Or (Mc.Query.And (Mc.Query.Not _, _), _))) -> ()
+  | Ok _ -> Alcotest.fail "unexpected parse structure"
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_sup () =
+  match run "sup: req -> resp ceiling 100" with
+  | Mc.Query.Sup (Mc.Explorer.Sup (8, false)) -> ()
+  | r -> Alcotest.failf "expected sup <= 8, got %a" Mc.Query.pp_outcome r
+
+let test_bounded () =
+  check_holds "bounded: req -> resp within 8" true;
+  (match run "bounded: req -> resp within 7" with
+   | Mc.Query.Fails None -> ()
+   | r -> Alcotest.failf "expected failure, got %a" Mc.Query.pp_outcome r)
+
+let test_parse_errors () =
+  let bad text =
+    match Mc.Query.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "bogus query %S accepted" text
+  in
+  bad "";
+  bad "E<>";
+  bad "sup: req resp";
+  bad "bounded: req -> resp";
+  bad "E<> W .";
+  bad "X[] true"
+
+let suite =
+  [ Alcotest.test_case "E<> queries" `Quick test_exists;
+    Alcotest.test_case "A[] queries" `Quick test_always;
+    Alcotest.test_case "counterexample trace" `Quick test_counterexample_trace;
+    Alcotest.test_case "connective precedence" `Quick
+      test_connective_structure;
+    Alcotest.test_case "sup query" `Quick test_sup;
+    Alcotest.test_case "bounded query" `Quick test_bounded;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors ]

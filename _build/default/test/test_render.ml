@@ -1,0 +1,128 @@
+(* Tests for the rendering back-ends: ASCII timelines and UPPAAL XML. *)
+
+open Ta
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+(* --- Timeline ------------------------------------------------------------ *)
+
+let sample_log =
+  [ { Sim.Engine.at = 0.0; event = Sim.Engine.Env_signal "m_a" };
+    { Sim.Engine.at = 10.0; event = Sim.Engine.Input_inserted "m_a" };
+    { Sim.Engine.at = 20.0; event = Sim.Engine.Input_read "m_a" };
+    { Sim.Engine.at = 30.0; event = Sim.Engine.Code_output "c_b" };
+    { Sim.Engine.at = 40.0; event = Sim.Engine.Output_visible "c_b" } ]
+
+let test_timeline_lanes () =
+  let text = Sim.Timeline.render ~width:41 sample_log in
+  let lines = String.split_on_char '\n' text in
+  (* header + one lane per channel *)
+  Alcotest.(check int) "header + 2 lanes (+ trailing)" 4 (List.length lines);
+  (match lines with
+   | [ _header; lane_m; lane_c; "" ] ->
+     Alcotest.(check bool) "m lane named" true (contains lane_m "m_a");
+     Alcotest.(check bool) "signal mark" true (contains lane_m "M");
+     Alcotest.(check bool) "read mark" true (contains lane_m "R");
+     Alcotest.(check bool) "output mark" true (contains lane_c "O");
+     Alcotest.(check bool) "visible mark" true (contains lane_c "V");
+     (* at width 41 over horizon 40, each mark lands on column = time *)
+     let offset = String.index lane_m 'M' in
+     Alcotest.(check char) "i at t=10" 'i' lane_m.[offset + 10];
+     Alcotest.(check char) "R at t=20" 'R' lane_m.[offset + 20]
+   | _ -> Alcotest.fail "unexpected line structure")
+
+let test_timeline_collision () =
+  let log =
+    [ { Sim.Engine.at = 5.0; event = Sim.Engine.Env_signal "m_a" };
+      { Sim.Engine.at = 5.1; event = Sim.Engine.Input_inserted "m_a" };
+      { Sim.Engine.at = 10.0; event = Sim.Engine.Input_read "m_a" } ]
+  in
+  let text = Sim.Timeline.render ~width:10 log in
+  Alcotest.(check bool) "collision shown as *" true (contains text "*")
+
+let test_timeline_empty () =
+  Alcotest.(check string) "empty" "(empty log)\n" (Sim.Timeline.render [])
+
+(* --- UPPAAL XML ------------------------------------------------------------ *)
+
+let lamp_net =
+  let loc = Model.location and edge = Model.edge in
+  let controller =
+    Model.automaton ~name:"Controller" ~initial:"Off"
+      [ loc "Off";
+        loc ~inv:[ Clockcons.le "x" 50 ] "Switching";
+        loc ~kind:Model.Committed "Commit";
+        loc ~kind:Model.Urgent "Rush" ]
+      [ edge ~sync:(Model.Recv "m_Press") ~resets:[ "x" ]
+          ~updates:[ ("n", Expr.(var "n" + int 1)) ]
+          ~pred:Expr.(lt (var "n") (int 3))
+          "Off" "Switching";
+        edge ~guard:[ Clockcons.ge "x" 10 ] ~sync:(Model.Send "c_On")
+          "Switching" "Off" ]
+  in
+  Model.network ~name:"lamp" ~clocks:[ "x" ]
+    ~vars:[ ("n", Model.int_var ~min:0 ~max:3 0) ]
+    ~channels:[ ("m_Press", Model.Broadcast); ("c_On", Model.Binary) ]
+    [ controller ]
+
+let test_xml_structure () =
+  let xml = Xta.Uppaal_xml.to_string lamp_net in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (Fmt.str "contains %S" fragment) true
+        (contains xml fragment))
+    [ "<?xml version=\"1.0\" encoding=\"utf-8\"?>";
+      "<nta>";
+      "</nta>";
+      "<template>";
+      "<name>Controller</name>";
+      "broadcast chan m_Press;";
+      "chan c_On;";
+      "int[0,3] n = 0;";
+      "<label kind=\"invariant\">x &lt;= 50</label>";
+      "<label kind=\"synchronisation\">m_Press?</label>";
+      "<label kind=\"synchronisation\">c_On!</label>";
+      "<committed/>";
+      "<urgent/>";
+      "<init ref=\"id0_0\"/>";
+      "<system>system Controller;</system>" ]
+
+let test_xml_merged_guard () =
+  let xml = Xta.Uppaal_xml.to_string lamp_net in
+  (* data guard escaped and merged; UPPAAL assignment uses '=' *)
+  Alcotest.(check bool) "data guard present" true
+    (contains xml "n &lt; 3");
+  Alcotest.(check bool) "clock guard present" true
+    (contains xml "x &gt;= 10");
+  Alcotest.(check bool) "reset + update merged" true
+    (contains xml "x = 0, n = (n + 1)")
+
+let test_xml_escaping () =
+  Alcotest.(check bool) "no raw <= in labels" true
+    (not (contains (Xta.Uppaal_xml.to_string lamp_net) "\">x <="))
+
+let test_xml_psm_exports () =
+  (* The most feature-dense network we generate must export without
+     raising and mention every automaton. *)
+  let psm = Gpca.Model.psm Gpca.Params.default in
+  let xml = Xta.Uppaal_xml.to_string psm.Transform.psm_net in
+  List.iter
+    (fun (a : Model.automaton) ->
+      Alcotest.(check bool) (a.Model.aut_name ^ " exported") true
+        (contains xml ("<name>" ^ a.Model.aut_name ^ "</name>")))
+    psm.Transform.psm_net.Model.net_automata
+
+let suite =
+  [ Alcotest.test_case "timeline lanes and marks" `Quick test_timeline_lanes;
+    Alcotest.test_case "timeline collisions" `Quick test_timeline_collision;
+    Alcotest.test_case "timeline of empty log" `Quick test_timeline_empty;
+    Alcotest.test_case "xml structure" `Quick test_xml_structure;
+    Alcotest.test_case "xml merged guards and assignments" `Quick
+      test_xml_merged_guard;
+    Alcotest.test_case "xml escaping" `Quick test_xml_escaping;
+    Alcotest.test_case "xml exports the PSM" `Quick test_xml_psm_exports ]

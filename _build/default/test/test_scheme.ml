@@ -1,0 +1,116 @@
+(* Tests for implementation schemes: builders, Example 1 (IS1), and the
+   realisability checks of Section III. *)
+
+let ok_scheme () = Scheme.is1 ~inputs:[ "m_a" ] ~outputs:[ "c_b" ] ()
+
+let test_is1_shape () =
+  let is = ok_scheme () in
+  Alcotest.(check (list string)) "no problems" [] (Scheme.check is);
+  let input = Scheme.input_spec is "m_a" in
+  (match input.Scheme.in_signal, input.Scheme.in_read with
+   | Scheme.Pulse, Scheme.Interrupt Scheme.Rising -> ()
+   | _ -> Alcotest.fail "IS1 inputs are rising-edge interrupts on pulses");
+  Alcotest.(check (pair int int)) "input delay window" (1, 3)
+    (input.Scheme.in_delay.Scheme.delay_min,
+     input.Scheme.in_delay.Scheme.delay_max);
+  (match is.Scheme.is_input_comm with
+   | Scheme.Buffer (5, Scheme.Read_all) -> ()
+   | _ -> Alcotest.fail "IS1 uses 5-slot read-all buffers");
+  (match is.Scheme.is_invocation with
+   | Scheme.Periodic 100 -> ()
+   | _ -> Alcotest.fail "IS1 invokes periodically at 100")
+
+let expect_rejected label is =
+  match Scheme.check is with
+  | [] -> Alcotest.failf "%s should be rejected" label
+  | _ -> ()
+
+let test_pulse_polling_rejected () =
+  let is = ok_scheme () in
+  expect_rejected "pulse + polling"
+    { is with
+      Scheme.is_inputs =
+        [ ("m_a",
+           { Scheme.in_signal = Scheme.Pulse;
+             in_read = Scheme.Polling 10;
+             in_delay = Scheme.delay 1 3 }) ] }
+
+let test_polling_misses_short_sustained () =
+  let is = ok_scheme () in
+  expect_rejected "interval > duration"
+    { is with
+      Scheme.is_inputs =
+        [ ("m_a", Scheme.polling_input ~signal:(Scheme.Sustained 5) ~interval:10
+             (Scheme.delay 1 3)) ] }
+
+let test_polling_ok_when_interval_fits () =
+  let is = ok_scheme () in
+  let is =
+    { is with
+      Scheme.is_inputs =
+        [ ("m_a", Scheme.polling_input ~signal:(Scheme.Sustained 20) ~interval:10
+             (Scheme.delay 1 3)) ] }
+  in
+  Alcotest.(check (list string)) "accepted" [] (Scheme.check is)
+
+let test_bad_delays_rejected () =
+  let is = ok_scheme () in
+  expect_rejected "delay_max < delay_min"
+    { is with
+      Scheme.is_inputs =
+        [ ("m_a", Scheme.interrupt_input { Scheme.delay_min = 5; delay_max = 2 }) ] }
+
+let test_bad_buffer_rejected () =
+  let is = ok_scheme () in
+  expect_rejected "zero buffer"
+    { is with Scheme.is_input_comm = Scheme.Buffer (0, Scheme.Read_all) }
+
+let test_bad_period_rejected () =
+  let is = ok_scheme () in
+  expect_rejected "zero period" { is with Scheme.is_invocation = Scheme.Periodic 0 }
+
+let test_wcet_exceeds_period_rejected () =
+  let is = ok_scheme () in
+  expect_rejected "wcet > period"
+    { is with Scheme.is_exec = { Scheme.wcet_min = 1; wcet_max = 200 } }
+
+let test_negative_gap_rejected () =
+  let is = ok_scheme () in
+  expect_rejected "negative gap"
+    { is with Scheme.is_invocation = Scheme.Aperiodic (-1) }
+
+let test_aperiodic_ok () =
+  let is = { (ok_scheme ()) with Scheme.is_invocation = Scheme.Aperiodic 0 } in
+  Alcotest.(check (list string)) "accepted" [] (Scheme.check is)
+
+let test_accessors () =
+  let is = ok_scheme () in
+  Alcotest.(check (option int)) "period" (Some 100) (Scheme.period_opt is);
+  let aper = { is with Scheme.is_invocation = Scheme.Aperiodic 3 } in
+  Alcotest.(check (option int)) "aperiodic has no period" None
+    (Scheme.period_opt aper);
+  (match Scheme.output_spec is "c_b" with
+   | { Scheme.out_signal = Scheme.Pulse; _ } -> ()
+   | _ -> Alcotest.fail "IS1 output is a pulse");
+  (match Scheme.input_spec is "nope" with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "unknown input should raise")
+
+let suite =
+  [ Alcotest.test_case "IS1 shape (Example 1)" `Quick test_is1_shape;
+    Alcotest.test_case "pulse + polling rejected" `Quick
+      test_pulse_polling_rejected;
+    Alcotest.test_case "polling misses short sustained" `Quick
+      test_polling_misses_short_sustained;
+    Alcotest.test_case "polling accepted when interval fits" `Quick
+      test_polling_ok_when_interval_fits;
+    Alcotest.test_case "inverted delay window rejected" `Quick
+      test_bad_delays_rejected;
+    Alcotest.test_case "zero buffer rejected" `Quick test_bad_buffer_rejected;
+    Alcotest.test_case "zero period rejected" `Quick test_bad_period_rejected;
+    Alcotest.test_case "wcet exceeding period rejected" `Quick
+      test_wcet_exceeds_period_rejected;
+    Alcotest.test_case "negative gap rejected" `Quick
+      test_negative_gap_rejected;
+    Alcotest.test_case "aperiodic accepted" `Quick test_aperiodic_ok;
+    Alcotest.test_case "accessors" `Quick test_accessors ]

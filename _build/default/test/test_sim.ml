@@ -1,0 +1,234 @@
+(* Tests for the discrete-event platform simulator: determinism, the
+   mc-boundary mechanisms, io-boundary policies, loss behavior, and the
+   measurement layer. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+let lamp_pim () =
+  let controller =
+    Model.automaton ~name:"Controller" ~initial:"Off"
+      [ loc "Off"; loc ~inv:[ Clockcons.le "x" 50 ] "Switching"; loc "On" ]
+      [ edge ~sync:(Model.Recv "m_Press") ~resets:[ "x" ] "Off" "Switching";
+        edge ~guard:[ Clockcons.ge "x" 10 ] ~sync:(Model.Send "c_On")
+          "Switching" "On" ]
+  in
+  let user =
+    Model.automaton ~name:"User" ~initial:"Idle"
+      [ loc "Idle"; loc "Waiting"; loc "Happy" ]
+      [ edge ~sync:(Model.Send "m_Press") "Idle" "Waiting";
+        edge ~sync:(Model.Recv "c_On") "Waiting" "Happy" ]
+  in
+  let net =
+    Model.network ~name:"lamp" ~clocks:[ "x" ] ~vars:[]
+      ~channels:[ ("m_Press", Model.Broadcast); ("c_On", Model.Broadcast) ]
+      [ controller; user ]
+  in
+  Transform.Pim.make net ~software:"Controller" ~environment:"User"
+
+let scheme ?(input = Scheme.interrupt_input (Scheme.delay 1 3))
+    ?(buffer = 2) ?(invocation = Scheme.Periodic 20) () =
+  { Scheme.is_name = "sim-test";
+    is_inputs = [ ("m_Press", input) ];
+    is_outputs = [ ("c_On", Scheme.pulse_output (Scheme.delay 2 5)) ];
+    is_input_comm = Scheme.Buffer (buffer, Scheme.Read_all);
+    is_output_comm = Scheme.Buffer (buffer, Scheme.Read_all);
+    is_invocation = invocation;
+    is_exec = { Scheme.wcet_min = 1; wcet_max = 5 } }
+
+let fixed_typical =
+  { Sim.Engine.typ_input_proc = (fun _ -> (2.0, 2.0));
+    typ_output_proc = (fun _ -> (3.0, 3.0));
+    typ_exec = (1.0, 1.0) }
+
+let config ?(scheme = scheme ()) ?(stimuli = [ (7.0, "m_Press") ])
+    ?(horizon = 500.0) () =
+  { Sim.Engine.cfg_pim = lamp_pim ();
+    cfg_scheme = scheme;
+    cfg_typical = fixed_typical;
+    cfg_stimuli = stimuli;
+    cfg_horizon = horizon }
+
+let times_of log select =
+  List.filter_map
+    (fun (e : Sim.Engine.entry) ->
+      if select e.Sim.Engine.event then Some e.Sim.Engine.at else None)
+    log
+
+let test_determinism () =
+  let log1 = Sim.Engine.run ~seed:3 (config ()) in
+  let log2 = Sim.Engine.run ~seed:3 (config ()) in
+  Alcotest.(check bool) "same seed, same log" true (log1 = log2);
+  let log3 = Sim.Engine.run ~seed:4 (config ()) in
+  Alcotest.(check bool) "logs are non-empty" true (log1 <> []);
+  (* different seed changes at least the random draws' timestamps *)
+  ignore log3
+
+let test_happy_path_timeline () =
+  (* Fixed delays make the exact timeline computable by hand:
+     press at 7, interrupt processing 2 -> inserted at 9;
+     invocations at 20, 40, ...: read at 20; guard x >= 10 satisfied at
+     invocation 40 (x = 20): emit; window end 41: publish; output
+     processing 3 -> visible at 44. *)
+  let log = Sim.Engine.run ~seed:1 (config ()) in
+  let one select = times_of log select in
+  Alcotest.(check (list (float 0.001))) "inserted" [ 9.0 ]
+    (one (fun e -> e = Sim.Engine.Input_inserted "m_Press"));
+  Alcotest.(check (list (float 0.001))) "read" [ 20.0 ]
+    (one (fun e -> e = Sim.Engine.Input_read "m_Press"));
+  Alcotest.(check (list (float 0.001))) "emitted" [ 40.0 ]
+    (one (fun e -> e = Sim.Engine.Code_output "c_On"));
+  Alcotest.(check (list (float 0.001))) "visible" [ 44.0 ]
+    (one (fun e -> e = Sim.Engine.Output_visible "c_On"))
+
+let test_interrupt_miss () =
+  (* Second press lands while the handler is busy (processing takes 2). *)
+  let log =
+    Sim.Engine.run ~seed:1
+      (config ~stimuli:[ (7.0, "m_Press"); (8.0, "m_Press") ] ())
+  in
+  Alcotest.(check int) "one loss" 1
+    (Sim.Measure.count log (fun e -> e = Sim.Engine.Input_lost "m_Press"))
+
+let test_polling_detection_latency () =
+  let input = Scheme.polling_input ~interval:10 (Scheme.delay 1 1) in
+  let typical =
+    { fixed_typical with Sim.Engine.typ_input_proc = (fun _ -> (1.0, 1.0)) }
+  in
+  let cfg =
+    { (config ~scheme:(scheme ~input ()) ()) with
+      Sim.Engine.cfg_typical = typical;
+      cfg_stimuli = [ (11.0, "m_Press") ] }
+  in
+  let log = Sim.Engine.run ~seed:1 cfg in
+  (* polls at 10, 20...: signal at 11 picked up at 20, inserted at 21 *)
+  Alcotest.(check (list (float 0.001))) "inserted after next poll" [ 21.0 ]
+    (times_of log (fun e -> e = Sim.Engine.Input_inserted "m_Press"))
+
+let test_buffer_overflow_in_sim () =
+  (* Buffer of 1, three quick presses, slow period: the third processed
+     input finds the slot full (the second is missed by the busy
+     handler). *)
+  let cfg =
+    config
+      ~scheme:(scheme ~buffer:1 ~invocation:(Scheme.Periodic 100) ())
+      ~stimuli:[ (7.0, "m_Press"); (12.0, "m_Press"); (17.0, "m_Press") ]
+      ()
+  in
+  let log = Sim.Engine.run ~seed:1 cfg in
+  Alcotest.(check bool) "an input is lost" true
+    (Sim.Measure.count log (function
+       | Sim.Engine.Input_lost _ -> true
+       | _ -> false)
+     > 0)
+
+let test_aperiodic_invokes_on_insert () =
+  let cfg =
+    config ~scheme:(scheme ~invocation:(Scheme.Aperiodic 0) ()) ()
+  in
+  let log = Sim.Engine.run ~seed:1 cfg in
+  (* inserted at 9, read immediately at 9 (no wait for a period) *)
+  Alcotest.(check (list (float 0.001))) "read at insertion" [ 9.0 ]
+    (times_of log (fun e -> e = Sim.Engine.Input_read "m_Press"))
+
+let test_discard_when_not_enabled () =
+  (* Two presses far apart: the second is read while the controller is
+     already Switching/On, so the code discards it. *)
+  let cfg =
+    config
+      ~stimuli:[ (7.0, "m_Press"); (100.0, "m_Press") ]
+      ()
+  in
+  let log = Sim.Engine.run ~seed:1 cfg in
+  Alcotest.(check int) "one discard" 1
+    (Sim.Measure.count log (fun e -> e = Sim.Engine.Input_discarded "m_Press"))
+
+let test_measure_samples () =
+  let log = Sim.Engine.run ~seed:1 (config ()) in
+  match Sim.Measure.samples log ~trigger:"m_Press" ~response:"c_On" with
+  | [ s ] ->
+    Alcotest.(check (option (float 0.001))) "mc delay" (Some 37.0)
+      (Sim.Measure.mc_delay s);
+    Alcotest.(check (option (float 0.001))) "input delay" (Some 13.0)
+      (Sim.Measure.input_delay s);
+    Alcotest.(check (option (float 0.001))) "output delay" (Some 4.0)
+      (Sim.Measure.output_delay s)
+  | samples -> Alcotest.failf "expected one sample, got %d" (List.length samples)
+
+let test_stats () =
+  (match Sim.Measure.stats_of [ 1.0; 5.0; 3.0 ] with
+   | Some s ->
+     Alcotest.(check (float 0.001)) "avg" 3.0 s.Sim.Measure.st_avg;
+     Alcotest.(check (float 0.001)) "max" 5.0 s.Sim.Measure.st_max;
+     Alcotest.(check (float 0.001)) "min" 1.0 s.Sim.Measure.st_min;
+     Alcotest.(check int) "count" 3 s.Sim.Measure.st_count
+   | None -> Alcotest.fail "stats of non-empty list");
+  Alcotest.(check bool) "empty" true (Sim.Measure.stats_of [] = None)
+
+let test_rng_properties () =
+  let rng = Sim.Rng.create 99 in
+  let all_in_range = ref true in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.float_range rng 2.0 5.0 in
+    if not (v >= 2.0 && v < 5.0) then all_in_range := false;
+    let n = Sim.Rng.int_range rng 1 6 in
+    if n < 1 || n > 6 then all_in_range := false
+  done;
+  Alcotest.(check bool) "ranges respected" true !all_in_range;
+  let a = Sim.Rng.create 5 and b = Sim.Rng.create 5 in
+  Alcotest.(check (float 0.0)) "deterministic" (Sim.Rng.float01 a)
+    (Sim.Rng.float01 b);
+  let s1 = Sim.Rng.split a in
+  Alcotest.(check bool) "split diverges" true
+    (Sim.Rng.float01 s1 <> Sim.Rng.float01 a)
+
+let test_event_queue_order () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.push q 3.0 "c";
+  Sim.Event_queue.push q 1.0 "a";
+  Sim.Event_queue.push q 1.0 "b";  (* FIFO at equal times *)
+  Sim.Event_queue.push q 2.0 "m";
+  let order = ref [] in
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | Some (_, x) ->
+      order := x :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time then FIFO order" [ "a"; "b"; "m"; "c" ]
+    (List.rev !order)
+
+let prop_event_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops in time order" ~count:300
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun events ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun (t, v) -> Sim.Event_queue.push q t v) events;
+      let rec drain last acc =
+        match Sim.Event_queue.pop q with
+        | Some (t, _) ->
+          if t < last then false else drain t (acc + 1)
+        | None -> acc = List.length events
+      in
+      drain neg_infinity 0)
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "happy-path timeline" `Quick test_happy_path_timeline;
+    Alcotest.test_case "interrupt miss" `Quick test_interrupt_miss;
+    Alcotest.test_case "polling detection latency" `Quick
+      test_polling_detection_latency;
+    Alcotest.test_case "buffer overflow" `Quick test_buffer_overflow_in_sim;
+    Alcotest.test_case "aperiodic invocation" `Quick
+      test_aperiodic_invokes_on_insert;
+    Alcotest.test_case "discard when not enabled" `Quick
+      test_discard_when_not_enabled;
+    Alcotest.test_case "measurement samples" `Quick test_measure_samples;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "rng" `Quick test_rng_properties;
+    Alcotest.test_case "event queue order" `Quick test_event_queue_order;
+    QCheck_alcotest.to_alcotest prop_event_queue_sorted ]
