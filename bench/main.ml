@@ -278,6 +278,159 @@ let supplemental_requirements () =
   let s = Gpca.Experiment.supplemental ~verify_psm params in
   Fmt.pr "%a@." Gpca.Experiment.pp_supplemental s
 
+(* ------------------------------------------------- explorer bench -- *)
+
+(* Fixed explorer workload used to track zone-explorer performance over
+   time: the Table-I verified-bound queries on the infusion-pump models
+   plus the railroad gate-controller PSMs from examples/railroad.ml
+   (reconstructed here; examples are not a library).  [--json] runs only
+   this suite and emits one record per query with visited/stored state
+   counts and wall time, the format recorded in BENCH_explorer.json. *)
+
+let railroad_net ~headway =
+  let loc = Model.location and edge = Model.edge in
+  let controller =
+    Model.automaton ~name:"GateCtrl" ~initial:"Open"
+      [ loc "Open";
+        loc ~inv:[ Clockcons.le "g" 5 ] "Lowering";
+        loc "Closed" ]
+      [ edge ~sync:(Model.Recv "m_Train") ~resets:[ "g" ] "Open" "Lowering";
+        edge ~sync:(Model.Send "c_GateDown") "Lowering" "Closed";
+        edge ~sync:(Model.Recv "m_Clear") "Closed" "Open" ]
+  in
+  let track =
+    Model.automaton ~name:"Track" ~initial:"Away"
+      [ loc "Away";
+        loc "Approaching";
+        loc ~inv:[ Clockcons.le "t" 1_500 ] "Passing" ]
+      [ edge
+          ~guard:(if headway = 0 then [] else [ Clockcons.ge "t" headway ])
+          ~sync:(Model.Send "m_Train") ~resets:[ "t" ] "Away" "Approaching";
+        edge ~sync:(Model.Recv "c_GateDown") ~resets:[ "t" ] "Approaching"
+          "Passing";
+        edge
+          ~guard:[ Clockcons.ge "t" 1_000 ]
+          ~sync:(Model.Send "m_Clear") ~resets:[ "t" ] "Passing" "Away" ]
+  in
+  Model.network ~name:"railroad" ~clocks:[ "g"; "t" ] ~vars:[]
+    ~channels:
+      [ ("m_Train", Model.Broadcast);
+        ("m_Clear", Model.Broadcast);
+        ("c_GateDown", Model.Broadcast) ]
+    [ controller; track ]
+
+let railroad_psm ~headway ~invocation =
+  let pim =
+    Transform.Pim.make (railroad_net ~headway) ~software:"GateCtrl"
+      ~environment:"Track"
+  in
+  let scheme =
+    { Scheme.is_name = "ecu";
+      is_inputs =
+        [ ("m_Train", Scheme.interrupt_input (Scheme.delay 1 4));
+          ("m_Clear", Scheme.interrupt_input (Scheme.delay 1 4)) ];
+      is_outputs = [ ("c_GateDown", Scheme.pulse_output (Scheme.delay 5 20)) ];
+      is_input_comm = Scheme.Buffer (2, Scheme.Read_all);
+      is_output_comm = Scheme.Buffer (2, Scheme.Read_all);
+      is_invocation = invocation;
+      is_exec = { Scheme.wcet_min = 1; wcet_max = 8 } }
+  in
+  (Transform.psm_of_pim pim scheme).Transform.psm_net
+
+type explorer_query = {
+  eq_name : string;
+  eq_run : unit -> Analysis.Queries.delay_result;
+}
+
+let explorer_queries () =
+  let gpca_psm =
+    lazy (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params).Transform.psm_net
+  in
+  let gpca_ceiling = 2 * (Gpca.Experiment.analytic_bounds params).Gpca.Experiment.a_mc in
+  let delay net ~trigger ~response ~ceiling () =
+    Analysis.Queries.max_delay net ~trigger ~response ~ceiling
+  in
+  [ { eq_name = "gpca-pim-mc";
+      eq_run =
+        delay
+          (Gpca.Model.network ~variant:Gpca.Model.Bolus_only params)
+          ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
+          ~ceiling:1000 };
+    { eq_name = "gpca-psm-input";
+      eq_run =
+        (fun () ->
+          delay (Lazy.force gpca_psm) ~trigger:Gpca.Model.bolus_req
+            ~response:(Transform.Names.input_chan Gpca.Model.bolus_req)
+            ~ceiling:gpca_ceiling ()) };
+    { eq_name = "gpca-psm-output";
+      eq_run =
+        (fun () ->
+          delay (Lazy.force gpca_psm)
+            ~trigger:(Transform.Names.output_chan Gpca.Model.start_infusion)
+            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ()) };
+    { eq_name = "gpca-psm-mc";
+      eq_run =
+        (fun () ->
+          delay (Lazy.force gpca_psm) ~trigger:Gpca.Model.bolus_req
+            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ()) };
+    { eq_name = "railroad-psm-event";
+      eq_run =
+        delay
+          (railroad_psm ~headway:300 ~invocation:(Scheme.Aperiodic 0))
+          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 };
+    { eq_name = "railroad-psm-periodic25";
+      eq_run =
+        delay
+          (railroad_psm ~headway:300 ~invocation:(Scheme.Periodic 25))
+          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 };
+    { eq_name = "railroad-psm-race";
+      eq_run =
+        delay
+          (railroad_psm ~headway:0 ~invocation:(Scheme.Aperiodic 0))
+          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 } ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let explorer_bench_json ?path () =
+  let rows =
+    List.map
+      (fun q ->
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        let r = q.eq_run () in
+        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+        let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
+        let stats = r.Analysis.Queries.dr_stats in
+        Printf.sprintf
+          "    {\"name\": \"%s\", \"visited\": %d, \"stored\": %d, \
+           \"wall_ms\": %.1f, \"alloc_mb\": %.1f, \"result\": \"%s\"}"
+          (json_escape q.eq_name) stats.Mc.Explorer.visited
+          stats.Mc.Explorer.stored wall_ms alloc_mb
+          (json_escape
+             (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup)))
+      (explorer_queries ())
+  in
+  let body =
+    Printf.sprintf "{\n  \"suite\": \"explorer\",\n  \"queries\": [\n%s\n  ]\n}\n"
+      (String.concat ",\n" rows)
+  in
+  match path with
+  | None -> print_string body
+  | Some p ->
+    let oc = open_out p in
+    output_string oc body;
+    close_out oc;
+    Printf.printf "wrote %s\n" p
+
 (* ----------------------------------------------------- bechamel part -- *)
 
 let bechamel_suite () =
@@ -369,6 +522,11 @@ let bechamel_suite () =
     rows
 
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--json" :: rest ->
+    let path = match rest with p :: _ -> Some p | [] -> None in
+    explorer_bench_json ?path ()
+  | _ ->
   e4_pim_verification ();
   e123_table1 ();
   e5_read_policies ();

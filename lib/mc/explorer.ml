@@ -14,9 +14,16 @@ type t = {
   (* per automaton, per location: tau edges, and send/receive edges
      indexed by channel -- precomputed so candidate enumeration is a
      table lookup *)
-  taus : Compiled.cedge list array array;
-  sends : Compiled.cedge list array array array;
-  recvs : Compiled.cedge list array array array;
+  taus : Compiled.cedge array array array;
+  sends : Compiled.cedge array array array array;
+  recvs : Compiled.cedge array array array array;
+  (* per monitor state: DBM indices of the monitor clocks inactive there
+     (freed after every fire) -- precomputed so the hot path neither
+     calls [mon_active] nor searches association lists *)
+  mon_free : int list array;
+  (* per channel, per monitor state: the monitor step on that channel,
+     with reset clocks already resolved to DBM indices *)
+  mon_step : (int * int list) option array array;
 }
 
 type state = {
@@ -62,13 +69,15 @@ let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
         Array.map
           (fun edges ->
             let by_chan = Array.make nchans [] in
+            (* cons-accumulate (edges are in declaration order, so reverse
+               once per channel), then freeze as arrays *)
             List.iter
               (fun ce ->
                 match select ce.Compiled.ce_sync with
-                | Some ch -> by_chan.(ch) <- by_chan.(ch) @ [ ce ]
+                | Some ch -> by_chan.(ch) <- ce :: by_chan.(ch)
                 | None -> ())
               edges;
-            by_chan)
+            Array.map (fun l -> Array.of_list (List.rev l)) by_chan)
           a.Compiled.ca_out)
       comp.Compiled.c_automata
   in
@@ -76,7 +85,11 @@ let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
     Array.map
       (fun a ->
         Array.map
-          (List.filter (fun ce -> ce.Compiled.ce_sync = Compiled.CTau))
+          (fun edges ->
+            Array.of_list
+              (List.filter
+                 (fun ce -> ce.Compiled.ce_sync = Compiled.CTau)
+                 edges))
           a.Compiled.ca_out)
       comp.Compiled.c_automata
   in
@@ -85,6 +98,26 @@ let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
   in
   let recvs =
     table (function Compiled.CRecv ch -> Some ch | _ -> None)
+  in
+  let nmonstates = Array.length monitor.Monitor.mon_states in
+  let mon_free =
+    Array.init nmonstates (fun s ->
+        let active = monitor.Monitor.mon_active s in
+        List.filter_map
+          (fun (name, i) ->
+            if List.mem name active then None else Some i)
+          mon_clock_index)
+  in
+  let mon_step =
+    Array.init nchans (fun ch ->
+        let chan = comp.Compiled.c_chan_names.(ch) in
+        Array.init nmonstates (fun s ->
+            match Monitor.step monitor s chan with
+            | Some (dst, resets) ->
+              Some
+                (dst,
+                 List.map (fun c -> List.assoc c mon_clock_index) resets)
+            | None -> None))
   in
   { comp;
     monitor;
@@ -98,7 +131,9 @@ let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
     reduce;
     taus;
     sends;
-    recvs }
+    recvs;
+    mon_free;
+    mon_step }
 
 let compiled t = t.comp
 
@@ -157,10 +192,7 @@ let no_delay_present t locs =
 (* Clocks the monitor declares inactive carry no information; freeing them
    merges zones that differ only in their value. *)
 let free_inactive_monitor_clocks t mon_state z =
-  let active = t.monitor.Monitor.mon_active mon_state in
-  List.iter
-    (fun (name, i) -> if not (List.mem name active) then Zone.Dbm.free z i)
-    t.mon_clock_index
+  List.iter (Zone.Dbm.free z) t.mon_free.(mon_state)
 
 (* Activity reduction: free the clocks that are dead at an automaton's
    current location (see Compiled.cl_free). *)
@@ -172,10 +204,10 @@ let free_inactive_automaton_clocks t ai li z =
 (* --- transition firing ------------------------------------------------ *)
 
 (* A candidate discrete transition: the moving edges in update order
-   (sender first), plus the synchronising channel if any. *)
+   (sender first), plus the synchronising channel (by index) if any. *)
 type candidate = {
   cd_movers : (int * Compiled.cedge) list;
-  cd_chan : string option;
+  cd_chan : int option;
 }
 
 let describe t cd =
@@ -184,41 +216,51 @@ let describe t cd =
   in
   String.concat " | " heads
 
-let fire t st cd =
-  let z = Zone.Dbm.copy st.st_zone in
+(* [fire t pool st cd] applies candidate [cd] to [st].  The successor
+   zone is taken from [pool]; candidates whose guard (or target
+   invariant) empties the zone return their scratch matrix to the pool
+   instead of leaving it to the GC -- in a typical exploration most
+   candidates die here, so this removes the dominant allocation. *)
+let fire t pool st cd =
+  let z = Zone.Dbm.Pool.copy pool st.st_zone in
+  let dead () =
+    Zone.Dbm.Pool.release pool z;
+    None
+  in
   List.iter (fun (_, ce) -> apply_dconstraints z ce.Compiled.ce_guard)
     cd.cd_movers;
-  if Zone.Dbm.is_empty z then None
+  if Zone.Dbm.is_empty z then dead ()
   else begin
     let locs' = Array.copy st.st_locs in
     List.iter (fun (ai, ce) -> locs'.(ai) <- ce.Compiled.ce_dst) cd.cd_movers;
     let vars' =
+      (* [apply_updates] copies the valuation; share the parent's array
+         for the common case of update-free movers *)
       List.fold_left
         (fun vals (_, ce) ->
-          Compiled.apply_updates t.comp vals ce.Compiled.ce_updates)
+          if ce.Compiled.ce_updates = [] then vals
+          else Compiled.apply_updates t.comp vals ce.Compiled.ce_updates)
         st.st_vars cd.cd_movers
     in
     let mon', mon_resets =
       match cd.cd_chan with
       | None -> (st.st_mon, [])
-      | Some chan ->
-        (match Monitor.step t.monitor st.st_mon chan with
+      | Some ch ->
+        (match t.mon_step.(ch).(st.st_mon) with
          | Some (dst, resets) -> (dst, resets)
          | None -> (st.st_mon, []))
     in
     List.iter
       (fun (_, ce) -> List.iter (Zone.Dbm.reset z) ce.Compiled.ce_resets)
       cd.cd_movers;
-    List.iter
-      (fun c -> Zone.Dbm.reset z (List.assoc c t.mon_clock_index))
-      mon_resets;
+    List.iter (Zone.Dbm.reset z) mon_resets;
     free_inactive_monitor_clocks t mon' z;
     List.iter
       (fun (ai, ce) ->
         free_inactive_automaton_clocks t ai ce.Compiled.ce_dst z)
       cd.cd_movers;
     apply_invariants t locs' z;
-    if Zone.Dbm.is_empty z then None
+    if Zone.Dbm.is_empty z then dead ()
     else begin
       if not (no_delay_present t locs') then begin
         Zone.Dbm.up z;
@@ -226,20 +268,21 @@ let fire t st cd =
       end;
       if t.use_lu then Zone.Dbm.extrapolate_lu z t.lconsts t.uconsts
       else Zone.Dbm.extrapolate z t.k;
-      if Zone.Dbm.is_empty z then None
+      if Zone.Dbm.is_empty z then dead ()
       else Some { st_locs = locs'; st_vars = vars'; st_mon = mon'; st_zone = z }
     end
   end
 
 (* --- transition enumeration ------------------------------------------ *)
 
+(* Combos in lexicographic order (leftmost list most significant), built
+   by consing onto the suffix combos -- no list appends. *)
 let cartesian choice_lists =
-  let extend acc choices =
-    List.concat_map
-      (fun partial -> List.map (fun c -> partial @ [ c ]) choices)
-      acc
-  in
-  List.fold_left extend [ [] ] choice_lists
+  List.fold_right
+    (fun choices acc ->
+      List.concat_map (fun c -> List.map (fun rest -> c :: rest) acc) choices)
+    choice_lists
+    [ [] ]
 
 let candidates t st =
   let comp = t.comp in
@@ -259,7 +302,7 @@ let candidates t st =
   let enabled ce = ce.Compiled.ce_pred st.st_vars in
   (* internal moves *)
   for ai = 0 to nauts - 1 do
-    List.iter
+    Array.iter
       (fun ce -> if enabled ce then add [ (ai, ce) ] None)
       t.taus.(ai).(st.st_locs.(ai))
   done;
@@ -268,17 +311,16 @@ let candidates t st =
   for ch = 0 to nchans - 1 do
     let senders = ref [] in
     for ai = nauts - 1 downto 0 do
-      List.iter
+      Array.iter
         (fun ce -> if enabled ce then senders := (ai, ce) :: !senders)
         t.sends.(ai).(st.st_locs.(ai)).(ch)
     done;
     if !senders <> [] then begin
-      let chan_name = comp.Compiled.c_chan_names.(ch) in
       match comp.Compiled.c_chan_kinds.(ch) with
       | Model.Binary ->
         let receivers = ref [] in
         for ai = nauts - 1 downto 0 do
-          List.iter
+          Array.iter
             (fun ce -> if enabled ce then receivers := (ai, ce) :: !receivers)
             t.recvs.(ai).(st.st_locs.(ai)).(ch)
         done;
@@ -286,7 +328,7 @@ let candidates t st =
           (fun (sa, se) ->
             List.iter
               (fun (ra, re) ->
-                if sa <> ra then add [ (sa, se); (ra, re) ] (Some chan_name))
+                if sa <> ra then add [ (sa, se); (ra, re) ] (Some ch))
               !receivers)
           !senders
       | Model.Broadcast ->
@@ -295,10 +337,12 @@ let candidates t st =
           for ai = nauts - 1 downto 0 do
             if ai <> sa then begin
               let edges =
-                List.filter enabled t.recvs.(ai).(st.st_locs.(ai)).(ch)
+                Array.fold_right
+                  (fun ce acc -> if enabled ce then (ai, ce) :: acc else acc)
+                  t.recvs.(ai).(st.st_locs.(ai)).(ch)
+                  []
               in
-              if edges <> [] then
-                per_aut := List.map (fun e -> (ai, e)) edges :: !per_aut
+              if edges <> [] then per_aut := edges :: !per_aut
             end
           done;
           !per_aut
@@ -307,7 +351,7 @@ let candidates t st =
           (fun (sa, se) ->
             let combos = cartesian (recv_choices sa) in
             List.iter
-              (fun receivers -> add ((sa, se) :: receivers) (Some chan_name))
+              (fun receivers -> add ((sa, se) :: receivers) (Some ch))
               combos)
           !senders
     end
@@ -316,13 +360,54 @@ let candidates t st =
 
 (* --- search ----------------------------------------------------------- *)
 
+(* A stored symbolic state.  Trace information (parent id, movers) lives
+   in a side table indexed by id, so a dead entry pins no zone and no
+   trace data once it has drained from the queue. *)
 type entry = {
   e_id : int;
-  e_parent : int;  (* -1 for the initial state *)
-  e_movers : (int * Compiled.cedge) list;  (* described lazily for traces *)
   e_state : state;
+  e_zhash : int;  (* Dbm.hash of the zone; used only when not subsuming *)
   mutable e_dead : bool;
 }
+
+(* One discrete state (locs, vars, mon) of the passed/waiting list, with
+   its live zones.  Nodes hang off a hash-keyed table; the precomputed
+   hash avoids rehashing the arrays on every probe, and collisions are
+   resolved by structural comparison here. *)
+type pw_node = {
+  pw_locs : int array;
+  pw_vars : int array;
+  pw_mon : int;
+  mutable pw_entries : entry list;
+}
+
+type progress = {
+  pr_visited : int;
+  pr_stored : int;
+  pr_queue : int;
+}
+
+(* Single stats hook for progress output.  [PSV_MC_PROGRESS] is consulted
+   once, not per state; [set_progress_hook] overrides the default
+   stderr printer. *)
+let progress_hook : (progress -> unit) option ref = ref None
+
+let set_progress_hook h = progress_hook := h
+
+let env_progress =
+  lazy
+    (if Sys.getenv_opt "PSV_MC_PROGRESS" <> None then
+       Some
+         (fun p ->
+           Printf.eprintf "[mc] visited %d stored %d queue %d\n%!" p.pr_visited
+             p.pr_stored p.pr_queue)
+     else None)
+
+let hash_discrete locs vars mon =
+  let h = ref (mon + 0x9e3779b9) in
+  Array.iter (fun v -> h := (!h lxor v) * 0x01000193) locs;
+  Array.iter (fun v -> h := (!h lxor v) * 0x01000193) vars;
+  !h land max_int
 
 let initial_state t =
   let comp = t.comp in
@@ -350,49 +435,103 @@ let initial_state t =
    Returns the mover-chain of the stopping state, if any. *)
 let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     ?(subsume = true) t visit =
-  let entries : (int, entry) Hashtbl.t = Hashtbl.create 1024 in
-  let store : (int array * int array * int, int list ref) Hashtbl.t =
-    Hashtbl.create 1024
+  let pool = Zone.Dbm.Pool.create (t.comp.Compiled.c_nclocks + 1) in
+  let store : (int, pw_node list ref) Hashtbl.t = Hashtbl.create 4096 in
+  (* trace side table: (parent, movers) per stored id, for witness
+     reconstruction; grows geometrically *)
+  let trace = ref (Array.make 1024 (-1, [])) in
+  let record_trace id parent movers =
+    let cap = Array.length !trace in
+    if id >= cap then begin
+      let bigger = Array.make (2 * cap) (-1, []) in
+      Array.blit !trace 0 bigger 0 cap;
+      trace := bigger
+    end;
+    !trace.(id) <- (parent, movers)
   in
   let next_id = ref 0 in
   let stored = ref 0 in
   let visited = ref 0 in
-  let waiting = Queue.create () in
+  let waiting : entry Queue.t = Queue.create () in
+  (* the entry currently being expanded: its zone must not go back to the
+     pool even if a successor subsumes it, because the remaining
+     candidates of this expansion still read it *)
+  let expanding = ref (-1) in
+  let progress =
+    match !progress_hook with Some h -> Some h | None -> Lazy.force env_progress
+  in
+  let find_node bucket st =
+    let rec go = function
+      | [] -> None
+      | (n : pw_node) :: rest ->
+        if n.pw_mon = st.st_mon && n.pw_locs = st.st_locs
+           && n.pw_vars = st.st_vars
+        then Some n
+        else go rest
+    in
+    go !bucket
+  in
   let add_state parent movers st =
-    let key = (st.st_locs, st.st_vars, st.st_mon) in
+    let h = hash_discrete st.st_locs st.st_vars st.st_mon in
     let bucket =
-      match Hashtbl.find_opt store key with
+      match Hashtbl.find_opt store h with
       | Some b -> b
       | None ->
         let b = ref [] in
-        Hashtbl.replace store key b;
+        Hashtbl.replace store h b;
         b
     in
-    let live = List.filter (fun id -> not (Hashtbl.find entries id).e_dead) !bucket in
-    bucket := live;
-    let covered id =
-      let stored = (Hashtbl.find entries id).e_state.st_zone in
-      if subsume then Zone.Dbm.includes stored st.st_zone
-      else Zone.Dbm.equal stored st.st_zone
+    let node =
+      match find_node bucket st with
+      | Some n -> n
+      | None ->
+        let n =
+          { pw_locs = st.st_locs; pw_vars = st.st_vars; pw_mon = st.st_mon;
+            pw_entries = [] }
+        in
+        bucket := n :: !bucket;
+        n
     in
-    if List.exists covered live then None
+    let zhash = if subsume then 0 else Zone.Dbm.hash st.st_zone in
+    let covered e =
+      if subsume then Zone.Dbm.includes e.e_state.st_zone st.st_zone
+      else e.e_zhash = zhash && Zone.Dbm.equal e.e_state.st_zone st.st_zone
+    in
+    if List.exists covered node.pw_entries then begin
+      Zone.Dbm.Pool.release pool st.st_zone;
+      None
+    end
     else begin
-      if subsume then
-        List.iter
-          (fun id ->
-            let e = Hashtbl.find entries id in
-            if Zone.Dbm.includes st.st_zone e.e_state.st_zone then
-              e.e_dead <- true)
-          live;
+      if subsume then begin
+        (* in-place subsumption: entries covered by the newcomer leave
+           the PW node now (dead ones drain from the queue in O(1) on
+           pop) and their zones return to the scratch pool.  [prune]
+           returns the input list physically unchanged when nothing is
+           subsumed -- the common case -- so steady-state inserts do not
+           reallocate the (often long) entry list *)
+        let rec prune l =
+          match l with
+          | [] -> l
+          | e :: rest ->
+            if Zone.Dbm.includes st.st_zone e.e_state.st_zone then begin
+              e.e_dead <- true;
+              if e.e_id <> !expanding then
+                Zone.Dbm.Pool.release pool e.e_state.st_zone;
+              prune rest
+            end
+            else
+              let rest' = prune rest in
+              if rest' == rest then l else e :: rest'
+        in
+        node.pw_entries <- prune node.pw_entries
+      end;
       let id = !next_id in
       incr next_id;
       incr stored;
-      let e = { e_id = id; e_parent = parent; e_movers = movers; e_state = st;
-                e_dead = false }
-      in
-      Hashtbl.replace entries id e;
-      bucket := id :: !bucket;
-      Queue.push id waiting;
+      record_trace id parent movers;
+      let e = { e_id = id; e_state = st; e_zhash = zhash; e_dead = false } in
+      node.pw_entries <- e :: node.pw_entries;
+      Queue.push e waiting;
       Some e
     end
   in
@@ -409,30 +548,31 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     | None -> ()
   end;
   while !stopped = None && not (Queue.is_empty waiting) do
-    let id = Queue.pop waiting in
-    let e = Hashtbl.find entries id in
+    let e = Queue.pop waiting in
     if not e.e_dead then begin
       incr visited;
       if !visited > t.limit then raise (Search_limit t.limit);
-      if !visited mod 1_000 = 0 && Sys.getenv_opt "PSV_MC_PROGRESS" <> None
-      then
-        Printf.eprintf "[mc] visited %d stored %d queue %d\n%!" !visited
-          !stored (Queue.length waiting);
+      (match progress with
+       | Some hook when !visited mod 1_000 = 0 ->
+         hook
+           { pr_visited = !visited; pr_stored = !stored;
+             pr_queue = Queue.length waiting }
+       | Some _ | None -> ());
+      expanding := e.e_id;
       let cds = candidates t e.e_state in
       let successors = ref 0 in
       List.iter
         (fun cd ->
           if !stopped = None then
-            match fire t e.e_state cd with
+            match fire t pool e.e_state cd with
             | None -> ()
             | Some st ->
               incr successors;
               on_transition cd;
-              (match add_state id cd.cd_movers st with
+              (match add_state e.e_id cd.cd_movers st with
                | Some e' -> consider e'
                | None -> ()))
-        cds
-      ;
+        cds;
       if !stopped = None then
         match on_expanded e.e_state !successors with
         | `Stop -> stopped := Some e
@@ -443,8 +583,8 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     let rec walk acc id =
       if id < 0 then acc
       else
-        let e = Hashtbl.find entries id in
-        if e.e_parent < 0 then acc else walk (e.e_movers :: acc) e.e_parent
+        let parent, movers = !trace.(id) in
+        if parent < 0 then acc else walk (movers :: acc) parent
     in
     walk [] entry.e_id
   in

@@ -24,6 +24,22 @@ type stats = {
 
 exception Search_limit of int
 
+(** {1 Progress reporting}
+
+    All searches report through one stats hook, called every 1000
+    visited states.  The default hook prints to stderr when
+    [PSV_MC_PROGRESS] is set in the environment (checked once, not per
+    state); {!set_progress_hook} replaces it for embedding (TUIs,
+    logging, cancellation timers). *)
+
+type progress = {
+  pr_visited : int;  (** states popped and expanded so far *)
+  pr_stored : int;   (** states stored so far (after subsumption) *)
+  pr_queue : int;    (** current waiting-queue length *)
+}
+
+val set_progress_hook : (progress -> unit) option -> unit
+
 (** [make ?monitor ?tight ?limit net] prepares an explorer.
 
     With the default per-clock extrapolation constants, sup-queries over

@@ -147,7 +147,19 @@ let includes a b =
   end
 
 let equal a b =
-  (is_empty a && is_empty b) || (a.n = b.n && a.m = b.m)
+  a.n = b.n && ((is_empty a && is_empty b) || a.m = b.m)
+
+(* FNV-1a over the encoded bounds.  All empty zones of a dimension hash
+   alike (they compare equal regardless of which entry went negative). *)
+let hash z =
+  if is_empty z then z.n land max_int
+  else begin
+    let h = ref (z.n + 0x811c9dc5) in
+    for i = 0 to Array.length z.m - 1 do
+      h := (!h lxor z.m.(i)) * 0x01000193
+    done;
+    !h land max_int
+  end
 
 let sup_clock z i = get z i 0
 
@@ -202,3 +214,35 @@ let pp ?names () ppf z =
     done;
     if !first then Fmt.string ppf "true"
   end
+
+(* --- scratch pool ----------------------------------------------------- *)
+
+module Pool = struct
+  type zone = t
+
+  type t = {
+    p_dim : int;
+    mutable p_free : zone list;
+  }
+
+  let create p_dim =
+    assert (p_dim >= 1);
+    { p_dim; p_free = [] }
+
+  let dim p = p.p_dim
+
+  let base_copy = copy
+
+  let copy p src =
+    assert (src.n = p.p_dim);
+    match p.p_free with
+    | z :: rest ->
+      p.p_free <- rest;
+      Array.blit src.m 0 z.m 0 (Array.length src.m);
+      z
+    | [] -> base_copy src
+
+  let release p z =
+    assert (z.n = p.p_dim);
+    p.p_free <- z :: p.p_free
+end

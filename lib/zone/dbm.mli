@@ -55,7 +55,14 @@ val extrapolate_lu : t -> int array -> int array -> unit
     Both must be canonical.  An empty [b] is included in everything. *)
 val includes : t -> t -> bool
 
+(** Semantic equality: same dimension and either the same canonical
+    matrix or both empty. *)
 val equal : t -> t -> bool
+
+(** Cheap content hash, compatible with {!equal}: equal zones hash
+    equal (all empty zones of one dimension share a hash).  Inputs must
+    be canonical.  O(dim^2). *)
+val hash : t -> int
 
 (** Upper bound of clock [i] in the zone: the [(i, 0)] entry. *)
 val sup_clock : t -> int -> Bound.t
@@ -69,3 +76,31 @@ val inf_clock : t -> int -> int * bool
 val contains : t -> int array -> bool
 
 val pp : ?names:string array -> unit -> Format.formatter -> t -> unit
+
+(** A freelist of DBMs of one fixed dimension, for allocation-free
+    scratch copies on hot paths (e.g. candidate firing in the zone
+    explorer, where most copies die immediately on an unsatisfiable
+    guard).  Not thread-safe; one pool per search.
+
+    {b Ownership:} a zone obtained from {!Pool.copy} is exclusively the
+    caller's until passed to {!Pool.release}; after release any
+    reference to it is invalid (the matrix will be overwritten by a
+    later {!Pool.copy}). *)
+module Pool : sig
+  type zone := t
+  type t
+
+  (** [create dim] is an empty pool of [dim]-dimensional zones. *)
+  val create : int -> t
+
+  val dim : t -> int
+
+  (** [copy pool src] is a zone equal to [src], reusing a released
+      matrix when one is available.  [src] must have the pool's
+      dimension. *)
+  val copy : t -> zone -> zone
+
+  (** Return a zone to the freelist.  The caller must not touch it
+      afterwards. *)
+  val release : t -> zone -> unit
+end

@@ -95,3 +95,62 @@ let gen_network =
 
 let arb_network =
   QCheck.make ~print:(Fmt.to_to_string Model.pp) gen_network
+
+(* --- random DBMs ------------------------------------------------------ *)
+
+(* A random zone is the zero zone driven through a short trail of ups,
+   resets and constraints; the trail is kept so failures print nicely.
+   Shared by the DBM unit tests and the inclusion/extrapolation property
+   tests. *)
+
+type dbm_op =
+  | Op_up
+  | Op_reset of int
+  | Op_constrain of int * int * bool * int
+
+let pp_dbm_op ppf = function
+  | Op_up -> Fmt.string ppf "up"
+  | Op_reset i -> Fmt.pf ppf "reset x%d" i
+  | Op_constrain (i, j, strict, n) ->
+    Fmt.pf ppf "x%d - x%d %s %d" i j (if strict then "<" else "<=") n
+
+let dbm_dims = 4 (* 3 real clocks *)
+
+let gen_dbm_op =
+  let open QCheck.Gen in
+  let clock = int_range 0 (dbm_dims - 1) in
+  frequency
+    [ (2, return Op_up);
+      (2, map (fun i -> Op_reset i) (int_range 1 (dbm_dims - 1)));
+      (5,
+       map2
+         (fun (i, j) (strict, n) -> Op_constrain (i, j, strict, n))
+         (pair clock clock)
+         (pair bool (int_range (-8) 8))) ]
+
+let apply_dbm_op z = function
+  | Op_up -> Zone.Dbm.up z
+  | Op_reset i -> Zone.Dbm.reset z i
+  | Op_constrain (i, j, strict, n) ->
+    if i <> j then
+      Zone.Dbm.constrain z i j
+        (if strict then Zone.Bound.lt n else Zone.Bound.le n)
+
+let build_dbm ops =
+  let z = Zone.Dbm.zero dbm_dims in
+  List.iter (apply_dbm_op z) ops;
+  z
+
+let arb_dbm_ops =
+  QCheck.make
+    ~print:(Fmt.to_to_string Fmt.(list ~sep:semi pp_dbm_op))
+    QCheck.Gen.(list_size (int_range 0 10) gen_dbm_op)
+
+(* Non-negative extrapolation ceilings, one per clock (index 0 fixed 0). *)
+let arb_dbm_ceilings =
+  QCheck.make
+    ~print:(Fmt.to_to_string Fmt.(Dump.array int))
+    QCheck.Gen.(
+      map
+        (fun l -> Array.of_list (0 :: l))
+        (list_size (return (dbm_dims - 1)) (int_range 0 10)))

@@ -156,51 +156,28 @@ let test_extrapolate_lu_equals_m_when_same () =
   Alcotest.(check bool) "ExtraLU with l=u=k equals ExtraM" true
     (Dbm.equal zm zlu)
 
+(* Regression: two empty DBMs of different dimensions are not equal (and
+   an empty zone never equals a non-empty one). *)
+let test_equal_requires_dimension () =
+  let empty n =
+    let z = Dbm.zero n in
+    Dbm.constrain z 0 1 (Bound.le (-1));
+    z
+  in
+  Alcotest.(check bool) "both empty, same dim" true (Dbm.equal (empty 2) (empty 2));
+  Alcotest.(check bool) "both empty, dim 2 vs 3" false
+    (Dbm.equal (empty 2) (empty 3));
+  Alcotest.(check bool) "empty vs non-empty" false
+    (Dbm.equal (empty 2) (Dbm.zero 2))
+
 (* --- property tests --------------------------------------------------- *)
 
-(* A random zone built from the zero zone by a few ups and constraints,
-   together with the trail of operations so that failures print nicely. *)
-type op =
-  | Op_up
-  | Op_reset of int
-  | Op_constrain of int * int * bool * int
+(* Random zones come from the shared generators in [Gen]: a trail of
+   ups/resets/constraints applied to the zero zone, printed on failure. *)
 
-let pp_op ppf = function
-  | Op_up -> Fmt.string ppf "up"
-  | Op_reset i -> Fmt.pf ppf "reset x%d" i
-  | Op_constrain (i, j, strict, n) ->
-    Fmt.pf ppf "x%d - x%d %s %d" i j (if strict then "<" else "<=") n
-
-let dims = 4 (* 3 real clocks *)
-
-let gen_op =
-  let open QCheck.Gen in
-  let clock = int_range 0 (dims - 1) in
-  frequency
-    [ (2, return Op_up);
-      (2, map (fun i -> Op_reset i) (int_range 1 (dims - 1)));
-      (5,
-       map2
-         (fun (i, j) (strict, n) -> Op_constrain (i, j, strict, n))
-         (pair clock clock)
-         (pair bool (int_range (-8) 8))) ]
-
-let apply_op z = function
-  | Op_up -> Dbm.up z
-  | Op_reset i -> Dbm.reset z i
-  | Op_constrain (i, j, strict, n) ->
-    if i <> j then
-      Dbm.constrain z i j (if strict then Bound.lt n else Bound.le n)
-
-let build ops =
-  let z = Dbm.zero dims in
-  List.iter (apply_op z) ops;
-  z
-
-let arb_ops =
-  QCheck.make
-    ~print:(Fmt.to_to_string Fmt.(list ~sep:semi pp_op))
-    QCheck.Gen.(list_size (int_range 0 10) gen_op)
+let dims = Gen.dbm_dims
+let build = Gen.build_dbm
+let arb_ops = Gen.arb_dbm_ops
 
 let arb_point =
   QCheck.make
@@ -269,6 +246,47 @@ let prop_canonical_stable =
       Dbm.canonicalize z';
       Dbm.equal z z')
 
+(* Mutual inclusion is equality (the antisymmetry the subsumption store
+   relies on). *)
+let prop_mutual_inclusion_is_equal =
+  QCheck.Test.make ~name:"includes both ways iff equal" ~count:1000
+    (QCheck.pair Gen.arb_dbm_ops Gen.arb_dbm_ops)
+    (fun (ops1, ops2) ->
+      let a = build ops1 and b = build ops2 in
+      (Dbm.includes a b && Dbm.includes b a) = Dbm.equal a b)
+
+(* Extrapolation only widens: the abstracted zone includes the original. *)
+let prop_extrapolate_preserves_inclusion =
+  QCheck.Test.make ~name:"extrapolate includes original" ~count:1000
+    (QCheck.pair Gen.arb_dbm_ops Gen.arb_dbm_ceilings)
+    (fun (ops, k) ->
+      let z = build ops in
+      let z' = Dbm.copy z in
+      Dbm.extrapolate z' k;
+      Dbm.includes z' z)
+
+(* Same for ExtraLU, which is additionally coarser than (or equal to)
+   ExtraM with k = max l u. *)
+let prop_extrapolate_lu_preserves_inclusion =
+  QCheck.Test.make ~name:"extrapolate_lu includes ExtraM and original"
+    ~count:1000
+    (QCheck.triple Gen.arb_dbm_ops Gen.arb_dbm_ceilings Gen.arb_dbm_ceilings)
+    (fun (ops, l, u) ->
+      let z = build ops in
+      let z_lu = Dbm.copy z and z_m = Dbm.copy z in
+      Dbm.extrapolate_lu z_lu l u;
+      Dbm.extrapolate z_m (Array.map2 max l u);
+      Dbm.includes z_lu z && Dbm.includes z_lu z_m)
+
+(* Hash is compatible with equality (the explorer's equality-dedup mode
+   filters by hash before comparing). *)
+let prop_hash_respects_equal =
+  QCheck.Test.make ~name:"equal zones hash equal" ~count:1000
+    (QCheck.pair Gen.arb_dbm_ops Gen.arb_dbm_ops)
+    (fun (ops1, ops2) ->
+      let a = build ops1 and b = build ops2 in
+      (not (Dbm.equal a b)) || Dbm.hash a = Dbm.hash b)
+
 let suite =
   [ Alcotest.test_case "bound encoding order" `Quick test_bound_encoding;
     Alcotest.test_case "bound addition" `Quick test_bound_add;
@@ -291,8 +309,14 @@ let suite =
       test_extrapolate_lu_directions;
     Alcotest.test_case "ExtraLU degenerates to ExtraM" `Quick
       test_extrapolate_lu_equals_m_when_same;
+    Alcotest.test_case "equal requires same dimension" `Quick
+      test_equal_requires_dimension;
     QCheck_alcotest.to_alcotest prop_constrain_is_intersection;
     QCheck_alcotest.to_alcotest prop_up_closure;
     QCheck_alcotest.to_alcotest prop_reset_membership;
     QCheck_alcotest.to_alcotest prop_inclusion_sound;
-    QCheck_alcotest.to_alcotest prop_canonical_stable ]
+    QCheck_alcotest.to_alcotest prop_canonical_stable;
+    QCheck_alcotest.to_alcotest prop_mutual_inclusion_is_equal;
+    QCheck_alcotest.to_alcotest prop_extrapolate_preserves_inclusion;
+    QCheck_alcotest.to_alcotest prop_extrapolate_lu_preserves_inclusion;
+    QCheck_alcotest.to_alcotest prop_hash_respects_equal ]
