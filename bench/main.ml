@@ -29,7 +29,7 @@ let e4_pim_verification () =
   in
   Fmt.pr "PIM max delay bolus-request -> infusion-start: %a@."
     Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup;
-  Fmt.pr "PIM |= P(500): %b@."
+  Fmt.pr "PIM |= P(500): %a@." Mc.Explorer.pp_verdict
     (Psv.verify_response net ~trigger:Gpca.Model.bolus_req
        ~response:Gpca.Model.start_infusion ~bound:500)
 
@@ -266,6 +266,66 @@ let a3_scheme_matrix () =
     { scheme with Scheme.is_invocation = Scheme.Aperiodic 10 };
   Fmt.pr
     "(aperiodic rows are analytic what-ifs: the transformation rejects      aperiodic invocation for the GPCA software, whose bolus preparation      waits on a clock)@."
+
+(* ---------------------------------------------------------------- R1 -- *)
+
+(* Robustness workload: the Table-I scenario under increasingly degraded
+   platforms.  Faults stretch device delays and drop/duplicate
+   mc-boundary samples, so measured delays may grow and samples may
+   vanish — but no profile can push a measured Input-Delay below the
+   scheme's analytic lower bound (Bounds.input_delay_min), since jitter
+   never shortens a delay.  The last column checks exactly that. *)
+
+let r1_fault_sweep () =
+  header "R1 (robustness): fault-injected simulations vs analytic bounds";
+  let scheme = Gpca.Params.scheme params in
+  let floor_in =
+    float_of_int (Analysis.Bounds.input_delay_min scheme Gpca.Model.bolus_req)
+  in
+  let scenarios = 20 in
+  (* the fault seed varies per scenario: a single-stimulus scenario only
+     draws once from the fault stream, so a fixed seed would make every
+     scenario take the same drop/dup decision *)
+  let run_profile mk_faults =
+    let delays = ref [] and lost = ref 0 in
+    for i = 0 to scenarios - 1 do
+      let request_time = 100.0 +. (37.0 *. float_of_int i) in
+      let config = Gpca.Experiment.scenario_config params ~request_time in
+      let log = Sim.Engine.run ~seed:(1 + i) ?faults:(mk_faults i) config in
+      lost :=
+        !lost
+        + Sim.Measure.count log (function
+            | Sim.Engine.Input_lost _ -> true
+            | _ -> false);
+      List.iter
+        (fun s ->
+          match Sim.Measure.input_delay s with
+          | Some d -> delays := d :: !delays
+          | None -> ())
+        (Sim.Measure.samples log ~trigger:Gpca.Model.bolus_req
+           ~response:Gpca.Model.start_infusion)
+    done;
+    (!delays, !lost)
+  in
+  Fmt.pr "%-28s | %7s | %4s | %9s | %s@." "profile" "samples" "lost"
+    "input-max" "min >= analytic min?";
+  let show label mk_faults =
+    let delays, lost = run_profile mk_faults in
+    match Sim.Measure.stats_of delays with
+    | Some st ->
+      Fmt.pr "%-28s | %7d | %4d | %9.1f | %.1f >= %.0f: %b@." label
+        st.Sim.Measure.st_count lost st.Sim.Measure.st_max
+        st.Sim.Measure.st_min floor_in
+        (st.Sim.Measure.st_min >= floor_in)
+    | None -> Fmt.pr "%-28s | %7d | %4d | %9s | (no samples)@." label 0 lost "-"
+  in
+  show "nominal" (fun _ -> None);
+  show "jitter 0.5" (fun i -> Some (Sim.Engine.faults ~seed:i ~jitter:0.5 ()));
+  show "jitter 2.0" (fun i -> Some (Sim.Engine.faults ~seed:i ~jitter:2.0 ()));
+  show "drop 0.2" (fun i -> Some (Sim.Engine.faults ~seed:i ~drop:0.2 ()));
+  show "dup 0.3" (fun i -> Some (Sim.Engine.faults ~seed:i ~dup:0.3 ()));
+  show "jitter 1.0 drop 0.1 dup 0.1" (fun i ->
+      Some (Sim.Engine.faults ~seed:i ~jitter:1.0 ~drop:0.1 ~dup:0.1 ()))
 
 (* ------------------------------------------------------ supplemental -- *)
 
@@ -535,5 +595,6 @@ let () =
   a1_period_sweep ();
   a2_buffer_sweep ();
   a3_scheme_matrix ();
+  r1_fault_sweep ();
   supplemental_requirements ();
   bechamel_suite ()

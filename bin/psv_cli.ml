@@ -7,60 +7,89 @@
      transform  build the PSM of a .xta PIM under a scheme
      bounds     print the analytic Lemma-1/2 bounds of a scheme
      simulate   run the platform simulator on the GPCA case study
-     export     write the GPCA PIM / PSM as .xta text *)
+     export     write the GPCA PIM / PSM as .xta text
+
+   Exit codes (verify/query/check):
+     0  property proved / query holds / all queries pass
+     1  property refuted
+     2  unknown — a budget or ^C interrupted the search
+     3  usage, parse or I/O error *)
 
 open Cmdliner
 
+(* usage, parse and I/O errors all leave through here: exit 3 is
+   distinguishable from a refutation (1) and an interrupted search (2) *)
+let die fmt = Fmt.kstr (fun msg -> Fmt.epr "psv: %s@." msg; exit 3) fmt
+
 let read_file path =
-  let ic = open_in_bin path in
-  let contents = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  contents
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg -> die "%s" msg
 
 let write_out output text =
   match output with
   | None -> print_string text
-  | Some path ->
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc
+  | Some path -> (
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc text)
+    with Sys_error msg -> die "%s" msg)
 
 let load_network path =
   match Xta.Parse.network (read_file path) with
   | Ok net -> net
-  | Error msg -> Fmt.failwith "%s: %s" path msg
+  | Error msg -> die "%s: %s" path msg
 
 (* --- scheme construction from CLI options ----------------------------- *)
 
+(* [int_field] names both the malformed field and the whole spec, so a
+   typo inside a repeated --input is traceable to the offending flag *)
+let int_field ~flag ~spec ~field s =
+  match int_of_string_opt (String.trim s) with
+  | Some n -> n
+  | None ->
+    die "bad %s %S: field %s is %S, expected an integer" flag spec field s
+
 (* input spec syntax:  CHAN:interrupt:DMIN:DMAX
                     or CHAN:polling:INTERVAL:DMIN:DMAX *)
-let parse_input_spec s =
-  match String.split_on_char ':' s with
+let parse_input_spec spec =
+  let int = int_field ~flag:"--input" ~spec in
+  match String.split_on_char ':' spec with
   | [ chan; "interrupt"; dmin; dmax ] ->
     (chan,
      Scheme.interrupt_input
-       (Scheme.delay (int_of_string dmin) (int_of_string dmax)))
+       (Scheme.delay (int ~field:"DMIN" dmin) (int ~field:"DMAX" dmax)))
   | [ chan; "polling"; interval; dmin; dmax ] ->
     (chan,
-     Scheme.polling_input ~interval:(int_of_string interval)
-       (Scheme.delay (int_of_string dmin) (int_of_string dmax)))
+     Scheme.polling_input ~interval:(int ~field:"INTERVAL" interval)
+       (Scheme.delay (int ~field:"DMIN" dmin) (int ~field:"DMAX" dmax)))
   | _ ->
-    Fmt.failwith
+    die
       "bad --input %S (want CHAN:interrupt:DMIN:DMAX or \
        CHAN:polling:INTERVAL:DMIN:DMAX)"
-      s
+      spec
 
 (* output spec syntax: CHAN:DMIN:DMAX *)
-let parse_output_spec s =
-  match String.split_on_char ':' s with
+let parse_output_spec spec =
+  let int = int_field ~flag:"--output-dev" ~spec in
+  match String.split_on_char ':' spec with
   | [ chan; dmin; dmax ] ->
-    (chan, Scheme.pulse_output (Scheme.delay (int_of_string dmin) (int_of_string dmax)))
-  | _ -> Fmt.failwith "bad --output %S (want CHAN:DMIN:DMAX)" s
+    (chan,
+     Scheme.pulse_output
+       (Scheme.delay (int ~field:"DMIN" dmin) (int ~field:"DMAX" dmax)))
+  | _ -> die "bad --output-dev %S (want CHAN:DMIN:DMAX)" spec
 
-let parse_wcet s =
-  match String.split_on_char ':' s with
-  | [ lo; hi ] -> { Scheme.wcet_min = int_of_string lo; wcet_max = int_of_string hi }
-  | _ -> Fmt.failwith "bad --wcet %S (want MIN:MAX)" s
+let parse_wcet spec =
+  let int = int_field ~flag:"--wcet" ~spec in
+  match String.split_on_char ':' spec with
+  | [ lo; hi ] ->
+    { Scheme.wcet_min = int ~field:"MIN" lo; wcet_max = int ~field:"MAX" hi }
+  | _ -> die "bad --wcet %S (want MIN:MAX)" spec
 
 let scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap ~buffer ~shared
     ~read_one ~wcet =
@@ -69,7 +98,7 @@ let scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap ~buffer ~shared
     | Some p, None -> Scheme.Periodic p
     | None, Some g -> Scheme.Aperiodic g
     | None, None -> Scheme.Periodic 100
-    | Some _, Some _ -> Fmt.failwith "--period and --aperiodic are exclusive"
+    | Some _, Some _ -> die "--period and --aperiodic are exclusive"
   in
   let comm =
     if shared then Scheme.Shared_variable
@@ -84,6 +113,52 @@ let scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap ~buffer ~shared
     is_output_comm = comm;
     is_invocation = invocation;
     is_exec = wcet }
+
+(* --- run governance ---------------------------------------------------- *)
+
+let budget_time_arg =
+  Arg.(value & opt (some string) None
+       & info [ "budget-time" ] ~docv:"DUR"
+           ~doc:"Wall-clock budget (e.g. 500ms, 2s, 5m, 1h; bare numbers \
+                 are seconds).  On exhaustion the search stops with an \
+                 $(i,unknown) verdict, exit code 2.")
+
+let budget_states_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-states" ] ~docv:"N"
+           ~doc:"Visited-state budget; exceeded means verdict \
+                 $(i,unknown), exit code 2.")
+
+let budget_mem_arg =
+  Arg.(value & opt (some int) None
+       & info [ "budget-mem" ] ~docv:"MB"
+           ~doc:"Live-heap budget in megabytes (sampled); exceeded means \
+                 verdict $(i,unknown), exit code 2.")
+
+(* one govern token per run: budgets plus first-^C-cancels.  The wall
+   clock starts here, so build the token right before the search. *)
+let make_ctl ~time ~states ~mem =
+  let b_time_s =
+    Option.map
+      (fun s ->
+        match Mc.Runctl.parse_duration s with
+        | Ok v -> v
+        | Error msg -> die "bad --budget-time %S: %s" s msg)
+      time
+  in
+  let budget =
+    { Mc.Runctl.b_time_s;
+      b_states = states;
+      b_mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem }
+  in
+  let ctl = Mc.Runctl.create ~budget () in
+  Mc.Runctl.install_sigint ctl;
+  ctl
+
+let load_resume path =
+  match Mc.Explorer.load_snapshot path with
+  | Ok snap -> snap
+  | Error msg -> die "cannot resume from %s: %s" path msg
 
 (* --- common arguments -------------------------------------------------- *)
 
@@ -112,6 +187,28 @@ let table1_cmd =
 
 (* --- verify ------------------------------------------------------------ *)
 
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_sup = function
+  | Mc.Explorer.Sup_unreached -> {|{"kind": "unreached"}|}
+  | Mc.Explorer.Sup (v, strict) ->
+    Printf.sprintf {|{"kind": "value", "value": %d, "strict": %b}|} v strict
+  | Mc.Explorer.Sup_exceeds c ->
+    Printf.sprintf {|{"kind": "exceeds", "ceiling": %d}|} c
+
+let json_stats (s : Mc.Explorer.stats) =
+  Printf.sprintf {|{"visited": %d, "stored": %d, "frontier": %d}|}
+    s.Mc.Explorer.visited s.Mc.Explorer.stored s.Mc.Explorer.frontier
+
 let verify_cmd =
   let file =
     Arg.(required & pos 0 (some file) None
@@ -133,24 +230,105 @@ let verify_cmd =
     Arg.(value & opt int 10_000
          & info [ "ceiling" ] ~docv:"N" ~doc:"Sup-query ceiling.")
   in
-  let run file trigger response bound ceiling =
+  let checkpoint =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"On interruption (budget or ^C), write the explorer \
+                   snapshot to $(docv); resume later with $(b,--resume).")
+  in
+  let resume =
+    Arg.(value & opt (some file) None
+         & info [ "resume" ] ~docv:"FILE"
+             ~doc:"Continue an interrupted search from a snapshot written \
+                   by $(b,--checkpoint).  Model, trigger, response and \
+                   ceiling must match the original run.")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the verdict and exploration statistics as JSON.")
+  in
+  let run file trigger response bound ceiling budget_time budget_states
+      budget_mem checkpoint resume json =
     let net = load_network file in
-    match bound with
-    | Some b ->
-      let ok =
-        Psv.verify_response net ~trigger ~response ~bound:b
+    let resume_snap = Option.map load_resume resume in
+    (* with --bound the sup ceiling is the bound itself: the check is
+       exact and a partial sup can already refute it *)
+    let ceiling = match bound with Some b -> b | None -> ceiling in
+    let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
+    let r =
+      try Psv.max_delay ~ctl ?resume:resume_snap net ~trigger ~response ~ceiling
+      with
+      | Invalid_argument msg -> die "%s" msg
+      | Not_found -> die "unknown channel %S or %S" trigger response
+    in
+    let written =
+      match checkpoint, r.Analysis.Queries.dr_snapshot with
+      | Some path, Some snap ->
+        (try Mc.Explorer.save_snapshot path snap; Some path
+         with Sys_error msg -> die "cannot write checkpoint: %s" msg)
+      | (Some _ | None), _ -> None
+    in
+    let verdict =
+      match bound with
+      | Some b -> Analysis.Queries.verdict_of_delay r ~bound:b
+      | None -> (
+        (* sup query: "proved" here just means the sup is exact *)
+        match r.Analysis.Queries.dr_interrupt with
+        | Some reason -> Mc.Explorer.Unknown reason
+        | None -> Mc.Explorer.Proved)
+    in
+    if json then begin
+      let verdict_str, reason =
+        match verdict with
+        | Mc.Explorer.Proved -> ("proved", None)
+        | Mc.Explorer.Refuted _ -> ("refuted", None)
+        | Mc.Explorer.Unknown reason ->
+          ("unknown", Some (Mc.Runctl.reason_tag reason))
       in
-      Fmt.pr "P(%d) %s -> %s: %s@." b trigger response
-        (if ok then "SATISFIED" else "VIOLATED");
-      if not ok then exit 1
-    | None ->
-      let r = Psv.max_delay net ~trigger ~response ~ceiling in
-      Fmt.pr "%a@." Analysis.Queries.pp_delay_result r
+      Fmt.pr
+        {|{"verdict": "%s", "reason": %s, "bound": %s, "sup": %s, "stats": %s, "checkpoint": %s}@.|}
+        verdict_str
+        (match reason with
+         | Some tag -> Printf.sprintf "%S" tag
+         | None -> "null")
+        (match bound with Some b -> string_of_int b | None -> "null")
+        (json_sup r.Analysis.Queries.dr_sup)
+        (json_stats r.Analysis.Queries.dr_stats)
+        (match written with
+         | Some p -> Printf.sprintf "\"%s\"" (json_escape p)
+         | None -> "null")
+    end
+    else begin
+      (match bound with
+       | Some b ->
+         Fmt.pr "P(%d) %s -> %s: %s@." b trigger response
+           (match verdict with
+            | Mc.Explorer.Proved -> "SATISFIED"
+            | Mc.Explorer.Refuted _ -> "VIOLATED"
+            | Mc.Explorer.Unknown reason ->
+              Fmt.str "UNKNOWN (%a)" Mc.Runctl.pp_reason reason)
+       | None -> Fmt.pr "%a@." Analysis.Queries.pp_delay_result r);
+      let st = r.Analysis.Queries.dr_stats in
+      Fmt.pr "states: %d visited, %d stored, %d frontier@."
+        st.Mc.Explorer.visited st.Mc.Explorer.stored st.Mc.Explorer.frontier;
+      match written with
+      | Some p -> Fmt.pr "checkpoint written to %s@." p
+      | None -> ()
+    end;
+    match verdict with
+    | Mc.Explorer.Proved -> ()
+    | Mc.Explorer.Refuted _ -> exit 1
+    | Mc.Explorer.Unknown _ -> exit 2
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Verify a bounded-response requirement, or compute the maximum delay.")
-    Term.(const run $ file $ trigger $ response $ bound $ ceiling)
+       ~doc:"Verify a bounded-response requirement, or compute the maximum \
+             delay.  Exit codes: 0 proved, 1 refuted, 2 unknown \
+             (interrupted by a budget or ^C), 3 usage or parse error.")
+    Term.(const run $ file $ trigger $ response $ bound $ ceiling
+          $ budget_time_arg $ budget_states_arg $ budget_mem_arg
+          $ checkpoint $ resume $ json)
 
 (* --- query ---------------------------------------------------------------- *)
 
@@ -165,31 +343,39 @@ let query_cmd =
              ~doc:"E<> PRED | A[] PRED | sup: CHAN -> CHAN [ceiling N] | \
                    bounded: CHAN -> CHAN within N")
   in
-  let run file query =
+  let run file query budget_time budget_states budget_mem =
     let net = load_network file in
     match Mc.Query.parse query with
-    | Error msg -> Fmt.failwith "query: %s" msg
+    | Error msg -> die "query: %s" msg
     | Ok q ->
-      let outcome =
-        try Mc.Query.eval net q
-        with Not_found ->
-          Fmt.failwith
-            "query names an unknown process, location or variable"
+      let ctl =
+        make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem
       in
+      let result =
+        try Mc.Query.eval ~ctl net q
+        with Not_found ->
+          die "query names an unknown process, location or variable"
+      in
+      let outcome = result.Mc.Query.res_outcome in
       Fmt.pr "%a@." Mc.Query.pp_outcome outcome;
       (match outcome with
        | Mc.Query.Fails (Some trace) ->
          Fmt.pr "@[<v 2>counterexample:@,%a@]@."
            Fmt.(list ~sep:cut string)
            trace
-       | Mc.Query.Fails None | Mc.Query.Holds | Mc.Query.Sup _ -> ());
+       | Mc.Query.Fails None | Mc.Query.Holds | Mc.Query.Sup _
+       | Mc.Query.Unknown _ -> ());
       (match outcome with
        | Mc.Query.Fails _ -> exit 1
+       | Mc.Query.Unknown _ -> exit 2
        | Mc.Query.Holds | Mc.Query.Sup _ -> ())
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate an UPPAAL-style query on a .xta model.")
-    Term.(const run $ file $ query)
+    (Cmd.info "query"
+       ~doc:"Evaluate an UPPAAL-style query on a .xta model.  Exit codes: \
+             0 holds, 1 fails, 2 unknown, 3 usage or parse error.")
+    Term.(const run $ file $ query $ budget_time_arg $ budget_states_arg
+          $ budget_mem_arg)
 
 (* --- check (batch queries) -------------------------------------------------- *)
 
@@ -204,10 +390,10 @@ let check_cmd =
              ~doc:"Query file: one query per line; blank lines and lines \
                    starting with # are skipped.")
   in
-  let run model queries =
+  let run model queries budget_time budget_states budget_mem =
     let net = load_network model in
     let lines = String.split_on_char '\n' (read_file queries) in
-    let failures = ref 0 and total = ref 0 in
+    let failures = ref 0 and unknowns = ref 0 and total = ref 0 in
     List.iteri
       (fun lineno line ->
         let line = String.trim line in
@@ -218,32 +404,42 @@ let check_cmd =
             incr failures;
             Fmt.pr "%3d  ERROR  %s@.     %s@." (lineno + 1) line msg
           | Ok q ->
-            (match Mc.Query.eval net q with
-             | outcome ->
-               let failed =
+            (* a fresh token per query: each one gets the full budget *)
+            let ctl =
+              make_ctl ~time:budget_time ~states:budget_states
+                ~mem:budget_mem
+            in
+            (match Mc.Query.eval ~ctl net q with
+             | result ->
+               let outcome = result.Mc.Query.res_outcome in
+               let status =
                  match outcome with
-                 | Mc.Query.Fails _ -> true
-                 | Mc.Query.Holds | Mc.Query.Sup _ -> false
+                 | Mc.Query.Fails _ -> incr failures; "FAIL"
+                 | Mc.Query.Unknown _ -> incr unknowns; "?"
+                 | Mc.Query.Holds | Mc.Query.Sup _ -> "pass"
                in
-               if failed then incr failures;
-               Fmt.pr "%3d  %-5s  %s  [%a]@." (lineno + 1)
-                 (if failed then "FAIL" else "pass")
-                 line Mc.Query.pp_outcome outcome
+               Fmt.pr "%3d  %-5s  %s  [%a]@." (lineno + 1) status line
+                 Mc.Query.pp_outcome outcome
              | exception Not_found ->
                incr failures;
                Fmt.pr "%3d  ERROR  %s@.     unknown process, location or \
                        variable@." (lineno + 1) line)
         end)
       lines;
-    Fmt.pr "@.%d quer%s, %d failure%s@." !total
+    Fmt.pr "@.%d quer%s, %d failure%s, %d unknown@." !total
       (if !total = 1 then "y" else "ies")
       !failures
-      (if !failures = 1 then "" else "s");
-    if !failures > 0 then exit 1
+      (if !failures = 1 then "" else "s")
+      !unknowns;
+    if !failures > 0 then exit 1 else if !unknowns > 0 then exit 2
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Run a file of queries against a model (verifyta-style).")
-    Term.(const run $ model $ queries)
+    (Cmd.info "check"
+       ~doc:"Run a file of queries against a model (verifyta-style).  Exit \
+             codes: 0 all pass, 1 any failure, 2 no failures but some \
+             unknown, 3 usage or parse error.")
+    Term.(const run $ model $ queries $ budget_time_arg $ budget_states_arg
+          $ budget_mem_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -260,13 +456,13 @@ let trace_cmd =
   let run file target =
     let net = load_network file in
     match Mc.Query.parse ("E<> " ^ target) with
-    | Error msg -> Fmt.failwith "predicate: %s" msg
+    | Error msg -> die "predicate: %s" msg
     | Ok (Mc.Query.Exists_eventually p) ->
       let t = Mc.Explorer.make net in
       let pred =
         try Mc.Query.compile_pred t p
         with Not_found ->
-          Fmt.failwith "predicate names an unknown process, location or variable"
+          die "predicate names an unknown process, location or variable"
       in
       (match Mc.Explorer.timed_trace t pred with
        | Some steps ->
@@ -330,12 +526,17 @@ let transform_cmd =
   let run file software environment inputs outputs period aperiodic buffer
       shared read_one wcet out =
     let net = load_network file in
-    let pim = Transform.Pim.make net ~software ~environment in
-    let scheme =
-      scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap:aperiodic
-        ~buffer ~shared ~read_one ~wcet:(parse_wcet wcet)
+    let psm =
+      try
+        let pim = Transform.Pim.make net ~software ~environment in
+        let scheme =
+          scheme_of_options ~inputs ~outputs ~period ~aperiodic_gap:aperiodic
+            ~buffer ~shared ~read_one ~wcet:(parse_wcet wcet)
+        in
+        Transform.psm_of_pim pim scheme
+      with Transform.Pim.Ill_formed msg | Transform.Transform_error msg ->
+        die "%s" msg
     in
-    let psm = Transform.psm_of_pim pim scheme in
     write_out out (Xta.Print.to_string psm.Transform.psm_net)
   in
   Cmd.v
@@ -366,21 +567,104 @@ let bounds_cmd =
 
 (* --- simulate ------------------------------------------------------------ *)
 
+(* fault spec syntax: JITTER:DROP:DUP (floats; see Sim.Engine.faults) *)
+let parse_faults_spec ~seed spec =
+  let float_field ~field s =
+    match float_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None ->
+      die "bad --faults %S: field %s is %S, expected a number" spec field s
+  in
+  match String.split_on_char ':' spec with
+  | [ j; dr; du ] -> (
+    try
+      Sim.Engine.faults ~seed ~jitter:(float_field ~field:"JITTER" j)
+        ~drop:(float_field ~field:"DROP" dr)
+        ~dup:(float_field ~field:"DUP" du) ()
+    with Invalid_argument msg -> die "%s" msg)
+  | _ -> die "bad --faults %S (want JITTER:DROP:DUP)" spec
+
 let simulate_cmd =
-  let run seed scenarios =
-    let m = Gpca.Experiment.measure ~scenarios ~seed Gpca.Params.default in
-    Fmt.pr
-      "@[<v>Simulated implementation, %d bolus scenarios (seed %d):@,\
-       M-C delay:    %a@,Input delay:  %a@,Output delay: %a@,\
-       losses: %d, REQ1 violations: %d@]@."
-      m.Gpca.Experiment.m_scenarios seed Sim.Measure.pp_stats
-      m.Gpca.Experiment.m_mc Sim.Measure.pp_stats m.Gpca.Experiment.m_input
-      Sim.Measure.pp_stats m.Gpca.Experiment.m_output
-      m.Gpca.Experiment.m_losses m.Gpca.Experiment.m_req1_violations
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"JITTER:DROP:DUP"
+             ~doc:"Inject platform faults: device delays stretched by up \
+                   to JITTER (fraction), each mc-boundary sample dropped \
+                   with probability DROP or duplicated with probability \
+                   DUP.  Example: 0.5:0.1:0.1.")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 7
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed of the fault stream (independent of --seed).")
+  in
+  let run seed scenarios faults_spec fault_seed =
+    match faults_spec with
+    | None ->
+      let m = Gpca.Experiment.measure ~scenarios ~seed Gpca.Params.default in
+      Fmt.pr
+        "@[<v>Simulated implementation, %d bolus scenarios (seed %d):@,\
+         M-C delay:    %a@,Input delay:  %a@,Output delay: %a@,\
+         losses: %d, REQ1 violations: %d@]@."
+        m.Gpca.Experiment.m_scenarios seed Sim.Measure.pp_stats
+        m.Gpca.Experiment.m_mc Sim.Measure.pp_stats m.Gpca.Experiment.m_input
+        Sim.Measure.pp_stats m.Gpca.Experiment.m_output
+        m.Gpca.Experiment.m_losses m.Gpca.Experiment.m_req1_violations
+    | Some spec ->
+      (* degraded platform: samples may be lost, so aggregate whatever
+         completes instead of demanding one full observation per run *)
+      let faults = parse_faults_spec ~seed:fault_seed spec in
+      let p = Gpca.Params.default in
+      let rng = Sim.Rng.create seed in
+      let mc = ref [] and inp = ref [] and outp = ref [] in
+      let losses = ref 0 and violations = ref 0 in
+      for index = 0 to scenarios - 1 do
+        let request_time =
+          Sim.Rng.float_range rng 0.0 (float_of_int (10 * p.Gpca.Params.period))
+        in
+        let config = Gpca.Experiment.scenario_config p ~request_time in
+        let log =
+          Sim.Engine.run ~seed:(seed + (1000 * (index + 1))) ~faults config
+        in
+        losses :=
+          !losses
+          + Sim.Measure.count log (function
+              | Sim.Engine.Input_lost _ | Sim.Engine.Output_lost _ -> true
+              | _ -> false);
+        List.iter
+          (fun s ->
+            (match Sim.Measure.mc_delay s with
+             | Some d ->
+               mc := d :: !mc;
+               if d > float_of_int Gpca.Params.req1_bound then incr violations
+             | None -> ());
+            (match Sim.Measure.input_delay s with
+             | Some d -> inp := d :: !inp
+             | None -> ());
+            match Sim.Measure.output_delay s with
+            | Some d -> outp := d :: !outp
+            | None -> ())
+          (Sim.Measure.samples log ~trigger:Gpca.Model.bolus_req
+             ~response:Gpca.Model.start_infusion)
+      done;
+      let line name l =
+        match Sim.Measure.stats_of l with
+        | Some st -> Fmt.pr "%s%a@." name Sim.Measure.pp_stats st
+        | None -> Fmt.pr "%s(no complete samples)@." name
+      in
+      Fmt.pr
+        "Fault-injected implementation (%s), %d bolus scenarios (seed %d):@."
+        spec scenarios seed;
+      line "M-C delay:    " !mc;
+      line "Input delay:  " !inp;
+      line "Output delay: " !outp;
+      Fmt.pr "losses: %d, REQ1 violations: %d@." !losses !violations
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Run the simulated GPCA implementation and measure delays.")
-    Term.(const run $ seed_arg $ scenarios_arg)
+    (Cmd.info "simulate"
+       ~doc:"Run the simulated GPCA implementation and measure delays, \
+             optionally under an injected fault profile.")
+    Term.(const run $ seed_arg $ scenarios_arg $ faults_arg $ fault_seed_arg)
 
 (* --- codegen ----------------------------------------------------------------- *)
 
@@ -407,7 +691,10 @@ let codegen_cmd =
   in
   let run file software environment directory with_harness =
     let net = load_network file in
-    let pim = Transform.Pim.make net ~software ~environment in
+    let pim =
+      try Transform.Pim.make net ~software ~environment
+      with Transform.Pim.Ill_formed msg -> die "%s" msg
+    in
     let prefix = Codegen.prefix pim in
     let write name text =
       let path = Filename.concat directory name in
@@ -464,4 +751,9 @@ let main =
       codegen_cmd; bounds_cmd; simulate_cmd;
       export_cmd ]
 
-let () = exit (Cmd.eval main)
+(* fold cmdliner's own error codes (124/125) into the documented
+   exit-code contract: anything that is not a clean run is a usage error *)
+let () =
+  match Cmd.eval main with
+  | 0 -> exit 0
+  | _ -> exit 3

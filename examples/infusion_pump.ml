@@ -20,7 +20,8 @@ let () =
     Psv.verify_response pim_net ~trigger:Gpca.Model.bolus_req
       ~response:Gpca.Model.start_infusion ~bound
   in
-  Fmt.pr "PIM |= P(%d): %b  (REQ1 holds on the model)@.@." bound pim_ok;
+  Fmt.pr "PIM |= P(%d): %a  (REQ1 holds on the model)@.@." bound
+    Mc.Explorer.pp_verdict pim_ok;
 
   Fmt.pr "== Step 2: the platform-specific model ==@.";
   let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params in
@@ -30,7 +31,8 @@ let () =
     Psv.verify_response psm.Transform.psm_net ~trigger:Gpca.Model.bolus_req
       ~response:Gpca.Model.start_infusion ~bound
   in
-  Fmt.pr "PSM |= P(%d): %b  (the platform breaks REQ1)@.@." bound psm_ok;
+  Fmt.pr "PSM |= P(%d): %a  (the platform breaks REQ1)@.@." bound
+    Mc.Explorer.pp_verdict psm_ok;
 
   Fmt.pr "== Step 3: boundedness constraints and the relaxed bound ==@.";
   let constraints = Analysis.Constraints.check_all psm in
@@ -43,8 +45,8 @@ let () =
     Psv.verify_response psm.Transform.psm_net ~trigger:Gpca.Model.bolus_req
       ~response:Gpca.Model.start_infusion ~bound:analytic.Gpca.Experiment.a_mc
   in
-  Fmt.pr "PSM |= P(%d): %b  (the relaxed requirement holds)@.@."
-    analytic.Gpca.Experiment.a_mc relaxed_ok;
+  Fmt.pr "PSM |= P(%d): %a  (the relaxed requirement holds)@.@."
+    analytic.Gpca.Experiment.a_mc Mc.Explorer.pp_verdict relaxed_ok;
 
   Fmt.pr "== Step 4: Table I ==@.";
   let table = Gpca.Experiment.table1 ~seed:42 params in

@@ -55,8 +55,8 @@ let () =
   let pim_ok =
     Psv.verify_response pim_net ~trigger:"m_Press" ~response:"c_On" ~bound
   in
-  Fmt.pr "PIM:  press -> lamp-on within %d ms: %s@." bound
-    (if pim_ok then "satisfied" else "violated");
+  Fmt.pr "PIM:  press -> lamp-on within %d ms: %a@." bound
+    Mc.Explorer.pp_verdict pim_ok;
 
   (* 4. Transform to the PSM and re-verify: P(50) fails on the platform. *)
   let pim = Transform.Pim.make pim_net ~software:"Controller" ~environment:"User" in
@@ -65,8 +65,8 @@ let () =
     Psv.verify_response psm.Transform.psm_net ~trigger:"m_Press"
       ~response:"c_On" ~bound
   in
-  Fmt.pr "PSM:  press -> lamp-on within %d ms: %s@." bound
-    (if psm_ok then "satisfied" else "violated");
+  Fmt.pr "PSM:  press -> lamp-on within %d ms: %a@." bound
+    Mc.Explorer.pp_verdict psm_ok;
 
   (* 5. The four constraints hold, so the delay is bounded; compute the
      analytic relaxed bound and the verified one. *)

@@ -91,7 +91,10 @@ let verify_psm label invocation =
   in
   Fmt.pr "%-24s P(%d): %-9s verified sup %-8s analytic %d@." label
     requirement_bound
-    (if ok then "holds" else "VIOLATED")
+    (match ok with
+     | Mc.Explorer.Proved -> "holds"
+     | Mc.Explorer.Refuted _ -> "VIOLATED"
+     | Mc.Explorer.Unknown _ -> "unknown")
     (Fmt.str "%a" Mc.Explorer.pp_sup_result bound)
     analytic;
   let constraints = Analysis.Constraints.check_all psm in
@@ -161,7 +164,10 @@ let show_platform_race () =
       ~response:"c_GateDown" ~bound:requirement_bound
   in
   Fmt.pr "%-24s P(%d): %s@." "PIM (headway 0)" requirement_bound
-    (if pim_ok then "holds" else "VIOLATED");
+    (match pim_ok with
+     | Mc.Explorer.Proved -> "holds"
+     | Mc.Explorer.Refuted _ -> "VIOLATED"
+     | Mc.Explorer.Unknown _ -> "unknown");
   let psm = Transform.psm_of_pim racy_pim (scheme ~invocation:(Scheme.Aperiodic 0)) in
   let bound =
     (Psv.max_delay psm.Transform.psm_net ~trigger:"m_Train"
@@ -200,7 +206,10 @@ let () =
       ~response:"c_GateDown" ~bound:requirement_bound
   in
   Fmt.pr "%-24s P(%d): %s@." "PIM (headway 300)" requirement_bound
-    (if pim_ok then "holds" else "VIOLATED");
+    (match pim_ok with
+     | Mc.Explorer.Proved -> "holds"
+     | Mc.Explorer.Refuted _ -> "VIOLATED"
+     | Mc.Explorer.Unknown _ -> "unknown");
   verify_psm "PSM event-driven" (Scheme.Aperiodic 0);
   verify_psm "PSM periodic(25)" (Scheme.Periodic 25);
   verify_psm "PSM periodic(60)" (Scheme.Periodic 60);

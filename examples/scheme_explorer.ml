@@ -21,13 +21,15 @@ let state_limit = 400_000
 let verified_mc p =
   let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p in
   let ceiling = 3 * (Gpca.Experiment.analytic_bounds p).Gpca.Experiment.a_mc in
-  match
+  let r =
     Psv.max_delay ~limit:state_limit psm.Transform.psm_net
       ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
       ~ceiling
-  with
-  | r -> Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup
-  | exception Mc.Explorer.Search_limit n -> Fmt.str "(> %d states)" n
+  in
+  match r.Analysis.Queries.dr_interrupt with
+  | Some (Mc.Runctl.State_budget n) -> Fmt.str "(> %d states)" n
+  | Some reason -> Fmt.str "(%a)" Mc.Runctl.pp_reason reason
+  | None -> Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup
 
 let sup_to_string s = s
 

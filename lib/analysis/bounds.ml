@@ -19,6 +19,14 @@ let input_delay is m =
   + spec.Scheme.in_delay.Scheme.delay_max
   + buffer_wait is
 
+(* Lower bounds: detection, buffer wait and visibility can all be zero
+   in the best case, leaving only the device's minimum processing time. *)
+let input_delay_min is m =
+  (Scheme.input_spec is m).Scheme.in_delay.Scheme.delay_min
+
+let output_delay_min is c =
+  (Scheme.output_spec is c).Scheme.out_delay.Scheme.delay_min
+
 let output_delay ?(queued_before = 0) is c =
   let spec = Scheme.output_spec is c in
   let visibility = is.Scheme.is_exec.Scheme.wcet_max in

@@ -19,6 +19,18 @@
       only the minimum re-invocation gap applies. *)
 val input_delay : Scheme.t -> string -> int
 
+(** Analytic {e lower} bound on the Input-Delay: in the best case the
+    signal is detected immediately and delivered at once, leaving only
+    the Input-Device's minimum processing delay.  No implementation of
+    the scheme — however degraded its timing otherwise — can report a
+    smaller delay, which makes this the reference line for
+    fault-injection stress tests. *)
+val input_delay_min : Scheme.t -> string -> int
+
+(** Analytic lower bound on the Output-Delay: the Output-Device's
+    minimum processing delay (publication and queueing can be free). *)
+val output_delay_min : Scheme.t -> string -> int
+
 (** Worst-case Output-Delay [Δoc] for one controlled variable: the time
     from the code producing the output until the environment observes it.
 

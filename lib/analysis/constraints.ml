@@ -12,16 +12,20 @@ type result = {
 }
 
 (* Reachability of "flag = 1" for any of the given variables; the first
-   one reachable yields the witness. *)
-let flags_unreachable ?limit net flags =
+   one reachable yields the witness.  An interrupted search cannot
+   certify unreachability, so it degrades to [Unknown]. *)
+let flags_unreachable ?limit ?ctl net flags =
   let t = Mc.Explorer.make ?limit net in
   let rec check = function
     | [] -> Satisfied
     | (_, flag) :: rest ->
       let pred st = Mc.Explorer.var_value t flag st = 1 in
-      (match (Mc.Explorer.reachable t pred).Mc.Explorer.r_trace with
-       | Some trace -> Violated trace
-       | None -> check rest)
+      let r = Mc.Explorer.reachable ?ctl t pred in
+      (match r.Mc.Explorer.r_trace, r.Mc.Explorer.r_interrupt with
+       | Some trace, _ -> Violated trace
+       | None, Some reason ->
+         Unknown (Fmt.str "search interrupted (%a)" Mc.Runctl.pp_reason reason)
+       | None, None -> check rest)
   in
   check flags
 
@@ -42,19 +46,20 @@ let check_internal_transitions (psm : Transform.psm) =
           inputs"
          software.Model.aut_name (List.length taus))
 
-let check_all ?limit (psm : Transform.psm) =
+let check_all ?limit ?ctl (psm : Transform.psm) =
   let net = psm.Transform.psm_net in
   [ { c_id = 1;
       c_name = "detection of all input signals";
-      c_status = flags_unreachable ?limit net psm.Transform.psm_miss_flags };
+      c_status =
+        flags_unreachable ?limit ?ctl net psm.Transform.psm_miss_flags };
     { c_id = 2;
       c_name = "no overflow of the input buffer";
       c_status =
-        flags_unreachable ?limit net psm.Transform.psm_input_loss_flags };
+        flags_unreachable ?limit ?ctl net psm.Transform.psm_input_loss_flags };
     { c_id = 3;
       c_name = "no overflow of the output buffer";
       c_status =
-        flags_unreachable ?limit net psm.Transform.psm_output_loss_flags };
+        flags_unreachable ?limit ?ctl net psm.Transform.psm_output_loss_flags };
     { c_id = 4;
       c_name = "no internal transition occurrences";
       c_status = check_internal_transitions psm } ]

@@ -21,8 +21,10 @@ type result = {
   c_status : status;
 }
 
-(** Check all four constraints on a transformed PSM. *)
-val check_all : ?limit:int -> Transform.psm -> result list
+(** Check all four constraints on a transformed PSM.  Under a govern
+    token [ctl], an interrupted reachability check yields [Unknown]
+    (never a spurious [Satisfied]). *)
+val check_all : ?limit:int -> ?ctl:Mc.Runctl.t -> Transform.psm -> result list
 
 (** [all_satisfied results] — [Unknown] counts as not satisfied. *)
 val all_satisfied : result list -> bool

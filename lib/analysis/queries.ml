@@ -3,29 +3,44 @@ type delay_result = {
   dr_response : string;
   dr_sup : Mc.Explorer.sup_result;
   dr_stats : Mc.Explorer.stats;
+  dr_interrupt : Mc.Runctl.reason option;
+  dr_snapshot : Mc.Explorer.snapshot option;
 }
 
 let monitor_clock = "psv_delay_mon"
 
-let max_delay ?limit net ~trigger ~response ~ceiling =
+let max_delay ?limit ?ctl ?resume net ~trigger ~response ~ceiling =
   let monitor =
     Mc.Monitor.delay ~trigger ~response ~clock:monitor_clock ~ceiling ()
   in
   let t = Mc.Explorer.make ~monitor ?limit net in
-  let sup, stats =
-    Mc.Explorer.sup_clock t
+  let o =
+    Mc.Explorer.sup_clock ?ctl ?resume t
       ~pred:(Mc.Explorer.mon_in t "Waiting")
       ~clock:monitor_clock
   in
-  { dr_trigger = trigger; dr_response = response; dr_sup = sup;
-    dr_stats = stats }
+  { dr_trigger = trigger; dr_response = response;
+    dr_sup = o.Mc.Explorer.so_sup;
+    dr_stats = o.Mc.Explorer.so_stats;
+    dr_interrupt = o.Mc.Explorer.so_interrupt;
+    dr_snapshot = o.Mc.Explorer.so_snapshot }
 
-let satisfies_response_bound ?limit net ~trigger ~response ~bound =
-  let r = max_delay ?limit net ~trigger ~response ~ceiling:bound in
-  match r.dr_sup with
-  | Mc.Explorer.Sup_unreached -> true  (* the trigger never fires *)
-  | Mc.Explorer.Sup (v, _) -> v <= bound
-  | Mc.Explorer.Sup_exceeds _ -> false
+let verdict_of_delay r ~bound =
+  match r.dr_interrupt, r.dr_sup with
+  | None, Mc.Explorer.Sup_unreached ->
+    Mc.Explorer.Proved  (* the trigger never fires *)
+  | None, Mc.Explorer.Sup (v, _) ->
+    if v <= bound then Mc.Explorer.Proved else Mc.Explorer.Refuted None
+  | None, Mc.Explorer.Sup_exceeds _ -> Mc.Explorer.Refuted None
+  (* partial sups are lower bounds on the true sup, so exceeding the
+     bound refutes even when the search was cut short *)
+  | Some _, Mc.Explorer.Sup (v, _) when v > bound -> Mc.Explorer.Refuted None
+  | Some _, Mc.Explorer.Sup_exceeds _ -> Mc.Explorer.Refuted None
+  | Some reason, _ -> Mc.Explorer.Unknown reason
+
+let satisfies_response_bound ?limit ?ctl net ~trigger ~response ~bound =
+  let r = max_delay ?limit ?ctl net ~trigger ~response ~ceiling:bound in
+  verdict_of_delay r ~bound
 
 let pim_internal_bound ?limit (pim : Transform.Pim.t) ~input ~output ~ceiling =
   max_delay ?limit pim.Transform.Pim.pim_net ~trigger:input ~response:output
@@ -33,4 +48,7 @@ let pim_internal_bound ?limit (pim : Transform.Pim.t) ~input ~output ~ceiling =
 
 let pp_delay_result ppf r =
   Fmt.pf ppf "max delay %s -> %s: %a (%d states)" r.dr_trigger r.dr_response
-    Mc.Explorer.pp_sup_result r.dr_sup r.dr_stats.Mc.Explorer.visited
+    Mc.Explorer.pp_sup_result r.dr_sup r.dr_stats.Mc.Explorer.visited;
+  match r.dr_interrupt with
+  | Some reason -> Fmt.pf ppf " [interrupted: %a]" Mc.Runctl.pp_reason reason
+  | None -> ()

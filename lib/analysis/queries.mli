@@ -7,26 +7,45 @@ type delay_result = {
   dr_response : string;
   dr_sup : Mc.Explorer.sup_result;
   dr_stats : Mc.Explorer.stats;
+  dr_interrupt : Mc.Runctl.reason option;
+      (** [Some] when a budget or cancellation cut the search short; the
+          sup and stats are then partial (the sup is a lower bound on
+          the true supremum) *)
+  dr_snapshot : Mc.Explorer.snapshot option;
+      (** present exactly when interrupted; save it and pass it back as
+          [resume] to continue *)
 }
 
 (** [max_delay net ~trigger ~response ~ceiling] is the supremum, over all
     runs, of the time between a [trigger] synchronisation and the
     following [response] synchronisation, measured by a non-blocking
     monitor.  [Sup_exceeds] means the delay is not bounded by [ceiling]
-    (possibly unbounded). *)
+    (possibly unbounded).
+
+    [ctl] governs the run (budgets, cancellation); [resume] continues an
+    interrupted run from its snapshot — same trigger, response, ceiling
+    and network required ({!Mc.Explorer.sup_clock} checks the
+    fingerprint). *)
 val max_delay :
-  ?limit:int ->
+  ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
   Ta.Model.network ->
   trigger:string -> response:string -> ceiling:int -> delay_result
+
+(** The three-valued bound check behind {!satisfies_response_bound},
+    exposed for callers that already ran {!max_delay} with
+    [ceiling = bound]. *)
+val verdict_of_delay : delay_result -> bound:int -> Mc.Explorer.verdict
 
 (** [satisfies_response_bound net ~trigger ~response ~bound] is the
     requirement [P(Δ)]: every [trigger] is answered within [bound].
     Decided by comparing the verified supremum against [bound] (the
-    ceiling used is [bound], so the check is exact). *)
+    ceiling used is [bound], so the check is exact).  [Unknown] when the
+    governed search was interrupted without the partial sup already
+    exceeding the bound. *)
 val satisfies_response_bound :
-  ?limit:int ->
+  ?limit:int -> ?ctl:Mc.Runctl.t ->
   Ta.Model.network ->
-  trigger:string -> response:string -> bound:int -> bool
+  trigger:string -> response:string -> bound:int -> Mc.Explorer.verdict
 
 (** The maximum internal delay [Δio-internal] of a PIM for an
     input/output pair — in the PIM the platform does not exist, so the

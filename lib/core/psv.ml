@@ -6,6 +6,7 @@ module Bound = Zone.Bound
 module Dbm = Zone.Dbm
 module Monitor = Mc.Monitor
 module Explorer = Mc.Explorer
+module Runctl = Mc.Runctl
 module Scheme = Scheme
 module Pim = Transform.Pim
 module Transform = Transform
@@ -17,8 +18,8 @@ module Gpca = Gpca
 module Xta = Xta
 module Codegen = Codegen
 
-let verify_response ?limit net ~trigger ~response ~bound =
-  Analysis.Queries.satisfies_response_bound ?limit net ~trigger ~response
+let verify_response ?limit ?ctl net ~trigger ~response ~bound =
+  Analysis.Queries.satisfies_response_bound ?limit ?ctl net ~trigger ~response
     ~bound
 
 let max_delay = Analysis.Queries.max_delay

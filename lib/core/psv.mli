@@ -29,6 +29,7 @@ module Bound = Zone.Bound
 module Dbm = Zone.Dbm
 module Monitor = Mc.Monitor
 module Explorer = Mc.Explorer
+module Runctl = Mc.Runctl
 module Scheme = Scheme
 module Pim = Transform.Pim
 module Transform = Transform
@@ -41,14 +42,17 @@ module Xta = Xta
 module Codegen = Codegen
 
 (** [verify_response net ~trigger ~response ~bound] checks the bounded
-    response requirement [P(bound)] on any network (PIM or PSM). *)
+    response requirement [P(bound)] on any network (PIM or PSM).
+    Three-valued: [Unknown] when a govern token's budget interrupted the
+    search before a definite answer. *)
 val verify_response :
-  ?limit:int ->
-  Model.network -> trigger:string -> response:string -> bound:int -> bool
+  ?limit:int -> ?ctl:Mc.Runctl.t ->
+  Model.network -> trigger:string -> response:string -> bound:int ->
+  Mc.Explorer.verdict
 
 (** Verified maximum delay between two synchronisations. *)
 val max_delay :
-  ?limit:int ->
+  ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
   Model.network ->
   trigger:string -> response:string -> ceiling:int ->
   Analysis.Queries.delay_result

@@ -36,9 +36,20 @@ type state = {
 type stats = {
   visited : int;
   stored : int;
+  frontier : int;
 }
 
-exception Search_limit of int
+type verdict =
+  | Proved
+  | Refuted of string list option
+  | Unknown of Runctl.reason
+
+let pp_verdict ppf = function
+  | Proved -> Fmt.string ppf "proved"
+  | Refuted None -> Fmt.string ppf "REFUTED"
+  | Refuted (Some trace) ->
+    Fmt.pf ppf "REFUTED (counterexample of %d steps)" (List.length trace)
+  | Unknown reason -> Fmt.pf ppf "unknown: %a" Runctl.pp_reason reason
 
 let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
     ?(reduce = true) ?(lu = false) net =
@@ -358,7 +369,7 @@ let candidates t st =
   done;
   List.rev !acc
 
-(* --- search ----------------------------------------------------------- *)
+(* --- passed/waiting store ---------------------------------------------- *)
 
 (* A stored symbolic state.  Trace information (parent id, movers) lives
    in a side table indexed by id, so a dead entry pins no zone and no
@@ -428,13 +439,131 @@ let initial_state t =
   { st_locs = locs; st_vars = vars; st_mon = t.monitor.Monitor.mon_initial;
     st_zone = z }
 
+(* --- snapshots --------------------------------------------------------- *)
+
+(* A stored state flattened for serialization: raw discrete vectors plus
+   the zone's encoded bound matrix. *)
+type snap_entry = {
+  se_id : int;
+  se_locs : int array;
+  se_vars : int array;
+  se_mon : int;
+  se_zone : int array;
+}
+
+type snapshot = {
+  snap_fingerprint : int;
+  snap_label : string;  (* which query took it; resume must match *)
+  snap_dim : int;
+  snap_subsume : bool;
+  snap_next_id : int;
+  snap_visited : int;
+  snap_stored : int;
+  snap_entries : snap_entry list;  (* every live passed/waiting state *)
+  snap_queue : int array;          (* waiting entry ids, FIFO order *)
+  snap_trace : (int * (int * int) list) array;
+      (* per id: parent, movers as (automaton, edge-index) pairs *)
+  snap_payload : string;           (* query accumulator, caller-defined *)
+}
+
+(* Format version lives in the magic string: bump the digit whenever the
+   [snapshot] record layout changes, so stale files are rejected by the
+   magic check instead of a Marshal segfault. *)
+let snapshot_magic = "PSVSNAP1"
+
+(* Structural hash of everything that shapes the exploration: a snapshot
+   resumes correctly only against a byte-equivalent search space.  The
+   monitor step table is included (via channel names it is keyed on), so
+   two delay monitors over different trigger/response pairs fingerprint
+   differently even though their automata are isomorphic. *)
+let fingerprint t =
+  let comp = t.comp in
+  let h = ref 0x811c9dc5 in
+  let mix v = h := (!h lxor v) * 0x01000193 in
+  let mix_string s = mix (String.length s); String.iter (fun c -> mix (Char.code c)) s in
+  let mix_arr a = mix (Array.length a); Array.iter mix a in
+  mix comp.Compiled.c_nclocks;
+  Array.iter mix_string comp.Compiled.c_clock_names;
+  Array.iter mix_string comp.Compiled.c_var_names;
+  mix_arr comp.Compiled.c_var_init;
+  Array.iter mix_string comp.Compiled.c_chan_names;
+  Array.iter
+    (fun k -> mix (match k with Model.Binary -> 0 | Model.Broadcast -> 1))
+    comp.Compiled.c_chan_kinds;
+  Array.iter
+    (fun a ->
+      mix_string a.Compiled.ca_name;
+      mix a.Compiled.ca_initial;
+      mix (Array.length a.Compiled.ca_locs);
+      Array.iter
+        (fun edges ->
+          mix (List.length edges);
+          List.iter (fun ce -> mix ce.Compiled.ce_index; mix ce.Compiled.ce_dst)
+            edges)
+        a.Compiled.ca_out)
+    comp.Compiled.c_automata;
+  mix_arr t.k;
+  mix_arr t.lconsts;
+  mix_arr t.uconsts;
+  mix (if t.use_lu then 1 else 0);
+  mix (if t.reduce then 1 else 0);
+  mix (Array.length t.monitor.Monitor.mon_states);
+  mix t.monitor.Monitor.mon_initial;
+  List.iter (fun (c, ceiling) -> mix_string c; mix ceiling) t.mon_ceiling;
+  Array.iter
+    (Array.iter (function
+       | None -> mix (-1)
+       | Some (dst, resets) -> mix dst; List.iter mix resets))
+    t.mon_step;
+  !h land max_int
+
+let save_snapshot path snap =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc snapshot_magic;
+      Marshal.to_channel oc (snap : snapshot) [];
+      flush oc)
+
+let load_snapshot path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let magic = really_input_string ic (String.length snapshot_magic) in
+        if magic <> snapshot_magic then
+          Error "not a psv snapshot, or an incompatible snapshot version"
+        else Ok (Marshal.from_channel ic : snapshot))
+  with
+  | Sys_error msg -> Error msg
+  | End_of_file -> Error "truncated snapshot"
+  | Failure msg -> Error ("corrupt snapshot: " ^ msg)
+
+(* --- search ------------------------------------------------------------ *)
+
+type search_result = {
+  sr_chain : (int * Compiled.cedge) list list option;
+  sr_stats : stats;
+  sr_interrupt : Runctl.reason option;
+  sr_snapshot : snapshot option;
+}
+
 (* Generic search: calls [visit] on every stored state (including the
    initial one); stops early when [visit] returns [`Stop].  [on_expanded]
    is called after a state's successors have been generated, with the
    number of (non-empty) successors -- used by the timelock detector.
-   Returns the mover-chain of the stopping state, if any. *)
+
+   Budgets ([ctl] and the explorer's state limit) are polled at the top
+   of the loop, before popping, so an interrupted search leaves the
+   waiting queue intact: the snapshot then restarts exactly where the
+   uninterrupted run would have continued.  [label] names the query kind
+   and must match on resume; [payload] is called at snapshot time to
+   save the caller's accumulator (e.g. the running sup). *)
 let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
-    ?(subsume = true) t visit =
+    ?(subsume = true) ?ctl ?resume ?(label = "") ?(payload = fun () -> "")
+    t visit =
   let pool = Zone.Dbm.Pool.create (t.comp.Compiled.c_nclocks + 1) in
   let store : (int, pw_node list ref) Hashtbl.t = Hashtbl.create 4096 in
   (* trace side table: (parent, movers) per stored id, for witness
@@ -471,7 +600,7 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     in
     go !bucket
   in
-  let add_state parent movers st =
+  let node_for st =
     let h = hash_discrete st.st_locs st.st_vars st.st_mon in
     let bucket =
       match Hashtbl.find_opt store h with
@@ -481,17 +610,18 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
         Hashtbl.replace store h b;
         b
     in
-    let node =
-      match find_node bucket st with
-      | Some n -> n
-      | None ->
-        let n =
-          { pw_locs = st.st_locs; pw_vars = st.st_vars; pw_mon = st.st_mon;
-            pw_entries = [] }
-        in
-        bucket := n :: !bucket;
-        n
-    in
+    match find_node bucket st with
+    | Some n -> n
+    | None ->
+      let n =
+        { pw_locs = st.st_locs; pw_vars = st.st_vars; pw_mon = st.st_mon;
+          pw_entries = [] }
+      in
+      bucket := n :: !bucket;
+      n
+  in
+  let add_state parent movers st =
+    let node = node_for st in
     let zhash = if subsume then 0 else Zone.Dbm.hash st.st_zone in
     let covered e =
       if subsume then Zone.Dbm.includes e.e_state.st_zone st.st_zone
@@ -541,17 +671,96 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     | `Stop -> stopped := Some entry
     | `Continue -> ()
   in
-  let initial = initial_state t in
-  if not (Zone.Dbm.is_empty initial.st_zone) then begin
-    match add_state (-1) [] initial with
-    | Some e -> consider e
-    | None -> ()
-  end;
-  while !stopped = None && not (Queue.is_empty waiting) do
+  (* edge lookup by (automaton, declaration index), for rebuilding the
+     trace table of a snapshot; forced only on resume *)
+  let edge_by_index =
+    lazy
+      (Array.map
+         (fun a ->
+           let tbl = Hashtbl.create 64 in
+           Array.iter
+             (List.iter (fun ce ->
+                  Hashtbl.replace tbl ce.Compiled.ce_index ce))
+             a.Compiled.ca_out;
+           tbl)
+         t.comp.Compiled.c_automata)
+  in
+  (match resume with
+   | None ->
+     let initial = initial_state t in
+     if not (Zone.Dbm.is_empty initial.st_zone) then begin
+       match add_state (-1) [] initial with
+       | Some e -> consider e
+       | None -> ()
+     end
+   | Some snap ->
+     if snap.snap_fingerprint <> fingerprint t then
+       invalid_arg
+         "Explorer: snapshot does not match this model/monitor/configuration";
+     if snap.snap_label <> label then
+       invalid_arg "Explorer: snapshot was taken by a different kind of query";
+     if snap.snap_subsume <> subsume then
+       invalid_arg "Explorer: snapshot subsumption mode differs";
+     if snap.snap_dim <> t.comp.Compiled.c_nclocks + 1 then
+       invalid_arg "Explorer: snapshot zone dimension differs";
+     next_id := snap.snap_next_id;
+     visited := snap.snap_visited;
+     stored := snap.snap_stored;
+     let cap = ref (Array.length !trace) in
+     while !cap < snap.snap_next_id do
+       cap := 2 * !cap
+     done;
+     trace := Array.make !cap (-1, []);
+     let edges = Lazy.force edge_by_index in
+     Array.iteri
+       (fun id (parent, movers) ->
+         !trace.(id) <-
+           ( parent,
+             List.map (fun (ai, idx) -> (ai, Hashtbl.find edges.(ai) idx))
+               movers ))
+       snap.snap_trace;
+     let by_id = Hashtbl.create 4096 in
+     (* [snap_entries] was built by consing off each node's newest-first
+        list; consing again here restores the original per-node order
+        (order is semantically neutral, but keeping it makes a resumed
+        run bit-identical to an uninterrupted one) *)
+     List.iter
+       (fun se ->
+         let st =
+           { st_locs = se.se_locs; st_vars = se.se_vars; st_mon = se.se_mon;
+             st_zone = Zone.Dbm.of_ints ~dim:snap.snap_dim se.se_zone }
+         in
+         let zhash = if subsume then 0 else Zone.Dbm.hash st.st_zone in
+         let e =
+           { e_id = se.se_id; e_state = st; e_zhash = zhash; e_dead = false }
+         in
+         Hashtbl.replace by_id se.se_id e;
+         let node = node_for st in
+         node.pw_entries <- e :: node.pw_entries)
+       snap.snap_entries;
+     (* the visit callback is NOT replayed for restored states: they were
+        considered when first stored, and the caller's accumulator comes
+        back through [snap_payload] *)
+     Array.iter
+       (fun id -> Queue.push (Hashtbl.find by_id id) waiting)
+       snap.snap_queue);
+  let interrupt = ref None in
+  let poll () =
+    if !visited >= t.limit then interrupt := Some (Runctl.State_budget t.limit)
+    else
+      match ctl with
+      | None -> ()
+      | Some c ->
+        (match Runctl.check c ~visited:!visited with
+         | Some r -> interrupt := Some r
+         | None -> ())
+  in
+  while !stopped = None && !interrupt = None && not (Queue.is_empty waiting) do
+    poll ();
+    if !interrupt = None then begin
     let e = Queue.pop waiting in
     if not e.e_dead then begin
       incr visited;
-      if !visited > t.limit then raise (Search_limit t.limit);
       (match progress with
        | Some hook when !visited mod 1_000 = 0 ->
          hook
@@ -578,6 +787,7 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
         | `Stop -> stopped := Some e
         | `Continue -> ()
     end
+    end
   done;
   let chain_of entry =
     let rec walk acc id =
@@ -588,8 +798,57 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     in
     walk [] entry.e_id
   in
-  let result = Option.map chain_of !stopped in
-  (result, { visited = !visited; stored = !stored })
+  let frontier =
+    Queue.fold (fun n e -> if e.e_dead then n else n + 1) 0 waiting
+  in
+  let build_snapshot () =
+    let entries = ref [] in
+    Hashtbl.iter
+      (fun _ bucket ->
+        List.iter
+          (fun n ->
+            List.iter
+              (fun e ->
+                if not e.e_dead then
+                  entries :=
+                    { se_id = e.e_id;
+                      se_locs = e.e_state.st_locs;
+                      se_vars = e.e_state.st_vars;
+                      se_mon = e.e_state.st_mon;
+                      se_zone = Zone.Dbm.to_ints e.e_state.st_zone }
+                    :: !entries)
+              n.pw_entries)
+          !bucket)
+      store;
+    let queue_ids =
+      Queue.fold (fun acc e -> if e.e_dead then acc else e.e_id :: acc)
+        [] waiting
+      |> List.rev |> Array.of_list
+    in
+    let trace_tbl =
+      Array.init !next_id (fun id ->
+          let parent, movers = !trace.(id) in
+          (parent, List.map (fun (ai, ce) -> (ai, ce.Compiled.ce_index)) movers))
+    in
+    { snap_fingerprint = fingerprint t;
+      snap_label = label;
+      snap_dim = t.comp.Compiled.c_nclocks + 1;
+      snap_subsume = subsume;
+      snap_next_id = !next_id;
+      snap_visited = !visited;
+      snap_stored = !stored;
+      snap_entries = !entries;
+      snap_queue = queue_ids;
+      snap_trace = trace_tbl;
+      snap_payload = payload () }
+  in
+  { sr_chain = Option.map chain_of !stopped;
+    sr_stats = { visited = !visited; stored = !stored; frontier };
+    sr_interrupt = !interrupt;
+    sr_snapshot =
+      (match !interrupt with
+       | Some _ -> Some (build_snapshot ())
+       | None -> None) }
 
 let describe_chain t chain =
   List.map
@@ -599,23 +858,36 @@ let describe_chain t chain =
 type reach_result = {
   r_trace : string list option;
   r_stats : stats;
+  r_interrupt : Runctl.reason option;
 }
 
-let reachable t pred =
+let reachable ?ctl t pred =
   let visit st = if pred st then `Stop else `Continue in
-  let chain, stats = search t visit in
-  { r_trace = Option.map (describe_chain t) chain; r_stats = stats }
+  let r = search ?ctl ~label:"reachable" t visit in
+  { r_trace = Option.map (describe_chain t) r.sr_chain;
+    r_stats = r.sr_stats;
+    r_interrupt = r.sr_interrupt }
 
-let safe t pred =
-  let r = reachable t pred in
-  (r.r_trace = None, r.r_stats)
+let safe ?ctl t pred =
+  let r = reachable ?ctl t pred in
+  match r.r_trace, r.r_interrupt with
+  | Some trace, _ -> (Refuted (Some trace), r.r_stats)
+  | None, Some reason -> (Unknown reason, r.r_stats)
+  | None, None -> (Proved, r.r_stats)
 
 type sup_result =
   | Sup_unreached
   | Sup of int * bool
   | Sup_exceeds of int
 
-let sup_clock t ~pred ~clock =
+type sup_outcome = {
+  so_sup : sup_result;
+  so_stats : stats;
+  so_interrupt : Runctl.reason option;
+  so_snapshot : snapshot option;
+}
+
+let sup_clock ?ctl ?resume t ~pred ~clock =
   let ci =
     match List.assoc_opt clock t.mon_clock_index with
     | Some i -> i
@@ -626,7 +898,16 @@ let sup_clock t ~pred ~clock =
     | Some c -> c
     | None -> t.k.(ci)
   in
-  let best = ref Sup_unreached in
+  (* the running sup travels with the snapshot: on interrupt it is
+     marshalled into the payload, on resume restored from it, so the
+     states considered before the interrupt are not re-visited *)
+  let best =
+    ref
+      (match resume with
+       | Some snap when snap.snap_payload <> "" ->
+         (Marshal.from_string snap.snap_payload 0 : sup_result)
+       | Some _ | None -> Sup_unreached)
+  in
   let update st =
     if pred st then begin
       let b = Zone.Dbm.sup_clock st.st_zone ci in
@@ -642,8 +923,13 @@ let sup_clock t ~pred ~clock =
     end;
     `Continue
   in
-  let _, stats = search t update in
-  (!best, stats)
+  let label = "sup:" ^ clock in
+  let payload () = Marshal.to_string !best [] in
+  let r = search ?ctl ?resume ~label ~payload t update in
+  { so_sup = !best;
+    so_stats = r.sr_stats;
+    so_interrupt = r.sr_interrupt;
+    so_snapshot = r.sr_snapshot }
 
 let pp_sup_result ppf = function
   | Sup_unreached -> Fmt.string ppf "unreached"
@@ -658,7 +944,7 @@ let pp_sup_result ppf = function
    location invariant caps a clock (the stored zones are delay-closed, so
    a finite supremum means time cannot diverge).  Quiescent terminal
    states -- no successors but unbounded delay -- are not timelocks. *)
-let find_timelock t =
+let find_timelock ?ctl t =
   let time_blocked st =
     no_delay_present t st.st_locs
     ||
@@ -676,8 +962,13 @@ let find_timelock t =
   in
   (* Subsumption can hide a time-pinned sub-zone inside a wider live zone,
      so the timelock search deduplicates by zone equality only. *)
-  let chain, stats = search ~on_expanded ~subsume:false t (fun _ -> `Continue) in
-  { r_trace = Option.map (describe_chain t) chain; r_stats = stats }
+  let r =
+    search ?ctl ~on_expanded ~subsume:false ~label:"timelock" t
+      (fun _ -> `Continue)
+  in
+  { r_trace = Option.map (describe_chain t) r.sr_chain;
+    r_stats = r.sr_stats;
+    r_interrupt = r.sr_interrupt }
 
 (* --- timed witness traces ---------------------------------------------- *)
 
@@ -707,9 +998,9 @@ let pp_timed_step ppf step =
    that step among runs following this chain. *)
 let timed_trace t pred =
   let visit st = if pred st then `Stop else `Continue in
-  match search t visit with
-  | None, _ -> None
-  | Some chain, _ ->
+  match (search ~label:"reachable" t visit).sr_chain with
+  | None -> None
+  | Some chain ->
     let tclock = "psv_abs_time" in
     let comp =
       Compiled.compile ~extra_clocks:[ tclock ] t.comp.Compiled.c_model
@@ -840,7 +1131,7 @@ let coverage t =
         Hashtbl.replace fired (ai, ce.Compiled.ce_index) ())
       cd.cd_movers
   in
-  let _, stats = search ~on_transition t visit in
+  let stats = (search ~on_transition ~label:"coverage" t visit).sr_stats in
   let unreached = ref [] in
   Array.iteri
     (fun ai seen ->

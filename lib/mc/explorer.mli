@@ -5,7 +5,13 @@
     tuples; zones are kept delay-closed under location invariants and
     extrapolated with per-clock maximal constants, so the search is finite
     whenever variables are bounded.  Subsumption (zone inclusion) prunes
-    the passed/waiting store. *)
+    the passed/waiting store.
+
+    Every query is governed: a search that exhausts a budget (the
+    explorer's own state limit, or any budget of a supplied
+    {!Runctl.t}) stops cleanly and reports the partial statistics and
+    the interruption {!Runctl.reason} instead of raising.  The timed
+    queries additionally emit a resumable {!snapshot} at that point. *)
 
 type t
 
@@ -18,11 +24,21 @@ type state = {
 }
 
 type stats = {
-  visited : int;  (** states popped and expanded *)
-  stored : int;   (** states stored (after subsumption) *)
+  visited : int;   (** states popped and expanded *)
+  stored : int;    (** states stored (after subsumption) *)
+  frontier : int;  (** live waiting-queue length when the search ended *)
 }
 
-exception Search_limit of int
+(** The three-valued verdict of a governed check.  The verdict lattice
+    is [Unknown < Proved], [Unknown < Refuted]: more budget can turn
+    [Unknown] into either definite answer, but never flips a definite
+    answer. *)
+type verdict =
+  | Proved
+  | Refuted of string list option  (** counterexample trace when available *)
+  | Unknown of Runctl.reason       (** search interrupted before an answer *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
 
 (** {1 Progress reporting}
 
@@ -40,6 +56,26 @@ type progress = {
 
 val set_progress_hook : (progress -> unit) option -> unit
 
+(** {1 Snapshots}
+
+    A snapshot freezes an interrupted search: the live passed/waiting
+    store (discrete state plus DBM rows), the waiting queue in FIFO
+    order, the trace side-table, the visited/stored counters and the
+    query's own accumulator.  Resuming continues to a byte-identical
+    verdict and statistics versus an uninterrupted run.
+
+    Snapshots are written with a magic header carrying a format version
+    ([PSVSNAP1]); {!load_snapshot} rejects foreign or stale files.  A
+    snapshot also records a structural fingerprint of the model, monitor
+    and explorer configuration — resuming against anything else is
+    refused with [Invalid_argument]. *)
+
+type snapshot
+
+val save_snapshot : string -> snapshot -> unit
+
+val load_snapshot : string -> (snapshot, string) result
+
 (** [make ?monitor ?tight ?limit net] prepares an explorer.
 
     With the default per-clock extrapolation constants, sup-queries over
@@ -52,8 +88,8 @@ val set_progress_hook : (progress -> unit) option -> unit
     purpose — a verified upper bound on the implementation's delay —
     soundness is what matters.
 
-    [limit] bounds the number of visited states (default [2_000_000];
-    exceeded raises {!Search_limit}).
+    [limit] bounds the number of visited states (default [2_000_000]);
+    reaching it ends the search with [Unknown (State_budget limit)].
 
     [reduce] (default [true]) enables clock-activity reduction: clocks
     that are dead at a location (per {!Ta.Compiled.cl_free}) and monitor
@@ -80,33 +116,60 @@ val at : t -> aut:string -> loc:string -> state -> bool
 val var_value : t -> string -> state -> int
 val mon_in : t -> string -> state -> bool
 
-(** {1 Queries} *)
+(** {1 Queries}
+
+    Each query accepts an optional [ctl] govern token
+    ({!Runctl.create}); without one, only the explorer's state limit
+    applies. *)
 
 type reach_result = {
   r_trace : string list option;
       (** edge descriptions from the initial state, when found *)
   r_stats : stats;
+  r_interrupt : Runctl.reason option;
+      (** [Some] when the search stopped before exhausting the state
+          space; a [None] trace then means "not found so far", not
+          "unreachable" *)
 }
 
 (** [reachable t pred] is the UPPAAL query [E<> pred]. *)
-val reachable : t -> (state -> bool) -> reach_result
+val reachable : ?ctl:Runctl.t -> t -> (state -> bool) -> reach_result
 
-(** [safe t pred] is [A[] not pred]: [true] when no reachable state
-    satisfies [pred]. *)
-val safe : t -> (state -> bool) -> bool * stats
+(** [safe t pred] is [A[] not pred]: [Proved] when no reachable state
+    satisfies [pred], [Refuted] with the witness trace otherwise,
+    [Unknown] when interrupted first. *)
+val safe : ?ctl:Runctl.t -> t -> (state -> bool) -> verdict * stats
 
 type sup_result =
   | Sup_unreached          (** no reachable state satisfies the predicate *)
   | Sup of int * bool      (** supremum value; [true] means strict ([< v]) *)
   | Sup_exceeds of int     (** the supremum exceeds the clock's ceiling *)
 
+(** The result of a governed sup-query.  On interruption [so_sup] is the
+    sup over the states explored so far — a valid {e lower} bound on the
+    true supremum (useful to refute a response bound early), and
+    [so_snapshot] can be saved and passed back as [resume]. *)
+type sup_outcome = {
+  so_sup : sup_result;
+  so_stats : stats;
+  so_interrupt : Runctl.reason option;
+  so_snapshot : snapshot option;
+}
+
 (** [sup_clock t ~pred ~clock] is the supremum of [clock] over all
     reachable states satisfying [pred] — the engine behind UPPAAL-style
     [sup] queries.  [clock] is typically a monitor clock; its ceiling
     (from the monitor declaration) bounds the values that are reported
-    exactly. *)
+    exactly.
+
+    [resume] continues a previous interrupted run of the {e same} query
+    on the {e same} model; the running sup is restored from the
+    snapshot, and the combined run reaches the same result, visited and
+    stored counts as an uninterrupted one.
+    @raise Invalid_argument when the snapshot does not match. *)
 val sup_clock :
-  t -> pred:(state -> bool) -> clock:string -> sup_result * stats
+  ?ctl:Runctl.t -> ?resume:snapshot ->
+  t -> pred:(state -> bool) -> clock:string -> sup_outcome
 
 val pp_sup_result : Format.formatter -> sup_result -> unit
 
@@ -114,6 +177,8 @@ val pp_sup_result : Format.formatter -> sup_result -> unit
     transition is possible and time cannot diverge (an urgent/committed
     location pins the clock, or a location invariant caps it).  Quiescent
     terminal states (no moves but unbounded delay) are not reported.
+    An interrupted search ([r_interrupt <> None]) means "none found
+    within budget".
 
     In a transformed PSM, timelocks mark reliance on the generated code's
     {e eagerness}: a deadline transition of [MIO] that the model may
@@ -128,7 +193,7 @@ val pp_sup_result : Format.formatter -> sup_result -> unit
     stored zone), so it explores more states than {!reachable}.  The
     check is an {e under-approximation}: a symbolic state mixing blocked
     and live valuations is not flagged. *)
-val find_timelock : t -> reach_result
+val find_timelock : ?ctl:Runctl.t -> t -> reach_result
 
 (** One step of a timed witness: the transition description and the
     interval of absolute times at which the step can fire among runs

@@ -16,6 +16,12 @@ type outcome =
   | Holds
   | Fails of string list option
   | Sup of Explorer.sup_result
+  | Unknown of Runctl.reason * Explorer.sup_result option
+
+type result = {
+  res_outcome : outcome;
+  res_stats : Explorer.stats;
+}
 
 (* --- tokenising --------------------------------------------------------- *)
 
@@ -194,47 +200,68 @@ let compile_pred t p =
 
 let delay_monitor_clock = "psv_query_mon"
 
-let eval ?limit net q =
+let eval ?ctl ?limit net q =
   match q with
   | Exists_eventually p ->
     let t = Explorer.make ?limit net in
-    (match (Explorer.reachable t (compile_pred t p)).Explorer.r_trace with
-     | Some _ -> Holds
-     | None -> Fails None)
+    let r = Explorer.reachable ?ctl t (compile_pred t p) in
+    let outcome =
+      match r.Explorer.r_trace, r.Explorer.r_interrupt with
+      | Some _, _ -> Holds  (* a witness is a witness, budget or not *)
+      | None, Some reason -> Unknown (reason, None)
+      | None, None -> Fails None
+    in
+    { res_outcome = outcome; res_stats = r.Explorer.r_stats }
   | Always p ->
     let t = Explorer.make ?limit net in
-    (match
-       (Explorer.reachable t (fun st -> not (compile_pred t p st)))
-         .Explorer.r_trace
-     with
-     | Some trace -> Fails (Some trace)
-     | None -> Holds)
+    let r = Explorer.reachable ?ctl t (fun st -> not (compile_pred t p st)) in
+    let outcome =
+      match r.Explorer.r_trace, r.Explorer.r_interrupt with
+      | Some trace, _ -> Fails (Some trace)
+      | None, Some reason -> Unknown (reason, None)
+      | None, None -> Holds
+    in
+    { res_outcome = outcome; res_stats = r.Explorer.r_stats }
   | Sup_delay { trigger; response; ceiling } ->
     let monitor =
       Monitor.delay ~trigger ~response ~clock:delay_monitor_clock ~ceiling ()
     in
     let t = Explorer.make ?limit ~monitor net in
-    let sup, _ =
-      Explorer.sup_clock t
+    let o =
+      Explorer.sup_clock ?ctl t
         ~pred:(Explorer.mon_in t "Waiting")
         ~clock:delay_monitor_clock
     in
-    Sup sup
+    let outcome =
+      match o.Explorer.so_interrupt with
+      | Some reason -> Unknown (reason, Some o.Explorer.so_sup)
+      | None -> Sup o.Explorer.so_sup
+    in
+    { res_outcome = outcome; res_stats = o.Explorer.so_stats }
   | Bounded_response { trigger; response; bound } ->
     let monitor =
       Monitor.delay ~trigger ~response ~clock:delay_monitor_clock
         ~ceiling:bound ()
     in
     let t = Explorer.make ?limit ~monitor net in
-    let sup, _ =
-      Explorer.sup_clock t
+    let o =
+      Explorer.sup_clock ?ctl t
         ~pred:(Explorer.mon_in t "Waiting")
         ~clock:delay_monitor_clock
     in
-    (match sup with
-     | Explorer.Sup_unreached -> Holds
-     | Explorer.Sup (v, _) -> if v <= bound then Holds else Fails None
-     | Explorer.Sup_exceeds _ -> Fails None)
+    let outcome =
+      match o.Explorer.so_interrupt, o.Explorer.so_sup with
+      | None, Explorer.Sup_unreached -> Holds
+      | None, Explorer.Sup (v, _) ->
+        if v <= bound then Holds else Fails None
+      | None, Explorer.Sup_exceeds _ -> Fails None
+      (* the partial sup only grows with more exploration, so a partial
+         value already past the bound refutes even under interruption *)
+      | Some _, Explorer.Sup (v, _) when v > bound -> Fails None
+      | Some _, Explorer.Sup_exceeds _ -> Fails None
+      | Some reason, partial -> Unknown (reason, Some partial)
+    in
+    { res_outcome = outcome; res_stats = o.Explorer.so_stats }
 
 let pp_outcome ppf = function
   | Holds -> Fmt.string ppf "holds"
@@ -242,3 +269,8 @@ let pp_outcome ppf = function
   | Fails (Some trace) ->
     Fmt.pf ppf "FAILS (counterexample of %d steps)" (List.length trace)
   | Sup sup -> Fmt.pf ppf "sup = %a" Explorer.pp_sup_result sup
+  | Unknown (reason, None) ->
+    Fmt.pf ppf "UNKNOWN (%a)" Runctl.pp_reason reason
+  | Unknown (reason, Some partial) ->
+    Fmt.pf ppf "UNKNOWN (%a; sup so far %a)" Runctl.pp_reason reason
+      Explorer.pp_sup_result partial

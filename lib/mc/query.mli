@@ -41,15 +41,28 @@ type outcome =
   | Holds
   | Fails of string list option  (** counterexample trace when available *)
   | Sup of Explorer.sup_result
+  | Unknown of Runctl.reason * Explorer.sup_result option
+      (** the search was interrupted before a definite answer; for the
+          timed queries the partial sup explored so far rides along.
+          A [Bounded_response] whose partial sup already exceeds the
+          bound is reported [Fails], not [Unknown] — the sup only grows. *)
+
+(** An evaluated query: the three-valued outcome plus the exploration
+    statistics (partial when the outcome is [Unknown]). *)
+type result = {
+  res_outcome : outcome;
+  res_stats : Explorer.stats;
+}
 
 (** [parse text] parses a query.  Errors mention the offending token. *)
 val parse : string -> (t, string) Stdlib.result
 
 (** [eval net q] builds the needed explorer (with a delay monitor for the
-    timed queries) and evaluates.  @raise Ta.Compiled.Compile_error on an
+    timed queries) and evaluates under the optional [ctl] govern token.
+    @raise Ta.Compiled.Compile_error on an
     invalid network, [Not_found] if the query names an unknown process,
     location or variable. *)
-val eval : ?limit:int -> Ta.Model.network -> t -> outcome
+val eval : ?ctl:Runctl.t -> ?limit:int -> Ta.Model.network -> t -> result
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

@@ -1,0 +1,59 @@
+(** Run governance for long verification runs.
+
+    A {!t} is a cooperative cancellation token with optional resource
+    budgets.  The explorer polls it between state expansions; when a
+    budget is exhausted (or {!cancel} has been called) the search stops
+    cleanly and reports an {!reason} instead of raising, so partial
+    statistics — and a resumable snapshot — survive the interruption.
+
+    Budgets are deliberately approximate: wall-clock and live-memory are
+    sampled every few hundred expansions (a [gettimeofday] or
+    [Gc.quick_stat] per state would dominate small models), so a run may
+    overshoot a budget by one sampling interval.  The visited-state
+    budget is exact. *)
+
+(** Why a search stopped short of a definitive answer. *)
+type reason =
+  | Time_budget of float   (** wall-clock budget, in seconds *)
+  | State_budget of int    (** visited-state budget *)
+  | Memory_budget of int   (** live-heap budget, in bytes *)
+  | Cancelled              (** {!cancel} was called (e.g. SIGINT) *)
+
+type budget = {
+  b_time_s : float option;     (** wall-clock seconds from {!create} *)
+  b_states : int option;       (** visited (expanded) states *)
+  b_mem_bytes : int option;    (** live major-heap bytes ([Gc.quick_stat]) *)
+}
+
+val no_budget : budget
+
+type t
+
+(** [create ?budget ()] starts the wall clock now. *)
+val create : ?budget:budget -> unit -> t
+
+(** Request cancellation; the next poll observes it.  Idempotent and
+    safe to call from a signal handler. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool
+
+(** [check t ~visited] polls the token: [Some reason] when the run must
+    stop.  Cheap (a few comparisons) except every 256th call, which
+    samples the clock and the heap.  The first call always samples. *)
+val check : t -> visited:int -> reason option
+
+(** Install a SIGINT handler that cancels [t].  A second SIGINT restores
+    the default behavior (terminate), so a wedged run can still be
+    killed.  No-op on platforms without [Sys.sigint] handling. *)
+val install_sigint : t -> unit
+
+(** [parse_duration s] parses ["250ms"], ["2s"], ["1.5s"], ["3m"],
+    ["1h"], or a bare number of seconds, into seconds. *)
+val parse_duration : string -> (float, string) result
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** Short machine-readable tag: ["time-budget"], ["state-budget"],
+    ["memory-budget"] or ["cancelled"]. *)
+val reason_tag : reason -> string

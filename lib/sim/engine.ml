@@ -27,6 +27,23 @@ type config = {
   cfg_horizon : float;
 }
 
+type faults = {
+  f_seed : int;
+  f_delay_jitter : float;
+  f_drop : float;
+  f_dup : float;
+}
+
+let faults ?(seed = 7) ?(jitter = 0.0) ?(drop = 0.0) ?(dup = 0.0) () =
+  if jitter < 0.0 then invalid_arg "Engine.faults: jitter must be >= 0";
+  let prob name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Engine.faults: %s must be in [0, 1]" name)
+  in
+  prob "drop" drop;
+  prob "dup" dup;
+  { f_seed = seed; f_delay_jitter = jitter; f_drop = drop; f_dup = dup }
+
 (* queued simulation events *)
 type sim_event =
   | Stimulus of string
@@ -80,8 +97,26 @@ let output_capacity scheme =
   | Scheme.Buffer (size, _) -> size
   | Scheme.Shared_variable -> 1
 
-let run ~seed config =
+let run ~seed ?faults config =
   let rng = Rng.create seed in
+  (* the fault stream has its own RNG so that [faults = None] is
+     draw-for-draw identical to the engine before fault injection
+     existed, and so that the same fault seed reproduces the same
+     degradation across different nominal seeds *)
+  let frng = Option.map (fun f -> (Rng.create f.f_seed, f)) faults in
+  let chance p =
+    match frng with
+    | Some (r, _) when p > 0.0 -> Rng.float01 r < p
+    | Some _ | None -> false
+  in
+  (* jitter only ever stretches a device delay; it never shortens one,
+     so analytic lower bounds survive any degradation level *)
+  let jitter v =
+    match frng with
+    | Some (r, f) when f.f_delay_jitter > 0.0 ->
+      v *. (1.0 +. (Rng.float01 r *. f.f_delay_jitter))
+    | Some _ | None -> v
+  in
   let scheme = config.cfg_scheme in
   let pim = config.cfg_pim in
   let log = ref [] in
@@ -107,7 +142,7 @@ let run ~seed config =
   let runner = Code_runner.create (Transform.Pim.software pim) in
   let input m = List.find (fun d -> d.in_chan = m) inputs in
   let output c = List.find (fun d -> d.out_chan = c) outputs in
-  let draw (lo, hi) = Rng.float_range rng lo hi in
+  let draw (lo, hi) = jitter (Rng.float_range rng lo hi) in
   let input_proc_time d = draw (config.cfg_typical.typ_input_proc d.in_chan) in
   let start_input_processing t d =
     d.in_busy <- true;
@@ -157,23 +192,38 @@ let run ~seed config =
           done)
         inputs
   in
+  let stimulate t d m =
+    match d.in_spec.Scheme.in_read with
+    | Scheme.Interrupt _ ->
+      if d.in_busy then record t (Input_lost m)
+      else start_input_processing t d
+    | Scheme.Polling _ ->
+      d.in_latch <- true;
+      d.in_latch_gen <- d.in_latch_gen + 1;
+      (match d.in_spec.Scheme.in_signal with
+       | Scheme.Sustained duration ->
+         Event_queue.push queue
+           (t +. float_of_int duration)
+           (Latch_drop (m, d.in_latch_gen))
+       | Scheme.Sustained_until_read | Scheme.Pulse -> ())
+  in
   let handle t = function
     | Stimulus m ->
       let d = input m in
       record t (Env_signal m);
-      (match d.in_spec.Scheme.in_read with
-       | Scheme.Interrupt _ ->
-         if d.in_busy then record t (Input_lost m)
-         else start_input_processing t d
-       | Scheme.Polling _ ->
-         d.in_latch <- true;
-         d.in_latch_gen <- d.in_latch_gen + 1;
-         (match d.in_spec.Scheme.in_signal with
-          | Scheme.Sustained duration ->
-            Event_queue.push queue
-              (t +. float_of_int duration)
-              (Latch_drop (m, d.in_latch_gen))
-          | Scheme.Sustained_until_read | Scheme.Pulse -> ()))
+      let dropped = chance (match frng with Some (_, f) -> f.f_drop | None -> 0.0) in
+      if dropped then
+        (* the signal fired but the mc-boundary sample vanished before
+           the device noticed: neither latch nor interrupt dispatch *)
+        record t (Input_lost m)
+      else begin
+        stimulate t d m;
+        (* a duplicated sample behaves like contact bounce: the device
+           is stimulated again immediately.  An interrupt line mid-
+           processing loses the duplicate; a polling latch absorbs it. *)
+        if chance (match frng with Some (_, f) -> f.f_dup | None -> 0.0) then
+          stimulate t d m
+      end
     | Latch_drop (m, generation) ->
       let d = input m in
       if d.in_latch_gen = generation then d.in_latch <- false

@@ -45,9 +45,30 @@ type config = {
   cfg_horizon : float;                  (** simulation end time *)
 }
 
+(** Fault-injection profile for robustness stress-testing.  Faults model
+    a degraded platform, not a different one: delay jitter only ever
+    {e stretches} device processing delays (never shortens them), and
+    drop/duplicate act on mc-boundary samples before the device reacts.
+    Consequently the scheme's analytic {e lower} bounds
+    ({!Analysis.Bounds.input_delay_min}) still hold under any profile —
+    the property the fault-injection tests pin down. *)
+type faults = {
+  f_seed : int;          (** fault-stream RNG seed, independent of [~seed] *)
+  f_delay_jitter : float;(** device delays stretched by up to this fraction *)
+  f_drop : float;        (** probability an env sample is lost pre-device *)
+  f_dup : float;         (** probability an env sample bounces (duplicates) *)
+}
+
+(** [faults ()] builds a profile; raises [Invalid_argument] when
+    [jitter < 0] or a probability is outside [[0, 1]]. *)
+val faults :
+  ?seed:int -> ?jitter:float -> ?drop:float -> ?dup:float -> unit -> faults
+
 (** [run ~seed config] simulates one scenario and returns the event log
-    in time order.  Deterministic in [(seed, config)]. *)
-val run : seed:int -> config -> entry list
+    in time order.  Deterministic in [(seed, faults, config)]; with
+    [?faults] omitted the run is draw-for-draw identical to the engine
+    without fault injection. *)
+val run : seed:int -> ?faults:faults -> config -> entry list
 
 val pp_event : Format.formatter -> event -> unit
 val pp_entry : Format.formatter -> entry -> unit

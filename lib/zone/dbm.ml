@@ -161,6 +161,13 @@ let hash z =
     !h land max_int
   end
 
+let to_ints z = Array.copy z.m
+
+let of_ints ~dim m =
+  if dim < 1 || Array.length m <> dim * dim then
+    invalid_arg "Dbm.of_ints: length does not match dimension";
+  { n = dim; m = Array.copy m }
+
 let sup_clock z i = get z i 0
 
 let inf_clock z i =

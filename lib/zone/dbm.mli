@@ -64,6 +64,17 @@ val equal : t -> t -> bool
     be canonical.  O(dim^2). *)
 val hash : t -> int
 
+(** [to_ints z] is the raw encoded bound matrix, row-major, as a fresh
+    array — the serialization counterpart of {!of_ints}.  The encoding
+    is the internal one; treat it as opaque. *)
+val to_ints : t -> int array
+
+(** [of_ints ~dim m] rebuilds a zone from {!to_ints} output.  The matrix
+    is trusted to be canonical (as every {!to_ints} result is); feeding
+    a non-canonical matrix breaks the inclusion and hash invariants.
+    @raise Invalid_argument when the length is not [dim * dim]. *)
+val of_ints : dim:int -> int array -> t
+
 (** Upper bound of clock [i] in the zone: the [(i, 0)] entry. *)
 val sup_clock : t -> int -> Bound.t
 

@@ -5,6 +5,7 @@ let () =
       ("model", Test_model.suite);
       ("compiled", Test_compiled.suite);
       ("mc", Test_mc.suite);
+      ("runctl", Test_runctl.suite);
       ("monitor", Test_monitor.suite);
       ("semantics", Test_semantics.suite);
       ("query", Test_query.suite);
@@ -12,6 +13,7 @@ let () =
       ("transform", Test_transform.suite);
       ("code-runner", Test_code_runner.suite);
       ("sim", Test_sim.suite);
+      ("faults", Test_faults.suite);
       ("analysis", Test_analysis.suite);
       ("xta", Test_xta.suite);
       ("implementability", Test_implementability.suite);

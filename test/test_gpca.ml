@@ -9,7 +9,8 @@ let test_pim_meets_req1 () =
   let net = Gpca.Model.network ~variant:Gpca.Model.Bolus_only params in
   Alcotest.(check bool) "PIM |= P(500)" true
     (Psv.verify_response net ~trigger:Gpca.Model.bolus_req
-       ~response:Gpca.Model.start_infusion ~bound:Gpca.Params.req1_bound)
+       ~response:Gpca.Model.start_infusion ~bound:Gpca.Params.req1_bound
+     = Mc.Explorer.Proved)
 
 let test_pim_bound_exactly_500 () =
   let net = Gpca.Model.network ~variant:Gpca.Model.Bolus_only params in
@@ -25,9 +26,13 @@ let test_pim_bound_exactly_500 () =
 
 let test_psm_violates_req1 () =
   let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params in
-  Alcotest.(check bool) "PSM |/= P(500)" false
-    (Psv.verify_response psm.Transform.psm_net ~trigger:Gpca.Model.bolus_req
-       ~response:Gpca.Model.start_infusion ~bound:Gpca.Params.req1_bound)
+  (match
+     Psv.verify_response psm.Transform.psm_net ~trigger:Gpca.Model.bolus_req
+       ~response:Gpca.Model.start_infusion ~bound:Gpca.Params.req1_bound
+   with
+   | Mc.Explorer.Refuted _ -> ()
+   | Mc.Explorer.Proved | Mc.Explorer.Unknown _ ->
+     Alcotest.fail "PSM should refute P(500)")
 
 let check_sup label expected = function
   | Mc.Explorer.Sup (v, _) -> Alcotest.(check int) label expected v
@@ -54,7 +59,8 @@ let test_psm_satisfies_relaxed_bound () =
   let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params in
   Alcotest.(check bool) "PSM |= P(1430)" true
     (Psv.verify_response psm.Transform.psm_net ~trigger:Gpca.Model.bolus_req
-       ~response:Gpca.Model.start_infusion ~bound:1430)
+       ~response:Gpca.Model.start_infusion ~bound:1430
+     = Mc.Explorer.Proved)
 
 (* The paper's headline: every measured delay is bounded by the verified
    bound (Theorem 1's conclusion observed on the implementation). *)
@@ -91,7 +97,8 @@ let test_full_variant_alarm_path () =
   let net = Gpca.Model.network ~variant:Gpca.Model.Full params in
   Alcotest.(check bool) "alarm within 150" true
     (Psv.verify_response net ~trigger:Gpca.Model.empty_syringe
-       ~response:Gpca.Model.alarm ~bound:params.Gpca.Params.alarm_max)
+       ~response:Gpca.Model.alarm ~bound:params.Gpca.Params.alarm_max
+     = Mc.Explorer.Proved)
 
 let test_model_validates () =
   List.iter

@@ -215,8 +215,9 @@ let test_sup_delay () =
     Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"mon" ~ceiling:100 ()
   in
   let t = Mc.Explorer.make ~monitor (req_resp_net ~lo:2 ~hi:8) in
-  let sup, _ =
-    Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting") ~clock:"mon"
+  let sup =
+    (Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting")
+       ~clock:"mon").Mc.Explorer.so_sup
   in
   (match sup with
    | Mc.Explorer.Sup (v, strict) ->
@@ -252,8 +253,9 @@ let test_sup_unbounded_reported () =
     Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"mon" ~ceiling:50 ()
   in
   let t = Mc.Explorer.make ~monitor (req_resp_unbounded ~lo:2) in
-  let sup, _ =
-    Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting") ~clock:"mon"
+  let sup =
+    (Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting")
+       ~clock:"mon").Mc.Explorer.so_sup
   in
   (match sup with
    | Mc.Explorer.Sup_exceeds _ -> ()
@@ -267,8 +269,9 @@ let test_sup_lower_bound_exact () =
     Mc.Monitor.delay ~trigger:"req" ~response:"resp" ~clock:"mon" ~ceiling:100 ()
   in
   let t = Mc.Explorer.make ~monitor (req_resp_net ~lo:5 ~hi:5) in
-  let sup, _ =
-    Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting") ~clock:"mon"
+  let sup =
+    (Mc.Explorer.sup_clock t ~pred:(Mc.Explorer.mon_in t "Waiting")
+       ~clock:"mon").Mc.Explorer.so_sup
   in
   (match sup with
    | Mc.Explorer.Sup (v, _) -> Alcotest.(check int) "deterministic delay" 5 v
@@ -276,14 +279,20 @@ let test_sup_lower_bound_exact () =
 
 let test_safe () =
   let t = Mc.Explorer.make (one_step ~lo:5) in
-  let ok, _ = Mc.Explorer.safe t (Mc.Explorer.at t ~aut:"P" ~loc:"B") in
-  Alcotest.(check bool) "B is reachable so not safe" false ok;
+  let v, _ = Mc.Explorer.safe t (Mc.Explorer.at t ~aut:"P" ~loc:"B") in
+  (match v with
+   | Mc.Explorer.Refuted (Some trace) ->
+     Alcotest.(check bool) "counterexample non-empty" true (trace <> [])
+   | Mc.Explorer.Refuted None -> Alcotest.fail "refutation lost its trace"
+   | Mc.Explorer.Proved | Mc.Explorer.Unknown _ ->
+     Alcotest.fail "B is reachable so not safe");
   let t2 = Mc.Explorer.make (one_step ~lo:11) in
-  let ok2, _ = Mc.Explorer.safe t2 (Mc.Explorer.at t2 ~aut:"P" ~loc:"B") in
-  Alcotest.(check bool) "B unreachable so safe" true ok2
+  let v2, _ = Mc.Explorer.safe t2 (Mc.Explorer.at t2 ~aut:"P" ~loc:"B") in
+  Alcotest.(check bool) "B unreachable so safe" true (v2 = Mc.Explorer.Proved)
 
 let test_search_limit () =
-  (* An unbounded counter would explode; the limit must fire. *)
+  (* An unbounded counter would explode; the limit must interrupt the
+     search with a three-valued answer, not an exception. *)
   let a =
     Model.automaton ~name:"C" ~initial:"L"
       [ loc "L" ]
@@ -298,8 +307,12 @@ let test_search_limit () =
       ~channels:[] [ a ]
   in
   let t = Mc.Explorer.make ~limit:50 net in
-  Alcotest.check_raises "limit raised" (Mc.Explorer.Search_limit 50) (fun () ->
-      ignore (Mc.Explorer.reachable t (fun _ -> false)))
+  let r = Mc.Explorer.reachable t (fun _ -> false) in
+  Alcotest.(check bool) "interrupted at the state limit" true
+    (r.Mc.Explorer.r_interrupt = Some (Mc.Runctl.State_budget 50));
+  Alcotest.(check bool) "no witness claimed" true (r.Mc.Explorer.r_trace = None);
+  Alcotest.(check bool) "visited stopped at the limit" true
+    (r.Mc.Explorer.r_stats.Mc.Explorer.visited <= 50)
 
 let suite =
   [ Alcotest.test_case "reach within invariant" `Quick

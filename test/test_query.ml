@@ -29,7 +29,7 @@ let net () =
 let run text =
   match Mc.Query.parse text with
   | Error msg -> Alcotest.failf "parse of %S failed: %s" text msg
-  | Ok q -> Mc.Query.eval (net ()) q
+  | Ok q -> (Mc.Query.eval (net ()) q).Mc.Query.res_outcome
 
 let check_holds text expected =
   let holds = match run text with Mc.Query.Holds -> true | _ -> false in

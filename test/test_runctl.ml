@@ -1,0 +1,216 @@
+(* Tests of the run-governance layer: budgets, cancellation, and the
+   checkpoint/resume round-trip.  The key invariant: an interrupted
+   search resumed from its snapshot ends in exactly the same verdict and
+   state counts as an uninterrupted run. *)
+
+open Ta
+
+let loc = Model.location
+let edge = Model.edge
+
+(* A 100k-state discrete counter: enough room for any budget to fire. *)
+let big_net () =
+  let a =
+    Model.automaton ~name:"C" ~initial:"L"
+      [ loc "L" ]
+      [ edge
+          ~pred:Expr.(lt (var "n") (int 100_000))
+          ~updates:[ ("n", Expr.(var "n" + int 1)) ]
+          "L" "L" ]
+  in
+  Model.network ~name:"big" ~clocks:[]
+    ~vars:[ ("n", Model.int_var ~min:0 ~max:100_000 0) ]
+    ~channels:[] [ a ]
+
+let state_budget n =
+  { Mc.Runctl.no_budget with Mc.Runctl.b_states = Some n }
+
+let test_state_budget_unknown () =
+  let ctl = Mc.Runctl.create ~budget:(state_budget 100) () in
+  let t = Mc.Explorer.make (big_net ()) in
+  let r = Mc.Explorer.reachable ~ctl t (fun _ -> false) in
+  Alcotest.(check bool) "interrupted with the state-budget reason" true
+    (r.Mc.Explorer.r_interrupt = Some (Mc.Runctl.State_budget 100));
+  let st = r.Mc.Explorer.r_stats in
+  Alcotest.(check bool) "partial stats are sane" true
+    (st.Mc.Explorer.visited <= 100
+     && st.Mc.Explorer.stored > 0
+     && st.Mc.Explorer.frontier > 0)
+
+let test_time_budget_unknown () =
+  (* a zero wall-clock budget fires on the very first check *)
+  let ctl =
+    Mc.Runctl.create
+      ~budget:{ Mc.Runctl.no_budget with Mc.Runctl.b_time_s = Some 0.0 }
+      ()
+  in
+  let t = Mc.Explorer.make (big_net ()) in
+  let r = Mc.Explorer.reachable ~ctl t (fun _ -> false) in
+  (match r.Mc.Explorer.r_interrupt with
+   | Some (Mc.Runctl.Time_budget _) -> ()
+   | other ->
+     Alcotest.failf "expected a time-budget interrupt, got %a"
+       Fmt.(option Mc.Runctl.pp_reason)
+       other);
+  Alcotest.(check bool) "no witness claimed" true
+    (r.Mc.Explorer.r_trace = None)
+
+let test_cancellation () =
+  let ctl = Mc.Runctl.create () in
+  Mc.Runctl.cancel ctl;
+  let t = Mc.Explorer.make (big_net ()) in
+  let r = Mc.Explorer.reachable ~ctl t (fun _ -> false) in
+  Alcotest.(check bool) "cancelled before the first expansion" true
+    (r.Mc.Explorer.r_interrupt = Some Mc.Runctl.Cancelled);
+  Alcotest.(check bool) "nothing visited" true
+    (r.Mc.Explorer.r_stats.Mc.Explorer.visited = 0)
+
+let test_parse_duration () =
+  let ok s expected =
+    match Mc.Runctl.parse_duration s with
+    | Ok v -> Alcotest.(check (float 1e-9)) s expected v
+    | Error msg -> Alcotest.failf "parse_duration %S: %s" s msg
+  in
+  ok "500ms" 0.5;
+  ok "2s" 2.0;
+  ok "5m" 300.0;
+  ok "1h" 3600.0;
+  ok "2.5" 2.5;
+  List.iter
+    (fun s ->
+      match Mc.Runctl.parse_duration s with
+      | Ok v -> Alcotest.failf "parse_duration %S accepted as %f" s v
+      | Error _ -> ())
+    [ ""; "-3s"; "bogus"; "12q" ]
+
+(* --- checkpoint/resume -------------------------------------------------- *)
+
+(* The railroad gate controller PSM: a timed model whose sup query takes
+   a few thousand states — room to interrupt in the middle. *)
+let railroad_psm () =
+  let controller =
+    Model.automaton ~name:"GateCtrl" ~initial:"Open"
+      [ loc "Open";
+        loc ~inv:[ Clockcons.le "g" 5 ] "Lowering";
+        loc "Closed" ]
+      [ edge ~sync:(Model.Recv "m_Train") ~resets:[ "g" ] "Open" "Lowering";
+        edge ~sync:(Model.Send "c_GateDown") "Lowering" "Closed";
+        edge ~sync:(Model.Recv "m_Clear") "Closed" "Open" ]
+  in
+  let track =
+    Model.automaton ~name:"Track" ~initial:"Away"
+      [ loc "Away";
+        loc "Approaching";
+        loc ~inv:[ Clockcons.le "t" 1_500 ] "Passing" ]
+      [ edge
+          ~guard:[ Clockcons.ge "t" 300 ]
+          ~sync:(Model.Send "m_Train") ~resets:[ "t" ] "Away" "Approaching";
+        edge ~sync:(Model.Recv "c_GateDown") ~resets:[ "t" ] "Approaching"
+          "Passing";
+        edge
+          ~guard:[ Clockcons.ge "t" 1_000 ]
+          ~sync:(Model.Send "m_Clear") ~resets:[ "t" ] "Passing" "Away" ]
+  in
+  let net =
+    Model.network ~name:"railroad" ~clocks:[ "g"; "t" ] ~vars:[]
+      ~channels:
+        [ ("m_Train", Model.Broadcast);
+          ("m_Clear", Model.Broadcast);
+          ("c_GateDown", Model.Broadcast) ]
+      [ controller; track ]
+  in
+  let pim = Transform.Pim.make net ~software:"GateCtrl" ~environment:"Track" in
+  let scheme =
+    { Scheme.is_name = "ecu";
+      is_inputs =
+        [ ("m_Train", Scheme.interrupt_input (Scheme.delay 1 4));
+          ("m_Clear", Scheme.interrupt_input (Scheme.delay 1 4)) ];
+      is_outputs = [ ("c_GateDown", Scheme.pulse_output (Scheme.delay 5 20)) ];
+      is_input_comm = Scheme.Buffer (2, Scheme.Read_all);
+      is_output_comm = Scheme.Buffer (2, Scheme.Read_all);
+      is_invocation = Scheme.Periodic 25;
+      is_exec = { Scheme.wcet_min = 1; wcet_max = 8 } }
+  in
+  (Transform.psm_of_pim pim scheme).Transform.psm_net
+
+let railroad_delay ?ctl ?resume () =
+  Analysis.Queries.max_delay ?ctl ?resume (railroad_psm ()) ~trigger:"m_Train"
+    ~response:"c_GateDown" ~ceiling:320
+
+let test_checkpoint_roundtrip () =
+  let straight = railroad_delay () in
+  Alcotest.(check bool) "straight run completes" true
+    (straight.Analysis.Queries.dr_interrupt = None);
+  (* interrupt in the middle *)
+  let ctl = Mc.Runctl.create ~budget:(state_budget 200) () in
+  let cut = railroad_delay ~ctl () in
+  Alcotest.(check bool) "interrupted mid-search" true
+    (cut.Analysis.Queries.dr_interrupt = Some (Mc.Runctl.State_budget 200));
+  let snap =
+    match cut.Analysis.Queries.dr_snapshot with
+    | Some s -> s
+    | None -> Alcotest.fail "interrupted run carries no snapshot"
+  in
+  (* round-trip through the on-disk format *)
+  let path = Filename.temp_file "psv_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Mc.Explorer.save_snapshot path snap;
+      let reloaded =
+        match Mc.Explorer.load_snapshot path with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "load_snapshot: %s" msg
+      in
+      let resumed = railroad_delay ~resume:reloaded () in
+      Alcotest.(check bool) "resumed run completes" true
+        (resumed.Analysis.Queries.dr_interrupt = None);
+      Alcotest.(check bool) "same sup" true
+        (resumed.Analysis.Queries.dr_sup = straight.Analysis.Queries.dr_sup);
+      Alcotest.(check int) "same visited count"
+        straight.Analysis.Queries.dr_stats.Mc.Explorer.visited
+        resumed.Analysis.Queries.dr_stats.Mc.Explorer.visited;
+      Alcotest.(check int) "same stored count"
+        straight.Analysis.Queries.dr_stats.Mc.Explorer.stored
+        resumed.Analysis.Queries.dr_stats.Mc.Explorer.stored)
+
+let test_load_snapshot_errors () =
+  (match Mc.Explorer.load_snapshot "/nonexistent/psv.snap" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "loaded a snapshot from a missing file");
+  let path = Filename.temp_file "psv_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a snapshot at all";
+      close_out oc;
+      match Mc.Explorer.load_snapshot path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted garbage as a snapshot")
+
+let test_fingerprint_mismatch () =
+  let ctl = Mc.Runctl.create ~budget:(state_budget 200) () in
+  let cut = railroad_delay ~ctl () in
+  let snap = Option.get cut.Analysis.Queries.dr_snapshot in
+  (* same query shape, different network: the fingerprint must reject *)
+  match
+    Analysis.Queries.max_delay ~resume:snap (big_net ()) ~trigger:"m_Train"
+      ~response:"c_GateDown" ~ceiling:320
+  with
+  | _ -> Alcotest.fail "resumed a snapshot of a different network"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [ Alcotest.test_case "state budget -> Unknown" `Quick
+      test_state_budget_unknown;
+    Alcotest.test_case "time budget -> Unknown" `Quick
+      test_time_budget_unknown;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    Alcotest.test_case "parse_duration" `Quick test_parse_duration;
+    Alcotest.test_case "checkpoint round-trip" `Quick
+      test_checkpoint_roundtrip;
+    Alcotest.test_case "load_snapshot errors" `Quick
+      test_load_snapshot_errors;
+    Alcotest.test_case "fingerprint mismatch rejected" `Quick
+      test_fingerprint_mismatch ]
