@@ -399,7 +399,7 @@ let railroad_psm ~headway ~invocation =
 
 type explorer_query = {
   eq_name : string;
-  eq_run : unit -> Analysis.Queries.delay_result;
+  eq_run : jobs:int -> unit -> Analysis.Queries.delay_result;
 }
 
 let explorer_queries () =
@@ -407,8 +407,8 @@ let explorer_queries () =
     lazy (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params).Transform.psm_net
   in
   let gpca_ceiling = 2 * (Gpca.Experiment.analytic_bounds params).Gpca.Experiment.a_mc in
-  let delay net ~trigger ~response ~ceiling () =
-    Analysis.Queries.max_delay net ~trigger ~response ~ceiling
+  let delay net ~trigger ~response ~ceiling ~jobs () =
+    Analysis.Queries.max_delay ~jobs net ~trigger ~response ~ceiling
   in
   [ { eq_name = "gpca-pim-mc";
       eq_run =
@@ -418,21 +418,21 @@ let explorer_queries () =
           ~ceiling:1000 };
     { eq_name = "gpca-psm-input";
       eq_run =
-        (fun () ->
+        (fun ~jobs () ->
           delay (Lazy.force gpca_psm) ~trigger:Gpca.Model.bolus_req
             ~response:(Transform.Names.input_chan Gpca.Model.bolus_req)
-            ~ceiling:gpca_ceiling ()) };
+            ~ceiling:gpca_ceiling ~jobs ()) };
     { eq_name = "gpca-psm-output";
       eq_run =
-        (fun () ->
+        (fun ~jobs () ->
           delay (Lazy.force gpca_psm)
             ~trigger:(Transform.Names.output_chan Gpca.Model.start_infusion)
-            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ()) };
+            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ~jobs ()) };
     { eq_name = "gpca-psm-mc";
       eq_run =
-        (fun () ->
+        (fun ~jobs () ->
           delay (Lazy.force gpca_psm) ~trigger:Gpca.Model.bolus_req
-            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ()) };
+            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ~jobs ()) };
     { eq_name = "railroad-psm-event";
       eq_run =
         delay
@@ -460,23 +460,76 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let explorer_bench_json ?path () =
+let median l =
+  let a = Array.of_list (List.sort compare l) in
+  let n = Array.length a in
+  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* [repeat] timed runs of one query at a fixed worker count: the result
+   of the first run plus median and min wall time, and the allocation of
+   the first run (allocation is deterministic per run shape). *)
+let timed_runs ~repeat ~jobs q =
+  let results =
+    List.init repeat (fun _ ->
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        let r = q.eq_run ~jobs () in
+        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+        let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
+        (r, wall_ms, alloc_mb))
+  in
+  let walls = List.map (fun (_, w, _) -> w) results in
+  let r, _, alloc_mb = List.hd results in
+  (r, median walls, List.fold_left min infinity walls, alloc_mb)
+
+(* A jobs-scaling row is only meaningful on searches with real work; a
+   query that finishes in a few hundred states measures domain-spawn
+   overhead, not exploration. *)
+let scaling_threshold = 1000
+
+let explorer_bench_json ?path ?(repeat = 1) ?(jobs_list = []) () =
   let rows =
     List.map
       (fun q ->
-        let a0 = Gc.allocated_bytes () in
-        let t0 = Unix.gettimeofday () in
-        let r = q.eq_run () in
-        let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
-        let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
+        let r, wall_ms, wall_min, alloc_mb = timed_runs ~repeat ~jobs:1 q in
         let stats = r.Analysis.Queries.dr_stats in
+        let scaling =
+          let eligible =
+            jobs_list <> [] && stats.Mc.Explorer.visited >= scaling_threshold
+          in
+          if not eligible then ""
+          else begin
+            let cells =
+              List.map
+                (fun jobs ->
+                  let rj, wj, _, _ = timed_runs ~repeat ~jobs q in
+                  (* parallel exploration must agree with the sequential
+                     sup — a mismatch is a correctness bug, not noise *)
+                  if rj.Analysis.Queries.dr_sup <> r.Analysis.Queries.dr_sup
+                  then begin
+                    Printf.eprintf
+                      "bench: %s: jobs=%d sup disagrees with sequential\n"
+                      q.eq_name jobs;
+                    exit 1
+                  end;
+                  Printf.sprintf
+                    "{\"jobs\": %d, \"wall_ms\": %.1f, \"speedup\": %.2f}"
+                    jobs wj (wall_ms /. wj))
+                jobs_list
+            in
+            Printf.sprintf ", \"jobs_scaling\": [%s]"
+              (String.concat ", " cells)
+          end
+        in
         Printf.sprintf
           "    {\"name\": \"%s\", \"visited\": %d, \"stored\": %d, \
-           \"wall_ms\": %.1f, \"alloc_mb\": %.1f, \"result\": \"%s\"}"
+           \"wall_ms\": %.1f, \"wall_ms_min\": %.1f, \"repeat\": %d, \
+           \"alloc_mb\": %.1f, \"result\": \"%s\"%s}"
           (json_escape q.eq_name) stats.Mc.Explorer.visited
-          stats.Mc.Explorer.stored wall_ms alloc_mb
+          stats.Mc.Explorer.stored wall_ms wall_min repeat alloc_mb
           (json_escape
-             (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup)))
+             (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup))
+          scaling)
       (explorer_queries ())
   in
   let body =
@@ -584,8 +637,26 @@ let bechamel_suite () =
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
-    let path = match rest with p :: _ -> Some p | [] -> None in
-    explorer_bench_json ?path ()
+    let bad fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 3) fmt in
+    let int_arg flag s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | Some _ | None -> bad "bench: bad %s %S" flag s
+    in
+    let rec parse path repeat jobs_list = function
+      | [] -> (path, repeat, jobs_list)
+      | "--repeat" :: r :: rest ->
+        parse path (int_arg "--repeat" r) jobs_list rest
+      | "--jobs" :: l :: rest ->
+        let jobs =
+          List.map (int_arg "--jobs") (String.split_on_char ',' l)
+        in
+        parse path repeat jobs rest
+      | [ ("--repeat" | "--jobs") as flag ] -> bad "bench: %s needs a value" flag
+      | p :: rest -> parse (Some p) repeat jobs_list rest
+    in
+    let path, repeat, jobs_list = parse None 1 [] rest in
+    explorer_bench_json ?path ~repeat ~jobs_list ()
   | _ ->
   e4_pim_verification ();
   e123_table1 ();

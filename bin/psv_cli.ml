@@ -135,9 +135,7 @@ let budget_mem_arg =
            ~doc:"Live-heap budget in megabytes (sampled); exceeded means \
                  verdict $(i,unknown), exit code 2.")
 
-(* one govern token per run: budgets plus first-^C-cancels.  The wall
-   clock starts here, so build the token right before the search. *)
-let make_ctl ~time ~states ~mem =
+let make_budget ~time ~states ~mem =
   let b_time_s =
     Option.map
       (fun s ->
@@ -146,14 +144,25 @@ let make_ctl ~time ~states ~mem =
         | Error msg -> die "bad --budget-time %S: %s" s msg)
       time
   in
-  let budget =
-    { Mc.Runctl.b_time_s;
-      b_states = states;
-      b_mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem }
-  in
-  let ctl = Mc.Runctl.create ~budget () in
+  { Mc.Runctl.b_time_s;
+    b_states = states;
+    b_mem_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem }
+
+(* one govern token per run: budgets plus first-^C-cancels.  The wall
+   clock starts here, so build the token right before the search. *)
+let make_ctl ~time ~states ~mem =
+  let ctl = Mc.Runctl.create ~budget:(make_budget ~time ~states ~mem) () in
   Mc.Runctl.install_sigint ctl;
   ctl
+
+(* for batch runs: fresh tokens (each query gets the full budget) but a
+   single ^C cancels the whole fleet *)
+let install_sigint_all ctls =
+  try
+    ignore
+      (Sys.signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> List.iter Mc.Runctl.cancel ctls)))
+  with Invalid_argument _ | Sys_error _ -> ()
 
 let load_resume path =
   match Mc.Explorer.load_snapshot path with
@@ -161,6 +170,16 @@ let load_resume path =
   | Error msg -> die "cannot resume from %s: %s" path msg
 
 (* --- common arguments -------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Explore with $(docv) worker domains (default 1, the \
+                 sequential explorer).  Verdicts and sup values are \
+                 identical for every $(docv); visited/stored counts may \
+                 differ with $(docv) > 1.")
+
+let check_jobs n = if n < 1 then die "--jobs must be at least 1" else n
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -248,8 +267,12 @@ let verify_cmd =
          & info [ "json" ]
              ~doc:"Emit the verdict and exploration statistics as JSON.")
   in
-  let run file trigger response bound ceiling budget_time budget_states
+  let run file trigger response bound ceiling jobs budget_time budget_states
       budget_mem checkpoint resume json =
+    let jobs = check_jobs jobs in
+    if jobs > 1 && (checkpoint <> None || resume <> None) then
+      die "--checkpoint/--resume require --jobs 1 (parallel runs do not \
+           emit snapshots)";
     let net = load_network file in
     let resume_snap = Option.map load_resume resume in
     (* with --bound the sup ceiling is the bound itself: the check is
@@ -257,7 +280,9 @@ let verify_cmd =
     let ceiling = match bound with Some b -> b | None -> ceiling in
     let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
     let r =
-      try Psv.max_delay ~ctl ?resume:resume_snap net ~trigger ~response ~ceiling
+      try
+        Psv.max_delay ~jobs ~ctl ?resume:resume_snap net ~trigger ~response
+          ~ceiling
       with
       | Invalid_argument msg -> die "%s" msg
       | Not_found -> die "unknown channel %S or %S" trigger response
@@ -326,7 +351,7 @@ let verify_cmd =
        ~doc:"Verify a bounded-response requirement, or compute the maximum \
              delay.  Exit codes: 0 proved, 1 refuted, 2 unknown \
              (interrupted by a budget or ^C), 3 usage or parse error.")
-    Term.(const run $ file $ trigger $ response $ bound $ ceiling
+    Term.(const run $ file $ trigger $ response $ bound $ ceiling $ jobs_arg
           $ budget_time_arg $ budget_states_arg $ budget_mem_arg
           $ checkpoint $ resume $ json)
 
@@ -343,7 +368,8 @@ let query_cmd =
              ~doc:"E<> PRED | A[] PRED | sup: CHAN -> CHAN [ceiling N] | \
                    bounded: CHAN -> CHAN within N")
   in
-  let run file query budget_time budget_states budget_mem =
+  let run file query jobs budget_time budget_states budget_mem =
+    let jobs = check_jobs jobs in
     let net = load_network file in
     match Mc.Query.parse query with
     | Error msg -> die "query: %s" msg
@@ -352,7 +378,7 @@ let query_cmd =
         make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem
       in
       let result =
-        try Mc.Query.eval ~ctl net q
+        try Mc.Query.eval ~jobs ~ctl net q
         with Not_found ->
           die "query names an unknown process, location or variable"
       in
@@ -374,8 +400,8 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Evaluate an UPPAAL-style query on a .xta model.  Exit codes: \
              0 holds, 1 fails, 2 unknown, 3 usage or parse error.")
-    Term.(const run $ file $ query $ budget_time_arg $ budget_states_arg
-          $ budget_mem_arg)
+    Term.(const run $ file $ query $ jobs_arg $ budget_time_arg
+          $ budget_states_arg $ budget_mem_arg)
 
 (* --- check (batch queries) -------------------------------------------------- *)
 
@@ -390,19 +416,36 @@ let check_cmd =
              ~doc:"Query file: one query per line; blank lines and lines \
                    starting with # are skipped.")
   in
-  let run model queries budget_time budget_states budget_mem =
+  let run model queries jobs budget_time budget_states budget_mem =
+    let jobs = check_jobs jobs in
     let net = load_network model in
     let lines = String.split_on_char '\n' (read_file queries) in
-    let failures = ref 0 and unknowns = ref 0 and total = ref 0 in
-    List.iteri
-      (fun lineno line ->
-        let line = String.trim line in
-        if line <> "" && line.[0] <> '#' then begin
-          incr total;
+    let numbered =
+      List.filteri (fun _ (_, line) -> line <> "" && line.[0] <> '#')
+        (List.mapi (fun lineno line -> (lineno + 1, String.trim line)) lines)
+    in
+    let failures = ref 0 and unknowns = ref 0 in
+    let report (lineno, line, res) =
+      match res with
+      | Error msg ->
+        incr failures;
+        Fmt.pr "%3d  ERROR  %s@.     %s@." lineno line msg
+      | Ok outcome ->
+        let status =
+          match outcome with
+          | Mc.Query.Fails _ -> incr failures; "FAIL"
+          | Mc.Query.Unknown _ -> incr unknowns; "?"
+          | Mc.Query.Holds | Mc.Query.Sup _ -> "pass"
+        in
+        Fmt.pr "%3d  %-5s  %s  [%a]@." lineno status line
+          Mc.Query.pp_outcome outcome
+    in
+    if jobs <= 1 then
+      (* sequential: evaluate and print incrementally *)
+      List.iter
+        (fun (lineno, line) ->
           match Mc.Query.parse line with
-          | Error msg ->
-            incr failures;
-            Fmt.pr "%3d  ERROR  %s@.     %s@." (lineno + 1) line msg
+          | Error msg -> report (lineno, line, Error msg)
           | Ok q ->
             (* a fresh token per query: each one gets the full budget *)
             let ctl =
@@ -410,24 +453,46 @@ let check_cmd =
                 ~mem:budget_mem
             in
             (match Mc.Query.eval ~ctl net q with
-             | result ->
-               let outcome = result.Mc.Query.res_outcome in
-               let status =
-                 match outcome with
-                 | Mc.Query.Fails _ -> incr failures; "FAIL"
-                 | Mc.Query.Unknown _ -> incr unknowns; "?"
-                 | Mc.Query.Holds | Mc.Query.Sup _ -> "pass"
-               in
-               Fmt.pr "%3d  %-5s  %s  [%a]@." (lineno + 1) status line
-                 Mc.Query.pp_outcome outcome
+             | result -> report (lineno, line, Ok result.Mc.Query.res_outcome)
              | exception Not_found ->
-               incr failures;
-               Fmt.pr "%3d  ERROR  %s@.     unknown process, location or \
-                       variable@." (lineno + 1) line)
-        end)
-      lines;
-    Fmt.pr "@.%d quer%s, %d failure%s, %d unknown@." !total
-      (if !total = 1 then "y" else "ies")
+               report
+                 (lineno, line,
+                  Error "unknown process, location or variable")))
+        numbered
+    else begin
+      (* parallel: parse everything up front, give each query a fresh
+         token (full budget each), let one ^C cancel the whole batch,
+         then print in file order *)
+      let budget =
+        make_budget ~time:budget_time ~states:budget_states ~mem:budget_mem
+      in
+      let parsed =
+        List.map
+          (fun (lineno, line) ->
+            match Mc.Query.parse line with
+            | Error msg -> (lineno, line, Error msg)
+            | Ok q -> (lineno, line, Ok (q, Mc.Runctl.create ~budget ())))
+          numbered
+      in
+      install_sigint_all
+        (List.filter_map
+           (function _, _, Ok (_, ctl) -> Some ctl | _, _, Error _ -> None)
+           parsed);
+      Analysis.Queries.pool_map ~jobs
+        (fun (lineno, line, item) ->
+          match item with
+          | Error msg -> (lineno, line, Error msg)
+          | Ok (q, ctl) ->
+            (match Mc.Query.eval ~ctl net q with
+             | result -> (lineno, line, Ok result.Mc.Query.res_outcome)
+             | exception Not_found ->
+               (lineno, line, Error "unknown process, location or variable")))
+        parsed
+      |> List.iter report
+    end;
+    let total = List.length numbered in
+    Fmt.pr "@.%d quer%s, %d failure%s, %d unknown@." total
+      (if total = 1 then "y" else "ies")
       !failures
       (if !failures = 1 then "" else "s")
       !unknowns;
@@ -435,11 +500,104 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Run a file of queries against a model (verifyta-style).  Exit \
-             codes: 0 all pass, 1 any failure, 2 no failures but some \
+       ~doc:"Run a file of queries against a model (verifyta-style), \
+             optionally $(b,--jobs) queries at a time on separate domains.  \
+             Exit codes: 0 all pass, 1 any failure, 2 no failures but some \
              unknown, 3 usage or parse error.")
-    Term.(const run $ model $ queries $ budget_time_arg $ budget_states_arg
-          $ budget_mem_arg)
+    Term.(const run $ model $ queries $ jobs_arg $ budget_time_arg
+          $ budget_states_arg $ budget_mem_arg)
+
+(* --- sweep (GPCA scheme sweep) --------------------------------------------- *)
+
+let sweep_cmd =
+  let periods =
+    Arg.(value & opt string "50,100,200"
+         & info [ "periods" ] ~docv:"LIST"
+             ~doc:"Comma-separated invocation periods to sweep.")
+  in
+  let limit =
+    Arg.(value & opt int 500_000
+         & info [ "limit" ] ~docv:"N" ~doc:"Per-query state limit.")
+  in
+  let run periods limit jobs budget_time budget_states budget_mem =
+    let jobs = check_jobs jobs in
+    let periods =
+      List.map
+        (fun s ->
+          match int_of_string_opt (String.trim s) with
+          | Some p when p > 0 -> p
+          | Some _ | None -> die "bad --periods entry %S" s)
+        (String.split_on_char ',' periods)
+    in
+    let base = Gpca.Params.default in
+    (* one query per period x boundary; each spec rebuilds its PSM on
+       the worker domain, with the ceiling at twice the analytic bound
+       so the verified sup always lands below it *)
+    let specs =
+      List.concat_map
+        (fun period ->
+          let p =
+            { base with
+              Gpca.Params.period;
+              exec =
+                { Scheme.wcet_min = min 20 (period / 2); wcet_max = period } }
+          in
+          let a = Gpca.Experiment.analytic_bounds p in
+          let psm () =
+            (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p)
+              .Transform.psm_net
+          in
+          let name boundary = Printf.sprintf "p%d-%s" period boundary in
+          [ { Analysis.Queries.qs_name = name "input";
+              qs_net = psm;
+              qs_trigger = Gpca.Model.bolus_req;
+              qs_response = Transform.Names.input_chan Gpca.Model.bolus_req;
+              qs_ceiling = 2 * a.Gpca.Experiment.a_input };
+            { Analysis.Queries.qs_name = name "output";
+              qs_net = psm;
+              qs_trigger =
+                Transform.Names.output_chan Gpca.Model.start_infusion;
+              qs_response = Gpca.Model.start_infusion;
+              qs_ceiling = 2 * a.Gpca.Experiment.a_output };
+            { Analysis.Queries.qs_name = name "mc";
+              qs_net = psm;
+              qs_trigger = Gpca.Model.bolus_req;
+              qs_response = Gpca.Model.start_infusion;
+              qs_ceiling = 2 * a.Gpca.Experiment.a_mc } ])
+        periods
+    in
+    let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
+    let results = Analysis.Queries.run_all ~jobs ~limit ~ctl specs in
+    Fmt.pr "%14s | %8s | %13s | %8s@." "query" "ceiling" "verified" "states";
+    let interrupted = ref 0 in
+    List.iter
+      (fun ((spec : Analysis.Queries.query_spec), r) ->
+        (match r.Analysis.Queries.dr_interrupt with
+         | Some _ -> incr interrupted
+         | None -> ());
+        Fmt.pr "%14s | %8d | %13s | %8d%s@." spec.Analysis.Queries.qs_name
+          spec.Analysis.Queries.qs_ceiling
+          (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup)
+          r.Analysis.Queries.dr_stats.Mc.Explorer.visited
+          (match r.Analysis.Queries.dr_interrupt with
+           | Some reason ->
+             Fmt.str "  [interrupted: %a]" Mc.Runctl.pp_reason reason
+           | None -> ""))
+      results;
+    if !interrupted > 0 then begin
+      Fmt.pr "@.%d quer%s interrupted@." !interrupted
+        (if !interrupted = 1 then "y" else "ies");
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep GPCA invocation periods and verify the input/output/mc \
+             boundary delays of each scheme, $(b,--jobs) queries at a time \
+             on separate domains.  Exit codes: 0 complete, 2 some queries \
+             interrupted, 3 usage error.")
+    Term.(const run $ periods $ limit $ jobs_arg $ budget_time_arg
+          $ budget_states_arg $ budget_mem_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -747,8 +905,8 @@ let main =
   Cmd.group
     (Cmd.info "psv" ~version:"1.0.0"
        ~doc:"Platform-specific timing verification in model-based implementation.")
-    [ table1_cmd; verify_cmd; query_cmd; check_cmd; trace_cmd; transform_cmd;
-      codegen_cmd; bounds_cmd; simulate_cmd;
+    [ table1_cmd; verify_cmd; query_cmd; check_cmd; sweep_cmd; trace_cmd;
+      transform_cmd; codegen_cmd; bounds_cmd; simulate_cmd;
       export_cmd ]
 
 (* fold cmdliner's own error codes (124/125) into the documented

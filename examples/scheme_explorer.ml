@@ -8,56 +8,94 @@
    - periodic vs aperiodic invocation, and read-all vs read-one,
 
    printing the Lemma-1/2 analytic bound next to the model-checked bound
-   for each point.
+   for each point.  The grid points are independent queries, so the two
+   timed sweeps run on a domain pool (Queries.run_all).
 
-   Run with: dune exec examples/scheme_explorer.exe *)
+   Run with: dune exec examples/scheme_explorer.exe -- [--jobs N] *)
 
 let base = Gpca.Params.default
+
+let jobs =
+  let rec find = function
+    | "--jobs" :: n :: _ ->
+      (match int_of_string_opt n with
+       | Some j when j >= 1 -> j
+       | Some _ | None ->
+         prerr_endline "scheme_explorer: bad --jobs value";
+         exit 2)
+    | _ :: rest -> find rest
+    | [] -> 1
+  in
+  find (Array.to_list Sys.argv)
 
 (* Cap each verification so a fine-grained grid point that explodes the
    zone graph reports "too large" instead of stalling the sweep. *)
 let state_limit = 400_000
 
-let verified_mc p =
-  let psm = Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p in
-  let ceiling = 3 * (Gpca.Experiment.analytic_bounds p).Gpca.Experiment.a_mc in
-  let r =
-    Psv.max_delay ~limit:state_limit psm.Transform.psm_net
-      ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
-      ~ceiling
-  in
+let describe_result (r : Analysis.Queries.delay_result) =
   match r.Analysis.Queries.dr_interrupt with
   | Some (Mc.Runctl.State_budget n) -> Fmt.str "(> %d states)" n
   | Some reason -> Fmt.str "(%a)" Mc.Runctl.pp_reason reason
   | None -> Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup
 
-let sup_to_string s = s
+(* One grid point = one mc-boundary sup query on the point's PSM.  The
+   network thunk runs on the worker domain: each domain builds and
+   explores its own PSM. *)
+let mc_spec ~name p =
+  { Analysis.Queries.qs_name = name;
+    qs_net =
+      (fun () ->
+        (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p).Transform.psm_net);
+    qs_trigger = Gpca.Model.bolus_req;
+    qs_response = Gpca.Model.start_infusion;
+    qs_ceiling = 3 * (Gpca.Experiment.analytic_bounds p).Gpca.Experiment.a_mc }
+
+let run_grid points =
+  Analysis.Queries.run_all ~jobs ~limit:state_limit points
 
 let sweep_period () =
   Fmt.pr "== Invocation period sweep (polling 50, WCET window tracks period) ==@.";
   Fmt.pr "%8s | %14s | %14s@." "period" "analytic Δ'mc" "verified sup";
-  List.iter
-    (fun period ->
-      let p =
-        { base with
-          Gpca.Params.period;
-          exec = { Scheme.wcet_min = min 20 (period / 2); wcet_max = period } }
-      in
+  let points =
+    List.map
+      (fun period ->
+        let p =
+          { base with
+            Gpca.Params.period;
+            exec = { Scheme.wcet_min = min 20 (period / 2); wcet_max = period } }
+        in
+        (period, p))
+      [ 20; 50; 100; 200; 250 ]
+  in
+  let results =
+    run_grid
+      (List.map (fun (period, p) -> mc_spec ~name:(string_of_int period) p)
+         points)
+  in
+  List.iter2
+    (fun (period, p) (_, r) ->
       let analytic = (Gpca.Experiment.analytic_bounds p).Gpca.Experiment.a_mc in
-      Fmt.pr "%8d | %14d | %14s@." period analytic
-        (sup_to_string (verified_mc p)))
-    [ 20; 50; 100; 200; 250 ]
+      Fmt.pr "%8d | %14d | %14s@." period analytic (describe_result r))
+    points results
 
 let sweep_polling () =
   Fmt.pr "@.== Polling interval sweep (period 100) ==@.";
   Fmt.pr "%8s | %14s | %14s@." "poll" "analytic Δ'mc" "verified sup";
-  List.iter
-    (fun poll_interval ->
-      let p = { base with Gpca.Params.poll_interval } in
+  let points =
+    List.map
+      (fun poll_interval ->
+        (poll_interval, { base with Gpca.Params.poll_interval }))
+      [ 25; 50; 100; 200 ]
+  in
+  let results =
+    run_grid
+      (List.map (fun (poll, p) -> mc_spec ~name:(string_of_int poll) p) points)
+  in
+  List.iter2
+    (fun (poll_interval, p) (_, r) ->
       let analytic = (Gpca.Experiment.analytic_bounds p).Gpca.Experiment.a_mc in
-      Fmt.pr "%8d | %14d | %14s@." poll_interval analytic
-        (sup_to_string (verified_mc p)))
-    [ 25; 50; 100; 200 ]
+      Fmt.pr "%8d | %14d | %14s@." poll_interval analytic (describe_result r))
+    points results
 
 (* Scheme-shape matrix: hold the GPCA parameters, change the io-boundary
    mechanisms.  Aperiodic invocation removes the period term from the

@@ -9,15 +9,25 @@ type delay_result = {
 
 let monitor_clock = "psv_delay_mon"
 
-let max_delay ?limit ?ctl ?resume net ~trigger ~response ~ceiling =
+let max_delay ?(jobs = 1) ?limit ?ctl ?resume net ~trigger ~response ~ceiling =
+  (match resume with
+   | Some _ when jobs > 1 ->
+     invalid_arg "Queries.max_delay: resume requires jobs = 1 \
+                  (parallel runs do not emit snapshots)"
+   | _ -> ());
   let monitor =
     Mc.Monitor.delay ~trigger ~response ~clock:monitor_clock ~ceiling ()
   in
   let t = Mc.Explorer.make ~monitor ?limit net in
   let o =
-    Mc.Explorer.sup_clock ?ctl ?resume t
-      ~pred:(Mc.Explorer.mon_in t "Waiting")
-      ~clock:monitor_clock
+    if jobs <= 1 then
+      Mc.Explorer.sup_clock ?ctl ?resume t
+        ~pred:(Mc.Explorer.mon_in t "Waiting")
+        ~clock:monitor_clock
+    else
+      Mc.Parsearch.sup_clock ~jobs ?ctl t
+        ~pred:(Mc.Explorer.mon_in t "Waiting")
+        ~clock:monitor_clock
   in
   { dr_trigger = trigger; dr_response = response;
     dr_sup = o.Mc.Explorer.so_sup;
@@ -38,13 +48,74 @@ let verdict_of_delay r ~bound =
   | Some _, Mc.Explorer.Sup_exceeds _ -> Mc.Explorer.Refuted None
   | Some reason, _ -> Mc.Explorer.Unknown reason
 
-let satisfies_response_bound ?limit ?ctl net ~trigger ~response ~bound =
-  let r = max_delay ?limit ?ctl net ~trigger ~response ~ceiling:bound in
+let satisfies_response_bound ?jobs ?limit ?ctl net ~trigger ~response ~bound =
+  let r = max_delay ?jobs ?limit ?ctl net ~trigger ~response ~ceiling:bound in
   verdict_of_delay r ~bound
 
 let pim_internal_bound ?limit (pim : Transform.Pim.t) ~input ~output ~ceiling =
   max_delay ?limit pim.Transform.Pim.pim_net ~trigger:input ~response:output
     ~ceiling
+
+(* --- parallel query driver ---------------------------------------------- *)
+
+(* Generic bounded domain pool over a work list.  Items are claimed by
+   an atomic next-index counter; the first exception wins, parks in an
+   atomic slot, drains the remaining items (workers stop claiming once
+   a failure is recorded) and is re-raised on the caller's domain after
+   the join. *)
+let pool_map ~jobs f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        match Atomic.get failure with
+        | Some _ -> ()
+        | None ->
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f arr.(i) with
+             | r -> results.(i) <- Some r
+             | exception exn ->
+               ignore (Atomic.compare_and_set failure None (Some exn)));
+            loop ()
+          end
+      in
+      loop ()
+    in
+    let doms = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms;
+    (match Atomic.get failure with Some exn -> raise exn | None -> ());
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+type query_spec = {
+  qs_name : string;
+  qs_net : unit -> Ta.Model.network;
+  qs_trigger : string;
+  qs_response : string;
+  qs_ceiling : int;
+}
+
+let run_all ?(jobs = 1) ?(search_jobs = 1) ?limit ?ctl specs =
+  pool_map ~jobs
+    (fun spec ->
+      (* each worker builds its own network from the thunk, so no model
+         structure is shared across domains *)
+      let r =
+        max_delay ~jobs:search_jobs ?limit ?ctl (spec.qs_net ())
+          ~trigger:spec.qs_trigger ~response:spec.qs_response
+          ~ceiling:spec.qs_ceiling
+      in
+      (spec, r))
+    specs
 
 let pp_delay_result ppf r =
   Fmt.pf ppf "max delay %s -> %s: %a (%d states)" r.dr_trigger r.dr_response

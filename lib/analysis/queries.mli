@@ -25,9 +25,11 @@ type delay_result = {
     [ctl] governs the run (budgets, cancellation); [resume] continues an
     interrupted run from its snapshot — same trigger, response, ceiling
     and network required ({!Mc.Explorer.sup_clock} checks the
-    fingerprint). *)
+    fingerprint).  [jobs] (default 1) runs the exploration itself on
+    that many domains via {!Mc.Parsearch}: identical sup, no snapshot.
+    @raise Invalid_argument when [resume] is combined with [jobs > 1]. *)
 val max_delay :
-  ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
+  ?jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
   Ta.Model.network ->
   trigger:string -> response:string -> ceiling:int -> delay_result
 
@@ -43,7 +45,7 @@ val verdict_of_delay : delay_result -> bound:int -> Mc.Explorer.verdict
     governed search was interrupted without the partial sup already
     exceeding the bound. *)
 val satisfies_response_bound :
-  ?limit:int -> ?ctl:Mc.Runctl.t ->
+  ?jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t ->
   Ta.Model.network ->
   trigger:string -> response:string -> bound:int -> Mc.Explorer.verdict
 
@@ -54,5 +56,38 @@ val pim_internal_bound :
   ?limit:int ->
   Transform.Pim.t ->
   input:string -> output:string -> ceiling:int -> delay_result
+
+(** [pool_map ~jobs f items] maps [f] over [items] on a pool of [jobs]
+    domains (clamped to the item count; [jobs <= 1] is a plain
+    [List.map]).  Results keep list order.  If any [f] raises, the pool
+    drains and the first exception is re-raised on the caller's
+    domain. *)
+val pool_map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** One delay query of a batch: a name for reporting, a thunk building
+    the network (called on the worker domain, so no model structure is
+    shared between domains), and the boundary pair with its ceiling. *)
+type query_spec = {
+  qs_name : string;
+  qs_net : unit -> Ta.Model.network;
+  qs_trigger : string;
+  qs_response : string;
+  qs_ceiling : int;
+}
+
+(** [run_all ~jobs specs] evaluates independent delay queries on a pool
+    of [jobs] domains ({!pool_map}); [search_jobs] additionally
+    parallelises {e each} exploration (default 1 — for a batch, one
+    domain per query usually beats splitting a single search).  Results
+    keep the order of [specs].
+
+    A shared [ctl] governs the whole batch: its wall-clock budget is
+    measured from token creation (so concurrent queries race the same
+    deadline), the visited-state budget applies {e per query} (each
+    search counts its own states), and {!Mc.Runctl.cancel} stops every
+    query at its next poll. *)
+val run_all :
+  ?jobs:int -> ?search_jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t ->
+  query_spec list -> (query_spec * delay_result) list
 
 val pp_delay_result : Format.formatter -> delay_result -> unit

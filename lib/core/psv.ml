@@ -18,9 +18,9 @@ module Gpca = Gpca
 module Xta = Xta
 module Codegen = Codegen
 
-let verify_response ?limit ?ctl net ~trigger ~response ~bound =
-  Analysis.Queries.satisfies_response_bound ?limit ?ctl net ~trigger ~response
-    ~bound
+let verify_response ?jobs ?limit ?ctl net ~trigger ~response ~bound =
+  Analysis.Queries.satisfies_response_bound ?jobs ?limit ?ctl net ~trigger
+    ~response ~bound
 
 let max_delay = Analysis.Queries.max_delay
 

@@ -44,15 +44,16 @@ module Codegen = Codegen
 (** [verify_response net ~trigger ~response ~bound] checks the bounded
     response requirement [P(bound)] on any network (PIM or PSM).
     Three-valued: [Unknown] when a govern token's budget interrupted the
-    search before a definite answer. *)
+    search before a definite answer.  [jobs] runs the exploration on
+    that many domains ({!Mc.Parsearch}) — same verdict. *)
 val verify_response :
-  ?limit:int -> ?ctl:Mc.Runctl.t ->
+  ?jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t ->
   Model.network -> trigger:string -> response:string -> bound:int ->
   Mc.Explorer.verdict
 
 (** Verified maximum delay between two synchronisations. *)
 val max_delay :
-  ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
+  ?jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
   Model.network ->
   trigger:string -> response:string -> ceiling:int ->
   Analysis.Queries.delay_result

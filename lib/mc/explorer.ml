@@ -148,6 +148,26 @@ let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
 
 let compiled t = t.comp
 
+let state_limit t = t.limit
+
+let fresh_pool t = Zone.Dbm.Pool.create (t.comp.Compiled.c_nclocks + 1)
+
+(* DBM index and exact-reporting ceiling of a (typically monitor) clock,
+   as used by sup queries.  Shared with the parallel explorer so both
+   resolve clock names identically. *)
+let monitor_clock_info t clock =
+  let ci =
+    match List.assoc_opt clock t.mon_clock_index with
+    | Some i -> i
+    | None -> Compiled.clock_index t.comp clock
+  in
+  let ceiling =
+    match List.assoc_opt clock t.mon_ceiling with
+    | Some c -> c
+    | None -> t.k.(ci)
+  in
+  (ci, ceiling)
+
 let at t ~aut ~loc =
   let ai, li = Compiled.loc_index t.comp ~aut loc in
   fun st -> st.st_locs.(ai) = li
@@ -226,6 +246,8 @@ let describe t cd =
     List.map (fun (_, ce) -> Compiled.describe_edge t.comp ce) cd.cd_movers
   in
   String.concat " | " heads
+
+let movers cd = cd.cd_movers
 
 (* [fire t pool st cd] applies candidate [cd] to [st].  The successor
    zone is taken from [pool]; candidates whose guard (or target
@@ -382,10 +404,14 @@ type entry = {
 }
 
 (* One discrete state (locs, vars, mon) of the passed/waiting list, with
-   its live zones.  Nodes hang off a hash-keyed table; the precomputed
-   hash avoids rehashing the arrays on every probe, and collisions are
-   resolved by structural comparison here. *)
+   its live zones.  Nodes hang off a hash-keyed table; the hash is
+   computed once per state and cached in the node ([pw_hash]), so
+   subsumption probes compare a machine integer before touching the
+   discrete vectors, and a parallel store can route on the same hash
+   without recomputing it.  Collisions are resolved by structural
+   comparison here. *)
 type pw_node = {
+  pw_hash : int;
   pw_locs : int array;
   pw_vars : int array;
   pw_mon : int;
@@ -564,7 +590,7 @@ type search_result = {
 let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
     ?(subsume = true) ?ctl ?resume ?(label = "") ?(payload = fun () -> "")
     t visit =
-  let pool = Zone.Dbm.Pool.create (t.comp.Compiled.c_nclocks + 1) in
+  let pool = fresh_pool t in
   let store : (int, pw_node list ref) Hashtbl.t = Hashtbl.create 4096 in
   (* trace side table: (parent, movers) per stored id, for witness
      reconstruction; grows geometrically *)
@@ -589,11 +615,11 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
   let progress =
     match !progress_hook with Some h -> Some h | None -> Lazy.force env_progress
   in
-  let find_node bucket st =
+  let find_node bucket h st =
     let rec go = function
       | [] -> None
       | (n : pw_node) :: rest ->
-        if n.pw_mon = st.st_mon && n.pw_locs = st.st_locs
+        if n.pw_hash = h && n.pw_mon = st.st_mon && n.pw_locs = st.st_locs
            && n.pw_vars = st.st_vars
         then Some n
         else go rest
@@ -610,12 +636,12 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
         Hashtbl.replace store h b;
         b
     in
-    match find_node bucket st with
+    match find_node bucket h st with
     | Some n -> n
     | None ->
       let n =
-        { pw_locs = st.st_locs; pw_vars = st.st_vars; pw_mon = st.st_mon;
-          pw_entries = [] }
+        { pw_hash = h; pw_locs = st.st_locs; pw_vars = st.st_vars;
+          pw_mon = st.st_mon; pw_entries = [] }
       in
       bucket := n :: !bucket;
       n
@@ -888,16 +914,7 @@ type sup_outcome = {
 }
 
 let sup_clock ?ctl ?resume t ~pred ~clock =
-  let ci =
-    match List.assoc_opt clock t.mon_clock_index with
-    | Some i -> i
-    | None -> Compiled.clock_index t.comp clock
-  in
-  let ceiling =
-    match List.assoc_opt clock t.mon_ceiling with
-    | Some c -> c
-    | None -> t.k.(ci)
-  in
+  let ci, ceiling = monitor_clock_info t clock in
   (* the running sup travels with the snapshot: on interrupt it is
      marshalled into the payload, on resume restored from it, so the
      states considered before the interrupt are not re-visited *)
@@ -995,12 +1012,12 @@ let pp_timed_step ppf step =
 (* Replay a fixed transition chain exactly (no extrapolation, no
    reduction) with an extra never-reset clock measuring absolute time;
    the clock's interval at each firing gives the possible firing times of
-   that step among runs following this chain. *)
-let timed_trace t pred =
-  let visit st = if pred st then `Stop else `Continue in
-  match (search ~label:"reachable" t visit).sr_chain with
-  | None -> None
-  | Some chain ->
+   that step among runs following this chain.  [None] means the chain is
+   infeasible — some guard or invariant empties the zone along the way.
+   Exposed separately from [timed_trace] so a witness chain found by a
+   different search (e.g. the parallel explorer) can be validated and
+   annotated. *)
+let replay t chain =
     let tclock = "psv_abs_time" in
     let comp =
       Compiled.compile ~extra_clocks:[ tclock ] t.comp.Compiled.c_model
@@ -1100,6 +1117,12 @@ let timed_trace t pred =
         end)
       chain;
     if !feasible then Some (List.rev !steps) else None
+
+let timed_trace t pred =
+  let visit st = if pred st then `Stop else `Continue in
+  match (search ~label:"reachable" t visit).sr_chain with
+  | None -> None
+  | Some chain -> replay t chain
 
 (* --- coverage ----------------------------------------------------------- *)
 

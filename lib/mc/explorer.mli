@@ -211,6 +211,16 @@ type timed_step = {
     [None] if the predicate is unreachable. *)
 val timed_trace : t -> (state -> bool) -> timed_step list option
 
+(** [replay t chain] replays a transition chain (as returned in
+    {!search_result.sr_chain}) exactly — no extrapolation, no activity
+    reduction — with an extra absolute-time clock, and annotates each
+    step with its feasible firing-time interval.  [None] when the chain
+    is infeasible (a guard or invariant empties the zone), so it doubles
+    as a feasibility check for witnesses found by other searches (e.g.
+    {!Parsearch}). *)
+val replay :
+  t -> (int * Ta.Compiled.cedge) list list -> timed_step list option
+
 val pp_timed_step : Format.formatter -> timed_step -> unit
 
 (** Structural coverage of a full exploration: locations never entered
@@ -225,3 +235,87 @@ type coverage = {
 }
 
 val coverage : t -> coverage
+
+(** {1 Expansion engine}
+
+    The successor-generation primitives behind {!search}, exposed so the
+    domain-parallel explorer ({!Parsearch}) drives the {e same} firing
+    semantics through its own sharded store.  Library-internal in
+    spirit: prefer the query functions above. *)
+
+(** The initial symbolic state (delay-closed, invariant-constrained,
+    extrapolated).  Its zone may be empty if the initial invariants are
+    unsatisfiable. *)
+val initial_state : t -> state
+
+(** The explorer's visited-state limit (the [limit] given to {!make}). *)
+val state_limit : t -> int
+
+(** A fresh DBM scratch pool of the explorer's zone dimension.  Pools
+    are single-domain: a parallel search creates one per worker. *)
+val fresh_pool : t -> Zone.Dbm.Pool.t
+
+(** A candidate discrete transition out of a state: the moving edges in
+    update order plus the synchronising channel, precomputed by
+    {!candidates}. *)
+type candidate
+
+(** All discrete transition candidates enabled in (the discrete part of)
+    a state, in the deterministic enumeration order of the sequential
+    search.  Zone satisfiability is {e not} checked here — {!fire}
+    does that. *)
+val candidates : t -> state -> candidate list
+
+(** [fire t pool st cd] applies candidate [cd] to [st]: guards,
+    location/variable updates, monitor step, resets, activity reduction,
+    target invariants, delay closure and extrapolation.  [None] when the
+    successor zone is empty (the scratch zone returns to [pool]); the
+    returned state's zone is owned by the caller. *)
+val fire : t -> Zone.Dbm.Pool.t -> state -> candidate -> state option
+
+(** The moving edges of a candidate, as [(automaton index, edge)] pairs —
+    the per-step payload of a witness chain. *)
+val movers : candidate -> (int * Ta.Compiled.cedge) list
+
+(** Human-readable description of each step of a witness chain. *)
+val describe_chain :
+  t -> (int * Ta.Compiled.cedge) list list -> string list
+
+(** The FNV-style hash of a discrete state (locations, variables,
+    monitor state) that keys the passed/waiting store.  Exposed so a
+    sharded store routes on the same hash it probes with, computing it
+    once per state. *)
+val hash_discrete : int array -> int array -> int -> int
+
+(** DBM index and exact-reporting ceiling of a (typically monitor)
+    clock, as resolved by {!sup_clock}. *)
+val monitor_clock_info : t -> string -> int * int
+
+(** The result of a raw {!search}: the witness chain when the visit
+    callback stopped the search, the final statistics, the interruption
+    reason and (for interrupted runs) a resumable snapshot. *)
+type search_result = {
+  sr_chain : (int * Ta.Compiled.cedge) list list option;
+  sr_stats : stats;
+  sr_interrupt : Runctl.reason option;
+  sr_snapshot : snapshot option;
+}
+
+(** The generic sequential search loop: calls [visit] on every stored
+    state (including the initial one) and stops early when it returns
+    [`Stop].  [on_expanded] runs after a state's successors were
+    generated, with the count of non-empty successors; [on_transition]
+    on every fired candidate.  [subsume:false] deduplicates by zone
+    equality instead of inclusion.  [label] names the query kind (must
+    match on [resume]); [payload] saves the caller's accumulator into
+    the snapshot.  All higher-level queries — sequential and the
+    [jobs = 1] parallel path — go through here. *)
+val search :
+  ?on_expanded:(state -> int -> [ `Stop | `Continue ]) ->
+  ?on_transition:(candidate -> unit) ->
+  ?subsume:bool ->
+  ?ctl:Runctl.t ->
+  ?resume:snapshot ->
+  ?label:string ->
+  ?payload:(unit -> string) ->
+  t -> (state -> [ `Stop | `Continue ]) -> search_result

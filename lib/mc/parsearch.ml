@@ -1,0 +1,378 @@
+(* Domain-parallel zone exploration.
+
+   The sequential explorer's passed/waiting list becomes an array of
+   mutex-guarded shards, keyed by the same discrete-state hash the
+   sequential store uses (computed once per state and reused for both
+   shard routing and in-shard probing).  Each worker domain owns a
+   private DBM scratch pool; a successor that survives insertion hands
+   its zone over to the store, where it is immutable from then on — so
+   cross-domain reads of stored zones need no synchronisation beyond
+   the shard mutex that published them.
+
+   Work distribution: every shard carries its own FIFO of waiting
+   entries; a worker starts popping at its home shard and steals by
+   scanning the other shards round-robin.  Termination is a quiescence
+   count: [pending] tracks queued entries plus in-flight expansions
+   (incremented before an entry becomes visible in a queue, decremented
+   only after its expansion pushed all successors), so [pending = 0]
+   observed by an idle worker means the frontier is globally empty and
+   no expansion can refill it.
+
+   Determinism: verdicts and sup values match the sequential explorer
+   because both run the same zone-graph closure to a fixpoint — every
+   reachable zone ends up included in some stored zone that is itself
+   reachable, so predicates over discrete states and suprema of clocks
+   agree no matter the exploration order.  Visited/stored counts,
+   witness choice and interrupted partial results are order-dependent
+   and may differ. *)
+
+open Ta
+
+let num_shards = 64
+
+(* A stored symbolic state.  The parent link doubles as the trace side
+   table: witness chains are rebuilt by walking [p_parent], so no
+   global id-indexed array (and no lock around it) is needed.
+   [p_dead] is guarded by the owning shard's mutex. *)
+type entry = {
+  p_state : Explorer.state;
+  p_parent : entry option;
+  p_movers : (int * Compiled.cedge) list;
+  mutable p_dead : bool;
+}
+
+type node = {
+  n_hash : int;
+  n_locs : int array;
+  n_vars : int array;
+  n_mon : int;
+  mutable n_entries : entry list;
+}
+
+type shard = {
+  s_lock : Mutex.t;
+  s_nodes : (int, node list ref) Hashtbl.t;
+  s_queue : entry Queue.t;
+}
+
+(* Why a search (or a worker) is winding down.  [Running] is an
+   immediate constructor, so first-one-wins transitions use
+   [compare_and_set stop Running _]. *)
+type stop_state =
+  | Running
+  | Found of entry
+  | Interrupted of Runctl.reason
+  | Crashed of exn
+
+type par_result = {
+  pr_chain : (int * Compiled.cedge) list list option;
+  pr_stats : Explorer.stats;
+  pr_interrupt : Runctl.reason option;
+}
+
+let chain_of entry =
+  let rec walk acc e =
+    match e.p_parent with
+    | None -> acc
+    | Some p -> walk (e.p_movers :: acc) p
+  in
+  walk [] entry
+
+(* [visit] is called by the inserting worker with its worker index, so
+   callers can fold into per-worker accumulators without locks. *)
+let run_parallel ~jobs ?ctl t visit =
+  let shards =
+    Array.init num_shards (fun _ ->
+        { s_lock = Mutex.create ();
+          s_nodes = Hashtbl.create 256;
+          s_queue = Queue.create () })
+  in
+  let pools = Array.init jobs (fun _ -> Explorer.fresh_pool t) in
+  let pending = Atomic.make 0 in
+  let visited = Atomic.make 0 in
+  let stored = Atomic.make 0 in
+  let stop = Atomic.make Running in
+  let limit = Explorer.state_limit t in
+  let running () = match Atomic.get stop with Running -> true | _ -> false in
+  let interrupt r =
+    ignore (Atomic.compare_and_set stop Running (Interrupted r))
+  in
+  let found e = ignore (Atomic.compare_and_set stop Running (Found e)) in
+  let crashed exn =
+    ignore (Atomic.compare_and_set stop Running (Crashed exn))
+  in
+  (* Insert a successor into the shard owning its discrete state.
+     Returns [Some entry] when stored; [None] when covered by an
+     existing zone (the scratch zone then goes back to the inserting
+     worker's pool).  The quiescence count is incremented inside the
+     critical section, before the entry becomes poppable, so [pending]
+     never under-counts the frontier. *)
+  let insert pool parent movers (st : Explorer.state) =
+    let h =
+      Explorer.hash_discrete st.Explorer.st_locs st.Explorer.st_vars
+        st.Explorer.st_mon
+    in
+    let sh = shards.(h land (num_shards - 1)) in
+    Mutex.lock sh.s_lock;
+    let bucket =
+      match Hashtbl.find_opt sh.s_nodes h with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace sh.s_nodes h b;
+        b
+    in
+    let node =
+      let rec find = function
+        | [] -> None
+        | n :: rest ->
+          if n.n_hash = h && n.n_mon = st.Explorer.st_mon
+             && n.n_locs = st.Explorer.st_locs
+             && n.n_vars = st.Explorer.st_vars
+          then Some n
+          else find rest
+      in
+      match find !bucket with
+      | Some n -> n
+      | None ->
+        let n =
+          { n_hash = h;
+            n_locs = st.Explorer.st_locs;
+            n_vars = st.Explorer.st_vars;
+            n_mon = st.Explorer.st_mon;
+            n_entries = [] }
+        in
+        bucket := n :: !bucket;
+        n
+    in
+    let covered =
+      List.exists
+        (fun e -> Zone.Dbm.includes e.p_state.Explorer.st_zone st.Explorer.st_zone)
+        node.n_entries
+    in
+    if covered then begin
+      Mutex.unlock sh.s_lock;
+      Zone.Dbm.Pool.release pool st.Explorer.st_zone;
+      None
+    end
+    else begin
+      (* in-shard subsumption: entries the newcomer covers leave the
+         node now and are skipped in O(1) when they drain from a queue;
+         their zones stay owned by the GC (stored zones never return to
+         a pool — they may still be read by another domain) *)
+      node.n_entries <-
+        List.filter
+          (fun e ->
+            if Zone.Dbm.includes st.Explorer.st_zone e.p_state.Explorer.st_zone
+            then begin
+              e.p_dead <- true;
+              false
+            end
+            else true)
+          node.n_entries;
+      let e = { p_state = st; p_parent = parent; p_movers = movers; p_dead = false } in
+      node.n_entries <- e :: node.n_entries;
+      Atomic.incr pending;
+      Queue.push e sh.s_queue;
+      Mutex.unlock sh.s_lock;
+      Atomic.incr stored;
+      Some e
+    end
+  in
+  (* Pop the next live entry, scanning shards round-robin from the
+     worker's home position (work stealing beyond the home shard).
+     Dead entries drain here, releasing their quiescence token
+     immediately. *)
+  let take home =
+    let rec scan i =
+      if i >= num_shards then None
+      else begin
+        let sh = shards.((home + i) land (num_shards - 1)) in
+        Mutex.lock sh.s_lock;
+        let rec pop () =
+          if Queue.is_empty sh.s_queue then None
+          else
+            let e = Queue.pop sh.s_queue in
+            if e.p_dead then begin
+              Atomic.decr pending;
+              pop ()
+            end
+            else Some e
+        in
+        let r = pop () in
+        Mutex.unlock sh.s_lock;
+        match r with Some _ -> r | None -> scan (i + 1)
+      end
+    in
+    scan 0
+  in
+  let expand w pool e =
+    (* budget poll before expanding, mirroring the sequential loop; the
+       visited counter is the shared authority, so the state limit cuts
+       the whole fleet after exactly [limit] expansions *)
+    let v = Atomic.fetch_and_add visited 1 in
+    if v >= limit then begin
+      Atomic.decr visited;
+      interrupt (Runctl.State_budget limit)
+    end
+    else begin
+      let vetoed =
+        match ctl with
+        | None -> None
+        | Some c -> Runctl.check c ~visited:v
+      in
+      match vetoed with
+      | Some r ->
+        Atomic.decr visited;
+        interrupt r
+      | None ->
+        let cds = Explorer.candidates t e.p_state in
+        List.iter
+          (fun cd ->
+            if running () then
+              match Explorer.fire t pool e.p_state cd with
+              | None -> ()
+              | Some st ->
+                (match insert pool (Some e) (Explorer.movers cd) st with
+                 | Some e' ->
+                   (match visit w e'.p_state with
+                    | `Stop -> found e'
+                    | `Continue -> ())
+                 | None -> ()))
+          cds
+    end
+  in
+  let worker w =
+    let pool = pools.(w) in
+    let home = w * num_shards / jobs in
+    let rec loop () =
+      if running () then begin
+        match take home with
+        | Some e ->
+          expand w pool e;
+          Atomic.decr pending;
+          loop ()
+        | None ->
+          if Atomic.get pending = 0 then ()
+          else begin
+            Domain.cpu_relax ();
+            loop ()
+          end
+      end
+    in
+    try loop () with exn -> crashed exn
+  in
+  (* seed the store from the calling domain (worker 0's pool; the
+     initial zone is GC-owned, and the store is empty so it cannot be
+     covered) *)
+  let initial = Explorer.initial_state t in
+  if not (Zone.Dbm.is_empty initial.Explorer.st_zone) then begin
+    match insert pools.(0) None [] initial with
+    | Some e ->
+      (match visit 0 e.p_state with `Stop -> found e | `Continue -> ())
+    | None -> ()
+  end;
+  let domains =
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  worker 0;
+  Array.iter Domain.join domains;
+  let frontier =
+    Array.fold_left
+      (fun acc sh ->
+        Queue.fold (fun n e -> if e.p_dead then n else n + 1) acc sh.s_queue)
+      0 shards
+  in
+  let stats =
+    { Explorer.visited = Atomic.get visited;
+      stored = Atomic.get stored;
+      frontier }
+  in
+  match Atomic.get stop with
+  | Crashed exn -> raise exn
+  | Found e ->
+    { pr_chain = Some (chain_of e); pr_stats = stats; pr_interrupt = None }
+  | Interrupted r ->
+    { pr_chain = None; pr_stats = stats; pr_interrupt = Some r }
+  | Running -> { pr_chain = None; pr_stats = stats; pr_interrupt = None }
+
+(* --- queries ----------------------------------------------------------- *)
+
+let find_chain ~jobs ?ctl t pred =
+  if jobs <= 1 then begin
+    let r =
+      Explorer.search ?ctl ~label:"reachable" t (fun st ->
+          if pred st then `Stop else `Continue)
+    in
+    { pr_chain = r.Explorer.sr_chain;
+      pr_stats = r.Explorer.sr_stats;
+      pr_interrupt = r.Explorer.sr_interrupt }
+  end
+  else
+    run_parallel ~jobs ?ctl t (fun _ st ->
+        if pred st then `Stop else `Continue)
+
+let reachable ?(jobs = 1) ?ctl t pred =
+  let r = find_chain ~jobs ?ctl t pred in
+  { Explorer.r_trace = Option.map (Explorer.describe_chain t) r.pr_chain;
+    r_stats = r.pr_stats;
+    r_interrupt = r.pr_interrupt }
+
+let safe ?jobs ?ctl t pred =
+  let r = reachable ?jobs ?ctl t pred in
+  match r.Explorer.r_trace, r.Explorer.r_interrupt with
+  | Some trace, _ -> (Explorer.Refuted (Some trace), r.Explorer.r_stats)
+  | None, Some reason -> (Explorer.Unknown reason, r.Explorer.r_stats)
+  | None, None -> (Explorer.Proved, r.Explorer.r_stats)
+
+(* Per-worker running sup, merged by max at the end.  [Sup_exceeds]
+   dominates; at equal values the non-strict bound wins (a [<= v] is a
+   weaker claim than [< v], matching the sequential update order). *)
+let merge_sup a b =
+  match a, b with
+  | Explorer.Sup_exceeds c, _ | _, Explorer.Sup_exceeds c ->
+    Explorer.Sup_exceeds c
+  | Explorer.Sup_unreached, x | x, Explorer.Sup_unreached -> x
+  | Explorer.Sup (v1, s1), Explorer.Sup (v2, s2) ->
+    if v1 > v2 then Explorer.Sup (v1, s1)
+    else if v2 > v1 then Explorer.Sup (v2, s2)
+    else Explorer.Sup (v1, s1 && s2)
+
+let sup_clock ?(jobs = 1) ?ctl t ~pred ~clock =
+  if jobs <= 1 then Explorer.sup_clock ?ctl t ~pred ~clock
+  else begin
+    let ci, ceiling = Explorer.monitor_clock_info t clock in
+    let bests = Array.init jobs (fun _ -> ref Explorer.Sup_unreached) in
+    let visit w (st : Explorer.state) =
+      if pred st then begin
+        let best = bests.(w) in
+        let b = Zone.Dbm.sup_clock st.Explorer.st_zone ci in
+        if Zone.Bound.is_infinite b then best := Explorer.Sup_exceeds ceiling
+        else begin
+          let v = Zone.Bound.constant b
+          and strict = Zone.Bound.is_strict b in
+          match !best with
+          | Explorer.Sup_exceeds _ -> ()
+          | Explorer.Sup_unreached -> best := Explorer.Sup (v, strict)
+          | Explorer.Sup (v0, s0) ->
+            if v > v0 || (v = v0 && s0 && not strict) then
+              best := Explorer.Sup (v, strict)
+        end
+      end;
+      `Continue
+    in
+    let r = run_parallel ~jobs ?ctl t visit in
+    let sup =
+      Array.fold_left
+        (fun acc best -> merge_sup acc !best)
+        Explorer.Sup_unreached bests
+    in
+    { Explorer.so_sup = sup;
+      so_stats = r.pr_stats;
+      so_interrupt = r.pr_interrupt;
+      so_snapshot = None }
+  end
+
+let timed_witness ?(jobs = 1) ?ctl t pred =
+  let r = find_chain ~jobs ?ctl t pred in
+  Option.bind r.pr_chain (Explorer.replay t)

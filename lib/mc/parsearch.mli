@@ -1,0 +1,78 @@
+(** Domain-parallel zone exploration (OCaml 5 multicore).
+
+    [Parsearch] runs the same zone exploration as {!Explorer} across
+    [jobs] domains:
+
+    - the passed/waiting store is {e sharded} by the discrete-state
+      hash ({!Explorer.hash_discrete}) into {!num_shards} mutex-guarded
+      shards, and subsumption is checked within the owning shard;
+    - each worker owns a private DBM scratch pool
+      ({!Explorer.fresh_pool}); a successor that survives insertion
+      transfers zone ownership to the store (stored zones are immutable
+      and never return to any pool, so cross-domain reads are safe);
+    - successors are pushed to the queue of the shard that owns their
+      discrete state, and an idle worker steals work by scanning the
+      other shards round-robin from its home position;
+    - termination is detected by a quiescence count: an atomic counter
+      of outstanding work (queued entries plus in-flight expansions)
+      that is incremented on push and decremented only {e after} an
+      expansion has pushed all its successors, so it reaches zero
+      exactly when the frontier is globally empty;
+    - {!Runctl} budgets and cancellation work unchanged — the token's
+      state is [Atomic.t], the visited counter is shared, and the first
+      worker to observe exhaustion stops the fleet.
+
+    {b Determinism.}  For every [jobs], verdicts and sup values are
+    identical to the sequential explorer: the search runs to the same
+    zone-graph fixpoint, every reachable zone ends up covered by a
+    stored zone that is itself reachable, and the supremum of a clock
+    over a covering set equals the supremum over the full reachable set.
+    What {e may} differ with [jobs > 1] is everything order-dependent:
+    visited/stored counts (subsumption prunes differently), the witness
+    trace (a different but still feasible counterexample may be found
+    first), and the partial sup of an interrupted run (still a sound
+    lower bound).
+
+    [jobs <= 1] delegates to the sequential {!Explorer.search}
+    byte-identically — same visited/stored counts, same snapshots.
+    Parallel runs ([jobs > 1]) do not emit snapshots and do not call
+    the progress hook. *)
+
+(** Shard count of the parallel passed/waiting store (a power of two,
+    well above any sane worker count so shard contention stays low). *)
+val num_shards : int
+
+(** [reachable ~jobs t pred] is {!Explorer.reachable} on [jobs]
+    domains.  The witness trace, when present, is feasible (it is a
+    real path of the zone graph) but need not be the one the
+    sequential search finds. *)
+val reachable :
+  ?jobs:int -> ?ctl:Runctl.t ->
+  Explorer.t -> (Explorer.state -> bool) -> Explorer.reach_result
+
+(** [safe ~jobs t pred] is {!Explorer.safe} on [jobs] domains. *)
+val safe :
+  ?jobs:int -> ?ctl:Runctl.t ->
+  Explorer.t -> (Explorer.state -> bool) -> Explorer.verdict * Explorer.stats
+
+(** [sup_clock ~jobs t ~pred ~clock] is {!Explorer.sup_clock} on [jobs]
+    domains: each worker folds a private running sup over the states it
+    stores, and the per-worker results merge by max ([Sup_exceeds]
+    dominates; at equal values a non-strict bound beats a strict one).
+    With [jobs > 1] the outcome never carries a snapshot; pass
+    [resume] work through the sequential path instead. *)
+val sup_clock :
+  ?jobs:int -> ?ctl:Runctl.t ->
+  Explorer.t -> pred:(Explorer.state -> bool) -> clock:string ->
+  Explorer.sup_outcome
+
+(** [timed_witness ~jobs t pred] finds a witness chain (in parallel)
+    and replays it sequentially via {!Explorer.replay}: the parallel
+    analogue of {!Explorer.timed_trace}.  [None] when the predicate is
+    unreachable (or not reached within budget).  Because every chain
+    the search returns is a real zone-graph path, the replay of a found
+    witness always succeeds. *)
+val timed_witness :
+  ?jobs:int -> ?ctl:Runctl.t ->
+  Explorer.t -> (Explorer.state -> bool) ->
+  Explorer.timed_step list option

@@ -200,11 +200,11 @@ let compile_pred t p =
 
 let delay_monitor_clock = "psv_query_mon"
 
-let eval ?ctl ?limit net q =
+let eval ?(jobs = 1) ?ctl ?limit net q =
   match q with
   | Exists_eventually p ->
     let t = Explorer.make ?limit net in
-    let r = Explorer.reachable ?ctl t (compile_pred t p) in
+    let r = Parsearch.reachable ~jobs ?ctl t (compile_pred t p) in
     let outcome =
       match r.Explorer.r_trace, r.Explorer.r_interrupt with
       | Some _, _ -> Holds  (* a witness is a witness, budget or not *)
@@ -214,7 +214,9 @@ let eval ?ctl ?limit net q =
     { res_outcome = outcome; res_stats = r.Explorer.r_stats }
   | Always p ->
     let t = Explorer.make ?limit net in
-    let r = Explorer.reachable ?ctl t (fun st -> not (compile_pred t p st)) in
+    let r =
+      Parsearch.reachable ~jobs ?ctl t (fun st -> not (compile_pred t p st))
+    in
     let outcome =
       match r.Explorer.r_trace, r.Explorer.r_interrupt with
       | Some trace, _ -> Fails (Some trace)
@@ -228,7 +230,7 @@ let eval ?ctl ?limit net q =
     in
     let t = Explorer.make ?limit ~monitor net in
     let o =
-      Explorer.sup_clock ?ctl t
+      Parsearch.sup_clock ~jobs ?ctl t
         ~pred:(Explorer.mon_in t "Waiting")
         ~clock:delay_monitor_clock
     in
@@ -245,7 +247,7 @@ let eval ?ctl ?limit net q =
     in
     let t = Explorer.make ?limit ~monitor net in
     let o =
-      Explorer.sup_clock ?ctl t
+      Parsearch.sup_clock ~jobs ?ctl t
         ~pred:(Explorer.mon_in t "Waiting")
         ~clock:delay_monitor_clock
     in

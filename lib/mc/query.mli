@@ -59,10 +59,14 @@ val parse : string -> (t, string) Stdlib.result
 
 (** [eval net q] builds the needed explorer (with a delay monitor for the
     timed queries) and evaluates under the optional [ctl] govern token.
+    [jobs] (default 1) selects the number of exploration domains; with
+    [jobs > 1] evaluation goes through {!Parsearch} — same outcome,
+    order-dependent statistics (see {!Parsearch}).
     @raise Ta.Compiled.Compile_error on an
     invalid network, [Not_found] if the query names an unknown process,
     location or variable. *)
-val eval : ?ctl:Runctl.t -> ?limit:int -> Ta.Model.network -> t -> result
+val eval :
+  ?jobs:int -> ?ctl:Runctl.t -> ?limit:int -> Ta.Model.network -> t -> result
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

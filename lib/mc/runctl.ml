@@ -12,19 +12,29 @@ type budget = {
 
 let no_budget = { b_time_s = None; b_states = None; b_mem_bytes = None }
 
+(* Both mutable fields are [Atomic.t] because one token is shared by
+   every domain of a parallel search (Parsearch).  A plain mutable bool
+   written by the cancelling domain (or a signal handler) carries no
+   inter-domain publication guarantee under the OCaml 5 memory model: a
+   worker could spin on a stale cached value forever.  [Atomic.get/set]
+   are seq-cst, so a [cancel] becomes visible to every subsequent
+   [check] on any domain. *)
 type t = {
   budget : budget;
   started : float;
-  mutable is_cancelled : bool;
-  mutable ticks : int;  (* calls to [check] since the last expensive poll *)
+  is_cancelled : bool Atomic.t;
+  ticks : int Atomic.t;  (* calls to [check] since the last expensive poll *)
 }
 
 let create ?(budget = no_budget) () =
-  { budget; started = Unix.gettimeofday (); is_cancelled = false; ticks = 0 }
+  { budget;
+    started = Unix.gettimeofday ();
+    is_cancelled = Atomic.make false;
+    ticks = Atomic.make 0 }
 
-let cancel t = t.is_cancelled <- true
+let cancel t = Atomic.set t.is_cancelled true
 
-let cancelled t = t.is_cancelled
+let cancelled t = Atomic.get t.is_cancelled
 
 (* Sampling interval for the expensive checks (clock, heap).  Power of
    two so the modulo is a mask. *)
@@ -33,7 +43,7 @@ let sample_mask = 255
 let word_bytes = Sys.word_size / 8
 
 let check t ~visited =
-  if t.is_cancelled then Some Cancelled
+  if Atomic.get t.is_cancelled then Some Cancelled
   else begin
     let over_states =
       match t.budget.b_states with
@@ -44,9 +54,11 @@ let check t ~visited =
     | Some _ as r -> r
     | None ->
       (* [ticks = 0] on the first call, so a run that is already over
-         budget stops before expanding anything. *)
-      let sample = t.ticks land sample_mask = 0 in
-      t.ticks <- t.ticks + 1;
+         budget stops before expanding anything.  Under a parallel
+         search the counter is shared: the sampling interval is global
+         across workers, not per worker, keeping the clock/heap poll
+         rate independent of the worker count. *)
+      let sample = Atomic.fetch_and_add t.ticks 1 land sample_mask = 0 in
       if not sample then None
       else begin
         let over_time =

@@ -10,7 +10,21 @@
     sampled every few hundred expansions (a [gettimeofday] or
     [Gc.quick_stat] per state would dominate small models), so a run may
     overshoot a budget by one sampling interval.  The visited-state
-    budget is exact. *)
+    budget is exact.
+
+    {b Domain-safety.}  One token may be shared by every worker of a
+    parallel search ({!Parsearch}) and by a SIGINT handler, so the
+    mutable state ([cancelled], the sampling tick counter) lives in
+    [Atomic.t] cells.  The OCaml 5 memory model gives plain mutable
+    fields no publication guarantee between domains — a worker polling a
+    plain [mutable bool] written by another domain may read a stale
+    value indefinitely, making cancellation unsound.  [Atomic] operations
+    are sequentially consistent: once {!cancel} returns, every later
+    {!check} on any domain observes it.  The tick counter uses
+    [fetch_and_add], so the expensive clock/heap sampling interval is
+    global across workers rather than multiplied by the worker count.
+    [check] itself never blocks and takes no locks, so workers can poll
+    it on their hot path. *)
 
 (** Why a search stopped short of a definitive answer. *)
 type reason =

@@ -6,6 +6,7 @@ let () =
       ("compiled", Test_compiled.suite);
       ("mc", Test_mc.suite);
       ("runctl", Test_runctl.suite);
+      ("parsearch", Test_parsearch.suite);
       ("monitor", Test_monitor.suite);
       ("semantics", Test_semantics.suite);
       ("query", Test_query.suite);

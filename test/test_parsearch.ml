@@ -1,0 +1,401 @@
+(* Determinism of the domain-parallel explorer: for every worker count,
+   verdicts and sup values must match the sequential search exactly —
+   on completed runs, under injected cancellation, and under budget
+   interrupts (where the partial sup must stay a sound lower bound).
+   jobs = 1 must be byte-identical to the sequential explorer. *)
+
+open Ta
+
+let params = Gpca.Params.default
+
+(* CI sets PSV_TEST_JOBS to stress a specific worker count on multicore
+   runners; it is appended to the default ladder. *)
+let jobs_list =
+  let base = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "PSV_TEST_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j > 0 && not (List.mem j base) -> base @ [ j ]
+     | _ -> base)
+  | None -> base
+
+let gpca_pim () = Gpca.Model.network ~variant:Gpca.Model.Bolus_only params
+
+let gpca_psm =
+  lazy (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params).Transform.psm_net
+
+(* The racing railroad PSM: no headway between trains, aperiodic
+   invocation — its m-to-c delay is unbounded, so the sup query answers
+   [Sup_exceeds] and the bounded-response check refutes. *)
+let railroad_race_psm () =
+  let loc = Model.location and edge = Model.edge in
+  let controller =
+    Model.automaton ~name:"GateCtrl" ~initial:"Open"
+      [ loc "Open";
+        loc ~inv:[ Clockcons.le "g" 5 ] "Lowering";
+        loc "Closed" ]
+      [ edge ~sync:(Model.Recv "m_Train") ~resets:[ "g" ] "Open" "Lowering";
+        edge ~sync:(Model.Send "c_GateDown") "Lowering" "Closed";
+        edge ~sync:(Model.Recv "m_Clear") "Closed" "Open" ]
+  in
+  let track =
+    Model.automaton ~name:"Track" ~initial:"Away"
+      [ loc "Away";
+        loc "Approaching";
+        loc ~inv:[ Clockcons.le "t" 1_500 ] "Passing" ]
+      [ edge ~sync:(Model.Send "m_Train") ~resets:[ "t" ] "Away" "Approaching";
+        edge ~sync:(Model.Recv "c_GateDown") ~resets:[ "t" ] "Approaching"
+          "Passing";
+        edge
+          ~guard:[ Clockcons.ge "t" 1_000 ]
+          ~sync:(Model.Send "m_Clear") ~resets:[ "t" ] "Passing" "Away" ]
+  in
+  let net =
+    Model.network ~name:"railroad" ~clocks:[ "g"; "t" ] ~vars:[]
+      ~channels:
+        [ ("m_Train", Model.Broadcast);
+          ("m_Clear", Model.Broadcast);
+          ("c_GateDown", Model.Broadcast) ]
+      [ controller; track ]
+  in
+  let pim = Transform.Pim.make net ~software:"GateCtrl" ~environment:"Track" in
+  let scheme =
+    { Scheme.is_name = "ecu";
+      is_inputs =
+        [ ("m_Train", Scheme.interrupt_input (Scheme.delay 1 4));
+          ("m_Clear", Scheme.interrupt_input (Scheme.delay 1 4)) ];
+      is_outputs = [ ("c_GateDown", Scheme.pulse_output (Scheme.delay 5 20)) ];
+      is_input_comm = Scheme.Buffer (2, Scheme.Read_all);
+      is_output_comm = Scheme.Buffer (2, Scheme.Read_all);
+      is_invocation = Scheme.Aperiodic 0;
+      is_exec = { Scheme.wcet_min = 1; wcet_max = 8 } }
+  in
+  (Transform.psm_of_pim pim scheme).Transform.psm_net
+
+(* name, net thunk, trigger, response, ceiling *)
+let sup_cases () =
+  let gpca_ceiling =
+    2 * (Gpca.Experiment.analytic_bounds params).Gpca.Experiment.a_mc
+  in
+  [ ("gpca-pim-mc", gpca_pim, Gpca.Model.bolus_req, Gpca.Model.start_infusion,
+     1000);
+    ( "gpca-psm-input",
+      (fun () -> Lazy.force gpca_psm),
+      Gpca.Model.bolus_req,
+      Transform.Names.input_chan Gpca.Model.bolus_req,
+      gpca_ceiling );
+    ("railroad-periodic25", Test_runctl.railroad_psm, "m_Train", "c_GateDown",
+     320);
+    ("railroad-race", railroad_race_psm, "m_Train", "c_GateDown", 320) ]
+
+let pp_sup = Mc.Explorer.pp_sup_result
+
+let test_sup_determinism () =
+  List.iter
+    (fun (name, net, trigger, response, ceiling) ->
+      let seq =
+        Analysis.Queries.max_delay (net ()) ~trigger ~response ~ceiling
+      in
+      Alcotest.(check bool)
+        (name ^ ": sequential run completes")
+        true
+        (seq.Analysis.Queries.dr_interrupt = None);
+      List.iter
+        (fun jobs ->
+          let par =
+            Analysis.Queries.max_delay ~jobs (net ()) ~trigger ~response
+              ~ceiling
+          in
+          if par.Analysis.Queries.dr_interrupt <> None then
+            Alcotest.failf "%s: jobs=%d run was interrupted" name jobs;
+          if par.Analysis.Queries.dr_sup <> seq.Analysis.Queries.dr_sup then
+            Alcotest.failf "%s: jobs=%d sup %a <> sequential %a" name jobs
+              pp_sup par.Analysis.Queries.dr_sup pp_sup
+              seq.Analysis.Queries.dr_sup)
+        jobs_list)
+    (sup_cases ())
+
+(* jobs = 1 must take the sequential code path wholesale: same sup, and
+   the same order-dependent statistics. *)
+let test_jobs1_byte_identical () =
+  let net = Test_runctl.railroad_psm () in
+  let monitor =
+    Mc.Monitor.delay ~trigger:"m_Train" ~response:"c_GateDown"
+      ~clock:"psv_delay_mon" ~ceiling:320 ()
+  in
+  let t = Mc.Explorer.make ~monitor net in
+  let pred = Mc.Explorer.mon_in t "Waiting" in
+  let seq = Mc.Explorer.sup_clock t ~pred ~clock:"psv_delay_mon" in
+  let par = Mc.Parsearch.sup_clock ~jobs:1 t ~pred ~clock:"psv_delay_mon" in
+  Alcotest.(check bool) "same sup" true
+    (par.Mc.Explorer.so_sup = seq.Mc.Explorer.so_sup);
+  Alcotest.(check int) "same visited" seq.Mc.Explorer.so_stats.Mc.Explorer.visited
+    par.Mc.Explorer.so_stats.Mc.Explorer.visited;
+  Alcotest.(check int) "same stored" seq.Mc.Explorer.so_stats.Mc.Explorer.stored
+    par.Mc.Explorer.so_stats.Mc.Explorer.stored;
+  Alcotest.(check int) "same frontier"
+    seq.Mc.Explorer.so_stats.Mc.Explorer.frontier
+    par.Mc.Explorer.so_stats.Mc.Explorer.frontier
+
+let test_verdict_determinism () =
+  let check_verdicts name net ~bound expected =
+    List.iter
+      (fun jobs ->
+        let v =
+          Psv.verify_response ~jobs (net ()) ~trigger:"m_Train"
+            ~response:"c_GateDown" ~bound
+        in
+        if v <> expected then
+          Alcotest.failf "%s: jobs=%d verdict %a, expected %a" name jobs
+            Mc.Explorer.pp_verdict v Mc.Explorer.pp_verdict expected)
+      jobs_list
+  in
+  check_verdicts "railroad-periodic25 |= P(320)" Test_runctl.railroad_psm
+    ~bound:320 Mc.Explorer.Proved;
+  check_verdicts "railroad-race |/= P(320)" railroad_race_psm ~bound:320
+    (Mc.Explorer.Refuted None)
+
+let test_query_eval_jobs () =
+  let net = gpca_pim () in
+  let run text =
+    match Mc.Query.parse text with
+    | Error msg -> Alcotest.failf "parse %S: %s" text msg
+    | Ok q ->
+      List.map
+        (fun jobs -> (jobs, (Mc.Query.eval ~jobs net q).Mc.Query.res_outcome))
+        jobs_list
+  in
+  List.iter
+    (fun (jobs, o) ->
+      if o <> Mc.Query.Holds then
+        Alcotest.failf "E<> Pump.Infusing: jobs=%d not Holds" jobs)
+    (run "E<> Pump.Infusing");
+  (* the PIM meets REQ1, and refuting its negation needs a full sweep *)
+  List.iter
+    (fun (jobs, o) ->
+      if o <> Mc.Query.Holds then
+        Alcotest.failf "bounded within 500: jobs=%d not Holds" jobs)
+    (run
+       (Printf.sprintf "bounded: %s -> %s within 500" Gpca.Model.bolus_req
+          Gpca.Model.start_infusion))
+
+let test_precancelled () =
+  List.iter
+    (fun jobs ->
+      let ctl = Mc.Runctl.create () in
+      Mc.Runctl.cancel ctl;
+      let r =
+        Analysis.Queries.max_delay ~jobs ~ctl (Test_runctl.railroad_psm ())
+          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320
+      in
+      if r.Analysis.Queries.dr_interrupt <> Some Mc.Runctl.Cancelled then
+        Alcotest.failf "jobs=%d: expected a cancellation interrupt" jobs;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d: nothing visited" jobs)
+        0 r.Analysis.Queries.dr_stats.Mc.Explorer.visited;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d: sup unreached" jobs)
+        true
+        (r.Analysis.Queries.dr_sup = Mc.Explorer.Sup_unreached))
+    jobs_list
+
+(* Under a state budget the parallel partial sup must stay a lower
+   bound on the true sup (any stored state is reachable). *)
+let test_budget_partial_sup () =
+  let full =
+    Analysis.Queries.max_delay (Test_runctl.railroad_psm ())
+      ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320
+  in
+  let le_sup partial total =
+    match partial, total with
+    | Mc.Explorer.Sup_unreached, _ -> true
+    | _, Mc.Explorer.Sup_exceeds _ -> true
+    | Mc.Explorer.Sup (v, _), Mc.Explorer.Sup (w, _) -> v <= w
+    | (Mc.Explorer.Sup_exceeds _ | Mc.Explorer.Sup _), _ -> false
+  in
+  List.iter
+    (fun jobs ->
+      let ctl =
+        Mc.Runctl.create
+          ~budget:{ Mc.Runctl.no_budget with Mc.Runctl.b_states = Some 200 }
+          ()
+      in
+      let r =
+        Analysis.Queries.max_delay ~jobs ~ctl (Test_runctl.railroad_psm ())
+          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320
+      in
+      (match r.Analysis.Queries.dr_interrupt with
+       | Some (Mc.Runctl.State_budget 200) -> ()
+       | other ->
+         Alcotest.failf "jobs=%d: expected a state-budget interrupt, got %a"
+           jobs
+           Fmt.(option Mc.Runctl.pp_reason)
+           other);
+      if not (le_sup r.Analysis.Queries.dr_sup full.Analysis.Queries.dr_sup)
+      then
+        Alcotest.failf "jobs=%d: partial sup %a above the true sup %a" jobs
+          pp_sup r.Analysis.Queries.dr_sup pp_sup full.Analysis.Queries.dr_sup)
+    jobs_list
+
+(* Witness chains found in parallel must replay: the sequential replay
+   of the chain re-checks feasibility edge by edge. *)
+let test_timed_witness_feasible () =
+  let t = Mc.Explorer.make (gpca_pim ()) in
+  let pred = Mc.Explorer.at t ~aut:"Pump" ~loc:"Infusing" in
+  List.iter
+    (fun jobs ->
+      match Mc.Parsearch.timed_witness ~jobs t pred with
+      | Some steps ->
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: non-empty witness" jobs)
+          true (steps <> [])
+      | None -> Alcotest.failf "jobs=%d: no witness to Pump.Infusing" jobs)
+    jobs_list
+
+let test_resume_rejected_in_parallel () =
+  let ctl =
+    Mc.Runctl.create
+      ~budget:{ Mc.Runctl.no_budget with Mc.Runctl.b_states = Some 200 }
+      ()
+  in
+  let cut =
+    Analysis.Queries.max_delay ~ctl (Test_runctl.railroad_psm ())
+      ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320
+  in
+  let snap = Option.get cut.Analysis.Queries.dr_snapshot in
+  match
+    Analysis.Queries.max_delay ~jobs:2 ~resume:snap
+      (Test_runctl.railroad_psm ()) ~trigger:"m_Train" ~response:"c_GateDown"
+      ~ceiling:320
+  with
+  | _ -> Alcotest.fail "resume with jobs > 1 was accepted"
+  | exception Invalid_argument _ -> ()
+
+(* run_all: order-preserving, same answers as one-by-one evaluation. *)
+let test_run_all () =
+  let specs =
+    [ { Analysis.Queries.qs_name = "periodic25";
+        qs_net = Test_runctl.railroad_psm;
+        qs_trigger = "m_Train"; qs_response = "c_GateDown"; qs_ceiling = 320 };
+      { Analysis.Queries.qs_name = "race";
+        qs_net = railroad_race_psm;
+        qs_trigger = "m_Train"; qs_response = "c_GateDown"; qs_ceiling = 320 } ]
+  in
+  let seq = Analysis.Queries.run_all ~jobs:1 specs in
+  List.iter
+    (fun jobs ->
+      let par = Analysis.Queries.run_all ~jobs specs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "jobs=%d: order preserved" jobs)
+        (List.map (fun (s, _) -> s.Analysis.Queries.qs_name) seq)
+        (List.map (fun (s, _) -> s.Analysis.Queries.qs_name) par);
+      List.iter2
+        (fun (_, a) (_, b) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: same sup" jobs)
+            true
+            (a.Analysis.Queries.dr_sup = b.Analysis.Queries.dr_sup))
+        seq par)
+    jobs_list
+
+let test_pool_map () =
+  let items = List.init 37 Fun.id in
+  let seq = List.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d square map" jobs)
+        seq
+        (Analysis.Queries.pool_map ~jobs (fun i -> i * i) items))
+    [ 1; 2; 4; 64 ];
+  (* exception propagation *)
+  match
+    Analysis.Queries.pool_map ~jobs:4
+      (fun i -> if i = 20 then failwith "boom" else i)
+      items
+  with
+  | _ -> Alcotest.fail "worker exception was swallowed"
+  | exception Failure msg when msg = "boom" -> ()
+
+(* Random railroad schemes: sequential and 4-domain sups agree. *)
+let prop_random_scheme =
+  QCheck.Test.make ~count:6 ~name:"random scheme: par sup = seq sup"
+    QCheck.(triple (int_range 10 60) (int_range 1 8) (int_range 1 6))
+    (fun (period, wcet_max, dmax) ->
+      let net =
+        let loc = Model.location and edge = Model.edge in
+        let controller =
+          Model.automaton ~name:"GateCtrl" ~initial:"Open"
+            [ loc "Open";
+              loc ~inv:[ Clockcons.le "g" 5 ] "Lowering";
+              loc "Closed" ]
+            [ edge ~sync:(Model.Recv "m_Train") ~resets:[ "g" ] "Open"
+                "Lowering";
+              edge ~sync:(Model.Send "c_GateDown") "Lowering" "Closed";
+              edge ~sync:(Model.Recv "m_Clear") "Closed" "Open" ]
+        in
+        let track =
+          Model.automaton ~name:"Track" ~initial:"Away"
+            [ loc "Away";
+              loc "Approaching";
+              loc ~inv:[ Clockcons.le "t" 1_500 ] "Passing" ]
+            [ edge
+                ~guard:[ Clockcons.ge "t" 300 ]
+                ~sync:(Model.Send "m_Train") ~resets:[ "t" ] "Away"
+                "Approaching";
+              edge ~sync:(Model.Recv "c_GateDown") ~resets:[ "t" ]
+                "Approaching" "Passing";
+              edge
+                ~guard:[ Clockcons.ge "t" 1_000 ]
+                ~sync:(Model.Send "m_Clear") ~resets:[ "t" ] "Passing" "Away" ]
+        in
+        let net =
+          Model.network ~name:"railroad" ~clocks:[ "g"; "t" ] ~vars:[]
+            ~channels:
+              [ ("m_Train", Model.Broadcast);
+                ("m_Clear", Model.Broadcast);
+                ("c_GateDown", Model.Broadcast) ]
+            [ controller; track ]
+        in
+        let pim =
+          Transform.Pim.make net ~software:"GateCtrl" ~environment:"Track"
+        in
+        let scheme =
+          { Scheme.is_name = "ecu";
+            is_inputs =
+              [ ("m_Train", Scheme.interrupt_input (Scheme.delay 1 dmax));
+                ("m_Clear", Scheme.interrupt_input (Scheme.delay 1 dmax)) ];
+            is_outputs =
+              [ ("c_GateDown", Scheme.pulse_output (Scheme.delay 5 20)) ];
+            is_input_comm = Scheme.Buffer (2, Scheme.Read_all);
+            is_output_comm = Scheme.Buffer (2, Scheme.Read_all);
+            is_invocation = Scheme.Periodic period;
+            is_exec = { Scheme.wcet_min = 1; wcet_max } }
+        in
+        (Transform.psm_of_pim pim scheme).Transform.psm_net
+      in
+      let sup jobs =
+        (Analysis.Queries.max_delay ~jobs net ~trigger:"m_Train"
+           ~response:"c_GateDown" ~ceiling:400)
+          .Analysis.Queries.dr_sup
+      in
+      sup 1 = sup 4)
+
+let suite =
+  [ Alcotest.test_case "sup determinism across jobs" `Quick
+      test_sup_determinism;
+    Alcotest.test_case "jobs=1 byte-identical to sequential" `Quick
+      test_jobs1_byte_identical;
+    Alcotest.test_case "verdict determinism across jobs" `Quick
+      test_verdict_determinism;
+    Alcotest.test_case "query eval across jobs" `Quick test_query_eval_jobs;
+    Alcotest.test_case "pre-cancelled ctl" `Quick test_precancelled;
+    Alcotest.test_case "budget partial sup is a lower bound" `Quick
+      test_budget_partial_sup;
+    Alcotest.test_case "parallel witness replays" `Quick
+      test_timed_witness_feasible;
+    Alcotest.test_case "resume rejected with jobs > 1" `Quick
+      test_resume_rejected_in_parallel;
+    Alcotest.test_case "run_all matches one-by-one" `Quick test_run_all;
+    Alcotest.test_case "pool_map" `Quick test_pool_map;
+    QCheck_alcotest.to_alcotest prop_random_scheme ]
