@@ -397,57 +397,51 @@ let railroad_psm ~headway ~invocation =
   in
   (Transform.psm_of_pim pim scheme).Transform.psm_net
 
-type explorer_query = {
-  eq_name : string;
-  eq_run : jobs:int -> unit -> Analysis.Queries.delay_result;
-}
-
+(* The workload is a list of {!Analysis.Queries.query_spec} — the same
+   data-carrying form the CLI's [sweep] uses — so the cache rows below
+   can route the identical queries through {!Analysis.Queries.run_all}
+   with a store attached. *)
 let explorer_queries () =
   let gpca_psm =
     lazy (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only params).Transform.psm_net
   in
   let gpca_ceiling = 2 * (Gpca.Experiment.analytic_bounds params).Gpca.Experiment.a_mc in
-  let delay net ~trigger ~response ~ceiling ~jobs () =
-    Analysis.Queries.max_delay ~jobs net ~trigger ~response ~ceiling
+  let spec name net ~trigger ~response ~ceiling =
+    { Analysis.Queries.qs_name = name; qs_net = net; qs_trigger = trigger;
+      qs_response = response; qs_ceiling = ceiling }
   in
-  [ { eq_name = "gpca-pim-mc";
-      eq_run =
-        delay
-          (Gpca.Model.network ~variant:Gpca.Model.Bolus_only params)
-          ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
-          ~ceiling:1000 };
-    { eq_name = "gpca-psm-input";
-      eq_run =
-        (fun ~jobs () ->
-          delay (Lazy.force gpca_psm) ~trigger:Gpca.Model.bolus_req
-            ~response:(Transform.Names.input_chan Gpca.Model.bolus_req)
-            ~ceiling:gpca_ceiling ~jobs ()) };
-    { eq_name = "gpca-psm-output";
-      eq_run =
-        (fun ~jobs () ->
-          delay (Lazy.force gpca_psm)
-            ~trigger:(Transform.Names.output_chan Gpca.Model.start_infusion)
-            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ~jobs ()) };
-    { eq_name = "gpca-psm-mc";
-      eq_run =
-        (fun ~jobs () ->
-          delay (Lazy.force gpca_psm) ~trigger:Gpca.Model.bolus_req
-            ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling ~jobs ()) };
-    { eq_name = "railroad-psm-event";
-      eq_run =
-        delay
-          (railroad_psm ~headway:300 ~invocation:(Scheme.Aperiodic 0))
-          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 };
-    { eq_name = "railroad-psm-periodic25";
-      eq_run =
-        delay
-          (railroad_psm ~headway:300 ~invocation:(Scheme.Periodic 25))
-          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 };
-    { eq_name = "railroad-psm-race";
-      eq_run =
-        delay
-          (railroad_psm ~headway:0 ~invocation:(Scheme.Aperiodic 0))
-          ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 } ]
+  [ spec "gpca-pim-mc"
+      (fun () -> Gpca.Model.network ~variant:Gpca.Model.Bolus_only params)
+      ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
+      ~ceiling:1000;
+    spec "gpca-psm-input"
+      (fun () -> Lazy.force gpca_psm)
+      ~trigger:Gpca.Model.bolus_req
+      ~response:(Transform.Names.input_chan Gpca.Model.bolus_req)
+      ~ceiling:gpca_ceiling;
+    spec "gpca-psm-output"
+      (fun () -> Lazy.force gpca_psm)
+      ~trigger:(Transform.Names.output_chan Gpca.Model.start_infusion)
+      ~response:Gpca.Model.start_infusion ~ceiling:gpca_ceiling;
+    spec "gpca-psm-mc"
+      (fun () -> Lazy.force gpca_psm)
+      ~trigger:Gpca.Model.bolus_req ~response:Gpca.Model.start_infusion
+      ~ceiling:gpca_ceiling;
+    spec "railroad-psm-event"
+      (fun () -> railroad_psm ~headway:300 ~invocation:(Scheme.Aperiodic 0))
+      ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320;
+    spec "railroad-psm-periodic25"
+      (fun () -> railroad_psm ~headway:300 ~invocation:(Scheme.Periodic 25))
+      ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320;
+    spec "railroad-psm-race"
+      (fun () -> railroad_psm ~headway:0 ~invocation:(Scheme.Aperiodic 0))
+      ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320 ]
+
+let run_spec ~jobs (q : Analysis.Queries.query_spec) =
+  Analysis.Queries.max_delay ~jobs (q.Analysis.Queries.qs_net ())
+    ~trigger:q.Analysis.Queries.qs_trigger
+    ~response:q.Analysis.Queries.qs_response
+    ~ceiling:q.Analysis.Queries.qs_ceiling
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -473,7 +467,7 @@ let timed_runs ~repeat ~jobs q =
     List.init repeat (fun _ ->
         let a0 = Gc.allocated_bytes () in
         let t0 = Unix.gettimeofday () in
-        let r = q.eq_run ~jobs () in
+        let r = run_spec ~jobs q in
         let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
         let alloc_mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
         (r, wall_ms, alloc_mb))
@@ -482,17 +476,60 @@ let timed_runs ~repeat ~jobs q =
   let r, _, alloc_mb = List.hd results in
   (r, median walls, List.fold_left min infinity walls, alloc_mb)
 
+(* Cold-vs-warm timing of one query through the persistent store: the
+   entry is evicted first, so the first governed run pays the search and
+   the insert, the second answers purely from disk. *)
+let cache_runs cache (q : Analysis.Queries.query_spec) =
+  let key =
+    Analysis.Qcache.key (q.Analysis.Queries.qs_net ())
+      (Analysis.Queries.spec_query q)
+  in
+  Store.Disk.remove (Analysis.Qcache.disk cache) key;
+  let timed () =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      List.hd (Analysis.Queries.run_all ~cache [ q ])
+    in
+    (snd r, 1000.0 *. (Unix.gettimeofday () -. t0))
+  in
+  let cold_r, cold_ms = timed () in
+  let warm_r, warm_ms = timed () in
+  if warm_r.Analysis.Queries.dr_sup <> cold_r.Analysis.Queries.dr_sup then begin
+    Printf.eprintf "bench: %s: warm cache sup disagrees with cold run\n"
+      q.Analysis.Queries.qs_name;
+    exit 1
+  end;
+  (cold_ms, warm_ms)
+
 (* A jobs-scaling row is only meaningful on searches with real work; a
    query that finishes in a few hundred states measures domain-spawn
    overhead, not exploration. *)
 let scaling_threshold = 1000
 
-let explorer_bench_json ?path ?(repeat = 1) ?(jobs_list = []) () =
+let explorer_bench_json ?path ?cache_dir ?(repeat = 1) ?(jobs_list = []) () =
+  let cache =
+    Option.map
+      (fun dir ->
+        match Store.Disk.open_ dir with
+        | Ok disk -> Analysis.Qcache.make disk
+        | Error msg -> prerr_endline ("bench: --cache: " ^ msg); exit 3)
+      cache_dir
+  in
   let rows =
     List.map
       (fun q ->
         let r, wall_ms, wall_min, alloc_mb = timed_runs ~repeat ~jobs:1 q in
         let stats = r.Analysis.Queries.dr_stats in
+        let cache_cells =
+          match cache with
+          | None -> ""
+          | Some cache ->
+            let cold_ms, warm_ms = cache_runs cache q in
+            Printf.sprintf
+              ", \"cache_cold_ms\": %.1f, \"cache_warm_ms\": %.1f, \
+               \"cache_speedup\": %.1f"
+              cold_ms warm_ms (cold_ms /. warm_ms)
+        in
         let scaling =
           let eligible =
             jobs_list <> [] && stats.Mc.Explorer.visited >= scaling_threshold
@@ -509,7 +546,7 @@ let explorer_bench_json ?path ?(repeat = 1) ?(jobs_list = []) () =
                   then begin
                     Printf.eprintf
                       "bench: %s: jobs=%d sup disagrees with sequential\n"
-                      q.eq_name jobs;
+                      q.Analysis.Queries.qs_name jobs;
                     exit 1
                   end;
                   Printf.sprintf
@@ -524,12 +561,12 @@ let explorer_bench_json ?path ?(repeat = 1) ?(jobs_list = []) () =
         Printf.sprintf
           "    {\"name\": \"%s\", \"visited\": %d, \"stored\": %d, \
            \"wall_ms\": %.1f, \"wall_ms_min\": %.1f, \"repeat\": %d, \
-           \"alloc_mb\": %.1f, \"result\": \"%s\"%s}"
-          (json_escape q.eq_name) stats.Mc.Explorer.visited
+           \"alloc_mb\": %.1f, \"result\": \"%s\"%s%s}"
+          (json_escape q.Analysis.Queries.qs_name) stats.Mc.Explorer.visited
           stats.Mc.Explorer.stored wall_ms wall_min repeat alloc_mb
           (json_escape
              (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup))
-          scaling)
+          scaling cache_cells)
       (explorer_queries ())
   in
   let body =
@@ -643,20 +680,22 @@ let () =
       | Some n when n > 0 -> n
       | Some _ | None -> bad "bench: bad %s %S" flag s
     in
-    let rec parse path repeat jobs_list = function
-      | [] -> (path, repeat, jobs_list)
+    let rec parse path repeat jobs_list cache_dir = function
+      | [] -> (path, repeat, jobs_list, cache_dir)
       | "--repeat" :: r :: rest ->
-        parse path (int_arg "--repeat" r) jobs_list rest
+        parse path (int_arg "--repeat" r) jobs_list cache_dir rest
       | "--jobs" :: l :: rest ->
         let jobs =
           List.map (int_arg "--jobs") (String.split_on_char ',' l)
         in
-        parse path repeat jobs rest
-      | [ ("--repeat" | "--jobs") as flag ] -> bad "bench: %s needs a value" flag
-      | p :: rest -> parse (Some p) repeat jobs_list rest
+        parse path repeat jobs cache_dir rest
+      | "--cache" :: dir :: rest -> parse path repeat jobs_list (Some dir) rest
+      | [ ("--repeat" | "--jobs" | "--cache") as flag ] ->
+        bad "bench: %s needs a value" flag
+      | p :: rest -> parse (Some p) repeat jobs_list cache_dir rest
     in
-    let path, repeat, jobs_list = parse None 1 [] rest in
-    explorer_bench_json ?path ~repeat ~jobs_list ()
+    let path, repeat, jobs_list, cache_dir = parse None 1 [] None rest in
+    explorer_bench_json ?path ?cache_dir ~repeat ~jobs_list ()
   | _ ->
   e4_pim_verification ();
   e123_table1 ();

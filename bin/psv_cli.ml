@@ -181,6 +181,31 @@ let jobs_arg =
 
 let check_jobs n = if n < 1 then die "--jobs must be at least 1" else n
 
+let cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Persistent result store: look up each query before \
+                 running it and record the result after.  The directory \
+                 is created if missing.  Definitive results are reused \
+                 under any budget; $(i,unknown) results only when the \
+                 stored run's budget covers the requested one.")
+
+(* open (creating if needed) the --cache store; corrupt entries warn on
+   stderr so --json output on stdout stays byte-stable *)
+let open_cache = function
+  | None -> None
+  | Some dir -> (
+    match Store.Disk.open_ dir with
+    | Ok disk -> Some (Analysis.Qcache.make disk)
+    | Error msg -> die "--cache: %s" msg)
+
+let report_cache = function
+  | None -> ()
+  | Some cache ->
+    Fmt.epr "cache: %d hits, %d misses@."
+      (Analysis.Qcache.hits cache)
+      (Analysis.Qcache.misses cache)
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
 
@@ -268,11 +293,15 @@ let verify_cmd =
              ~doc:"Emit the verdict and exploration statistics as JSON.")
   in
   let run file trigger response bound ceiling jobs budget_time budget_states
-      budget_mem checkpoint resume json =
+      budget_mem checkpoint resume json cache =
     let jobs = check_jobs jobs in
     if jobs > 1 && (checkpoint <> None || resume <> None) then
       die "--checkpoint/--resume require --jobs 1 (parallel runs do not \
            emit snapshots)";
+    if resume <> None && cache <> None then
+      die "--resume and --cache are exclusive (a resumed search must \
+           explore, not answer from the store)";
+    let cache = open_cache cache in
     let net = load_network file in
     let resume_snap = Option.map load_resume resume in
     (* with --bound the sup ceiling is the bound itself: the check is
@@ -281,12 +310,31 @@ let verify_cmd =
     let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
     let r =
       try
-        Psv.max_delay ~jobs ~ctl ?resume:resume_snap net ~trigger ~response
-          ~ceiling
+        match cache with
+        | Some _ ->
+          (* run_all with a single spec is exactly max_delay behind the
+             lookup-before-run / insert-after protocol *)
+          let spec =
+            { Analysis.Queries.qs_name = "verify";
+              qs_net = (fun () -> net);
+              qs_trigger = trigger;
+              qs_response = response;
+              qs_ceiling = ceiling }
+          in
+          (match
+             Analysis.Queries.run_all ~jobs:1 ~search_jobs:jobs ~ctl ?cache
+               [ spec ]
+           with
+           | [ (_, r) ] -> r
+           | _ -> assert false)
+        | None ->
+          Psv.max_delay ~jobs ~ctl ?resume:resume_snap net ~trigger ~response
+            ~ceiling
       with
       | Invalid_argument msg -> die "%s" msg
       | Not_found -> die "unknown channel %S or %S" trigger response
     in
+    report_cache cache;
     let written =
       match checkpoint, r.Analysis.Queries.dr_snapshot with
       | Some path, Some snap ->
@@ -353,7 +401,7 @@ let verify_cmd =
              (interrupted by a budget or ^C), 3 usage or parse error.")
     Term.(const run $ file $ trigger $ response $ bound $ ceiling $ jobs_arg
           $ budget_time_arg $ budget_states_arg $ budget_mem_arg
-          $ checkpoint $ resume $ json)
+          $ checkpoint $ resume $ json $ cache_arg)
 
 (* --- query ---------------------------------------------------------------- *)
 
@@ -368,8 +416,9 @@ let query_cmd =
              ~doc:"E<> PRED | A[] PRED | sup: CHAN -> CHAN [ceiling N] | \
                    bounded: CHAN -> CHAN within N")
   in
-  let run file query jobs budget_time budget_states budget_mem =
+  let run file query jobs budget_time budget_states budget_mem cache =
     let jobs = check_jobs jobs in
+    let cache = open_cache cache in
     let net = load_network file in
     match Mc.Query.parse query with
     | Error msg -> die "query: %s" msg
@@ -378,10 +427,14 @@ let query_cmd =
         make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem
       in
       let result =
-        try Mc.Query.eval ~jobs ~ctl net q
+        try
+          match cache with
+          | Some cache -> Analysis.Qcache.eval cache ~jobs ~ctl net q
+          | None -> Mc.Query.eval ~jobs ~ctl net q
         with Not_found ->
           die "query names an unknown process, location or variable"
       in
+      report_cache cache;
       let outcome = result.Mc.Query.res_outcome in
       Fmt.pr "%a@." Mc.Query.pp_outcome outcome;
       (match outcome with
@@ -401,7 +454,7 @@ let query_cmd =
        ~doc:"Evaluate an UPPAAL-style query on a .xta model.  Exit codes: \
              0 holds, 1 fails, 2 unknown, 3 usage or parse error.")
     Term.(const run $ file $ query $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg)
 
 (* --- check (batch queries) -------------------------------------------------- *)
 
@@ -416,96 +469,164 @@ let check_cmd =
              ~doc:"Query file: one query per line; blank lines and lines \
                    starting with # are skipped.")
   in
-  let run model queries jobs budget_time budget_states budget_mem =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit one JSON document with every outcome instead of \
+                   the table.  The output depends only on the outcomes \
+                   (no wall times), so a warm $(b,--cache) run reproduces \
+                   a cold run byte for byte.")
+  in
+  let run model queries jobs budget_time budget_states budget_mem cache json =
     let jobs = check_jobs jobs in
+    let cache = open_cache cache in
     let net = load_network model in
     let lines = String.split_on_char '\n' (read_file queries) in
     let numbered =
       List.filteri (fun _ (_, line) -> line <> "" && line.[0] <> '#')
         (List.mapi (fun lineno line -> (lineno + 1, String.trim line)) lines)
     in
-    let failures = ref 0 and unknowns = ref 0 in
+    let eval_one ~ctl q =
+      match cache with
+      | Some c -> Analysis.Qcache.eval c ~ctl net q
+      | None -> Mc.Query.eval ~ctl net q
+    in
     let report (lineno, line, res) =
       match res with
-      | Error msg ->
-        incr failures;
-        Fmt.pr "%3d  ERROR  %s@.     %s@." lineno line msg
-      | Ok outcome ->
+      | Error msg -> Fmt.pr "%3d  ERROR  %s@.     %s@." lineno line msg
+      | Ok (result : Mc.Query.result) ->
         let status =
-          match outcome with
-          | Mc.Query.Fails _ -> incr failures; "FAIL"
-          | Mc.Query.Unknown _ -> incr unknowns; "?"
+          match result.Mc.Query.res_outcome with
+          | Mc.Query.Fails _ -> "FAIL"
+          | Mc.Query.Unknown _ -> "?"
           | Mc.Query.Holds | Mc.Query.Sup _ -> "pass"
         in
         Fmt.pr "%3d  %-5s  %s  [%a]@." lineno status line
-          Mc.Query.pp_outcome outcome
+          Mc.Query.pp_outcome result.Mc.Query.res_outcome
     in
-    if jobs <= 1 then
-      (* sequential: evaluate and print incrementally *)
-      List.iter
-        (fun (lineno, line) ->
-          match Mc.Query.parse line with
-          | Error msg -> report (lineno, line, Error msg)
-          | Ok q ->
-            (* a fresh token per query: each one gets the full budget *)
-            let ctl =
-              make_ctl ~time:budget_time ~states:budget_states
-                ~mem:budget_mem
-            in
-            (match Mc.Query.eval ~ctl net q with
-             | result -> report (lineno, line, Ok result.Mc.Query.res_outcome)
-             | exception Not_found ->
-               report
-                 (lineno, line,
-                  Error "unknown process, location or variable")))
-        numbered
-    else begin
-      (* parallel: parse everything up front, give each query a fresh
-         token (full budget each), let one ^C cancel the whole batch,
-         then print in file order *)
-      let budget =
-        make_budget ~time:budget_time ~states:budget_states ~mem:budget_mem
-      in
-      let parsed =
+    let results =
+      if jobs <= 1 then
+        (* sequential: evaluate (and, for the table, print) incrementally *)
         List.map
           (fun (lineno, line) ->
-            match Mc.Query.parse line with
-            | Error msg -> (lineno, line, Error msg)
-            | Ok q -> (lineno, line, Ok (q, Mc.Runctl.create ~budget ())))
+            let res =
+              match Mc.Query.parse line with
+              | Error msg -> Error msg
+              | Ok q -> (
+                (* a fresh token per query: each one gets the full budget *)
+                let ctl =
+                  make_ctl ~time:budget_time ~states:budget_states
+                    ~mem:budget_mem
+                in
+                match eval_one ~ctl q with
+                | result -> Ok result
+                | exception Not_found ->
+                  Error "unknown process, location or variable")
+            in
+            if not json then report (lineno, line, res);
+            (lineno, line, res))
           numbered
-      in
-      install_sigint_all
-        (List.filter_map
-           (function _, _, Ok (_, ctl) -> Some ctl | _, _, Error _ -> None)
-           parsed);
-      Analysis.Queries.pool_map ~jobs
-        (fun (lineno, line, item) ->
-          match item with
-          | Error msg -> (lineno, line, Error msg)
-          | Ok (q, ctl) ->
-            (match Mc.Query.eval ~ctl net q with
-             | result -> (lineno, line, Ok result.Mc.Query.res_outcome)
-             | exception Not_found ->
-               (lineno, line, Error "unknown process, location or variable")))
-        parsed
-      |> List.iter report
-    end;
+      else begin
+        (* parallel: parse everything up front, give each query a fresh
+           token (full budget each), let one ^C cancel the whole batch,
+           then print in file order *)
+        let budget =
+          make_budget ~time:budget_time ~states:budget_states ~mem:budget_mem
+        in
+        let parsed =
+          List.map
+            (fun (lineno, line) ->
+              match Mc.Query.parse line with
+              | Error msg -> (lineno, line, Error msg)
+              | Ok q -> (lineno, line, Ok (q, Mc.Runctl.create ~budget ())))
+            numbered
+        in
+        install_sigint_all
+          (List.filter_map
+             (function _, _, Ok (_, ctl) -> Some ctl | _, _, Error _ -> None)
+             parsed);
+        let results =
+          Analysis.Queries.pool_map ~jobs
+            (fun (lineno, line, item) ->
+              match item with
+              | Error msg -> (lineno, line, Error msg)
+              | Ok (q, ctl) ->
+                (match eval_one ~ctl q with
+                 | result -> (lineno, line, Ok result)
+                 | exception Not_found ->
+                   (lineno, line, Error "unknown process, location or variable")))
+            parsed
+        in
+        if not json then List.iter report results;
+        results
+      end
+    in
+    let failures = ref 0 and unknowns = ref 0 in
+    List.iter
+      (fun (_, _, res) ->
+        match res with
+        | Error _ -> incr failures
+        | Ok r -> (
+          match r.Mc.Query.res_outcome with
+          | Mc.Query.Fails _ -> incr failures
+          | Mc.Query.Unknown _ -> incr unknowns
+          | Mc.Query.Holds | Mc.Query.Sup _ -> ()))
+      results;
     let total = List.length numbered in
-    Fmt.pr "@.%d quer%s, %d failure%s, %d unknown@." total
-      (if total = 1 then "y" else "ies")
-      !failures
-      (if !failures = 1 then "" else "s")
-      !unknowns;
+    if json then begin
+      let open Store.Json in
+      let query_row (lineno, line, res) =
+        let common = [ ("line", Int lineno); ("query", String line) ] in
+        match res with
+        | Error msg ->
+          Obj (common @ [ ("status", String "error"); ("error", String msg) ])
+        | Ok (r : Mc.Query.result) ->
+          let status =
+            match r.Mc.Query.res_outcome with
+            | Mc.Query.Fails _ -> "fail"
+            | Mc.Query.Unknown _ -> "unknown"
+            | Mc.Query.Holds | Mc.Query.Sup _ -> "pass"
+          in
+          Obj
+            (common
+            @ [ ("status", String status);
+                ( "outcome",
+                  Store.Entry.outcome_to_json
+                    (Analysis.Qcache.outcome_to_entry r.Mc.Query.res_outcome)
+                );
+                ( "stats",
+                  Store.Entry.stats_to_json
+                    (Analysis.Qcache.stats_to_entry r.Mc.Query.res_stats) ) ])
+      in
+      print_endline
+        (to_string
+           (Obj
+              [ ("model", String model);
+                ("queries", List (List.map query_row results));
+                ( "summary",
+                  Obj
+                    [ ("total", Int total);
+                      ("failures", Int !failures);
+                      ("unknowns", Int !unknowns) ] ) ]))
+    end
+    else
+      Fmt.pr "@.%d quer%s, %d failure%s, %d unknown@." total
+        (if total = 1 then "y" else "ies")
+        !failures
+        (if !failures = 1 then "" else "s")
+        !unknowns;
+    report_cache cache;
     if !failures > 0 then exit 1 else if !unknowns > 0 then exit 2
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run a file of queries against a model (verifyta-style), \
-             optionally $(b,--jobs) queries at a time on separate domains.  \
+             optionally $(b,--jobs) queries at a time on separate domains \
+             and $(b,--cache) answering repeats from the persistent store.  \
              Exit codes: 0 all pass, 1 any failure, 2 no failures but some \
              unknown, 3 usage or parse error.")
     Term.(const run $ model $ queries $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg $ json_arg)
 
 (* --- sweep (GPCA scheme sweep) --------------------------------------------- *)
 
@@ -519,8 +640,9 @@ let sweep_cmd =
     Arg.(value & opt int 500_000
          & info [ "limit" ] ~docv:"N" ~doc:"Per-query state limit.")
   in
-  let run periods limit jobs budget_time budget_states budget_mem =
+  let run periods limit jobs budget_time budget_states budget_mem cache =
     let jobs = check_jobs jobs in
+    let cache = open_cache cache in
     let periods =
       List.map
         (fun s ->
@@ -567,7 +689,8 @@ let sweep_cmd =
         periods
     in
     let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
-    let results = Analysis.Queries.run_all ~jobs ~limit ~ctl specs in
+    let results = Analysis.Queries.run_all ~jobs ~limit ~ctl ?cache specs in
+    report_cache cache;
     Fmt.pr "%14s | %8s | %13s | %8s@." "query" "ceiling" "verified" "states";
     let interrupted = ref 0 in
     List.iter
@@ -597,7 +720,7 @@ let sweep_cmd =
              on separate domains.  Exit codes: 0 complete, 2 some queries \
              interrupted, 3 usage error.")
     Term.(const run $ periods $ limit $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -901,13 +1024,253 @@ let export_cmd =
        ~doc:"Write the GPCA PIM or PSM as .xta text or UPPAAL XML.")
     Term.(const run $ psm_flag $ full $ uppaal $ output_arg)
 
+(* --- cache maintenance --------------------------------------------------- *)
+
+(* maintenance never creates: pointing these at a directory without the
+   store marker is an error, not an invitation to scan (or gc!) it *)
+let open_store_or_die dir =
+  match Store.Disk.open_existing dir with
+  | Ok store -> store
+  | Error msg -> die "%s" msg
+
+let cache_dir_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"DIR" ~doc:"Result store directory (see --cache).")
+
+let cache_stats_cmd =
+  let run dir =
+    let store = open_store_or_die dir in
+    let s = Store.Disk.stats store in
+    Fmt.pr "%s: %d entr%s, %d corrupt, %d bytes@." dir s.Store.Disk.st_entries
+      (if s.Store.Disk.st_entries = 1 then "y" else "ies")
+      s.Store.Disk.st_corrupt s.Store.Disk.st_bytes
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Entry count, corrupt-file count and total size.")
+    Term.(const run $ cache_dir_arg)
+
+let cache_gc_cmd =
+  let run dir =
+    let store = open_store_or_die dir in
+    let removed = Store.Disk.gc store in
+    Fmt.pr "%s: removed %d file%s@." dir removed
+      (if removed = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Delete corrupt entries and stale temp files.  Refuses to run \
+             on a directory that is not a recognized store.")
+    Term.(const run $ cache_dir_arg)
+
+let cache_fsck_cmd =
+  let run dir =
+    let store = open_store_or_die dir in
+    let r = Store.Disk.fsck store in
+    List.iter
+      (fun (file, problem) -> Fmt.pr "BAD  %s: %s@." file problem)
+      (List.rev r.Store.Disk.fk_bad);
+    Fmt.pr "%s: %d entr%s ok, %d bad@." dir r.Store.Disk.fk_ok
+      (if r.Store.Disk.fk_ok = 1 then "y" else "ies")
+      (List.length r.Store.Disk.fk_bad);
+    if r.Store.Disk.fk_bad <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Verify every entry: magic, checksum, length, JSON shape, and \
+             key/file-name agreement.  Exit 1 when any entry is bad.")
+    Term.(const run $ cache_dir_arg)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Inspect and maintain a persistent result store (see --cache).")
+    [ cache_stats_cmd; cache_gc_cmd; cache_fsck_cmd ]
+
+(* --- serve (batch query service) ----------------------------------------- *)
+
+(* One line-delimited JSON request per line on stdin; a blank line (or
+   EOF) flushes the batch: hits answered from the store, misses fanned
+   out over the domain pool, responses written in request order, one
+   JSON line each.  A malformed request yields an error response, never
+   a crash. *)
+let serve_cmd =
+  let run jobs cache budget_time budget_states budget_mem =
+    let jobs = check_jobs jobs in
+    let cache = open_cache cache in
+    let budget =
+      make_budget ~time:budget_time ~states:budget_states ~mem:budget_mem
+    in
+    (* model files parsed once per path, shared across batches; requests
+       only read the parsed network, so the pool may share it *)
+    let models : (string, (Ta.Model.network, string) result) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let load_model path =
+      match Hashtbl.find_opt models path with
+      | Some r -> r
+      | None ->
+        let r =
+          match
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | text -> (
+            match Xta.Parse.network text with
+            | Ok net -> Ok net
+            | Error msg -> Error (path ^ ": " ^ msg))
+          | exception Sys_error msg -> Error msg
+        in
+        Hashtbl.replace models path r;
+        r
+    in
+    let str_field name j =
+      match Option.bind (Store.Json.member name j) Store.Json.to_str with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "request needs a %S string field" name)
+    in
+    let prepare line =
+      match Store.Json.parse line with
+      | Error msg -> `Err (Store.Json.Null, "bad request: " ^ msg)
+      | Ok j ->
+        let id =
+          Option.value (Store.Json.member "id" j) ~default:Store.Json.Null
+        in
+        (match
+           Result.bind (str_field "model" j) (fun model ->
+               Result.map (fun query -> (model, query)) (str_field "query" j))
+         with
+         | Error msg -> `Err (id, msg)
+         | Ok (model, query) -> (
+           let limit =
+             Option.bind (Store.Json.member "limit" j) Store.Json.to_int
+           in
+           match load_model model with
+           | Error msg -> `Err (id, msg)
+           | Ok net -> (
+             match Mc.Query.parse query with
+             | Error msg -> `Err (id, "query: " ^ msg)
+             | Ok q -> (
+               let requested =
+                 { Store.Entry.bg_limit =
+                     Option.value limit ~default:Mc.Explorer.default_limit;
+                   bg_states = budget.Mc.Runctl.b_states;
+                   bg_time_s = budget.Mc.Runctl.b_time_s;
+                   bg_mem_bytes = budget.Mc.Runctl.b_mem_bytes }
+               in
+               match cache with
+               | Some c -> (
+                 let key = Analysis.Qcache.key net q in
+                 match Analysis.Qcache.find c ~requested key with
+                 | Some e -> `Hit (id, e)
+                 | None -> `Run (id, net, q, limit, key, requested))
+               | None ->
+                 `Run
+                   (id, net, q, limit, Analysis.Qcache.key net q, requested)))))
+    in
+    let evaluate item =
+      match item with
+      | `Err e -> `Err e
+      | `Hit h -> `Hit h
+      | `Run (id, net, q, limit, key, requested) -> (
+        let ctl = Mc.Runctl.create ~budget () in
+        match
+          let t0 = Unix.gettimeofday () in
+          let r = Mc.Query.eval ~ctl ?limit net q in
+          let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+          (r, wall_ms)
+        with
+        | r, wall_ms ->
+          (match cache with
+           | Some c ->
+             Analysis.Qcache.insert c
+               { Store.Entry.en_key = key;
+                 en_query = Mc.Query.to_string q;
+                 en_outcome =
+                   Analysis.Qcache.outcome_to_entry r.Mc.Query.res_outcome;
+                 en_stats =
+                   Analysis.Qcache.stats_to_entry r.Mc.Query.res_stats;
+                 en_budget = requested;
+                 en_prov = Analysis.Qcache.provenance ~jobs:1 ~wall_ms }
+           | None -> ());
+          `Ok (id, r)
+        | exception Not_found ->
+          `Err (id, "unknown process, location or variable")
+        | exception exn -> `Err (id, Printexc.to_string exn))
+    in
+    let respond item =
+      let open Store.Json in
+      let doc =
+        match item with
+        | `Err (id, msg) ->
+          Obj
+            [ ("id", id); ("status", String "error"); ("error", String msg) ]
+        | `Hit (id, (e : Store.Entry.t)) ->
+          Obj
+            [ ("id", id);
+              ("status", String "ok");
+              ("cached", Bool true);
+              ("outcome", Store.Entry.outcome_to_json e.Store.Entry.en_outcome);
+              ("stats", Store.Entry.stats_to_json e.Store.Entry.en_stats) ]
+        | `Ok (id, (r : Mc.Query.result)) ->
+          Obj
+            [ ("id", id);
+              ("status", String "ok");
+              ("cached", Bool false);
+              ( "outcome",
+                Store.Entry.outcome_to_json
+                  (Analysis.Qcache.outcome_to_entry r.Mc.Query.res_outcome) );
+              ( "stats",
+                Store.Entry.stats_to_json
+                  (Analysis.Qcache.stats_to_entry r.Mc.Query.res_stats) ) ]
+      in
+      print_string (to_string doc);
+      print_newline ()
+    in
+    let flush_batch lines =
+      match lines with
+      | [] -> ()
+      | lines ->
+        let prepared = List.map prepare lines in
+        (* hits and errors pass through; only `Run items cost anything,
+           and the pool spreads them over [jobs] domains *)
+        List.iter respond
+          (Analysis.Queries.pool_map ~jobs evaluate prepared);
+        flush stdout
+    in
+    let rec loop batch =
+      match input_line stdin with
+      | line ->
+        let line = String.trim line in
+        if line = "" then begin
+          flush_batch (List.rev batch);
+          loop []
+        end
+        else loop (line :: batch)
+      | exception End_of_file -> flush_batch (List.rev batch)
+    in
+    loop [];
+    report_cache cache
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Answer line-delimited JSON query requests on stdin — \
+             $(b,{\"id\": .., \"model\": \"M.xta\", \"query\": \"..\"}) — \
+             one JSON response line each, in request order.  A blank line \
+             flushes the current batch: with $(b,--cache), stored results \
+             answer instantly and only misses are explored, $(b,--jobs) \
+             at a time.")
+    Term.(const run $ jobs_arg $ cache_arg $ budget_time_arg
+          $ budget_states_arg $ budget_mem_arg)
+
 let main =
   Cmd.group
     (Cmd.info "psv" ~version:"1.0.0"
        ~doc:"Platform-specific timing verification in model-based implementation.")
-    [ table1_cmd; verify_cmd; query_cmd; check_cmd; sweep_cmd; trace_cmd;
-      transform_cmd; codegen_cmd; bounds_cmd; simulate_cmd;
-      export_cmd ]
+    [ table1_cmd; verify_cmd; query_cmd; check_cmd; sweep_cmd; serve_cmd;
+      cache_cmd; trace_cmd; transform_cmd; codegen_cmd; bounds_cmd;
+      simulate_cmd; export_cmd ]
 
 (* fold cmdliner's own error codes (124/125) into the documented
    exit-code contract: anything that is not a clean run is a usage error *)

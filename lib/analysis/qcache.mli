@@ -1,0 +1,61 @@
+(** The bridge between the model checker and the persistent result
+    store ({!Store.Disk}).
+
+    [lib/store] sits below [mc] in the dependency order, so its entry
+    type mirrors the checker's result types with plain constructors;
+    this module owns the conversions and the lookup-before-run /
+    insert-after protocol.  Hit and miss counters live on the handle and
+    are atomic, so a cache may be shared across the [--jobs] domain
+    pool. *)
+
+type t
+
+(** [make ?warn disk] wraps an open store.  [warn] receives one line per
+    corrupt entry encountered (default: stderr); a corrupt entry is
+    treated as a miss — the query is recomputed and the entry
+    overwritten. *)
+val make : ?warn:(string -> unit) -> Store.Disk.t -> t
+
+val disk : t -> Store.Disk.t
+val hits : t -> int
+val misses : t -> int
+
+(** The cache key for evaluating [query] on [net] under the default
+    explorer configuration: {!Store.Key.digest} over the canonical
+    {!Mc.Query.to_string} text. *)
+val key : Ta.Model.network -> Mc.Query.t -> Store.D128.t
+
+(** The {!Store.Entry.budget} a run would be governed by: the explorer
+    state limit (default {!Mc.Explorer.default_limit}) plus [ctl]'s
+    budget components. *)
+val entry_budget : ?limit:int -> ?ctl:Mc.Runctl.t -> unit -> Store.Entry.budget
+
+(** [find t ~requested key] is the stored entry when present, readable
+    and reusable under [requested] (see {!Store.Entry.reusable}).
+    Counts a hit or a miss; warns (and counts a miss) on a corrupt
+    entry. *)
+val find : t -> requested:Store.Entry.budget -> Store.D128.t -> Store.Entry.t option
+
+(** [insert t entry] publishes [entry] — unless its outcome is a
+    cancelled [Unknown], which says nothing reusable about any run. *)
+val insert : t -> Store.Entry.t -> unit
+
+val outcome_to_entry : Mc.Query.outcome -> Store.Entry.outcome
+val outcome_of_entry : Store.Entry.outcome -> Mc.Query.outcome
+val sup_to_entry : Mc.Explorer.sup_result -> Store.Entry.sup
+val sup_of_entry : Store.Entry.sup -> Mc.Explorer.sup_result
+val reason_to_entry : Mc.Runctl.reason -> Store.Entry.reason
+val reason_of_entry : Store.Entry.reason -> Mc.Runctl.reason
+val stats_to_entry : Mc.Explorer.stats -> Store.Entry.stats
+val stats_of_entry : Store.Entry.stats -> Mc.Explorer.stats
+
+(** [provenance ~jobs ~wall_ms] stamps an entry with this tool's version
+    and the current time. *)
+val provenance : jobs:int -> wall_ms:float -> Store.Entry.provenance
+
+(** [eval t net q] is {!Mc.Query.eval} behind the cache: answer from the
+    store when a reusable entry exists, otherwise evaluate and insert.
+    The cached path returns the producing run's statistics. *)
+val eval :
+  t -> ?jobs:int -> ?ctl:Mc.Runctl.t -> ?limit:int ->
+  Ta.Model.network -> Mc.Query.t -> Mc.Query.result

@@ -104,17 +104,82 @@ type query_spec = {
   qs_ceiling : int;
 }
 
-let run_all ?(jobs = 1) ?(search_jobs = 1) ?limit ?ctl specs =
+let spec_query spec =
+  Mc.Query.Sup_delay
+    { trigger = spec.qs_trigger;
+      response = spec.qs_response;
+      ceiling = spec.qs_ceiling }
+
+(* A cached entry for a sup query, replayed as a delay_result.  The
+   entry's outcome is [Sup] (finished) or [Unknown] with the partial sup
+   (interrupted); anything else means the entry was produced by a
+   different query kind under a colliding key, which we treat as a miss
+   rather than trust. *)
+let delay_of_entry spec (e : Store.Entry.t) =
+  let finish sup interrupt =
+    Some
+      { dr_trigger = spec.qs_trigger;
+        dr_response = spec.qs_response;
+        dr_sup = sup;
+        dr_stats = Qcache.stats_of_entry e.Store.Entry.en_stats;
+        dr_interrupt = interrupt;
+        dr_snapshot = None }
+  in
+  match e.Store.Entry.en_outcome with
+  | Store.Entry.Sup s -> finish (Qcache.sup_of_entry s) None
+  | Store.Entry.Unknown (reason, partial) ->
+    let sup =
+      match partial with
+      | Some s -> Qcache.sup_of_entry s
+      | None -> Mc.Explorer.Sup_unreached
+    in
+    finish sup (Some (Qcache.reason_of_entry reason))
+  | Store.Entry.Holds | Store.Entry.Fails _ -> None
+
+let entry_of_delay ~key ~query ~budget ~jobs ~wall_ms r =
+  let outcome =
+    match r.dr_interrupt with
+    | None -> Store.Entry.Sup (Qcache.sup_to_entry r.dr_sup)
+    | Some reason ->
+      Store.Entry.Unknown
+        (Qcache.reason_to_entry reason, Some (Qcache.sup_to_entry r.dr_sup))
+  in
+  { Store.Entry.en_key = key;
+    en_query = query;
+    en_outcome = outcome;
+    en_stats = Qcache.stats_to_entry r.dr_stats;
+    en_budget = budget;
+    en_prov = Qcache.provenance ~jobs ~wall_ms }
+
+let run_all ?(jobs = 1) ?(search_jobs = 1) ?limit ?ctl ?cache specs =
   pool_map ~jobs
     (fun spec ->
       (* each worker builds its own network from the thunk, so no model
          structure is shared across domains *)
-      let r =
-        max_delay ~jobs:search_jobs ?limit ?ctl (spec.qs_net ())
-          ~trigger:spec.qs_trigger ~response:spec.qs_response
-          ~ceiling:spec.qs_ceiling
+      let net = spec.qs_net () in
+      let run () =
+        max_delay ~jobs:search_jobs ?limit ?ctl net ~trigger:spec.qs_trigger
+          ~response:spec.qs_response ~ceiling:spec.qs_ceiling
       in
-      (spec, r))
+      match cache with
+      | None -> (spec, run ())
+      | Some cache ->
+        let q = spec_query spec in
+        let key = Qcache.key net q in
+        let requested = Qcache.entry_budget ?limit ?ctl () in
+        let cached =
+          Option.bind (Qcache.find cache ~requested key) (delay_of_entry spec)
+        in
+        (match cached with
+         | Some r -> (spec, r)
+         | None ->
+           let t0 = Unix.gettimeofday () in
+           let r = run () in
+           let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+           Qcache.insert cache
+             (entry_of_delay ~key ~query:(Mc.Query.to_string q)
+                ~budget:requested ~jobs:search_jobs ~wall_ms r);
+           (spec, r)))
     specs
 
 let pp_delay_result ppf r =

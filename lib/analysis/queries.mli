@@ -85,9 +85,22 @@ type query_spec = {
     measured from token creation (so concurrent queries race the same
     deadline), the visited-state budget applies {e per query} (each
     search counts its own states), and {!Mc.Runctl.cancel} stops every
-    query at its next poll. *)
+    query at its next poll.
+
+    With [cache], each query does lookup-before-run and insert-after
+    against the persistent store ({!Qcache}): a stored result whose
+    producing budget satisfies the reuse rule ({!Store.Entry.reusable})
+    is returned without any exploration — with the producing run's
+    statistics and no snapshot.  The cache handle is shared across the
+    pool; hit/miss counters on it are atomic, and concurrent inserts are
+    safe (the store publishes entries by atomic rename). *)
 val run_all :
   ?jobs:int -> ?search_jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t ->
+  ?cache:Qcache.t ->
   query_spec list -> (query_spec * delay_result) list
+
+(** The {!Mc.Query.t} a spec denotes ([Sup_delay]); its
+    {!Mc.Query.to_string} form keys the cache. *)
+val spec_query : query_spec -> Mc.Query.t
 
 val pp_delay_result : Format.formatter -> delay_result -> unit

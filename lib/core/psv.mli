@@ -30,6 +30,9 @@ module Dbm = Zone.Dbm
 module Monitor = Mc.Monitor
 module Explorer = Mc.Explorer
 module Runctl = Mc.Runctl
+module Query = Mc.Query
+module Store = Store
+module Qcache = Analysis.Qcache
 module Scheme = Scheme
 module Pim = Transform.Pim
 module Transform = Transform

@@ -51,7 +51,9 @@ let pp_verdict ppf = function
     Fmt.pf ppf "REFUTED (counterexample of %d steps)" (List.length trace)
   | Unknown reason -> Fmt.pf ppf "unknown: %a" Runctl.pp_reason reason
 
-let make ?(monitor = Monitor.trivial) ?tight ?(limit = 2_000_000)
+let default_limit = 2_000_000
+
+let make ?(monitor = Monitor.trivial) ?tight ?(limit = default_limit)
     ?(reduce = true) ?(lu = false) net =
   let mon_clocks = List.map fst monitor.Monitor.mon_clocks in
   let comp =
@@ -478,7 +480,7 @@ type snap_entry = {
 }
 
 type snapshot = {
-  snap_fingerprint : int;
+  snap_fingerprint : Store.D128.t;
   snap_label : string;  (* which query took it; resume must match *)
   snap_dim : int;
   snap_subsume : bool;
@@ -493,55 +495,51 @@ type snapshot = {
 }
 
 (* Format version lives in the magic string: bump the digit whenever the
-   [snapshot] record layout changes, so stale files are rejected by the
-   magic check instead of a Marshal segfault. *)
-let snapshot_magic = "PSVSNAP1"
+   [snapshot] record layout or the fingerprint scheme changes, so stale
+   files are rejected by the magic check instead of a Marshal
+   segfault. *)
+let snapshot_magic = "PSVSNAP2"
 
-(* Structural hash of everything that shapes the exploration: a snapshot
-   resumes correctly only against a byte-equivalent search space.  The
-   monitor step table is included (via channel names it is keyed on), so
-   two delay monitors over different trigger/response pairs fingerprint
-   differently even though their automata are isomorphic. *)
+(* Structural digest of everything that shapes the exploration: a
+   snapshot resumes correctly only against a byte-equivalent search
+   space.  The model contribution is a digest of the source network's
+   canonical [Xta.Print] text ({!Store.Key.network_digest}), which —
+   unlike the pre-PSVSNAP2 structural walk — covers guards, invariants
+   and updates, not just the automaton skeleton.  The monitor step table
+   is included, so two delay monitors over different trigger/response
+   pairs fingerprint differently even though their automata are
+   isomorphic. *)
 let fingerprint t =
-  let comp = t.comp in
-  let h = ref 0x811c9dc5 in
-  let mix v = h := (!h lxor v) * 0x01000193 in
-  let mix_string s = mix (String.length s); String.iter (fun c -> mix (Char.code c)) s in
-  let mix_arr a = mix (Array.length a); Array.iter mix a in
-  mix comp.Compiled.c_nclocks;
-  Array.iter mix_string comp.Compiled.c_clock_names;
-  Array.iter mix_string comp.Compiled.c_var_names;
-  mix_arr comp.Compiled.c_var_init;
-  Array.iter mix_string comp.Compiled.c_chan_names;
+  let st = Store.D128.builder () in
+  let net_d = Store.Key.network_digest t.comp.Compiled.c_model in
+  Store.D128.add_int64 st net_d.Store.D128.hi;
+  Store.D128.add_int64 st net_d.Store.D128.lo;
+  Store.D128.add_int_array st t.k;
+  Store.D128.add_int_array st t.lconsts;
+  Store.D128.add_int_array st t.uconsts;
+  Store.D128.add_bool st t.use_lu;
+  Store.D128.add_bool st t.reduce;
+  Store.D128.add_int st (Array.length t.monitor.Monitor.mon_states);
+  Store.D128.add_int st t.monitor.Monitor.mon_initial;
+  Store.D128.add_int st (List.length t.mon_ceiling);
+  List.iter
+    (fun (c, ceiling) ->
+      Store.D128.add_string st c;
+      Store.D128.add_int st ceiling)
+    t.mon_ceiling;
   Array.iter
-    (fun k -> mix (match k with Model.Binary -> 0 | Model.Broadcast -> 1))
-    comp.Compiled.c_chan_kinds;
-  Array.iter
-    (fun a ->
-      mix_string a.Compiled.ca_name;
-      mix a.Compiled.ca_initial;
-      mix (Array.length a.Compiled.ca_locs);
+    (fun row ->
+      Store.D128.add_int st (Array.length row);
       Array.iter
-        (fun edges ->
-          mix (List.length edges);
-          List.iter (fun ce -> mix ce.Compiled.ce_index; mix ce.Compiled.ce_dst)
-            edges)
-        a.Compiled.ca_out)
-    comp.Compiled.c_automata;
-  mix_arr t.k;
-  mix_arr t.lconsts;
-  mix_arr t.uconsts;
-  mix (if t.use_lu then 1 else 0);
-  mix (if t.reduce then 1 else 0);
-  mix (Array.length t.monitor.Monitor.mon_states);
-  mix t.monitor.Monitor.mon_initial;
-  List.iter (fun (c, ceiling) -> mix_string c; mix ceiling) t.mon_ceiling;
-  Array.iter
-    (Array.iter (function
-       | None -> mix (-1)
-       | Some (dst, resets) -> mix dst; List.iter mix resets))
+        (function
+          | None -> Store.D128.add_int st (-1)
+          | Some (dst, resets) ->
+            Store.D128.add_int st dst;
+            Store.D128.add_int st (List.length resets);
+            List.iter (Store.D128.add_int st) resets)
+        row)
     t.mon_step;
-  !h land max_int
+  Store.D128.value st
 
 let save_snapshot path snap =
   let oc = open_out_bin path in
@@ -559,9 +557,16 @@ let load_snapshot path =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
         let magic = really_input_string ic (String.length snapshot_magic) in
-        if magic <> snapshot_magic then
-          Error "not a psv snapshot, or an incompatible snapshot version"
-        else Ok (Marshal.from_channel ic : snapshot))
+        if magic = snapshot_magic then
+          Ok (Marshal.from_channel ic : snapshot)
+        else if String.length magic >= 7 && String.sub magic 0 7 = "PSVSNAP"
+        then
+          Error
+            (Printf.sprintf
+               "snapshot version %s is not readable by this build (wants %s); \
+                re-run the query without --resume to regenerate it"
+               magic snapshot_magic)
+        else Error "not a psv snapshot")
   with
   | Sys_error msg -> Error msg
   | End_of_file -> Error "truncated snapshot"
@@ -720,7 +725,7 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
        | None -> ()
      end
    | Some snap ->
-     if snap.snap_fingerprint <> fingerprint t then
+     if not (Store.D128.equal snap.snap_fingerprint (fingerprint t)) then
        invalid_arg
          "Explorer: snapshot does not match this model/monitor/configuration";
      if snap.snap_label <> label then

@@ -65,10 +65,13 @@ val set_progress_hook : (progress -> unit) option -> unit
     verdict and statistics versus an uninterrupted run.
 
     Snapshots are written with a magic header carrying a format version
-    ([PSVSNAP1]); {!load_snapshot} rejects foreign or stale files.  A
-    snapshot also records a structural fingerprint of the model, monitor
-    and explorer configuration — resuming against anything else is
-    refused with [Invalid_argument]. *)
+    ([PSVSNAP2]); {!load_snapshot} rejects foreign files, and names the
+    version mismatch when handed a snapshot from an older build
+    ([PSVSNAP1]) so the user knows to simply re-run the query.  A
+    snapshot also records a 128-bit structural fingerprint
+    ({!Store.D128}) of the model text, monitor and explorer
+    configuration — resuming against anything else is refused with
+    [Invalid_argument]. *)
 
 type snapshot
 
@@ -88,8 +91,9 @@ val load_snapshot : string -> (snapshot, string) result
     purpose — a verified upper bound on the implementation's delay —
     soundness is what matters.
 
-    [limit] bounds the number of visited states (default [2_000_000]);
-    reaching it ends the search with [Unknown (State_budget limit)].
+    [limit] bounds the number of visited states (default
+    {!default_limit}); reaching it ends the search with
+    [Unknown (State_budget limit)].
 
     [reduce] (default [true]) enables clock-activity reduction: clocks
     that are dead at a location (per {!Ta.Compiled.cl_free}) and monitor
@@ -107,6 +111,9 @@ val load_snapshot : string -> (snapshot, string) result
 val make :
   ?monitor:Monitor.t -> ?tight:bool -> ?limit:int -> ?reduce:bool ->
   ?lu:bool -> Ta.Model.network -> t
+
+(** The default visited-state limit, [2_000_000]. *)
+val default_limit : int
 
 val compiled : t -> Ta.Compiled.t
 

@@ -168,6 +168,40 @@ let parse text =
        | _ -> fail "a query starts with E<>, A[], sup: or bounded:"
      with Bad_query msg -> Error msg)
 
+(* --- canonical printing -------------------------------------------------- *)
+
+let string_of_rel = function
+  | Ta.Expr.Eq -> "=="
+  | Ta.Expr.Ne -> "!="
+  | Ta.Expr.Lt -> "<"
+  | Ta.Expr.Le -> "<="
+  | Ta.Expr.Gt -> ">"
+  | Ta.Expr.Ge -> ">="
+
+(* Every binary node is parenthesized, so the output re-parses to the
+   same tree regardless of the grammar's precedence and associativity;
+   [parse (to_string q) = Ok q] is checked by the test suite.  This is
+   the canonical query text that feeds the cache key ({!Store.Key}). *)
+let rec pred_to_string = function
+  | At (aut, loc) -> aut ^ "." ^ loc
+  | Cmp (v, rel, n) -> Printf.sprintf "%s %s %d" v (string_of_rel rel) n
+  | Const true -> "true"
+  | Const false -> "false"
+  | And (a, b) ->
+    Printf.sprintf "(%s and %s)" (pred_to_string a) (pred_to_string b)
+  | Or (a, b) ->
+    Printf.sprintf "(%s or %s)" (pred_to_string a) (pred_to_string b)
+  | Not (At _ as p) | Not (Const _ as p) -> "not " ^ pred_to_string p
+  | Not p -> Printf.sprintf "not (%s)" (pred_to_string p)
+
+let to_string = function
+  | Exists_eventually p -> "E<> " ^ pred_to_string p
+  | Always p -> "A[] " ^ pred_to_string p
+  | Sup_delay { trigger; response; ceiling } ->
+    Printf.sprintf "sup: %s -> %s ceiling %d" trigger response ceiling
+  | Bounded_response { trigger; response; bound } ->
+    Printf.sprintf "bounded: %s -> %s within %d" trigger response bound
+
 (* --- evaluation ----------------------------------------------------------- *)
 
 let compile_pred t p =

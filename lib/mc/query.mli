@@ -57,6 +57,12 @@ type result = {
 (** [parse text] parses a query.  Errors mention the offending token. *)
 val parse : string -> (t, string) Stdlib.result
 
+(** Canonical text form: [parse (to_string q) = Ok q], and two queries
+    print equal iff their trees are equal (binary predicate nodes are
+    fully parenthesized).  This is the query contribution to the result
+    store's cache key. *)
+val to_string : t -> string
+
 (** [eval net q] builds the needed explorer (with a delay monitor for the
     timed queries) and evaluates under the optional [ctl] govern token.
     [jobs] (default 1) selects the number of exploration domains; with

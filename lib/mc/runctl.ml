@@ -32,6 +32,8 @@ let create ?(budget = no_budget) () =
     is_cancelled = Atomic.make false;
     ticks = Atomic.make 0 }
 
+let budget t = t.budget
+
 let cancel t = Atomic.set t.is_cancelled true
 
 let cancelled t = Atomic.get t.is_cancelled

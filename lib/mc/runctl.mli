@@ -46,6 +46,9 @@ type t
 (** [create ?budget ()] starts the wall clock now. *)
 val create : ?budget:budget -> unit -> t
 
+(** The budget the token was created with. *)
+val budget : t -> budget
+
 (** Request cancellation; the next poll observes it.  Idempotent and
     safe to call from a signal handler. *)
 val cancel : t -> unit

@@ -1,0 +1,201 @@
+let version = "PSVSTORE1"
+let marker = "PSVSTORE"
+
+type t = { dir : string }
+
+(* Temp names must be unique per concurrent writer.  The pid separates
+   processes; this process-global counter separates handles and domains
+   within one process (a per-handle counter would collide when two
+   domains each open their own handle on the same directory). *)
+let tmp_counter = Atomic.make 0
+
+let dir t = t.dir
+let marker_path dir = Filename.concat dir marker
+let entry_name key = D128.to_hex key ^ ".psve"
+let entry_path t key = Filename.concat t.dir (entry_name key)
+
+let is_store dir = Sys.file_exists (marker_path dir)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc content)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+let open_ ?(create = true) path =
+  if Sys.file_exists path then
+    if not (Sys.is_directory path) then
+      Error (Printf.sprintf "%s exists and is not a directory" path)
+    else if is_store path then Ok { dir = path }
+    else if create && Sys.readdir path = [||] then begin
+      write_file (marker_path path) (version ^ "\n");
+      Ok { dir = path }
+    end
+    else
+      Error
+        (Printf.sprintf "%s is not a psv result store (no %s marker)" path
+           marker)
+  else if create then begin
+    (try Unix.mkdir path 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    write_file (marker_path path) (version ^ "\n");
+    Ok { dir = path }
+  end
+  else Error (Printf.sprintf "%s does not exist" path)
+
+let open_existing path = open_ ~create:false path
+
+type lookup =
+  | Hit of Entry.t
+  | Miss
+  | Corrupt of string
+
+(* Parse one entry file body. The digest and length lines guard the
+   payload: both are checked before the JSON parser runs, so truncation
+   and bit rot surface as [Error] here, not as a parse crash. *)
+let decode_entry raw =
+  let ( let* ) = Result.bind in
+  let line_end from =
+    match String.index_from_opt raw from '\n' with
+    | Some i -> Ok i
+    | None -> Error "truncated header"
+  in
+  let* e1 = line_end 0 in
+  let magic = String.sub raw 0 e1 in
+  let* () =
+    if magic = version then Ok ()
+    else if String.length magic >= 8 && String.sub magic 0 8 = "PSVSTORE" then
+      Error (Printf.sprintf "entry version %S (this build reads %S)" magic version)
+    else Error "not a psv store entry"
+  in
+  let* e2 = line_end (e1 + 1) in
+  let digest_hex = String.sub raw (e1 + 1) (e2 - e1 - 1) in
+  let* digest =
+    match D128.of_hex digest_hex with
+    | Some d -> Ok d
+    | None -> Error "bad payload digest line"
+  in
+  let* e3 = line_end (e2 + 1) in
+  let* len =
+    match int_of_string_opt (String.sub raw (e2 + 1) (e3 - e2 - 1)) with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error "bad payload length line"
+  in
+  let body_start = e3 + 1 in
+  let* () =
+    if String.length raw - body_start = len then Ok ()
+    else Error "payload length mismatch (truncated entry?)"
+  in
+  let payload = String.sub raw body_start len in
+  let* () =
+    if D128.equal (D128.of_string payload) digest then Ok ()
+    else Error "payload digest mismatch"
+  in
+  let* json = Json.parse payload in
+  Entry.of_json json
+
+let read_entry path =
+  match read_file path with
+  | raw -> (
+    match decode_entry raw with
+    | Ok e -> Hit e
+    | Error msg -> Corrupt msg)
+  | exception Sys_error msg -> Corrupt msg
+
+let lookup t key =
+  let path = entry_path t key in
+  if not (Sys.file_exists path) then Miss
+  else
+    match read_entry path with
+    | Hit e when not (D128.equal e.Entry.en_key key) ->
+      Corrupt "entry key does not match file name"
+    | r -> r
+
+let encode_entry entry =
+  let payload = Json.to_string (Entry.to_json entry) in
+  Printf.sprintf "%s\n%s\n%d\n%s" version
+    (D128.to_hex (D128.of_string payload))
+    (String.length payload) payload
+
+let insert t entry =
+  let tmp =
+    Filename.concat t.dir
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  write_file tmp (encode_entry entry);
+  Sys.rename tmp (entry_path t entry.Entry.en_key)
+
+let remove t key =
+  try Sys.remove (entry_path t key) with Sys_error _ -> ()
+
+let entry_files t =
+  Sys.readdir t.dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".psve")
+  |> List.sort String.compare
+
+let default_warn msg = Printf.eprintf "psv: store: warning: %s\n%!" msg
+
+let fold ?(warn = default_warn) t ~init ~f =
+  List.fold_left
+    (fun acc file ->
+      match read_entry (Filename.concat t.dir file) with
+      | Hit e -> f acc e
+      | Miss -> acc
+      | Corrupt msg ->
+        warn (Printf.sprintf "skipping %s: %s" file msg);
+        acc)
+    init (entry_files t)
+
+type stats = { st_entries : int; st_corrupt : int; st_bytes : int }
+
+let stats t =
+  List.fold_left
+    (fun acc file ->
+      let path = Filename.concat t.dir file in
+      let bytes = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+      match read_entry path with
+      | Hit _ ->
+        { acc with st_entries = acc.st_entries + 1; st_bytes = acc.st_bytes + bytes }
+      | Miss | Corrupt _ ->
+        { acc with st_corrupt = acc.st_corrupt + 1; st_bytes = acc.st_bytes + bytes })
+    { st_entries = 0; st_corrupt = 0; st_bytes = 0 }
+    (entry_files t)
+
+let gc t =
+  let removed = ref 0 in
+  Array.iter
+    (fun file ->
+      let path = Filename.concat t.dir file in
+      let stale_tmp =
+        String.length file > 4 && String.sub file 0 4 = ".tmp"
+      in
+      let corrupt =
+        Filename.check_suffix file ".psve"
+        && match read_entry path with Corrupt _ -> true | _ -> false
+      in
+      if stale_tmp || corrupt then begin
+        (try Sys.remove path; incr removed with Sys_error _ -> ())
+      end)
+    (Sys.readdir t.dir);
+  !removed
+
+type fsck_report = { fk_ok : int; fk_bad : (string * string) list }
+
+let fsck t =
+  List.fold_left
+    (fun acc file ->
+      match read_entry (Filename.concat t.dir file) with
+      | Hit e ->
+        if entry_name e.Entry.en_key = file then { acc with fk_ok = acc.fk_ok + 1 }
+        else
+          { acc with
+            fk_bad = (file, "entry key does not match file name") :: acc.fk_bad }
+      | Miss -> acc
+      | Corrupt msg -> { acc with fk_bad = (file, msg) :: acc.fk_bad })
+    { fk_ok = 0; fk_bad = [] }
+    (entry_files t)

@@ -1,0 +1,80 @@
+(** The durable on-disk result store.
+
+    A store is one directory holding a recognition marker ([PSVSTORE])
+    and one file per entry ([<32-hex-key>.psve]).  An entry file is:
+
+    {v
+PSVSTORE1\n
+<32-hex digest of the payload>\n
+<payload byte length>\n
+<payload: canonical JSON, Entry.to_json>
+    v}
+
+    {b Crash safety.}  Writes go to a [.tmp.<pid>.<n>] file in the store
+    directory and are published with [Sys.rename] — atomic on POSIX — so
+    readers and concurrent [--jobs] writers only ever observe absent or
+    complete files, never partial ones.  Two writers racing on the same
+    key both publish a complete entry; last rename wins and either
+    answer is valid for the key.
+
+    {b Corruption tolerance.}  The length and digest lines are verified
+    {e before} the JSON is parsed; a truncated, garbled or
+    version-bumped file is reported as {!Corrupt} (and skipped with a
+    warning by [fold]), never an exception.  No [Marshal] is involved
+    anywhere on the read path. *)
+
+type t
+
+val version : string
+(** The entry-format magic, ["PSVSTORE1"]. *)
+
+val dir : t -> string
+
+(** [open_ ?create dir] opens (by default creating) a store at [dir].
+    [Error] if the directory exists but is not a recognized store, or —
+    with [create:false] — if it does not exist. *)
+val open_ : ?create:bool -> string -> (t, string) result
+
+(** [open_existing dir] never creates: [Error] unless [dir] is a
+    recognized store.  This is the guard behind [psv cache gc]. *)
+val open_existing : string -> (t, string) result
+
+type lookup =
+  | Hit of Entry.t
+  | Miss
+  | Corrupt of string  (** file present but unreadable; reason attached *)
+
+val lookup : t -> D128.t -> lookup
+
+(** [insert t entry] durably publishes [entry] under its key,
+    overwriting any previous entry for that key. *)
+val insert : t -> Entry.t -> unit
+
+(** [remove t key] deletes the entry for [key] if present. *)
+val remove : t -> D128.t -> unit
+
+(** Folds over all well-formed entries; ill-formed files are passed to
+    [warn] (default: a [Logs]-style line on stderr) and skipped. *)
+val fold :
+  ?warn:(string -> unit) -> t -> init:'a -> f:('a -> Entry.t -> 'a) -> 'a
+
+type stats = {
+  st_entries : int;       (** well-formed entries *)
+  st_corrupt : int;       (** unreadable [.psve] files *)
+  st_bytes : int;         (** total size of all [.psve] files *)
+}
+
+val stats : t -> stats
+
+(** [gc t] removes corrupt entry files and stray temp files; returns
+    the number of files removed. *)
+val gc : t -> int
+
+type fsck_report = {
+  fk_ok : int;
+  fk_bad : (string * string) list;  (** file name, problem *)
+}
+
+(** Full verification pass: magic, digest, length, JSON shape, and that
+    the key recorded in the payload matches the file name. *)
+val fsck : t -> fsck_report

@@ -1,0 +1,89 @@
+(** A cached verification result.
+
+    Entries deliberately mirror the model checker's result types with
+    plain, library-local constructors: the store sits {e below} [mc] in
+    the dependency order (the explorer uses {!D128} for its snapshot
+    fingerprint), so it cannot name [Mc.Explorer.verdict] directly.
+    [Analysis.Qcache] owns the conversions.
+
+    {b Reuse rule (budget dominance).}  Definitive outcomes ([Holds],
+    [Fails], [Sup]) are facts about the model: once computed under
+    {e any} budget they answer every future request for the same key —
+    a bigger budget can reuse a smaller budget's result.  An [Unknown]
+    is only a statement about the budget that produced it: it may be
+    reused exactly when the cached run's budget {e dominates} the
+    requested one (at least as many states, at least as much time and
+    memory, an unlimited component dominating everything) — if the
+    bigger run could not decide, the smaller one cannot either.
+    Cancelled runs ([^C]) are never reused: cancellation says nothing
+    about any budget. *)
+
+type sup =
+  | Sup_unreached
+  | Sup_value of int * bool  (** supremum; [true] means strict *)
+  | Sup_exceeds of int       (** exceeds the query ceiling *)
+
+type reason =
+  | Time_budget of float
+  | State_budget of int
+  | Memory_budget of int
+  | Cancelled
+
+type outcome =
+  | Holds
+  | Fails of string list option       (** counterexample trace *)
+  | Sup of sup
+  | Unknown of reason * sup option    (** partial sup when available *)
+
+type stats = { visited : int; stored : int; frontier : int }
+
+(** The budget a run was (or would be) governed by.  [bg_limit] is the
+    explorer's own visited-state limit; the optional components mirror
+    [Mc.Runctl.budget].  [None] means unlimited. *)
+type budget = {
+  bg_limit : int;
+  bg_states : int option;
+  bg_time_s : float option;
+  bg_mem_bytes : int option;
+}
+
+type provenance = {
+  pv_tool : string;     (** producing tool and version, e.g. ["psv/1.0.0"] *)
+  pv_jobs : int;        (** worker domains of the producing search *)
+  pv_wall_ms : float;   (** wall time of the producing search *)
+  pv_created : float;   (** unix time of insertion *)
+}
+
+type t = {
+  en_key : D128.t;      (** the content-addressed key ({!Key}) *)
+  en_query : string;    (** canonical query text, for humans and [fsck] *)
+  en_outcome : outcome;
+  en_stats : stats;
+  en_budget : budget;
+  en_prov : provenance;
+}
+
+val unlimited : budget
+
+(** [true] for [Holds], [Fails] and [Sup] — outcomes that hold under
+    any budget. *)
+val definitive : t -> bool
+
+(** [budget_dominates ~cached ~requested]: every component of [cached]
+    is at least as generous as [requested]'s. *)
+val budget_dominates : cached:budget -> requested:budget -> bool
+
+(** The reuse rule above. *)
+val reusable : t -> requested:budget -> bool
+
+val outcome_to_json : outcome -> Json.t
+val outcome_of_json : Json.t -> (outcome, string) result
+val stats_to_json : stats -> Json.t
+
+val to_json : t -> Json.t
+
+(** Inverse of {!to_json}; [Error] names the missing or ill-typed
+    field. *)
+val of_json : Json.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

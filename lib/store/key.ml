@@ -1,0 +1,19 @@
+(* Bump the schema string whenever anything that feeds the digest
+   changes meaning: old store entries then miss instead of aliasing. *)
+let schema = "psv-key-v1"
+
+let network_digest net =
+  let st = D128.builder () in
+  D128.add_string st schema;
+  D128.add_string st (Xta.Print.to_string net);
+  D128.value st
+
+let digest ?(tight = true) ?(lu = true) ?(reduce = true) ~query net =
+  let st = D128.builder () in
+  D128.add_string st schema;
+  D128.add_string st (Xta.Print.to_string net);
+  D128.add_string st query;
+  D128.add_bool st tight;
+  D128.add_bool st lu;
+  D128.add_bool st reduce;
+  D128.value st

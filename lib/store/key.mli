@@ -1,0 +1,28 @@
+(** Canonical cache keys.
+
+    The key identifies everything that determines a verification result:
+    the network, the query, and the result-affecting explorer
+    configuration (extrapolation flags).  It deliberately excludes run
+    budgets — those govern {e whether} the run finishes, not what the
+    answer is — so a result computed under one budget can answer
+    requests made under another (see {!Entry.reusable}).
+
+    The network contribution is a digest of its {!Xta.Print} text.  The
+    printer is canonical (parse-then-print is a fixpoint), so a model
+    loaded from [.xta] text and the same model printed and re-parsed
+    produce identical keys, while any semantic edit — a renamed clock, a
+    changed bound, a reordered edge — changes the text and hence the
+    key. *)
+
+(** Digest of the printed network text alone, under the key-schema
+    prefix.  This is also the explorer's snapshot fingerprint
+    ingredient. *)
+val network_digest : Ta.Model.network -> D128.t
+
+(** [digest ?tight ?lu ?reduce ~query net] is the full cache key.
+    [query] must be canonical query text ([Mc.Query.to_string]).
+    Defaults mirror the explorer's: [tight=true], [lu=true],
+    [reduce=true]. *)
+val digest :
+  ?tight:bool -> ?lu:bool -> ?reduce:bool -> query:string ->
+  Ta.Model.network -> D128.t

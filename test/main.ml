@@ -22,4 +22,5 @@ let () =
       ("render", Test_render.suite);
       ("extras", Test_extras.suite);
       ("codegen", Test_codegen.suite);
-      ("gpca", Test_gpca.suite) ]
+      ("gpca", Test_gpca.suite);
+      ("store", Test_store.suite) ]

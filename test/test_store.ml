@@ -1,0 +1,617 @@
+(* Tests of the persistent result store: the 128-bit digest, the JSON
+   codec, canonical query text, cache keys, the on-disk entry format
+   (including corruption tolerance and concurrent writers), and the
+   budget-dominance reuse rule. *)
+
+let tmp_counter = ref 0
+
+(* fresh store directory per test, removed afterwards *)
+let with_store_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psv_store_test_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with _ -> ()) (fun () -> f dir)
+
+(* --- D128 ---------------------------------------------------------------- *)
+
+let test_d128_hex () =
+  let d = Store.D128.of_string "hello" in
+  let hex = Store.D128.to_hex d in
+  Alcotest.(check int) "32 hex chars" 32 (String.length hex);
+  (match Store.D128.of_hex hex with
+   | Some d' -> Alcotest.(check bool) "round-trips" true (Store.D128.equal d d')
+   | None -> Alcotest.fail "of_hex rejected its own to_hex");
+  List.iter
+    (fun bad ->
+      match Store.D128.of_hex bad with
+      | None -> ()
+      | Some _ -> Alcotest.failf "of_hex accepted %S" bad)
+    [ ""; "abc"; String.make 31 '0'; String.make 33 '0';
+      String.make 31 '0' ^ "g" ]
+
+let test_d128_sensitivity () =
+  let digest parts =
+    let st = Store.D128.builder () in
+    List.iter (Store.D128.add_string st) parts;
+    Store.D128.value st
+  in
+  (* deterministic *)
+  Alcotest.(check bool) "stable" true
+    (Store.D128.equal (digest [ "a"; "b" ]) (digest [ "a"; "b" ]));
+  (* the length prefix keeps ["ab";"c"] and ["a";"bc"] apart even though
+     the concatenated bytes agree *)
+  Alcotest.(check bool) "length-prefixed" false
+    (Store.D128.equal (digest [ "ab"; "c" ]) (digest [ "a"; "bc" ]));
+  Alcotest.(check bool) "content-sensitive" false
+    (Store.D128.equal (digest [ "a" ]) (digest [ "b" ]))
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Store.Json in
+  let doc =
+    Obj
+      [ ("null", Null);
+        ("flag", Bool true);
+        ("n", Int (-42));
+        ("big", Int max_int);
+        ("f", Float 0.125);
+        ("s", String "line\nquote\" back\\slash \t end");
+        ("items", List [ Int 1; List []; Obj []; String "" ]) ]
+  in
+  match parse (to_string doc) with
+  | Ok doc' ->
+    Alcotest.(check bool) "round-trips" true (doc = doc');
+    Alcotest.(check string) "re-encoding is byte-stable" (to_string doc)
+      (to_string doc')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_errors () =
+  let open Store.Json in
+  List.iter
+    (fun text ->
+      match parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "{\"a\":1} trailing"; "\"unterm";
+      "nul"; "\"raw\x01control\"" ];
+  (match parse "\"a\\u00e9b\"" with
+   | Ok (String s) -> Alcotest.(check string) "utf8 escape" "a\xc3\xa9b" s
+   | _ -> Alcotest.fail "unicode escape");
+  match parse "  {\"a\": [1, 2.5]}  " with
+  | Ok (Obj [ ("a", List [ Int 1; Float 2.5 ]) ]) -> ()
+  | _ -> Alcotest.fail "whitespace / number kinds"
+
+(* --- Query.to_string ----------------------------------------------------- *)
+
+let test_query_to_string_roundtrip () =
+  let queries =
+    [ "E<> Pump.Infusing";
+      "A[] iovf_BolusReq == 0";
+      "E<> (Pump.Idle and (n >= 3 or not Pump.Infusing))";
+      "A[] not (a.b and c.d)";
+      "E<> (true or (false and n != 7))";
+      "sup: m_BolusReq -> c_StartInfusion ceiling 2000";
+      "bounded: m_BolusReq -> c_StartInfusion within 500" ]
+  in
+  List.iter
+    (fun text ->
+      match Mc.Query.parse text with
+      | Error msg -> Alcotest.failf "parse %S: %s" text msg
+      | Ok q -> (
+        let canon = Mc.Query.to_string q in
+        match Mc.Query.parse canon with
+        | Error msg -> Alcotest.failf "re-parse %S: %s" canon msg
+        | Ok q' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S -> %S round-trips" text canon)
+            true (q = q')))
+    queries
+
+(* --- cache keys ----------------------------------------------------------- *)
+
+let model_text =
+  {|network cachetest;
+
+clock x;
+chan a, b;
+
+process P {
+  state
+    Idle,
+    Busy { x <= 5 };
+  init Idle;
+  trans
+    Idle -> Busy { sync a!; reset x; },
+    Busy -> Idle { guard x >= 1; sync b!; };
+}
+
+process Q {
+  state S;
+  init S;
+  trans
+    S -> S { sync a?; },
+    S -> S { sync b?; };
+}
+|}
+
+let parse_net text =
+  match Xta.Parse.network text with
+  | Ok net -> net
+  | Error msg -> Alcotest.failf "model parse: %s" msg
+
+let substitute text sub by =
+  let n = String.length text and m = String.length sub in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub text !i m = sub then begin
+      Buffer.add_string buf by;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let test_key_stability () =
+  let net = parse_net model_text in
+  let reparsed = parse_net (Xta.Print.to_string net) in
+  Alcotest.(check bool) "digest survives a print/parse round-trip" true
+    (Store.D128.equal
+       (Store.Key.network_digest net)
+       (Store.Key.network_digest reparsed));
+  let q = "sup: a -> b ceiling 100" in
+  Alcotest.(check bool) "full key too" true
+    (Store.D128.equal
+       (Store.Key.digest ~query:q net)
+       (Store.Key.digest ~query:q reparsed))
+
+let test_key_perturbation () =
+  let base = Store.Key.network_digest (parse_net model_text) in
+  let differs label text =
+    Alcotest.(check bool) label false
+      (Store.D128.equal base (Store.Key.network_digest (parse_net text)))
+  in
+  differs "bound tweak changes the digest"
+    (substitute model_text "x <= 5" "x <= 6");
+  differs "rename changes the digest" (substitute model_text "chan a, b" "chan c, b"
+                                       |> fun t -> substitute t "sync a" "sync c");
+  differs "edge reorder changes the digest"
+    (substitute model_text
+       "S -> S { sync a?; },\n    S -> S { sync b?; };"
+       "S -> S { sync b?; },\n    S -> S { sync a?; };");
+  let net = parse_net model_text in
+  Alcotest.(check bool) "query text feeds the key" false
+    (Store.D128.equal
+       (Store.Key.digest ~query:"E<> P.Busy" net)
+       (Store.Key.digest ~query:"E<> P.Idle" net));
+  Alcotest.(check bool) "explorer flags feed the key" false
+    (Store.D128.equal
+       (Store.Key.digest ~lu:true ~query:"E<> P.Busy" net)
+       (Store.Key.digest ~lu:false ~query:"E<> P.Busy" net))
+
+(* --- entries -------------------------------------------------------------- *)
+
+let sample_entry ?(key = Store.D128.of_string "k") ?(outcome = Store.Entry.Holds)
+    ?(budget = Store.Entry.unlimited) () =
+  { Store.Entry.en_key = key;
+    en_query = "E<> P.Busy";
+    en_outcome = outcome;
+    en_stats = { Store.Entry.visited = 10; stored = 8; frontier = 0 };
+    en_budget = budget;
+    en_prov =
+      { Store.Entry.pv_tool = "psv/test";
+        pv_jobs = 1;
+        pv_wall_ms = 12.5;
+        pv_created = 1700000000.0 } }
+
+let entry_eq = Alcotest.testable Store.Entry.pp (fun a b -> a = b)
+
+let test_entry_json_roundtrip () =
+  let outcomes =
+    [ Store.Entry.Holds;
+      Store.Entry.Fails None;
+      Store.Entry.Fails (Some [ "step 1"; "step 2" ]);
+      Store.Entry.Sup Store.Entry.Sup_unreached;
+      Store.Entry.Sup (Store.Entry.Sup_value (440, false));
+      Store.Entry.Sup (Store.Entry.Sup_exceeds 2000);
+      Store.Entry.Unknown (Store.Entry.Time_budget 1.5, None);
+      Store.Entry.Unknown
+        (Store.Entry.State_budget 1000, Some (Store.Entry.Sup_value (7, true)));
+      Store.Entry.Unknown (Store.Entry.Memory_budget 4096, None);
+      Store.Entry.Unknown (Store.Entry.Cancelled, None) ]
+  in
+  List.iter
+    (fun outcome ->
+      let budget =
+        { Store.Entry.bg_limit = 500_000;
+          bg_states = Some 1000;
+          bg_time_s = Some 1.5;
+          bg_mem_bytes = None }
+      in
+      let e = sample_entry ~outcome ~budget () in
+      match Store.Entry.of_json (Store.Entry.to_json e) with
+      | Ok e' -> Alcotest.check entry_eq "entry round-trips" e e'
+      | Error msg -> Alcotest.failf "of_json: %s" msg)
+    outcomes
+
+let budget ?states ?time_s ?mem ?(limit = 1000) () =
+  { Store.Entry.bg_limit = limit;
+    bg_states = states;
+    bg_time_s = time_s;
+    bg_mem_bytes = mem }
+
+let test_budget_dominance () =
+  let dominates c r = Store.Entry.budget_dominates ~cached:c ~requested:r in
+  Alcotest.(check bool) "equal budgets dominate" true
+    (dominates (budget ()) (budget ()));
+  Alcotest.(check bool) "bigger state limit dominates" true
+    (dominates (budget ~limit:2000 ()) (budget ~limit:1000 ()));
+  Alcotest.(check bool) "smaller state limit does not" false
+    (dominates (budget ~limit:500 ()) (budget ~limit:1000 ()));
+  Alcotest.(check bool) "None dominates Some" true
+    (dominates (budget ()) (budget ~states:10 ()));
+  Alcotest.(check bool) "Some never dominates None" false
+    (dominates (budget ~states:1_000_000 ()) (budget ()));
+  Alcotest.(check bool) "componentwise: time" true
+    (dominates (budget ~time_s:2.0 ()) (budget ~time_s:1.0 ()));
+  Alcotest.(check bool) "componentwise: time fails" false
+    (dominates (budget ~time_s:1.0 ()) (budget ~time_s:2.0 ()));
+  Alcotest.(check bool) "componentwise: memory" false
+    (dominates (budget ~mem:100 ()) (budget ~mem:200 ()))
+
+let test_reusable () =
+  let small = budget ~states:100 () and big = budget ~states:1_000_000 () in
+  let reusable ?budget:(b = small) outcome ~requested =
+    Store.Entry.reusable (sample_entry ~outcome ~budget:b ()) ~requested
+  in
+  (* definitive results answer any budget, even a bigger one *)
+  Alcotest.(check bool) "Holds reusable under a bigger budget" true
+    (reusable Store.Entry.Holds ~requested:big);
+  Alcotest.(check bool) "Sup reusable under a bigger budget" true
+    (reusable (Store.Entry.Sup (Store.Entry.Sup_value (5, false))) ~requested:big);
+  let unk = Store.Entry.Unknown (Store.Entry.State_budget 100, None) in
+  (* Unknown only travels downward in budget *)
+  Alcotest.(check bool) "Unknown not reusable under a bigger budget" false
+    (reusable unk ~requested:big);
+  Alcotest.(check bool) "Unknown reusable under a smaller budget" true
+    (reusable ~budget:big unk ~requested:small);
+  Alcotest.(check bool) "cancelled never reusable" false
+    (Store.Entry.reusable
+       (sample_entry
+          ~outcome:(Store.Entry.Unknown (Store.Entry.Cancelled, None))
+          ~budget:big ())
+       ~requested:small)
+
+(* --- disk ----------------------------------------------------------------- *)
+
+let open_store dir =
+  match Store.Disk.open_ dir with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "open_: %s" msg
+
+let test_disk_roundtrip () =
+  with_store_dir (fun dir ->
+      let store = open_store dir in
+      let e = sample_entry ~key:(Store.D128.of_string "k1") () in
+      (match Store.Disk.lookup store e.Store.Entry.en_key with
+       | Store.Disk.Miss -> ()
+       | _ -> Alcotest.fail "expected a miss before insert");
+      Store.Disk.insert store e;
+      (match Store.Disk.lookup store e.Store.Entry.en_key with
+       | Store.Disk.Hit e' -> Alcotest.check entry_eq "hit after insert" e e'
+       | _ -> Alcotest.fail "expected a hit after insert");
+      (* reopening sees the same durable entry *)
+      let store2 = open_store dir in
+      (match Store.Disk.lookup store2 e.Store.Entry.en_key with
+       | Store.Disk.Hit e' -> Alcotest.check entry_eq "durable" e e'
+       | _ -> Alcotest.fail "entry lost across reopen");
+      (* overwrite with a different outcome *)
+      let e2 = { e with Store.Entry.en_outcome = Store.Entry.Fails None } in
+      Store.Disk.insert store e2;
+      (match Store.Disk.lookup store e.Store.Entry.en_key with
+       | Store.Disk.Hit e' -> Alcotest.check entry_eq "overwritten" e2 e'
+       | _ -> Alcotest.fail "overwrite lost the entry");
+      Store.Disk.remove store e.Store.Entry.en_key;
+      match Store.Disk.lookup store e.Store.Entry.en_key with
+      | Store.Disk.Miss -> ()
+      | _ -> Alcotest.fail "remove did not remove")
+
+let test_disk_recognition () =
+  with_store_dir (fun dir ->
+      (match Store.Disk.open_existing dir with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.fail "open_existing created a store");
+      Unix.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir "innocent.txt") in
+      output_string oc "do not gc me";
+      close_out oc;
+      (* a non-empty directory without the marker is not a store, even
+         with create *)
+      (match Store.Disk.open_ dir with
+       | Error msg ->
+         Alcotest.(check bool) "error names the marker" true
+           (let rec contains i =
+              i + 8 <= String.length msg
+              && (String.sub msg i 8 = "PSVSTORE" || contains (i + 1))
+            in
+            contains 0)
+       | Ok _ -> Alcotest.fail "adopted a foreign directory as a store"))
+
+let entry_file dir key = Filename.concat dir (Store.D128.to_hex key ^ ".psve")
+
+let test_disk_corruption () =
+  with_store_dir (fun dir ->
+      let store = open_store dir in
+      let key = Store.D128.of_string "corruptme" in
+      let e = sample_entry ~key () in
+      Store.Disk.insert store e;
+      let path = entry_file dir key in
+      let original =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let write bytes =
+        let oc = open_out_bin path in
+        output_string oc bytes;
+        close_out oc
+      in
+      let check_corrupt label =
+        match Store.Disk.lookup store key with
+        | Store.Disk.Corrupt _ -> ()
+        | Store.Disk.Hit _ -> Alcotest.failf "%s: accepted as a hit" label
+        | Store.Disk.Miss -> Alcotest.failf "%s: reported as a miss" label
+        | exception exn ->
+          Alcotest.failf "%s: raised %s" label (Printexc.to_string exn)
+      in
+      let n = String.length original in
+      (* truncation at every eighth byte *)
+      let cut = ref 0 in
+      while !cut < n do
+        write (String.sub original 0 !cut);
+        check_corrupt (Printf.sprintf "truncated to %d bytes" !cut);
+        cut := !cut + 8
+      done;
+      (* single-byte flips across the file *)
+      let pos = ref 0 in
+      while !pos < n do
+        let b = Bytes.of_string original in
+        Bytes.set b !pos (Char.chr (Char.code (Bytes.get b !pos) lxor 0x20));
+        write (Bytes.to_string b);
+        (match Store.Disk.lookup store key with
+         | Store.Disk.Corrupt _ | Store.Disk.Miss -> ()
+         | Store.Disk.Hit e' ->
+           (* a flip that still reads back must have produced the very
+              same entry (e.g. flips inside ignored regions don't exist
+              in this format, so really: never) *)
+           Alcotest.check entry_eq
+             (Printf.sprintf "flip at %d produced a phantom entry" !pos)
+             e e'
+         | exception exn ->
+           Alcotest.failf "flip at %d raised %s" !pos (Printexc.to_string exn));
+        pos := !pos + 7
+      done;
+      (* entry-version bump *)
+      write (substitute original "PSVSTORE1" "PSVSTORE9");
+      check_corrupt "future entry version";
+      (* outright garbage *)
+      write (String.make 100 '\xff');
+      check_corrupt "garbage";
+      (* a permuted header (digest line swapped with length line) *)
+      write (substitute original "PSVSTORE1\n" "PSVSTORE1\n\n");
+      check_corrupt "permuted header";
+      (* restore and confirm the store recovers *)
+      write original;
+      match Store.Disk.lookup store key with
+      | Store.Disk.Hit e' -> Alcotest.check entry_eq "recovers" e e'
+      | _ -> Alcotest.fail "restored entry does not read back")
+
+let test_disk_fold_stats_gc_fsck () =
+  with_store_dir (fun dir ->
+      let store = open_store dir in
+      let keys =
+        List.map
+          (fun i -> Store.D128.of_string (Printf.sprintf "key-%d" i))
+          [ 1; 2; 3 ]
+      in
+      List.iter (fun key -> Store.Disk.insert store (sample_entry ~key ())) keys;
+      (* one corrupt entry, one stale temp file *)
+      let bad = Store.D128.of_string "bad" in
+      let oc = open_out_bin (entry_file dir bad) in
+      output_string oc "PSVSTORE1\nnot hex\n4\nxxxx";
+      close_out oc;
+      let oc = open_out_bin (Filename.concat dir ".tmp.999.0") in
+      output_string oc "leftover";
+      close_out oc;
+      let warnings = ref 0 in
+      let n =
+        Store.Disk.fold ~warn:(fun _ -> incr warnings) store ~init:0
+          ~f:(fun acc _ -> acc + 1)
+      in
+      Alcotest.(check int) "fold sees the good entries" 3 n;
+      Alcotest.(check int) "fold warned once" 1 !warnings;
+      let s = Store.Disk.stats store in
+      Alcotest.(check int) "stats entries" 3 s.Store.Disk.st_entries;
+      Alcotest.(check int) "stats corrupt" 1 s.Store.Disk.st_corrupt;
+      Alcotest.(check bool) "stats bytes > 0" true (s.Store.Disk.st_bytes > 0);
+      let r = Store.Disk.fsck store in
+      Alcotest.(check int) "fsck ok" 3 r.Store.Disk.fk_ok;
+      Alcotest.(check int) "fsck bad" 1 (List.length r.Store.Disk.fk_bad);
+      let removed = Store.Disk.gc store in
+      Alcotest.(check int) "gc removes corrupt + temp" 2 removed;
+      let s = Store.Disk.stats store in
+      Alcotest.(check int) "corrupt gone" 0 s.Store.Disk.st_corrupt;
+      Alcotest.(check int) "entries kept" 3 s.Store.Disk.st_entries)
+
+let test_disk_concurrent_writers () =
+  with_store_dir (fun dir ->
+      let store = open_store dir in
+      let jobs = 4 and per_domain = 25 in
+      (* all domains hammer an overlapping key range: every file must
+         come out whole (rename is atomic), nothing may crash *)
+      let worker d () =
+        let local = open_store dir in
+        for i = 0 to per_domain - 1 do
+          let key = Store.D128.of_string (Printf.sprintf "key-%d" (i mod 10)) in
+          let e =
+            { (sample_entry ~key ()) with
+              Store.Entry.en_query = Printf.sprintf "writer-%d-%d" d i }
+          in
+          Store.Disk.insert local e;
+          match Store.Disk.lookup local key with
+          | Store.Disk.Hit _ -> ()
+          | Store.Disk.Miss -> Alcotest.fail "lost an entry mid-write"
+          | Store.Disk.Corrupt msg ->
+            Alcotest.failf "torn entry observed: %s" msg
+        done
+      in
+      let doms = List.init jobs (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join doms;
+      let s = Store.Disk.stats store in
+      Alcotest.(check int) "10 distinct keys survive" 10 s.Store.Disk.st_entries;
+      Alcotest.(check int) "no corruption" 0 s.Store.Disk.st_corrupt;
+      let r = Store.Disk.fsck store in
+      Alcotest.(check int) "fsck clean" 0 (List.length r.Store.Disk.fk_bad))
+
+(* --- qcache --------------------------------------------------------------- *)
+
+let test_qcache_hit_miss () =
+  with_store_dir (fun dir ->
+      let cache = Analysis.Qcache.make ~warn:(fun _ -> ()) (open_store dir) in
+      let net = parse_net model_text in
+      let q =
+        match Mc.Query.parse "sup: a -> b ceiling 100" with
+        | Ok q -> q
+        | Error msg -> Alcotest.failf "query: %s" msg
+      in
+      let r1 = Analysis.Qcache.eval cache net q in
+      Alcotest.(check int) "first eval misses" 1 (Analysis.Qcache.misses cache);
+      let r2 = Analysis.Qcache.eval cache net q in
+      Alcotest.(check int) "second eval hits" 1 (Analysis.Qcache.hits cache);
+      Alcotest.(check bool) "same outcome" true
+        (r1.Mc.Query.res_outcome = r2.Mc.Query.res_outcome);
+      Alcotest.(check bool) "same stats" true
+        (r1.Mc.Query.res_stats = r2.Mc.Query.res_stats);
+      (* the sup of the little model is the invariant bound, 5 *)
+      match r2.Mc.Query.res_outcome with
+      | Mc.Query.Sup (Mc.Explorer.Sup (5, _)) -> ()
+      | o -> Alcotest.failf "unexpected outcome %a" Mc.Query.pp_outcome o)
+
+(* a model that needs 15 expansions to reach its target, so a tiny
+   state budget genuinely interrupts the search *)
+let counter_text =
+  {|network counter;
+
+int[0,15] n = 0;
+
+process C {
+  state S;
+  init S;
+  trans
+    S -> S { when n != 15; assign n := n + 1; };
+}
+|}
+
+let test_qcache_unknown_dominance () =
+  with_store_dir (fun dir ->
+      let cache = Analysis.Qcache.make ~warn:(fun _ -> ()) (open_store dir) in
+      let net = parse_net counter_text in
+      let q =
+        match Mc.Query.parse "E<> n >= 15" with
+        | Ok q -> q
+        | Error msg -> Alcotest.failf "query: %s" msg
+      in
+      let tiny_budget =
+        { Mc.Runctl.no_budget with Mc.Runctl.b_states = Some 2 }
+      in
+      let ctl () = Mc.Runctl.create ~budget:tiny_budget () in
+      let r1 = Analysis.Qcache.eval cache ~ctl:(ctl ()) net q in
+      (match r1.Mc.Query.res_outcome with
+       | Mc.Query.Unknown _ -> ()
+       | o ->
+         Alcotest.failf "expected Unknown under a 2-state budget, got %a"
+           Mc.Query.pp_outcome o);
+      (* the same tiny budget may reuse the Unknown... *)
+      let _ = Analysis.Qcache.eval cache ~ctl:(ctl ()) net q in
+      Alcotest.(check int) "dominated request hits" 1
+        (Analysis.Qcache.hits cache);
+      (* ...but an unbudgeted request must recompute and find the truth *)
+      let r3 = Analysis.Qcache.eval cache net q in
+      Alcotest.(check bool) "bigger budget recomputes" true
+        (Analysis.Qcache.misses cache >= 2);
+      (match r3.Mc.Query.res_outcome with
+       | Mc.Query.Holds -> ()
+       | o -> Alcotest.failf "expected Holds, got %a" Mc.Query.pp_outcome o);
+      (* the definitive result overwrote the Unknown: now even the tiny
+         budget is answered from the store *)
+      let hits_before = Analysis.Qcache.hits cache in
+      let r4 = Analysis.Qcache.eval cache ~ctl:(ctl ()) net q in
+      Alcotest.(check int) "definitive answers any budget" (hits_before + 1)
+        (Analysis.Qcache.hits cache);
+      match r4.Mc.Query.res_outcome with
+      | Mc.Query.Holds -> ()
+      | o -> Alcotest.failf "expected cached Holds, got %a" Mc.Query.pp_outcome o)
+
+(* --- snapshots reject the previous format -------------------------------- *)
+
+let test_old_snapshot_version () =
+  let path = Filename.temp_file "psv_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "PSVSNAP1";
+      output_string oc (String.make 64 '\x00');
+      close_out oc;
+      match Mc.Explorer.load_snapshot path with
+      | Ok _ -> Alcotest.fail "loaded a PSVSNAP1 snapshot"
+      | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the stale version: %s" msg)
+          true
+          (let rec contains i =
+             i + 8 <= String.length msg
+             && (String.sub msg i 8 = "PSVSNAP1" || contains (i + 1))
+           in
+           contains 0))
+
+let suite =
+  [ Alcotest.test_case "d128 hex round-trip" `Quick test_d128_hex;
+    Alcotest.test_case "d128 sensitivity" `Quick test_d128_sensitivity;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "query to_string round-trip" `Quick
+      test_query_to_string_roundtrip;
+    Alcotest.test_case "key stable across print/parse" `Quick
+      test_key_stability;
+    Alcotest.test_case "key changes under perturbation" `Quick
+      test_key_perturbation;
+    Alcotest.test_case "entry json round-trip" `Quick test_entry_json_roundtrip;
+    Alcotest.test_case "budget dominance" `Quick test_budget_dominance;
+    Alcotest.test_case "reuse rule" `Quick test_reusable;
+    Alcotest.test_case "disk insert/lookup/remove" `Quick test_disk_roundtrip;
+    Alcotest.test_case "store recognition" `Quick test_disk_recognition;
+    Alcotest.test_case "corruption never crashes" `Quick test_disk_corruption;
+    Alcotest.test_case "fold/stats/gc/fsck" `Quick test_disk_fold_stats_gc_fsck;
+    Alcotest.test_case "concurrent writers" `Quick test_disk_concurrent_writers;
+    Alcotest.test_case "qcache hit/miss" `Quick test_qcache_hit_miss;
+    Alcotest.test_case "qcache unknown dominance" `Quick
+      test_qcache_unknown_dominance;
+    Alcotest.test_case "old snapshot version rejected" `Quick
+      test_old_snapshot_version ]
