@@ -499,14 +499,15 @@ let cache_runs cache (q : Analysis.Queries.query_spec) =
       q.Analysis.Queries.qs_name;
     exit 1
   end;
-  (cold_ms, warm_ms)
+  (cold_r, cold_ms, warm_ms)
 
 (* A jobs-scaling row is only meaningful on searches with real work; a
    query that finishes in a few hundred states measures domain-spawn
    overhead, not exploration. *)
 let scaling_threshold = 1000
 
-let explorer_bench_json ?path ?cache_dir ?(repeat = 1) ?(jobs_list = []) () =
+let explorer_bench_json ?path ?cache_dir ?faults ?(repeat = 1)
+    ?(jobs_list = []) () =
   let cache =
     Option.map
       (fun dir ->
@@ -514,6 +515,33 @@ let explorer_bench_json ?path ?cache_dir ?(repeat = 1) ?(jobs_list = []) () =
         | Ok disk -> Analysis.Qcache.make disk
         | Error msg -> prerr_endline ("bench: --cache: " ^ msg); exit 3)
       cache_dir
+  in
+  (* The fault column reruns the cache cold/warm pair against a second
+     store whose host I/O replays the given seeded schedule — same
+     queries, same budgets, sick disk.  The sup must not move. *)
+  let fault_cache =
+    match (faults, cache_dir) with
+    | None, _ -> None
+    | Some _, None ->
+      prerr_endline "bench: --faults needs --cache";
+      exit 3
+    | Some profile, Some dir ->
+      (* Lay the store out fault-free, then reopen it on the sick io so
+         the schedule only strikes the per-query read/write path. *)
+      let fdir = dir ^ "-faulted" in
+      (match Store.Disk.open_ fdir with
+       | Ok _ -> ()
+       | Error msg ->
+         prerr_endline ("bench: --faults store: " ^ msg);
+         exit 3);
+      let stats = Fault.Io.stats () in
+      let io = Fault.Io.inject ~stats profile Fault.Io.real in
+      let retry = Fault.Retry.with_attempts 6 in
+      (match Store.Disk.open_ ~io ~retry fdir with
+       | Ok disk -> Some (Analysis.Qcache.make ~warn:(fun _ -> ()) disk, stats)
+       | Error msg ->
+         prerr_endline ("bench: --faults store: " ^ msg);
+         exit 3)
   in
   let rows =
     List.map
@@ -524,11 +552,31 @@ let explorer_bench_json ?path ?cache_dir ?(repeat = 1) ?(jobs_list = []) () =
           match cache with
           | None -> ""
           | Some cache ->
-            let cold_ms, warm_ms = cache_runs cache q in
+            let _, cold_ms, warm_ms = cache_runs cache q in
             Printf.sprintf
               ", \"cache_cold_ms\": %.1f, \"cache_warm_ms\": %.1f, \
                \"cache_speedup\": %.1f"
               cold_ms warm_ms (cold_ms /. warm_ms)
+        in
+        let fault_cells =
+          match fault_cache with
+          | None -> ""
+          | Some (fcache, fstats) ->
+            let before = Atomic.get fstats.Fault.Io.fs_faults in
+            let fr, fcold_ms, fwarm_ms = cache_runs fcache q in
+            if fr.Analysis.Queries.dr_sup <> r.Analysis.Queries.dr_sup
+            then begin
+              Printf.eprintf
+                "bench: %s: sup under fault injection disagrees with the \
+                 clean run\n"
+                q.Analysis.Queries.qs_name;
+              exit 1
+            end;
+            Printf.sprintf
+              ", \"fault_cold_ms\": %.1f, \"fault_warm_ms\": %.1f, \
+               \"fault_injected\": %d"
+              fcold_ms fwarm_ms
+              (Atomic.get fstats.Fault.Io.fs_faults - before)
         in
         let scaling =
           let eligible =
@@ -566,11 +614,20 @@ let explorer_bench_json ?path ?cache_dir ?(repeat = 1) ?(jobs_list = []) () =
           stats.Mc.Explorer.stored wall_ms wall_min repeat alloc_mb
           (json_escape
              (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup))
-          scaling cache_cells)
+          scaling (cache_cells ^ fault_cells))
       (explorer_queries ())
   in
+  let faults_field =
+    match faults with
+    | None -> ""
+    | Some p ->
+      Printf.sprintf "  \"faults\": \"%s\",\n"
+        (json_escape (Fault.Profile.to_string p))
+  in
   let body =
-    Printf.sprintf "{\n  \"suite\": \"explorer\",\n  \"queries\": [\n%s\n  ]\n}\n"
+    Printf.sprintf
+      "{\n  \"suite\": \"explorer\",\n%s  \"queries\": [\n%s\n  ]\n}\n"
+      faults_field
       (String.concat ",\n" rows)
   in
   match path with
@@ -680,22 +737,29 @@ let () =
       | Some n when n > 0 -> n
       | Some _ | None -> bad "bench: bad %s %S" flag s
     in
-    let rec parse path repeat jobs_list cache_dir = function
-      | [] -> (path, repeat, jobs_list, cache_dir)
+    let rec parse path repeat jobs_list cache_dir faults = function
+      | [] -> (path, repeat, jobs_list, cache_dir, faults)
       | "--repeat" :: r :: rest ->
-        parse path (int_arg "--repeat" r) jobs_list cache_dir rest
+        parse path (int_arg "--repeat" r) jobs_list cache_dir faults rest
       | "--jobs" :: l :: rest ->
         let jobs =
           List.map (int_arg "--jobs") (String.split_on_char ',' l)
         in
-        parse path repeat jobs cache_dir rest
-      | "--cache" :: dir :: rest -> parse path repeat jobs_list (Some dir) rest
-      | [ ("--repeat" | "--jobs" | "--cache") as flag ] ->
+        parse path repeat jobs cache_dir faults rest
+      | "--cache" :: dir :: rest ->
+        parse path repeat jobs_list (Some dir) faults rest
+      | "--faults" :: spec :: rest -> (
+        match Fault.Profile.parse spec with
+        | Ok p -> parse path repeat jobs_list cache_dir (Some p) rest
+        | Error msg -> bad "bench: %s" msg)
+      | [ ("--repeat" | "--jobs" | "--cache" | "--faults") as flag ] ->
         bad "bench: %s needs a value" flag
-      | p :: rest -> parse (Some p) repeat jobs_list cache_dir rest
+      | p :: rest -> parse (Some p) repeat jobs_list cache_dir faults rest
     in
-    let path, repeat, jobs_list, cache_dir = parse None 1 [] None rest in
-    explorer_bench_json ?path ?cache_dir ~repeat ~jobs_list ()
+    let path, repeat, jobs_list, cache_dir, faults =
+      parse None 1 [] None None rest
+    in
+    explorer_bench_json ?path ?cache_dir ?faults ~repeat ~jobs_list ()
   | _ ->
   e4_pim_verification ();
   e123_table1 ();

@@ -190,21 +190,52 @@ let cache_arg =
                  under any budget; $(i,unknown) results only when the \
                  stored run's budget covers the requested one.")
 
+let store_retries_arg =
+  Arg.(value & opt int 2
+       & info [ "store-retries" ] ~docv:"N"
+           ~doc:"Retry budget for store reads/writes: each faulting \
+                 operation is retried up to $(docv) times with \
+                 exponential backoff before counting as a store error \
+                 (default 2; 0 disables retries).  Persistent errors \
+                 trip the cache into degraded mode — queries compute \
+                 from scratch instead of failing.")
+
 (* open (creating if needed) the --cache store; corrupt entries warn on
    stderr so --json output on stdout stays byte-stable *)
-let open_cache = function
+let open_cache ?(retries = 2) cache =
+  match cache with
   | None -> None
   | Some dir -> (
-    match Store.Disk.open_ dir with
+    let retry = Fault.Retry.with_attempts (retries + 1) in
+    match Store.Disk.open_ ~retry dir with
     | Ok disk -> Some (Analysis.Qcache.make disk)
     | Error msg -> die "--cache: %s" msg)
 
+(* the hit/miss line format is load-bearing (CI greps it); errors and
+   the degraded marker only appear when there is something to say *)
 let report_cache = function
   | None -> ()
   | Some cache ->
-    Fmt.epr "cache: %d hits, %d misses@."
-      (Analysis.Qcache.hits cache)
-      (Analysis.Qcache.misses cache)
+    let errors = Analysis.Qcache.errors cache in
+    if errors = 0 && not (Analysis.Qcache.degraded cache) then
+      Fmt.epr "cache: %d hits, %d misses@."
+        (Analysis.Qcache.hits cache)
+        (Analysis.Qcache.misses cache)
+    else
+      Fmt.epr "cache: %d hits, %d misses, %d error%s%s@."
+        (Analysis.Qcache.hits cache)
+        (Analysis.Qcache.misses cache)
+        errors
+        (if errors = 1 then "" else "s")
+        (if Analysis.Qcache.degraded cache then " (degraded)" else "")
+
+(* degraded completion: the run finished and every query was answered,
+   but the result store was bypassed for part of the batch.  Documented
+   exit code 4; only replaces a would-be-0 success. *)
+let exit_degraded cache =
+  match cache with
+  | Some c when Analysis.Qcache.degraded c -> exit 4
+  | Some _ | None -> ()
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -293,7 +324,7 @@ let verify_cmd =
              ~doc:"Emit the verdict and exploration statistics as JSON.")
   in
   let run file trigger response bound ceiling jobs budget_time budget_states
-      budget_mem checkpoint resume json cache =
+      budget_mem checkpoint resume json cache store_retries =
     let jobs = check_jobs jobs in
     if jobs > 1 && (checkpoint <> None || resume <> None) then
       die "--checkpoint/--resume require --jobs 1 (parallel runs do not \
@@ -301,7 +332,7 @@ let verify_cmd =
     if resume <> None && cache <> None then
       die "--resume and --cache are exclusive (a resumed search must \
            explore, not answer from the store)";
-    let cache = open_cache cache in
+    let cache = open_cache ~retries:store_retries cache in
     let net = load_network file in
     let resume_snap = Option.map load_resume resume in
     (* with --bound the sup ceiling is the bound itself: the check is
@@ -401,7 +432,7 @@ let verify_cmd =
              (interrupted by a budget or ^C), 3 usage or parse error.")
     Term.(const run $ file $ trigger $ response $ bound $ ceiling $ jobs_arg
           $ budget_time_arg $ budget_states_arg $ budget_mem_arg
-          $ checkpoint $ resume $ json $ cache_arg)
+          $ checkpoint $ resume $ json $ cache_arg $ store_retries_arg)
 
 (* --- query ---------------------------------------------------------------- *)
 
@@ -416,9 +447,10 @@ let query_cmd =
              ~doc:"E<> PRED | A[] PRED | sup: CHAN -> CHAN [ceiling N] | \
                    bounded: CHAN -> CHAN within N")
   in
-  let run file query jobs budget_time budget_states budget_mem cache =
+  let run file query jobs budget_time budget_states budget_mem cache
+      store_retries =
     let jobs = check_jobs jobs in
-    let cache = open_cache cache in
+    let cache = open_cache ~retries:store_retries cache in
     let net = load_network file in
     match Mc.Query.parse query with
     | Error msg -> die "query: %s" msg
@@ -454,7 +486,7 @@ let query_cmd =
        ~doc:"Evaluate an UPPAAL-style query on a .xta model.  Exit codes: \
              0 holds, 1 fails, 2 unknown, 3 usage or parse error.")
     Term.(const run $ file $ query $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg $ cache_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg $ store_retries_arg)
 
 (* --- check (batch queries) -------------------------------------------------- *)
 
@@ -477,9 +509,10 @@ let check_cmd =
                    (no wall times), so a warm $(b,--cache) run reproduces \
                    a cold run byte for byte.")
   in
-  let run model queries jobs budget_time budget_states budget_mem cache json =
+  let run model queries jobs budget_time budget_states budget_mem cache json
+      store_retries =
     let jobs = check_jobs jobs in
-    let cache = open_cache cache in
+    let cache = open_cache ~retries:store_retries cache in
     let net = load_network model in
     let lines = String.split_on_char '\n' (read_file queries) in
     let numbered =
@@ -521,7 +554,9 @@ let check_cmd =
                 match eval_one ~ctl q with
                 | result -> Ok result
                 | exception Not_found ->
-                  Error "unknown process, location or variable")
+                  Error "unknown process, location or variable"
+                | exception exn ->
+                  Error ("evaluation crashed: " ^ Printexc.to_string exn))
             in
             if not json then report (lineno, line, res);
             (lineno, line, res))
@@ -551,10 +586,16 @@ let check_cmd =
               match item with
               | Error msg -> (lineno, line, Error msg)
               | Ok (q, ctl) ->
+                (* catch everything on the worker: one poisoned query
+                   reports an error row instead of killing the batch *)
                 (match eval_one ~ctl q with
                  | result -> (lineno, line, Ok result)
                  | exception Not_found ->
-                   (lineno, line, Error "unknown process, location or variable")))
+                   (lineno, line, Error "unknown process, location or variable")
+                 | exception exn ->
+                   ( lineno,
+                     line,
+                     Error ("evaluation crashed: " ^ Printexc.to_string exn) )))
             parsed
         in
         if not json then List.iter report results;
@@ -616,7 +657,9 @@ let check_cmd =
         (if !failures = 1 then "" else "s")
         !unknowns;
     report_cache cache;
-    if !failures > 0 then exit 1 else if !unknowns > 0 then exit 2
+    if !failures > 0 then exit 1
+    else if !unknowns > 0 then exit 2
+    else exit_degraded cache
   in
   Cmd.v
     (Cmd.info "check"
@@ -624,9 +667,12 @@ let check_cmd =
              optionally $(b,--jobs) queries at a time on separate domains \
              and $(b,--cache) answering repeats from the persistent store.  \
              Exit codes: 0 all pass, 1 any failure, 2 no failures but some \
-             unknown, 3 usage or parse error.")
+             unknown, 3 usage or parse error, 4 all pass but the store was \
+             degraded (circuit breaker tripped; some answers computed \
+             without the cache).")
     Term.(const run $ model $ queries $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg $ cache_arg $ json_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg $ json_arg
+          $ store_retries_arg)
 
 (* --- sweep (GPCA scheme sweep) --------------------------------------------- *)
 
@@ -640,9 +686,10 @@ let sweep_cmd =
     Arg.(value & opt int 500_000
          & info [ "limit" ] ~docv:"N" ~doc:"Per-query state limit.")
   in
-  let run periods limit jobs budget_time budget_states budget_mem cache =
+  let run periods limit jobs budget_time budget_states budget_mem cache
+      store_retries =
     let jobs = check_jobs jobs in
-    let cache = open_cache cache in
+    let cache = open_cache ~retries:store_retries cache in
     let periods =
       List.map
         (fun s ->
@@ -720,7 +767,7 @@ let sweep_cmd =
              on separate domains.  Exit codes: 0 complete, 2 some queries \
              interrupted, 3 usage error.")
     Term.(const run $ periods $ limit $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg $ cache_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg $ store_retries_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -1069,15 +1116,21 @@ let cache_fsck_cmd =
     List.iter
       (fun (file, problem) -> Fmt.pr "BAD  %s: %s@." file problem)
       (List.rev r.Store.Disk.fk_bad);
-    Fmt.pr "%s: %d entr%s ok, %d bad@." dir r.Store.Disk.fk_ok
+    List.iter
+      (fun file -> Fmt.pr "TMP  %s: orphaned temp file (writer dead)@." file)
+      r.Store.Disk.fk_tmp;
+    Fmt.pr "%s: %d entr%s ok, %d bad, %d orphaned temp@." dir r.Store.Disk.fk_ok
       (if r.Store.Disk.fk_ok = 1 then "y" else "ies")
-      (List.length r.Store.Disk.fk_bad);
+      (List.length r.Store.Disk.fk_bad)
+      (List.length r.Store.Disk.fk_tmp);
     if r.Store.Disk.fk_bad <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fsck"
        ~doc:"Verify every entry: magic, checksum, length, JSON shape, and \
-             key/file-name agreement.  Exit 1 when any entry is bad.")
+             key/file-name agreement.  Orphaned temp files left by dead \
+             writers are reported (run $(b,cache gc) to remove them).  \
+             Exit 1 when any entry is bad.")
     Term.(const run $ cache_dir_arg)
 
 let cache_cmd =
@@ -1089,17 +1142,43 @@ let cache_cmd =
 (* --- serve (batch query service) ----------------------------------------- *)
 
 (* One line-delimited JSON request per line on stdin; a blank line (or
-   EOF) flushes the batch: hits answered from the store, misses fanned
-   out over the domain pool, responses written in request order, one
-   JSON line each.  A malformed request yields an error response, never
-   a crash. *)
+   EOF) flushes the batch.  The loop itself lives in Analysis.Serve —
+   here we wire stdin/stdout, the model-file loader, and the signal
+   handlers, then map the outcome to the exit-code contract. *)
 let serve_cmd =
-  let run jobs cache budget_time budget_states budget_mem =
+  let request_timeout_arg =
+    Arg.(value & opt (some string) None
+         & info [ "request-timeout" ] ~docv:"DUR"
+             ~doc:"Per-request wall-clock deadline (e.g. 500ms, 2s).  A \
+                   request that overruns is answered as a diagnosed \
+                   $(i,unknown)/$(i,time-budget) outcome; the remaining \
+                   requests are unaffected.")
+  in
+  let max_errors_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-errors" ] ~docv:"N"
+             ~doc:"Trip wire: stop serving (after finishing the current \
+                   batch) once more than $(docv) error responses have \
+                   been emitted.  Exit code 4.")
+  in
+  let run jobs cache budget_time budget_states budget_mem request_timeout
+      max_errors store_retries =
     let jobs = check_jobs jobs in
-    let cache = open_cache cache in
+    let cache = open_cache ~retries:store_retries cache in
     let budget =
       make_budget ~time:budget_time ~states:budget_states ~mem:budget_mem
     in
+    let request_timeout =
+      Option.map
+        (fun s ->
+          match Mc.Runctl.parse_duration s with
+          | Ok v -> v
+          | Error msg -> die "bad --request-timeout %S: %s" s msg)
+        request_timeout
+    in
+    (match max_errors with
+     | Some n when n < 0 -> die "--max-errors must be non-negative"
+     | Some _ | None -> ());
     (* model files parsed once per path, shared across batches; requests
        only read the parsed network, so the pool may share it *)
     let models : (string, (Ta.Model.network, string) result) Hashtbl.t =
@@ -1125,133 +1204,55 @@ let serve_cmd =
         Hashtbl.replace models path r;
         r
     in
-    let str_field name j =
-      match Option.bind (Store.Json.member name j) Store.Json.to_str with
-      | Some s -> Ok s
-      | None -> Error (Printf.sprintf "request needs a %S string field" name)
+    let drain = Analysis.Serve.drain () in
+    (* SIGTERM/SIGINT request a graceful drain: stop reading, cancel
+       in-flight evaluations, flush what was already read.  A second
+       signal falls through to the default handler (terminate). *)
+    let install signal =
+      try
+        ignore
+          (Sys.signal signal
+             (Sys.Signal_handle
+                (fun _ ->
+                  Analysis.Serve.request_drain drain;
+                  Sys.set_signal signal Sys.Signal_default)))
+      with Invalid_argument _ | Sys_error _ -> ()
     in
-    let prepare line =
-      match Store.Json.parse line with
-      | Error msg -> `Err (Store.Json.Null, "bad request: " ^ msg)
-      | Ok j ->
-        let id =
-          Option.value (Store.Json.member "id" j) ~default:Store.Json.Null
-        in
-        (match
-           Result.bind (str_field "model" j) (fun model ->
-               Result.map (fun query -> (model, query)) (str_field "query" j))
-         with
-         | Error msg -> `Err (id, msg)
-         | Ok (model, query) -> (
-           let limit =
-             Option.bind (Store.Json.member "limit" j) Store.Json.to_int
-           in
-           match load_model model with
-           | Error msg -> `Err (id, msg)
-           | Ok net -> (
-             match Mc.Query.parse query with
-             | Error msg -> `Err (id, "query: " ^ msg)
-             | Ok q -> (
-               let requested =
-                 { Store.Entry.bg_limit =
-                     Option.value limit ~default:Mc.Explorer.default_limit;
-                   bg_states = budget.Mc.Runctl.b_states;
-                   bg_time_s = budget.Mc.Runctl.b_time_s;
-                   bg_mem_bytes = budget.Mc.Runctl.b_mem_bytes }
-               in
-               match cache with
-               | Some c -> (
-                 let key = Analysis.Qcache.key net q in
-                 match Analysis.Qcache.find c ~requested key with
-                 | Some e -> `Hit (id, e)
-                 | None -> `Run (id, net, q, limit, key, requested))
-               | None ->
-                 `Run
-                   (id, net, q, limit, Analysis.Qcache.key net q, requested)))))
+    install Sys.sigterm;
+    install Sys.sigint;
+    let cfg =
+      { Analysis.Serve.default_config with
+        Analysis.Serve.sv_jobs = jobs;
+        sv_budget = budget;
+        sv_request_timeout = request_timeout;
+        sv_max_errors = max_errors }
     in
-    let evaluate item =
-      match item with
-      | `Err e -> `Err e
-      | `Hit h -> `Hit h
-      | `Run (id, net, q, limit, key, requested) -> (
-        let ctl = Mc.Runctl.create ~budget () in
-        match
-          let t0 = Unix.gettimeofday () in
-          let r = Mc.Query.eval ~ctl ?limit net q in
-          let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
-          (r, wall_ms)
-        with
-        | r, wall_ms ->
-          (match cache with
-           | Some c ->
-             Analysis.Qcache.insert c
-               { Store.Entry.en_key = key;
-                 en_query = Mc.Query.to_string q;
-                 en_outcome =
-                   Analysis.Qcache.outcome_to_entry r.Mc.Query.res_outcome;
-                 en_stats =
-                   Analysis.Qcache.stats_to_entry r.Mc.Query.res_stats;
-                 en_budget = requested;
-                 en_prov = Analysis.Qcache.provenance ~jobs:1 ~wall_ms }
-           | None -> ());
-          `Ok (id, r)
-        | exception Not_found ->
-          `Err (id, "unknown process, location or variable")
-        | exception exn -> `Err (id, Printexc.to_string exn))
+    let read_line =
+      Analysis.Serve.fd_line_reader
+        ~draining:(fun () -> Analysis.Serve.draining drain)
+        Unix.stdin
     in
-    let respond item =
-      let open Store.Json in
-      let doc =
-        match item with
-        | `Err (id, msg) ->
-          Obj
-            [ ("id", id); ("status", String "error"); ("error", String msg) ]
-        | `Hit (id, (e : Store.Entry.t)) ->
-          Obj
-            [ ("id", id);
-              ("status", String "ok");
-              ("cached", Bool true);
-              ("outcome", Store.Entry.outcome_to_json e.Store.Entry.en_outcome);
-              ("stats", Store.Entry.stats_to_json e.Store.Entry.en_stats) ]
-        | `Ok (id, (r : Mc.Query.result)) ->
-          Obj
-            [ ("id", id);
-              ("status", String "ok");
-              ("cached", Bool false);
-              ( "outcome",
-                Store.Entry.outcome_to_json
-                  (Analysis.Qcache.outcome_to_entry r.Mc.Query.res_outcome) );
-              ( "stats",
-                Store.Entry.stats_to_json
-                  (Analysis.Qcache.stats_to_entry r.Mc.Query.res_stats) ) ]
-      in
-      print_string (to_string doc);
-      print_newline ()
+    let write_line s =
+      print_string s;
+      print_newline ();
+      flush stdout
     in
-    let flush_batch lines =
-      match lines with
-      | [] -> ()
-      | lines ->
-        let prepared = List.map prepare lines in
-        (* hits and errors pass through; only `Run items cost anything,
-           and the pool spreads them over [jobs] domains *)
-        List.iter respond
-          (Analysis.Queries.pool_map ~jobs evaluate prepared);
-        flush stdout
+    let outcome =
+      Analysis.Serve.run cfg ?cache ~drain ~load_model ~read_line ~write_line
+        ()
     in
-    let rec loop batch =
-      match input_line stdin with
-      | line ->
-        let line = String.trim line in
-        if line = "" then begin
-          flush_batch (List.rev batch);
-          loop []
-        end
-        else loop (line :: batch)
-      | exception End_of_file -> flush_batch (List.rev batch)
-    in
-    loop [];
-    report_cache cache
+    report_cache cache;
+    (match outcome.Analysis.Serve.sv_stop with
+     | Analysis.Serve.Error_limit ->
+       Fmt.epr "serve: stopping after %d error responses (--max-errors)@."
+         outcome.Analysis.Serve.sv_errors;
+       exit 4
+     | Analysis.Serve.Drained ->
+       Fmt.epr "serve: drained (%d response%s written)@."
+         outcome.Analysis.Serve.sv_served
+         (if outcome.Analysis.Serve.sv_served = 1 then "" else "s");
+       exit 2
+     | Analysis.Serve.Eof -> exit_degraded cache)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1260,9 +1261,16 @@ let serve_cmd =
              one JSON response line each, in request order.  A blank line \
              flushes the current batch: with $(b,--cache), stored results \
              answer instantly and only misses are explored, $(b,--jobs) \
-             at a time.")
+             at a time.  Malformed, over-long or non-UTF-8 request lines \
+             get JSON error responses; a worker exception is confined to \
+             its request (error object carries the backtrace); SIGTERM or \
+             SIGINT drains gracefully.  Exit codes: 0 complete, 2 drained \
+             by a signal, 3 usage error, 4 degraded completion \
+             ($(b,--max-errors) tripped, or the store circuit breaker \
+             opened).")
     Term.(const run $ jobs_arg $ cache_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg)
+          $ budget_states_arg $ budget_mem_arg $ request_timeout_arg
+          $ max_errors_arg $ store_retries_arg)
 
 let main =
   Cmd.group

@@ -2,17 +2,30 @@ type t = {
   disk : Store.Disk.t;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  errors : int Atomic.t;
+  breaker : Fault.Breaker.t;
   warn : string -> unit;
 }
 
 let default_warn msg = Printf.eprintf "psv: cache: warning: %s\n%!" msg
 
-let make ?(warn = default_warn) disk =
-  { disk; hits = Atomic.make 0; misses = Atomic.make 0; warn }
+let make ?(warn = default_warn) ?breaker disk =
+  let breaker =
+    match breaker with Some b -> b | None -> Fault.Breaker.create ()
+  in
+  { disk;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    errors = Atomic.make 0;
+    breaker;
+    warn }
 
 let disk t = t.disk
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let errors t = Atomic.get t.errors
+let breaker t = t.breaker
+let degraded t = Fault.Breaker.tripped t.breaker
 
 let key net q = Store.Key.digest ~query:(Mc.Query.to_string q) net
 
@@ -28,25 +41,60 @@ let entry_budget ?limit ?ctl () =
       bg_time_s = b.Mc.Runctl.b_time_s;
       bg_mem_bytes = b.Mc.Runctl.b_mem_bytes }
 
+(* The breaker guards host I/O, not content: [Unavailable] (sick disk)
+   counts as a failure, [Corrupt] (bad bytes on a healthy disk) does
+   not.  While the breaker is open the store is not touched at all —
+   every request is a miss and the query computes from scratch.  The
+   cache can degrade the answer's latency, never its availability. *)
 let find t ~requested key =
-  match Store.Disk.lookup t.disk key with
-  | Store.Disk.Hit e when Store.Entry.reusable e ~requested ->
-    Atomic.incr t.hits;
-    Some e
-  | Store.Disk.Hit _ | Store.Disk.Miss ->
+  if not (Fault.Breaker.allow t.breaker) then begin
     Atomic.incr t.misses;
     None
-  | Store.Disk.Corrupt msg ->
-    t.warn
-      (Printf.sprintf "corrupt entry %s (%s); recomputing" (Store.D128.to_hex key)
-         msg);
-    Atomic.incr t.misses;
-    None
+  end
+  else
+    match Store.Disk.lookup t.disk key with
+    | Store.Disk.Hit e when Store.Entry.reusable e ~requested ->
+      Fault.Breaker.success t.breaker;
+      Atomic.incr t.hits;
+      Some e
+    | Store.Disk.Hit _ | Store.Disk.Miss ->
+      Fault.Breaker.success t.breaker;
+      Atomic.incr t.misses;
+      None
+    | Store.Disk.Corrupt msg ->
+      Fault.Breaker.success t.breaker;
+      t.warn
+        (Printf.sprintf "corrupt entry %s (%s); recomputing" (Store.D128.to_hex key)
+           msg);
+      Atomic.incr t.misses;
+      None
+    | Store.Disk.Unavailable msg ->
+      Fault.Breaker.failure t.breaker;
+      Atomic.incr t.errors;
+      t.warn
+        (Printf.sprintf "store unavailable reading %s (%s); recomputing"
+           (Store.D128.to_hex key) msg);
+      Atomic.incr t.misses;
+      None
 
+(* Publishing is also fallible and also must never hurt the query: an
+   insert failure is logged, fed to the breaker, and swallowed — the
+   computed result has already been produced and will be returned. *)
 let insert t entry =
   match entry.Store.Entry.en_outcome with
-  | Store.Entry.Unknown (Store.Entry.Cancelled, _) -> ()
-  | _ -> Store.Disk.insert t.disk entry
+  | Store.Entry.Unknown ((Store.Entry.Cancelled | Store.Entry.Crash _), _) -> ()
+  | _ ->
+    if Fault.Breaker.allow t.breaker then begin
+      match Store.Disk.insert t.disk entry with
+      | () -> Fault.Breaker.success t.breaker
+      | exception exn ->
+        Fault.Breaker.failure t.breaker;
+        Atomic.incr t.errors;
+        t.warn
+          (Printf.sprintf "store unavailable writing %s (%s); result not cached"
+             (Store.D128.to_hex entry.Store.Entry.en_key)
+             (Printexc.to_string exn))
+    end
 
 (* --- conversions -------------------------------------------------------- *)
 
@@ -65,12 +113,14 @@ let reason_to_entry = function
   | Mc.Runctl.State_budget n -> Store.Entry.State_budget n
   | Mc.Runctl.Memory_budget n -> Store.Entry.Memory_budget n
   | Mc.Runctl.Cancelled -> Store.Entry.Cancelled
+  | Mc.Runctl.Crash msg -> Store.Entry.Crash msg
 
 let reason_of_entry = function
   | Store.Entry.Time_budget s -> Mc.Runctl.Time_budget s
   | Store.Entry.State_budget n -> Mc.Runctl.State_budget n
   | Store.Entry.Memory_budget n -> Mc.Runctl.Memory_budget n
   | Store.Entry.Cancelled -> Mc.Runctl.Cancelled
+  | Store.Entry.Crash msg -> Mc.Runctl.Crash msg
 
 let outcome_to_entry = function
   | Mc.Query.Holds -> Store.Entry.Holds

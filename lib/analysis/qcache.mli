@@ -6,19 +6,37 @@
     this module owns the conversions and the lookup-before-run /
     insert-after protocol.  Hit and miss counters live on the handle and
     are atomic, so a cache may be shared across the [--jobs] domain
-    pool. *)
+    pool.
+
+    {b Degraded mode.}  A {!Fault.Breaker} guards the store: host-level
+    failures ({!Store.Disk.Unavailable} reads, raised inserts) count
+    against it, and once it trips the store is bypassed entirely —
+    every request computes from scratch and results are not published
+    until the breaker's cooldown probe succeeds.  A sick cache can cost
+    time, never an answer: no query ever fails because of cache I/O. *)
 
 type t
 
-(** [make ?warn disk] wraps an open store.  [warn] receives one line per
-    corrupt entry encountered (default: stderr); a corrupt entry is
-    treated as a miss — the query is recomputed and the entry
-    overwritten. *)
-val make : ?warn:(string -> unit) -> Store.Disk.t -> t
+(** [make ?warn ?breaker disk] wraps an open store.  [warn] receives one
+    line per corrupt entry or store fault encountered (default: stderr);
+    a corrupt entry is treated as a miss — the query is recomputed and
+    the entry overwritten.  [breaker] defaults to a fresh
+    {!Fault.Breaker.create}[ ()]. *)
+val make : ?warn:(string -> unit) -> ?breaker:Fault.Breaker.t -> Store.Disk.t -> t
 
 val disk : t -> Store.Disk.t
 val hits : t -> int
 val misses : t -> int
+
+(** Store faults absorbed so far (unavailable reads + failed inserts). *)
+val errors : t -> int
+
+val breaker : t -> Fault.Breaker.t
+
+(** True once the breaker has ever tripped: some answers were (or are
+    being) computed without the store.  Reported in cache stats and
+    reflected in the CLI's degraded-completion exit code. *)
+val degraded : t -> bool
 
 (** The cache key for evaluating [query] on [net] under the default
     explorer configuration: {!Store.Key.digest} over the canonical
@@ -33,11 +51,14 @@ val entry_budget : ?limit:int -> ?ctl:Mc.Runctl.t -> unit -> Store.Entry.budget
 (** [find t ~requested key] is the stored entry when present, readable
     and reusable under [requested] (see {!Store.Entry.reusable}).
     Counts a hit or a miss; warns (and counts a miss) on a corrupt
-    entry. *)
+    entry; an unavailable store counts a breaker failure and a miss.
+    With the breaker open the store is not touched at all. *)
 val find : t -> requested:Store.Entry.budget -> Store.D128.t -> Store.Entry.t option
 
 (** [insert t entry] publishes [entry] — unless its outcome is a
-    cancelled [Unknown], which says nothing reusable about any run. *)
+    cancelled or crashed [Unknown], which says nothing reusable about
+    any run.  Insert failures are warned, fed to the breaker, and
+    swallowed: publishing is strictly best-effort. *)
 val insert : t -> Store.Entry.t -> unit
 
 val outcome_to_entry : Mc.Query.outcome -> Store.Entry.outcome

@@ -1,0 +1,356 @@
+type config = {
+  sv_jobs : int;
+  sv_budget : Mc.Runctl.budget;
+  sv_request_timeout : float option;
+  sv_max_errors : int option;
+  sv_max_request_bytes : int;
+}
+
+let default_config =
+  { sv_jobs = 1;
+    sv_budget = Mc.Runctl.no_budget;
+    sv_request_timeout = None;
+    sv_max_errors = None;
+    sv_max_request_bytes = 1 lsl 20 }
+
+type stop = Eof | Drained | Error_limit
+
+type outcome = { sv_served : int; sv_errors : int; sv_stop : stop }
+
+(* --- graceful drain ------------------------------------------------------ *)
+
+(* The flag and the in-flight ctl list are atomic so [request_drain]
+   may run inside a signal handler while worker domains evaluate: it
+   sets the flag (stops further reads) and cancels every registered
+   governance token (stops in-flight searches at their next poll). *)
+type drain = {
+  dr_flag : bool Atomic.t;
+  dr_ctls : Mc.Runctl.t list Atomic.t;
+}
+
+let drain () = { dr_flag = Atomic.make false; dr_ctls = Atomic.make [] }
+let draining d = Atomic.get d.dr_flag
+
+let request_drain d =
+  Atomic.set d.dr_flag true;
+  List.iter Mc.Runctl.cancel (Atomic.get d.dr_ctls)
+
+let register_ctl d ctl =
+  let rec add () =
+    let cur = Atomic.get d.dr_ctls in
+    if not (Atomic.compare_and_set d.dr_ctls cur (ctl :: cur)) then add ()
+  in
+  add ();
+  (* drain may have fired between the flag check and registration;
+     cancelling here closes that race *)
+  if Atomic.get d.dr_flag then Mc.Runctl.cancel ctl
+
+(* --- input hygiene ------------------------------------------------------- *)
+
+let utf8_seq_len c =
+  if c < 0x80 then 1
+  else if c land 0xE0 = 0xC0 && c >= 0xC2 then 2
+  else if c land 0xF0 = 0xE0 then 3
+  else if c land 0xF8 = 0xF0 && c <= 0xF4 then 4
+  else 0
+
+(* [Some (i + len)] when a valid sequence starts at [i], rejecting
+   overlong encodings, surrogates and values above U+10FFFF. *)
+let utf8_step s i =
+  let n = String.length s in
+  let c = Char.code s.[i] in
+  let len = utf8_seq_len c in
+  if len = 0 || i + len > n then None
+  else begin
+    let cont k = Char.code s.[i + k] land 0xC0 = 0x80 in
+    let conts_ok =
+      (len < 2 || cont 1) && (len < 3 || cont 2) && (len < 4 || cont 3)
+    in
+    if not conts_ok then None
+    else
+      let range_ok =
+        match len with
+        | 1 | 2 -> true
+        | 3 ->
+          let c1 = Char.code s.[i + 1] in
+          not (c = 0xE0 && c1 < 0xA0) && not (c = 0xED && c1 >= 0xA0)
+        | _ ->
+          let c1 = Char.code s.[i + 1] in
+          not (c = 0xF0 && c1 < 0x90) && not (c = 0xF4 && c1 >= 0x90)
+      in
+      if range_ok then Some (i + len) else None
+  end
+
+let utf8_valid s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then true
+    else match utf8_step s i with Some j -> go j | None -> false
+  in
+  go 0
+
+let replacement = "\xEF\xBF\xBD" (* U+FFFD *)
+
+let sanitize_utf8 s =
+  if utf8_valid s then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let rec go i =
+      if i < n then
+        match utf8_step s i with
+        | Some j ->
+          Buffer.add_substring b s i (j - i);
+          go j
+        | None ->
+          Buffer.add_string b replacement;
+          go (i + 1)
+    in
+    go 0;
+    Buffer.contents b
+  end
+
+(* --- fd line reader ------------------------------------------------------ *)
+
+let fd_line_reader ?(poll_s = 0.1) ?(cap_bytes = 8 lsl 20) ~draining fd =
+  let acc = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let pending : string Queue.t = Queue.create () in
+  let eof = ref false in
+  let push_acc () =
+    Queue.push (Buffer.contents acc) pending;
+    Buffer.clear acc
+  in
+  let consume n =
+    for i = 0 to n - 1 do
+      let c = Bytes.get chunk i in
+      if c = '\n' then push_acc ()
+      else if Buffer.length acc < cap_bytes then Buffer.add_char acc c
+      (* beyond the cap: swallow bytes until the newline; the truncated
+         line is over [sv_max_request_bytes] and will be rejected *)
+    done
+  in
+  fun () ->
+    let rec next () =
+      if not (Queue.is_empty pending) then Some (Queue.pop pending)
+      else if !eof then
+        if Buffer.length acc > 0 then begin
+          push_acc ();
+          next ()
+        end
+        else None
+      else if draining () then None
+      else begin
+        match Unix.select [ fd ] [] [] poll_s with
+        | [], _, _ -> next ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 ->
+            eof := true;
+            next ()
+          | n ->
+            consume n;
+            next ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+      end
+    in
+    next ()
+
+(* --- the loop ------------------------------------------------------------ *)
+
+let str_field name j =
+  match Option.bind (Store.Json.member name j) Store.Json.to_str with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "request needs a %S string field" name)
+
+let run cfg ?cache ?drain:dtoken ~load_model ~read_line ~write_line () =
+  let served = ref 0 in
+  let errors = ref 0 in
+  let effective_budget =
+    match cfg.sv_request_timeout with
+    | None -> cfg.sv_budget
+    | Some tmo ->
+      let t =
+        match cfg.sv_budget.Mc.Runctl.b_time_s with
+        | None -> tmo
+        | Some b -> Float.min b tmo
+      in
+      { cfg.sv_budget with Mc.Runctl.b_time_s = Some t }
+  in
+  (* Validation before parsing: an over-long or non-UTF-8 line gets a
+     JSON error response (id unknowable), and whatever fragment of it
+     an error message echoes is sanitized so the output stream stays
+     valid UTF-8 LDJSON. *)
+  let validate line =
+    let n = String.length line in
+    if n > cfg.sv_max_request_bytes then
+      Error
+        (Printf.sprintf "request line too long (%d bytes; limit %d)" n
+           cfg.sv_max_request_bytes)
+    else if not (utf8_valid line) then Error "request line is not valid UTF-8"
+    else Ok ()
+  in
+  let prepare line =
+    match validate line with
+    | Error msg -> `Err (Store.Json.Null, msg, None)
+    | Ok () -> (
+      match Store.Json.parse line with
+      | Error msg -> `Err (Store.Json.Null, "bad request: " ^ msg, None)
+      | Ok j ->
+        let id =
+          Option.value (Store.Json.member "id" j) ~default:Store.Json.Null
+        in
+        (match
+           Result.bind (str_field "model" j) (fun model ->
+               Result.map (fun query -> (model, query)) (str_field "query" j))
+         with
+        | Error msg -> `Err (id, msg, None)
+        | Ok (model, query) -> (
+          let limit =
+            Option.bind (Store.Json.member "limit" j) Store.Json.to_int
+          in
+          match load_model model with
+          | Error msg -> `Err (id, msg, None)
+          | exception exn ->
+            `Err (id, Printexc.to_string exn, Some (Printexc.get_backtrace ()))
+          | Ok net -> (
+            match Mc.Query.parse query with
+            | Error msg -> `Err (id, "query: " ^ msg, None)
+            | Ok q -> (
+              let requested =
+                { Store.Entry.bg_limit =
+                    Option.value limit ~default:Mc.Explorer.default_limit;
+                  bg_states = effective_budget.Mc.Runctl.b_states;
+                  bg_time_s = effective_budget.Mc.Runctl.b_time_s;
+                  bg_mem_bytes = effective_budget.Mc.Runctl.b_mem_bytes }
+              in
+              let key = Qcache.key net q in
+              match cache with
+              | Some c -> (
+                match Qcache.find c ~requested key with
+                | Some e -> `Hit (id, e)
+                | None -> `Run (id, net, q, limit, key, requested))
+              | None -> `Run (id, net, q, limit, key, requested))))))
+  in
+  (* Worker-side evaluation.  Any exception — a crashing predicate, a
+     model inconsistency, anything — is confined to this request; the
+     diagnosis (with backtrace when recorded) rides in the response's
+     error object.  A [Crash]-downgraded parallel search arrives here
+     as a normal Unknown outcome, not an exception. *)
+  let evaluate item =
+    match item with
+    | `Err e -> `Err e
+    | `Hit h -> `Hit h
+    | `Run (id, net, q, limit, key, requested) -> (
+      let ctl = Mc.Runctl.create ~budget:effective_budget () in
+      (match dtoken with None -> () | Some d -> register_ctl d ctl);
+      match
+        let t0 = Unix.gettimeofday () in
+        let r = Mc.Query.eval ~ctl ?limit net q in
+        let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        (r, wall_ms)
+      with
+      | r, wall_ms ->
+        (match cache with
+        | Some c ->
+          Qcache.insert c
+            { Store.Entry.en_key = key;
+              en_query = Mc.Query.to_string q;
+              en_outcome =
+                Qcache.outcome_to_entry r.Mc.Query.res_outcome;
+              en_stats = Qcache.stats_to_entry r.Mc.Query.res_stats;
+              en_budget = requested;
+              en_prov = Qcache.provenance ~jobs:1 ~wall_ms }
+        | None -> ());
+        `Ok (id, r)
+      | exception Not_found ->
+        `Err (id, "unknown process, location or variable", None)
+      | exception exn ->
+        `Err (id, Printexc.to_string exn, Some (Printexc.get_backtrace ())))
+  in
+  let degraded () =
+    match cache with
+    | Some c -> Qcache.degraded c
+    | None -> false
+  in
+  let respond item =
+    let open Store.Json in
+    let with_degraded fields =
+      if degraded () then fields @ [ ("degraded", Bool true) ] else fields
+    in
+    let doc =
+      match item with
+      | `Err (id, msg, bt) ->
+        incr errors;
+        let base =
+          [ ("id", id);
+            ("status", String "error");
+            ("error", String (sanitize_utf8 msg)) ]
+        in
+        let base =
+          match bt with
+          | Some b when String.trim b <> "" ->
+            base @ [ ("backtrace", String (sanitize_utf8 b)) ]
+          | _ -> base
+        in
+        Obj (with_degraded base)
+      | `Hit (id, (e : Store.Entry.t)) ->
+        Obj
+          (with_degraded
+             [ ("id", id);
+               ("status", String "ok");
+               ("cached", Bool true);
+               ("outcome", Store.Entry.outcome_to_json e.Store.Entry.en_outcome);
+               ("stats", Store.Entry.stats_to_json e.Store.Entry.en_stats) ])
+      | `Ok (id, (r : Mc.Query.result)) ->
+        Obj
+          (with_degraded
+             [ ("id", id);
+               ("status", String "ok");
+               ("cached", Bool false);
+               ( "outcome",
+                 Store.Entry.outcome_to_json
+                   (Qcache.outcome_to_entry r.Mc.Query.res_outcome) );
+               ( "stats",
+                 Store.Entry.stats_to_json
+                   (Qcache.stats_to_entry r.Mc.Query.res_stats) ) ])
+    in
+    incr served;
+    write_line (to_string doc)
+  in
+  let flush_batch lines =
+    match lines with
+    | [] -> ()
+    | lines ->
+      let prepared = List.map prepare lines in
+      (* hits and errors pass through; only `Run items cost anything,
+         and the pool spreads them over [sv_jobs] domains *)
+      List.iter respond
+        (Queries.pool_map ~jobs:cfg.sv_jobs evaluate prepared);
+      (match dtoken with
+      | None -> ()
+      | Some d -> Atomic.set d.dr_ctls [])
+  in
+  let over_error_limit () =
+    match cfg.sv_max_errors with None -> false | Some m -> !errors > m
+  in
+  let rec loop batch =
+    match read_line () with
+    | Some line ->
+      let line = String.trim line in
+      if line = "" then begin
+        flush_batch (List.rev batch);
+        if over_error_limit () then Error_limit else loop []
+      end
+      else loop (line :: batch)
+    | None ->
+      flush_batch (List.rev batch);
+      if over_error_limit () then Error_limit
+      else (
+        match dtoken with
+        | Some d when draining d -> Drained
+        | _ -> Eof)
+  in
+  let stop = loop [] in
+  { sv_served = !served; sv_errors = !errors; sv_stop = stop }

@@ -1,0 +1,55 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  threshold : int;
+  cooldown_s : float;
+  now : unit -> float;
+  st : state Atomic.t;
+  consecutive : int Atomic.t;
+  total_failures : int Atomic.t;
+  opened_at : float Atomic.t;
+  ever_open : bool Atomic.t;
+}
+
+let create ?(threshold = 4) ?(cooldown_s = 5.0) ?(now = Unix.gettimeofday) () =
+  { threshold = max 1 threshold;
+    cooldown_s;
+    now;
+    st = Atomic.make Closed;
+    consecutive = Atomic.make 0;
+    total_failures = Atomic.make 0;
+    opened_at = Atomic.make 0.;
+    ever_open = Atomic.make false }
+
+let state t = Atomic.get t.st
+
+let allow t =
+  match Atomic.get t.st with
+  | Closed -> true
+  | Half_open -> false
+  | Open ->
+    t.now () -. Atomic.get t.opened_at >= t.cooldown_s
+    (* CAS so exactly one caller wins the probe slot. *)
+    && Atomic.compare_and_set t.st Open Half_open
+
+let trip t =
+  Atomic.set t.opened_at (t.now ());
+  Atomic.set t.st Open;
+  Atomic.set t.ever_open true
+
+let success t =
+  Atomic.set t.consecutive 0;
+  match Atomic.get t.st with
+  | Half_open -> Atomic.set t.st Closed
+  | Closed | Open -> ()
+
+let failure t =
+  Atomic.incr t.total_failures;
+  let n = 1 + Atomic.fetch_and_add t.consecutive 1 in
+  match Atomic.get t.st with
+  | Half_open -> trip t
+  | Closed when n >= t.threshold -> trip t
+  | Closed | Open -> ()
+
+let tripped t = Atomic.get t.ever_open
+let failures t = Atomic.get t.total_failures

@@ -1,0 +1,40 @@
+(** Circuit breaker for a sick dependency (the on-disk result cache).
+
+    Domain-safe: all state lives in [Atomic.t] cells, so concurrent
+    query workers may record successes/failures and consult {!allow}
+    without locking.  The clock is injectable for deterministic tests.
+
+    States: [Closed] (normal), [Open] (dependency bypassed until the
+    cooldown elapses), [Half_open] (one probe in flight; its outcome
+    closes or re-opens the breaker). *)
+
+type t
+
+type state = Closed | Open | Half_open
+
+val create : ?threshold:int -> ?cooldown_s:float -> ?now:(unit -> float) -> unit -> t
+(** [threshold] consecutive failures trip the breaker (default 4);
+    after [cooldown_s] seconds (default 5.0) one probe is allowed. *)
+
+val state : t -> state
+
+val allow : t -> bool
+(** May the caller touch the dependency right now?  [Closed] — yes.
+    [Open] — no, unless the cooldown has elapsed, in which case the
+    first caller transitions to [Half_open] and probes (subsequent
+    callers are refused until the probe resolves). *)
+
+val success : t -> unit
+(** Record a successful operation: resets the consecutive-failure
+    count; closes the breaker from [Half_open]. *)
+
+val failure : t -> unit
+(** Record a failed operation; trips to [Open] at the threshold, or
+    immediately from [Half_open]. *)
+
+val tripped : t -> bool
+(** Has the breaker ever opened?  Once true, stays true — reported as
+    "degraded" in cache stats even after recovery. *)
+
+val failures : t -> int
+(** Total failures recorded over the breaker's lifetime. *)

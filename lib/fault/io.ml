@@ -1,0 +1,122 @@
+type t = {
+  read_file : string -> string;
+  write_file : string -> string -> unit;
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  mkdir : string -> int -> unit;
+  readdir : string -> string array;
+  file_exists : string -> bool;
+  is_directory : string -> bool;
+  file_size : string -> int;
+}
+
+let real =
+  { read_file =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+    write_file =
+      (fun path content ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc content));
+    rename = Sys.rename;
+    remove = Sys.remove;
+    mkdir = Unix.mkdir;
+    readdir = Sys.readdir;
+    file_exists = Sys.file_exists;
+    is_directory = Sys.is_directory;
+    file_size =
+      (fun path ->
+        try (Unix.stat path).Unix.st_size with
+        | Unix.Unix_error _ | Sys_error _ -> 0) }
+
+type stats = { fs_ops : int Atomic.t; fs_faults : int Atomic.t }
+
+let stats () = { fs_ops = Atomic.make 0; fs_faults = Atomic.make 0 }
+
+(* Each operation consumes one index of the profile's schedule; within
+   an operation, independent decisions read distinct streams.  The index
+   counter is per-interface, so one [inject] wrapper yields one
+   reproducible schedule regardless of which paths are touched. *)
+type decision =
+  | Pass
+  | Fail of Unix.error
+  | Short_read
+  | Short_write
+  | Fsync_loss
+
+let inject ?stats (p : Profile.t) io =
+  let ops = Atomic.make 0 in
+  let count_fault () =
+    match stats with Some s -> Atomic.incr s.fs_faults | None -> ()
+  in
+  let decide kind =
+    let op = Atomic.fetch_and_add ops 1 in
+    (match stats with Some s -> Atomic.incr s.fs_ops | None -> ());
+    if p.Profile.p_latency_s > 0. then Unix.sleepf p.Profile.p_latency_s;
+    let u stream = Profile.draw p ~op ~stream in
+    let d =
+      if u 0 < p.Profile.p_eio then Fail Unix.EIO
+      else if u 1 < p.Profile.p_eagain then Fail Unix.EAGAIN
+      else
+        match kind with
+        | `Read -> if u 2 < p.Profile.p_short then Short_read else Pass
+        | `Write ->
+          if u 2 < p.Profile.p_short then Short_write
+          else if u 3 < p.Profile.p_fsync then Fsync_loss
+          else Pass
+        | `Rename -> if u 2 < p.Profile.p_rename then Fail Unix.EIO else Pass
+        | `Other -> Pass
+    in
+    (match d with Pass -> () | _ -> count_fault ());
+    (d, u)
+  in
+  let truncated u stream s =
+    let n = String.length s in
+    String.sub s 0 (int_of_float (u stream *. float_of_int n))
+  in
+  { read_file =
+      (fun path ->
+        match decide `Read with
+        | Fail e, _ -> raise (Unix.Unix_error (e, "read", path))
+        | Short_read, u -> truncated u 4 (io.read_file path)
+        | _ -> io.read_file path);
+    write_file =
+      (fun path content ->
+        match decide `Write with
+        | Fail e, _ -> raise (Unix.Unix_error (e, "write", path))
+        | Short_write, u ->
+          io.write_file path (truncated u 4 content);
+          raise (Unix.Unix_error (Unix.EIO, "write", path))
+        | Fsync_loss, u -> io.write_file path (truncated u 4 content)
+        | _ -> io.write_file path content);
+    rename =
+      (fun src dst ->
+        match decide `Rename with
+        | Fail e, _ -> raise (Unix.Unix_error (e, "rename", src))
+        | _ -> io.rename src dst);
+    remove =
+      (fun path ->
+        match decide `Other with
+        | Fail e, _ -> raise (Unix.Unix_error (e, "unlink", path))
+        | _ -> io.remove path);
+    mkdir =
+      (fun path perm ->
+        match decide `Other with
+        | Fail e, _ -> raise (Unix.Unix_error (e, "mkdir", path))
+        | _ -> io.mkdir path perm);
+    readdir =
+      (fun path ->
+        match decide `Other with
+        | Fail e, _ -> raise (Unix.Unix_error (e, "readdir", path))
+        | _ -> io.readdir path);
+    (* Existence probes and size stats stay fault-free: they are cheap,
+       idempotent, and injecting here would only turn a Hit into a Miss
+       without exercising any new recovery path. *)
+    file_exists = io.file_exists;
+    is_directory = io.is_directory;
+    file_size = io.file_size }

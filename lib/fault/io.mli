@@ -1,0 +1,42 @@
+(** Injectable file I/O.
+
+    Everything the persistent store does to the host filesystem goes
+    through a value of type {!t}.  Production code uses {!real};
+    chaos tests wrap it with {!inject} to replay a seeded fault
+    schedule, or substitute handwritten operations to script a specific
+    failure (e.g. a SIGINT between tmp write and rename). *)
+
+type t = {
+  read_file : string -> string;  (** whole-file read, binary *)
+  write_file : string -> string -> unit;  (** whole-file create/replace, binary *)
+  rename : string -> string -> unit;
+  remove : string -> unit;
+  mkdir : string -> int -> unit;
+  readdir : string -> string array;
+  file_exists : string -> bool;
+  is_directory : string -> bool;
+  file_size : string -> int;  (** size in bytes; 0 if unreadable *)
+}
+
+val real : t
+(** Direct passthrough to the host filesystem. *)
+
+type stats = { fs_ops : int Atomic.t; fs_faults : int Atomic.t }
+(** Operation / injected-fault counters for an injected interface. *)
+
+val stats : unit -> stats
+
+val inject : ?stats:stats -> Profile.t -> t -> t
+(** [inject profile io] wraps [io] so each operation consults the
+    profile's deterministic schedule before running:
+
+    - transient [EIO] / [EAGAIN]: the operation raises
+      [Unix.Unix_error] without touching the file (a retry re-rolls);
+    - short read: the result is silently truncated (corruption is
+      caught downstream by the entry digest);
+    - short write: a truncated file is written and [EIO] raised
+      (detected partial write — a retry rewrites the whole file);
+    - fsync loss: a truncated file is written with {e no} error, as if
+      the tail was lost in a crash before fsync;
+    - rename failure: [rename] raises [EIO] leaving the source intact;
+    - latency: every operation sleeps [p_latency_s] first. *)

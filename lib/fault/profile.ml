@@ -1,0 +1,121 @@
+type t = {
+  p_seed : int;
+  p_eio : float;
+  p_eagain : float;
+  p_short : float;
+  p_fsync : float;
+  p_rename : float;
+  p_latency_s : float;
+}
+
+let none =
+  { p_seed = 0;
+    p_eio = 0.;
+    p_eagain = 0.;
+    p_short = 0.;
+    p_fsync = 0.;
+    p_rename = 0.;
+    p_latency_s = 0. }
+
+let is_none p =
+  p.p_eio = 0. && p.p_eagain = 0. && p.p_short = 0. && p.p_fsync = 0.
+  && p.p_rename = 0. && p.p_latency_s = 0.
+
+(* Duration syntax shared with the CLI budget flags: "250ms", "2s", "3m". *)
+let parse_duration s =
+  let num_with suffix scale =
+    let body = String.sub s 0 (String.length s - String.length suffix) in
+    Option.map (fun v -> v *. scale) (float_of_string_opt body)
+  in
+  let has suffix =
+    let ls = String.length suffix and l = String.length s in
+    l > ls && String.sub s (l - ls) ls = suffix
+  in
+  if has "ms" then num_with "ms" 1e-3
+  else if has "us" then num_with "us" 1e-6
+  else if has "m" then num_with "m" 60.
+  else if has "h" then num_with "h" 3600.
+  else if has "s" then num_with "s" 1.
+  else float_of_string_opt s
+
+let parse spec =
+  let ( let* ) = Result.bind in
+  let prob key v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. && f <= 1. -> Ok f
+    | _ -> Error (Printf.sprintf "fault profile: %s=%s is not a probability in [0,1]" key v)
+  in
+  let field acc kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "fault profile: %S is not key=value" kv)
+    | Some i ->
+      let key = String.sub kv 0 i in
+      let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+      (match key with
+      | "eio" ->
+        let* f = prob key v in
+        Ok { acc with p_eio = f }
+      | "eagain" ->
+        let* f = prob key v in
+        Ok { acc with p_eagain = f }
+      | "short" ->
+        let* f = prob key v in
+        Ok { acc with p_short = f }
+      | "fsync" ->
+        let* f = prob key v in
+        Ok { acc with p_fsync = f }
+      | "rename" ->
+        let* f = prob key v in
+        Ok { acc with p_rename = f }
+      | "latency" -> (
+        match parse_duration v with
+        | Some d when d >= 0. -> Ok { acc with p_latency_s = d }
+        | _ -> Error (Printf.sprintf "fault profile: bad latency %S" v))
+      | "seed" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Ok { acc with p_seed = n }
+        | _ -> Error (Printf.sprintf "fault profile: bad seed %S" v))
+      | _ -> Error (Printf.sprintf "fault profile: unknown key %S" key))
+  in
+  let fields =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left (fun acc kv -> Result.bind acc (fun a -> field a kv)) (Ok none) fields
+
+let to_string p =
+  let fields = ref [] in
+  let add k v = fields := Printf.sprintf "%s=%s" k v :: !fields in
+  let addf k v = if v > 0. then add k (Printf.sprintf "%g" v) in
+  if p.p_seed <> 0 then add "seed" (string_of_int p.p_seed);
+  if p.p_latency_s > 0. then add "latency" (Printf.sprintf "%gs" p.p_latency_s);
+  addf "rename" p.p_rename;
+  addf "fsync" p.p_fsync;
+  addf "short" p.p_short;
+  addf "eagain" p.p_eagain;
+  addf "eio" p.p_eio;
+  String.concat "," !fields
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+(* splitmix64: decisions are a pure function of (seed, op, stream) so a
+   profile replays the identical fault schedule on every run. *)
+let splitmix64 x =
+  let open Int64 in
+  let x = add x 0x9E3779B97F4A7C15L in
+  let x = mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L in
+  let x = mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL in
+  logxor x (shift_right_logical x 31)
+
+let draw p ~op ~stream =
+  let h =
+    splitmix64
+      (Int64.add
+         (splitmix64 (Int64.of_int p.p_seed))
+         (Int64.add
+            (Int64.mul (Int64.of_int op) 1000003L)
+            (Int64.of_int stream)))
+  in
+  (* 53 high bits -> uniform float in [0,1) *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1. /. 9007199254740992.)

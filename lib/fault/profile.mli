@@ -1,0 +1,40 @@
+(** Seeded fault profiles for injectable I/O.
+
+    A profile describes the probability of each host-fault class per I/O
+    operation, plus a seed.  Fault decisions are a pure function of
+    [(seed, operation index, stream)], so a given profile replays the
+    exact same fault schedule on every run — chaos tests rely on this to
+    compare faulty runs against fault-free ones. *)
+
+type t = {
+  p_seed : int;  (** deterministic schedule seed *)
+  p_eio : float;  (** transient [EIO] probability, any operation *)
+  p_eagain : float;  (** transient [EAGAIN] probability, any operation *)
+  p_short : float;  (** short read / detected short write probability *)
+  p_fsync : float;  (** silent fsync-loss (truncated write) probability *)
+  p_rename : float;  (** rename failure probability *)
+  p_latency_s : float;  (** added latency per operation, seconds *)
+}
+
+val none : t
+(** All probabilities zero, no latency, seed 0. *)
+
+val is_none : t -> bool
+(** [true] iff the profile can never inject anything. *)
+
+val parse : string -> (t, string) result
+(** Parse the profile grammar: comma-separated [key=value] fields with
+    keys [eio], [eagain], [short], [fsync], [rename] (probabilities in
+    [\[0,1\]]), [latency] (duration: [2ms], [1s], ...) and [seed]
+    (non-negative integer).  Unset keys default to {!none}'s values.
+    The empty string parses to {!none}. *)
+
+val to_string : t -> string
+(** Canonical grammar round-trip of the non-default fields. *)
+
+val pp : Format.formatter -> t -> unit
+
+val draw : t -> op:int -> stream:int -> float
+(** Deterministic uniform draw in [\[0,1)] for operation number [op],
+    decision stream [stream] (several independent decisions are made per
+    operation). *)

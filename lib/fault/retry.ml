@@ -1,0 +1,58 @@
+type policy = {
+  r_attempts : int;
+  r_base_s : float;
+  r_factor : float;
+  r_jitter : float;
+  r_deadline_s : float option;
+}
+
+let default =
+  { r_attempts = 3;
+    r_base_s = 0.001;
+    r_factor = 8.;
+    r_jitter = 0.5;
+    r_deadline_s = None }
+
+let no_retry = { default with r_attempts = 1 }
+let with_attempts n = { default with r_attempts = max 1 n }
+
+let transient = function
+  | Unix.Unix_error
+      ( ( Unix.EIO | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.EBUSY
+        | Unix.ENFILE | Unix.EMFILE ),
+        _,
+        _ ) ->
+    true
+  | Sys_error _ -> true
+  | _ -> false
+
+let backoff policy ~seed ~attempt =
+  let base = policy.r_base_s *. (policy.r_factor ** float_of_int (attempt - 1)) in
+  let u =
+    Profile.draw
+      { Profile.none with Profile.p_seed = seed }
+      ~op:attempt ~stream:7
+  in
+  base *. (1. +. (policy.r_jitter *. u))
+
+let run ?(policy = default) ?(sleep = Unix.sleepf) ?(now = Unix.gettimeofday)
+    ?(seed = 0) ~label f =
+  ignore label;
+  let started = now () in
+  let deadline_over () =
+    match policy.r_deadline_s with
+    | None -> false
+    | Some d -> now () -. started >= d
+  in
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception exn ->
+      if attempt >= policy.r_attempts || (not (transient exn)) || deadline_over ()
+      then raise exn
+      else begin
+        sleep (backoff policy ~seed ~attempt);
+        go (attempt + 1)
+      end
+  in
+  go 1

@@ -1,0 +1,48 @@
+(** Bounded retry with exponential backoff and deterministic jitter.
+
+    Wraps transient-failure-prone operations (store reads/writes).  The
+    backoff sequence is a pure function of [(seed, attempt)], so tests
+    replay it exactly; the clock and sleep are injectable for the same
+    reason. *)
+
+type policy = {
+  r_attempts : int;  (** total attempts including the first; >= 1 *)
+  r_base_s : float;  (** backoff before the first retry, seconds *)
+  r_factor : float;  (** exponential growth factor *)
+  r_jitter : float;  (** fraction in [\[0,1\]]: delay is scaled by
+                         [1 + jitter * u] with deterministic [u] *)
+  r_deadline_s : float option;
+      (** total elapsed-time cap across all attempts; once exceeded the
+          last exception propagates instead of retrying *)
+}
+
+val default : policy
+(** 3 attempts, 1 ms base, x8 growth, 0.5 jitter, no deadline. *)
+
+val no_retry : policy
+(** Single attempt: failures propagate immediately. *)
+
+val with_attempts : int -> policy
+(** {!default} with [r_attempts] set to [max 1 n]. *)
+
+val transient : exn -> bool
+(** True for exceptions worth retrying: [Unix.Unix_error] with
+    [EIO]/[EAGAIN]/[EWOULDBLOCK]/[EINTR]/[EBUSY]/[ENFILE]/[EMFILE],
+    and [Sys_error]. *)
+
+val backoff : policy -> seed:int -> attempt:int -> float
+(** Backoff in seconds before retry number [attempt] (1-based). *)
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  ?seed:int ->
+  label:string ->
+  (unit -> 'a) ->
+  'a
+(** [run ~label f] calls [f], retrying per the policy while
+    {!transient} exceptions occur.  Non-transient exceptions, exhausted
+    attempts, and deadline overruns re-raise the last exception.
+    [label] names the operation in debug contexts; [seed] perturbs the
+    jitter stream (default 0). *)

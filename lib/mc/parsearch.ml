@@ -62,7 +62,7 @@ type stop_state =
   | Running
   | Found of entry
   | Interrupted of Runctl.reason
-  | Crashed of exn
+  | Crashed of exn * string  (* exception + backtrace of the first crash *)
 
 type par_result = {
   pr_chain : (int * Compiled.cedge) list list option;
@@ -98,8 +98,8 @@ let run_parallel ~jobs ?ctl t visit =
     ignore (Atomic.compare_and_set stop Running (Interrupted r))
   in
   let found e = ignore (Atomic.compare_and_set stop Running (Found e)) in
-  let crashed exn =
-    ignore (Atomic.compare_and_set stop Running (Crashed exn))
+  let crashed exn bt =
+    ignore (Atomic.compare_and_set stop Running (Crashed (exn, bt)))
   in
   (* Insert a successor into the shard owning its discrete state.
      Returns [Some entry] when stored; [None] when covered by an
@@ -260,18 +260,21 @@ let run_parallel ~jobs ?ctl t visit =
           end
       end
     in
-    try loop () with exn -> crashed exn
+    try loop () with exn -> crashed exn (Printexc.get_backtrace ())
   in
   (* seed the store from the calling domain (worker 0's pool; the
      initial zone is GC-owned, and the store is empty so it cannot be
-     covered) *)
-  let initial = Explorer.initial_state t in
-  if not (Zone.Dbm.is_empty initial.Explorer.st_zone) then begin
-    match insert pools.(0) None [] initial with
-    | Some e ->
-      (match visit 0 e.p_state with `Stop -> found e | `Continue -> ())
-    | None -> ()
-  end;
+     covered); a crash in the seed visit is supervised like any worker
+     crash *)
+  (try
+     let initial = Explorer.initial_state t in
+     if not (Zone.Dbm.is_empty initial.Explorer.st_zone) then begin
+       match insert pools.(0) None [] initial with
+       | Some e ->
+         (match visit 0 e.p_state with `Stop -> found e | `Continue -> ())
+       | None -> ()
+     end
+   with exn -> crashed exn (Printexc.get_backtrace ()));
   let domains =
     Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
   in
@@ -289,7 +292,18 @@ let run_parallel ~jobs ?ctl t visit =
       frontier }
   in
   match Atomic.get stop with
-  | Crashed exn -> raise exn
+  | Crashed (exn, bt) ->
+    (* Supervision: the crashed worker is already isolated (its domain
+       has exited; the others observed [stop] and wound down).  The
+       search is downgraded to a diagnosed Unknown instead of killing
+       the calling process — the diagnosis carries the backtrace when
+       the runtime recorded one. *)
+    let diag =
+      let b = String.trim bt in
+      if b = "" then Printexc.to_string exn
+      else Printexc.to_string exn ^ "\n" ^ b
+    in
+    { pr_chain = None; pr_stats = stats; pr_interrupt = Some (Runctl.Crash diag) }
   | Found e ->
     { pr_chain = Some (chain_of e); pr_stats = stats; pr_interrupt = None }
   | Interrupted r ->

@@ -36,7 +36,16 @@
     [jobs <= 1] delegates to the sequential {!Explorer.search}
     byte-identically — same visited/stored counts, same snapshots.
     Parallel runs ([jobs > 1]) do not emit snapshots and do not call
-    the progress hook. *)
+    the progress hook.
+
+    {b Supervision.}  A worker domain that raises does not kill the
+    process: the first crash wins the stop cell, the remaining workers
+    wind down at their next poll, and the search returns an interrupted
+    result with {!Runctl.reason} [Crash] carrying the exception (and
+    backtrace when recorded).  Callers observe a diagnosed [Unknown]
+    verdict — never an escaping exception — so one poisoned query
+    cannot take down a batch or the serve loop.  Crash results are
+    never cached ({!Store.Entry.reusable}). *)
 
 (** Shard count of the parallel passed/waiting store (a power of two,
     well above any sane worker count so shard contention stays low). *)

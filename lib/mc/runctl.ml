@@ -3,6 +3,7 @@ type reason =
   | State_budget of int
   | Memory_budget of int
   | Cancelled
+  | Crash of string
 
 type budget = {
   b_time_s : float option;
@@ -117,9 +118,11 @@ let pp_reason ppf = function
   | Memory_budget limit ->
     Fmt.pf ppf "memory budget (%d MB) exhausted" (limit / (1024 * 1024))
   | Cancelled -> Fmt.string ppf "cancelled"
+  | Crash msg -> Fmt.pf ppf "worker crashed: %s" msg
 
 let reason_tag = function
   | Time_budget _ -> "time-budget"
   | State_budget _ -> "state-budget"
   | Memory_budget _ -> "memory-budget"
   | Cancelled -> "cancelled"
+  | Crash _ -> "crash"

@@ -32,6 +32,9 @@ type reason =
   | State_budget of int    (** visited-state budget *)
   | Memory_budget of int   (** live-heap budget, in bytes *)
   | Cancelled              (** {!cancel} was called (e.g. SIGINT) *)
+  | Crash of string
+      (** a worker domain raised; the search was downgraded instead of
+          killing the process — diagnostic (with backtrace) attached *)
 
 type budget = {
   b_time_s : float option;     (** wall-clock seconds from {!create} *)
@@ -72,5 +75,5 @@ val parse_duration : string -> (float, string) result
 val pp_reason : Format.formatter -> reason -> unit
 
 (** Short machine-readable tag: ["time-budget"], ["state-budget"],
-    ["memory-budget"] or ["cancelled"]. *)
+    ["memory-budget"], ["cancelled"] or ["crash"]. *)
 val reason_tag : reason -> string

@@ -11,11 +11,21 @@ PSVSTORE1\n
     v}
 
     {b Crash safety.}  Writes go to a [.tmp.<pid>.<n>] file in the store
-    directory and are published with [Sys.rename] — atomic on POSIX — so
-    readers and concurrent [--jobs] writers only ever observe absent or
-    complete files, never partial ones.  Two writers racing on the same
-    key both publish a complete entry; last rename wins and either
-    answer is valid for the key.
+    directory and are published with an atomic rename — so readers and
+    concurrent [--jobs] writers only ever observe absent or complete
+    files, never partial ones.  Two writers racing on the same key both
+    publish a complete entry; last rename wins and either answer is
+    valid for the key.  A writer killed between write and rename leaves
+    an orphan temp file; {!gc} removes temp files whose owning pid is
+    dead, and {!fsck} reports them.
+
+    {b Fault plane.}  All host I/O goes through an injectable
+    {!Fault.Io.t} wrapped in a {!Fault.Retry} policy: transient faults
+    ([EIO]/[EAGAIN]/...) are retried with exponential backoff; what
+    escapes surfaces as {!Unavailable} so the cache layer's circuit
+    breaker can trip into degraded mode.  Production callers use the
+    defaults ({!Fault.Io.real}, {!Fault.Retry.default}); chaos tests
+    inject seeded fault schedules.
 
     {b Corruption tolerance.}  The length and digest lines are verified
     {e before} the JSON is parsed; a truncated, garbled or
@@ -30,24 +40,37 @@ val version : string
 
 val dir : t -> string
 
-(** [open_ ?create dir] opens (by default creating) a store at [dir].
-    [Error] if the directory exists but is not a recognized store, or —
-    with [create:false] — if it does not exist. *)
-val open_ : ?create:bool -> string -> (t, string) result
+(** [open_ ?io ?retry ?create dir] opens (by default creating) a store
+    at [dir].  [Error] if the directory exists but is not a recognized
+    store, or — with [create:false] — if it does not exist.  [io]
+    (default {!Fault.Io.real}) and [retry] (default
+    {!Fault.Retry.default}) configure the host fault plane. *)
+val open_ :
+  ?io:Fault.Io.t ->
+  ?retry:Fault.Retry.policy ->
+  ?create:bool ->
+  string ->
+  (t, string) result
 
 (** [open_existing dir] never creates: [Error] unless [dir] is a
     recognized store.  This is the guard behind [psv cache gc]. *)
-val open_existing : string -> (t, string) result
+val open_existing :
+  ?io:Fault.Io.t -> ?retry:Fault.Retry.policy -> string -> (t, string) result
 
 type lookup =
   | Hit of Entry.t
   | Miss
-  | Corrupt of string  (** file present but unreadable; reason attached *)
+  | Corrupt of string  (** file readable but content bad; reason attached *)
+  | Unavailable of string
+      (** host I/O failed even after retries — the store is sick, the
+          entry may well be fine; feeds the cache circuit breaker *)
 
 val lookup : t -> D128.t -> lookup
 
 (** [insert t entry] durably publishes [entry] under its key,
-    overwriting any previous entry for that key. *)
+    overwriting any previous entry for that key.  Raises (after
+    exhausting the retry policy) if the host refuses; the temp file is
+    cleaned up best-effort first. *)
 val insert : t -> Entry.t -> unit
 
 (** [remove t key] deletes the entry for [key] if present. *)
@@ -66,15 +89,20 @@ type stats = {
 
 val stats : t -> stats
 
-(** [gc t] removes corrupt entry files and stray temp files; returns
-    the number of files removed. *)
+(** [gc t] removes corrupt entry files and orphaned temp files (temp
+    files whose owning pid is dead; live writers' temps are left
+    alone); returns the number of files removed. *)
 val gc : t -> int
 
 type fsck_report = {
   fk_ok : int;
   fk_bad : (string * string) list;  (** file name, problem *)
+  fk_tmp : string list;
+      (** orphaned [.tmp.<pid>.<n>] files left by dead writers *)
 }
 
 (** Full verification pass: magic, digest, length, JSON shape, and that
-    the key recorded in the payload matches the file name. *)
+    the key recorded in the payload matches the file name.  Orphaned
+    temp files are reported in [fk_tmp] but do not make the store
+    unclean ([fk_bad] alone decides that). *)
 val fsck : t -> fsck_report

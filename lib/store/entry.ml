@@ -8,6 +8,7 @@ type reason =
   | State_budget of int
   | Memory_budget of int
   | Cancelled
+  | Crash of string
 
 type outcome =
   | Holds
@@ -65,7 +66,7 @@ let budget_dominates ~cached ~requested =
 let reusable e ~requested =
   match e.en_outcome with
   | Holds | Fails _ | Sup _ -> true
-  | Unknown (Cancelled, _) -> false
+  | Unknown ((Cancelled | Crash _), _) -> false
   | Unknown _ -> budget_dominates ~cached:e.en_budget ~requested
 
 (* --- json --------------------------------------------------------------- *)
@@ -88,6 +89,8 @@ let reason_to_json = function
   | Memory_budget n ->
     Json.Obj [ ("tag", Json.String "memory-budget"); ("value", Json.Int n) ]
   | Cancelled -> Json.Obj [ ("tag", Json.String "cancelled") ]
+  | Crash msg ->
+    Json.Obj [ ("tag", Json.String "crash"); ("message", Json.String msg) ]
 
 let outcome_to_json = function
   | Holds -> Json.Obj [ ("kind", Json.String "holds") ]
@@ -185,6 +188,9 @@ let reason_of_json j =
     let* v = coerce "value" Json.to_int j in
     Ok (Memory_budget v)
   | "cancelled" -> Ok Cancelled
+  | "crash" ->
+    let* msg = coerce "message" Json.to_str j in
+    Ok (Crash msg)
   | t -> Error (Printf.sprintf "unknown interrupt reason %S" t)
 
 let outcome_of_json j =

@@ -16,7 +16,8 @@
     memory, an unlimited component dominating everything) — if the
     bigger run could not decide, the smaller one cannot either.
     Cancelled runs ([^C]) are never reused: cancellation says nothing
-    about any budget. *)
+    about any budget.  The same goes for [Crash] — a worker-domain
+    failure is a fact about the host, not the model. *)
 
 type sup =
   | Sup_unreached
@@ -28,6 +29,7 @@ type reason =
   | State_budget of int
   | Memory_budget of int
   | Cancelled
+  | Crash of string  (** a worker domain died; diagnostic attached *)
 
 type outcome =
   | Holds

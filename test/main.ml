@@ -23,4 +23,7 @@ let () =
       ("extras", Test_extras.suite);
       ("codegen", Test_codegen.suite);
       ("gpca", Test_gpca.suite);
-      ("store", Test_store.suite) ]
+      ("store", Test_store.suite);
+      ("fault-plane", Test_fault.suite);
+      ("chaos-store", Chaos_store.suite);
+      ("chaos-serve", Chaos_serve.suite) ]

@@ -1,0 +1,321 @@
+(* Tests of the fault plane: the profile grammar, determinism of the
+   seeded schedules, injected I/O semantics, retry/backoff, and the
+   circuit breaker.  Everything here runs with injected clocks and
+   sleeps — no real time passes. *)
+
+let tmp_counter = ref 0
+
+let with_tmp_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psv_fault_test_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with _ -> ()) (fun () -> f dir)
+
+let profile text =
+  match Fault.Profile.parse text with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "profile %S: %s" text msg
+
+(* --- profile grammar ------------------------------------------------------ *)
+
+let test_profile_parse () =
+  Alcotest.(check bool) "empty string is the none profile" true
+    (Fault.Profile.is_none (profile ""));
+  let p = profile "eio=0.25,short=0.5,latency=2ms,seed=42" in
+  Alcotest.(check (float 1e-9)) "eio" 0.25 p.Fault.Profile.p_eio;
+  Alcotest.(check (float 1e-9)) "short" 0.5 p.Fault.Profile.p_short;
+  Alcotest.(check (float 1e-9)) "latency" 0.002 p.Fault.Profile.p_latency_s;
+  Alcotest.(check int) "seed" 42 p.Fault.Profile.p_seed;
+  Alcotest.(check (float 1e-9)) "unset keys default to zero" 0.0
+    p.Fault.Profile.p_eagain;
+  Alcotest.(check bool) "non-empty profile is not none" false
+    (Fault.Profile.is_none p);
+  (* whitespace and empty fields around the commas are tolerated *)
+  let p' = profile " eio=0.25 ,, short=0.5 , latency=2ms , seed=42 " in
+  Alcotest.(check bool) "spaces around fields are fine" true (p = p')
+
+let test_profile_roundtrip () =
+  List.iter
+    (fun text ->
+      let p = profile text in
+      let p' = profile (Fault.Profile.to_string p) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S survives to_string/parse" text)
+        true (p = p'))
+    [ ""; "eio=0.01"; "eagain=1"; "short=0.125,fsync=0.25,rename=0.5";
+      "latency=15ms,seed=7"; "eio=0.02,eagain=0.02,seed=123" ]
+
+let test_profile_errors () =
+  List.iter
+    (fun bad ->
+      match Fault.Profile.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [ "bogus=1"; "eio=2"; "eio=-0.5"; "eio=abc"; "latency=xyz"; "seed=-1";
+      "seed=1.5"; "eio"; "=0.5" ]
+
+let test_profile_draws () =
+  let p = profile "seed=9" in
+  let d op stream = Fault.Profile.draw p ~op ~stream in
+  (* same coordinates, same draw — the whole chaos story rests on this *)
+  Alcotest.(check (float 0.0)) "deterministic" (d 3 1) (d 3 1);
+  for op = 0 to 99 do
+    for stream = 0 to 4 do
+      let u = d op stream in
+      if u < 0.0 || u >= 1.0 then
+        Alcotest.failf "draw (%d,%d) = %f out of [0,1)" op stream u
+    done
+  done;
+  (* distinct coordinates decorrelate *)
+  Alcotest.(check bool) "ops differ" true (d 0 0 <> d 1 0);
+  Alcotest.(check bool) "streams differ" true (d 0 0 <> d 0 1);
+  let q = profile "seed=10" in
+  Alcotest.(check bool) "seeds differ" true
+    (Fault.Profile.draw q ~op:0 ~stream:0 <> d 0 0)
+
+(* --- injection ------------------------------------------------------------ *)
+
+let test_inject_eio () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "f" in
+      Fault.Io.real.Fault.Io.write_file path "payload";
+      let stats = Fault.Io.stats () in
+      let io = Fault.Io.inject ~stats (profile "eio=1,seed=1") Fault.Io.real in
+      let expect_eio label f =
+        match f () with
+        | _ -> Alcotest.failf "%s: no fault injected" label
+        | exception Unix.Unix_error (Unix.EIO, _, _) -> ()
+      in
+      expect_eio "read" (fun () -> io.Fault.Io.read_file path);
+      expect_eio "write" (fun () -> io.Fault.Io.write_file path "x");
+      expect_eio "rename" (fun () ->
+          io.Fault.Io.rename path (Filename.concat dir "g"));
+      expect_eio "readdir" (fun () -> io.Fault.Io.readdir dir);
+      (* probes stay fault-free by design *)
+      Alcotest.(check bool) "file_exists passes through" true
+        (io.Fault.Io.file_exists path);
+      Alcotest.(check int) "every op counted" 4 (Atomic.get stats.Fault.Io.fs_ops);
+      Alcotest.(check int) "every fault counted" 4
+        (Atomic.get stats.Fault.Io.fs_faults))
+
+let test_inject_short_read () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "f" in
+      let content = String.init 100 (fun i -> Char.chr (i mod 256)) in
+      Fault.Io.real.Fault.Io.write_file path content;
+      let p = profile "short=1,seed=3" in
+      let read () =
+        (Fault.Io.inject p Fault.Io.real).Fault.Io.read_file path
+      in
+      let got = read () in
+      let n = String.length got in
+      Alcotest.(check bool) "strictly truncated" true (n < 100);
+      Alcotest.(check string) "a prefix of the real content"
+        (String.sub content 0 n) got;
+      (* a fresh wrapper restarts the schedule: same truncation *)
+      Alcotest.(check string) "schedule replays" got (read ()))
+
+let test_inject_short_write () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "f" in
+      let io = Fault.Io.inject (profile "short=1,seed=5") Fault.Io.real in
+      (match io.Fault.Io.write_file path "0123456789" with
+       | () -> Alcotest.fail "short write must raise"
+       | exception Unix.Unix_error (Unix.EIO, _, _) -> ());
+      let on_disk = Fault.Io.real.Fault.Io.read_file path in
+      Alcotest.(check bool) "truncated file left behind" true
+        (String.length on_disk < 10);
+      Alcotest.(check string) "still a prefix"
+        (String.sub "0123456789" 0 (String.length on_disk)) on_disk)
+
+let test_inject_fsync_loss () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "f" in
+      let io = Fault.Io.inject (profile "fsync=1,seed=7") Fault.Io.real in
+      (* the write reports success — the loss is silent *)
+      io.Fault.Io.write_file path "0123456789";
+      let on_disk = Fault.Io.real.Fault.Io.read_file path in
+      Alcotest.(check bool) "tail lost" true (String.length on_disk < 10))
+
+(* --- retry ---------------------------------------------------------------- *)
+
+let no_sleep _ = ()
+
+let test_retry_recovers () =
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    if !calls < 3 then raise (Unix.Unix_error (Unix.EIO, "op", ""));
+    42
+  in
+  let v =
+    Fault.Retry.run
+      ~policy:(Fault.Retry.with_attempts 5)
+      ~sleep:no_sleep ~label:"t" f
+  in
+  Alcotest.(check int) "returns the value" 42 v;
+  Alcotest.(check int) "after exactly 3 attempts" 3 !calls
+
+let test_retry_exhausts () =
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    raise (Unix.Unix_error (Unix.EAGAIN, "op", ""))
+  in
+  (match
+     Fault.Retry.run
+       ~policy:(Fault.Retry.with_attempts 3)
+       ~sleep:no_sleep ~label:"t" f
+   with
+   | _ -> Alcotest.fail "must re-raise after exhaustion"
+   | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> ());
+  Alcotest.(check int) "all attempts consumed" 3 !calls
+
+let test_retry_non_transient () =
+  let calls = ref 0 in
+  (match
+     Fault.Retry.run ~sleep:no_sleep ~label:"t" (fun () ->
+         incr calls;
+         failwith "logic bug")
+   with
+   | _ -> Alcotest.fail "must propagate"
+   | exception Failure _ -> ());
+  Alcotest.(check int) "no retry on a non-transient exception" 1 !calls
+
+let test_retry_transient_class () =
+  let u e = Unix.Unix_error (e, "op", "") in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "transient errno" true (Fault.Retry.transient (u e)))
+    [ Unix.EIO; Unix.EAGAIN; Unix.EINTR; Unix.EBUSY ];
+  Alcotest.(check bool) "Sys_error is transient" true
+    (Fault.Retry.transient (Sys_error "disk on fire"));
+  Alcotest.(check bool) "ENOENT is not" false
+    (Fault.Retry.transient (u Unix.ENOENT));
+  Alcotest.(check bool) "Failure is not" false
+    (Fault.Retry.transient (Failure "x"))
+
+let test_backoff_schedule () =
+  let p = Fault.Retry.default in
+  let b attempt = Fault.Retry.backoff p ~seed:0 ~attempt in
+  Alcotest.(check (float 0.0)) "deterministic" (b 2) (b 2);
+  Alcotest.(check bool) "grows" true (b 1 < b 2 && b 2 < b 3);
+  (* base * factor^(k-1) <= backoff < base * factor^(k-1) * (1 + jitter) *)
+  for k = 1 to 4 do
+    let lo =
+      p.Fault.Retry.r_base_s
+      *. (p.Fault.Retry.r_factor ** float_of_int (k - 1))
+    in
+    let hi = lo *. (1.0 +. p.Fault.Retry.r_jitter) in
+    let v = b k in
+    if v < lo || v > hi then
+      Alcotest.failf "backoff %d = %g outside [%g, %g]" k v lo hi
+  done;
+  Alcotest.(check bool) "seed perturbs the jitter" true
+    (Fault.Retry.backoff p ~seed:1 ~attempt:3 <> b 3)
+
+let test_retry_deadline () =
+  let clock = ref 0.0 in
+  let policy =
+    { Fault.Retry.r_attempts = 100;
+      r_base_s = 0.01;
+      r_factor = 2.0;
+      r_jitter = 0.0;
+      r_deadline_s = Some 0.05 }
+  in
+  let calls = ref 0 in
+  (match
+     Fault.Retry.run ~policy
+       ~sleep:(fun d -> clock := !clock +. d)
+       ~now:(fun () -> !clock)
+       ~label:"t"
+       (fun () ->
+         incr calls;
+         raise (Unix.Unix_error (Unix.EIO, "op", "")))
+   with
+   | _ -> Alcotest.fail "must re-raise at the deadline"
+   | exception Unix.Unix_error (Unix.EIO, _, _) -> ());
+  Alcotest.(check bool)
+    (Printf.sprintf "deadline cut retries short (%d calls)" !calls)
+    true
+    (!calls >= 2 && !calls < 10)
+
+(* --- breaker -------------------------------------------------------------- *)
+
+let test_breaker_lifecycle () =
+  let clock = ref 0.0 in
+  let b =
+    Fault.Breaker.create ~threshold:3 ~cooldown_s:10.0
+      ~now:(fun () -> !clock)
+      ()
+  in
+  Alcotest.(check bool) "starts closed" true
+    (Fault.Breaker.state b = Fault.Breaker.Closed);
+  Alcotest.(check bool) "closed allows" true (Fault.Breaker.allow b);
+  Fault.Breaker.failure b;
+  Fault.Breaker.failure b;
+  Alcotest.(check bool) "below threshold stays closed" true
+    (Fault.Breaker.state b = Fault.Breaker.Closed);
+  Alcotest.(check bool) "not yet tripped" false (Fault.Breaker.tripped b);
+  (* a success resets the consecutive count *)
+  Fault.Breaker.success b;
+  Fault.Breaker.failure b;
+  Fault.Breaker.failure b;
+  Alcotest.(check bool) "reset count keeps it closed" true
+    (Fault.Breaker.state b = Fault.Breaker.Closed);
+  Fault.Breaker.failure b;
+  Alcotest.(check bool) "threshold trips" true
+    (Fault.Breaker.state b = Fault.Breaker.Open);
+  Alcotest.(check bool) "open refuses" false (Fault.Breaker.allow b);
+  Alcotest.(check bool) "tripped latches" true (Fault.Breaker.tripped b);
+  (* cooldown elapses: exactly one probe gets through *)
+  clock := 10.0;
+  Alcotest.(check bool) "cooldown admits a probe" true (Fault.Breaker.allow b);
+  Alcotest.(check bool) "probe state" true
+    (Fault.Breaker.state b = Fault.Breaker.Half_open);
+  Alcotest.(check bool) "second caller refused during the probe" false
+    (Fault.Breaker.allow b);
+  (* probe fails: straight back to open *)
+  Fault.Breaker.failure b;
+  Alcotest.(check bool) "failed probe re-opens" true
+    (Fault.Breaker.state b = Fault.Breaker.Open);
+  Alcotest.(check bool) "and refuses again" false (Fault.Breaker.allow b);
+  clock := 20.0;
+  Alcotest.(check bool) "second probe admitted" true (Fault.Breaker.allow b);
+  Fault.Breaker.success b;
+  Alcotest.(check bool) "successful probe closes" true
+    (Fault.Breaker.state b = Fault.Breaker.Closed);
+  Alcotest.(check bool) "closed again allows" true (Fault.Breaker.allow b);
+  Alcotest.(check bool) "degraded history survives recovery" true
+    (Fault.Breaker.tripped b);
+  Alcotest.(check int) "lifetime failure count" 6 (Fault.Breaker.failures b)
+
+let suite =
+  [ Alcotest.test_case "profile parse" `Quick test_profile_parse;
+    Alcotest.test_case "profile round-trip" `Quick test_profile_roundtrip;
+    Alcotest.test_case "profile errors" `Quick test_profile_errors;
+    Alcotest.test_case "deterministic draws" `Quick test_profile_draws;
+    Alcotest.test_case "inject eio" `Quick test_inject_eio;
+    Alcotest.test_case "inject short read" `Quick test_inject_short_read;
+    Alcotest.test_case "inject short write" `Quick test_inject_short_write;
+    Alcotest.test_case "inject fsync loss" `Quick test_inject_fsync_loss;
+    Alcotest.test_case "retry recovers" `Quick test_retry_recovers;
+    Alcotest.test_case "retry exhausts" `Quick test_retry_exhausts;
+    Alcotest.test_case "retry non-transient" `Quick test_retry_non_transient;
+    Alcotest.test_case "transient classification" `Quick
+      test_retry_transient_class;
+    Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+    Alcotest.test_case "retry deadline" `Quick test_retry_deadline;
+    Alcotest.test_case "breaker lifecycle" `Quick test_breaker_lifecycle ]

@@ -317,6 +317,35 @@ let test_pool_map () =
   | _ -> Alcotest.fail "worker exception was swallowed"
   | exception Failure msg when msg = "boom" -> ()
 
+(* A predicate that raises mid-search must not kill the process or
+   escape as an exception: the fleet winds down and the caller sees a
+   diagnosed Unknown carrying the crash (never cached — see
+   Store.Entry.reusable). *)
+let test_crash_supervised () =
+  let t = Mc.Explorer.make (Test_runctl.railroad_psm ()) in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun jobs ->
+      match
+        Mc.Parsearch.safe ~jobs t (fun _ -> failwith "poisoned predicate")
+      with
+      | Mc.Explorer.Unknown (Mc.Runctl.Crash diag), _stats ->
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: diagnosis names the exception" jobs)
+          true
+          (contains diag "poisoned predicate")
+      | v, _ ->
+        Alcotest.failf "jobs=%d: expected a crash-diagnosed Unknown, got %a"
+          jobs Mc.Explorer.pp_verdict v
+      | exception exn ->
+        Alcotest.failf "jobs=%d: crash escaped supervision: %s" jobs
+          (Printexc.to_string exn))
+    [ 2; 4 ]
+
 (* Random railroad schemes: sequential and 4-domain sups agree. *)
 let prop_random_scheme =
   QCheck.Test.make ~count:6 ~name:"random scheme: par sup = seq sup"
@@ -398,4 +427,6 @@ let suite =
       test_resume_rejected_in_parallel;
     Alcotest.test_case "run_all matches one-by-one" `Quick test_run_all;
     Alcotest.test_case "pool_map" `Quick test_pool_map;
+    Alcotest.test_case "worker crash is supervised" `Quick
+      test_crash_supervised;
     QCheck_alcotest.to_alcotest prop_random_scheme ]

@@ -377,6 +377,8 @@ let test_disk_corruption () =
         | Store.Disk.Corrupt _ -> ()
         | Store.Disk.Hit _ -> Alcotest.failf "%s: accepted as a hit" label
         | Store.Disk.Miss -> Alcotest.failf "%s: reported as a miss" label
+        | Store.Disk.Unavailable msg ->
+          Alcotest.failf "%s: store unavailable: %s" label msg
         | exception exn ->
           Alcotest.failf "%s: raised %s" label (Printexc.to_string exn)
       in
@@ -403,6 +405,8 @@ let test_disk_corruption () =
            Alcotest.check entry_eq
              (Printf.sprintf "flip at %d produced a phantom entry" !pos)
              e e'
+         | Store.Disk.Unavailable msg ->
+           Alcotest.failf "flip at %d made the store unavailable: %s" !pos msg
          | exception exn ->
            Alcotest.failf "flip at %d raised %s" !pos (Printexc.to_string exn));
         pos := !pos + 7
@@ -436,7 +440,9 @@ let test_disk_fold_stats_gc_fsck () =
       let oc = open_out_bin (entry_file dir bad) in
       output_string oc "PSVSTORE1\nnot hex\n4\nxxxx";
       close_out oc;
-      let oc = open_out_bin (Filename.concat dir ".tmp.999.0") in
+      (* pid 9999999 exceeds any configured pid_max, so the writer is
+         provably dead and gc must treat the temp file as an orphan *)
+      let oc = open_out_bin (Filename.concat dir ".tmp.9999999.0") in
       output_string oc "leftover";
       close_out oc;
       let warnings = ref 0 in
@@ -479,6 +485,8 @@ let test_disk_concurrent_writers () =
           | Store.Disk.Miss -> Alcotest.fail "lost an entry mid-write"
           | Store.Disk.Corrupt msg ->
             Alcotest.failf "torn entry observed: %s" msg
+          | Store.Disk.Unavailable msg ->
+            Alcotest.failf "store unavailable mid-write: %s" msg
         done
       in
       let doms = List.init jobs (fun d -> Domain.spawn (worker d)) in
