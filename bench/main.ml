@@ -506,8 +506,33 @@ let cache_runs cache (q : Analysis.Queries.query_spec) =
    overhead, not exploration. *)
 let scaling_threshold = 1000
 
+(* The scaling-regression gate only judges searches big enough that the
+   speedup is dominated by exploration, not fixed costs. *)
+let gate_threshold = 8_000
+let gate_jobs = 4
+
 let explorer_bench_json ?path ?cache_dir ?faults ?(repeat = 1)
-    ?(jobs_list = []) () =
+    ?(jobs_list = []) ?gate ?(allow_oversubscribe = false) () =
+  (* More workers than cores measures scheduler contention, not
+     scaling; drop those rows unless explicitly asked to keep them. *)
+  let jobs_list =
+    let avail = Mc.Parsearch.recommended_jobs () in
+    if allow_oversubscribe then jobs_list
+    else
+      List.filter
+        (fun j ->
+          j <= avail
+          || begin
+               Printf.eprintf
+                 "bench: dropping jobs=%d (host has %d core%s; pass \
+                  --allow-oversubscribe to keep oversubscribed rows)\n"
+                 j avail
+                 (if avail = 1 then "" else "s");
+               false
+             end)
+        jobs_list
+  in
+  let gate_violations = ref [] in
   let cache =
     Option.map
       (fun dir ->
@@ -597,9 +622,19 @@ let explorer_bench_json ?path ?cache_dir ?faults ?(repeat = 1)
                       q.Analysis.Queries.qs_name jobs;
                     exit 1
                   end;
+                  let speedup = wall_ms /. wj in
+                  (match gate with
+                   | Some g
+                     when jobs = gate_jobs
+                          && stats.Mc.Explorer.visited >= gate_threshold
+                          && speedup < g ->
+                     gate_violations :=
+                       (q.Analysis.Queries.qs_name, speedup)
+                       :: !gate_violations
+                   | Some _ | None -> ());
                   Printf.sprintf
                     "{\"jobs\": %d, \"wall_ms\": %.1f, \"speedup\": %.2f}"
-                    jobs wj (wall_ms /. wj))
+                    jobs wj speedup)
                 jobs_list
             in
             Printf.sprintf ", \"jobs_scaling\": [%s]"
@@ -630,13 +665,24 @@ let explorer_bench_json ?path ?cache_dir ?faults ?(repeat = 1)
       faults_field
       (String.concat ",\n" rows)
   in
-  match path with
-  | None -> print_string body
-  | Some p ->
-    let oc = open_out p in
-    output_string oc body;
-    close_out oc;
-    Printf.printf "wrote %s\n" p
+  (match path with
+   | None -> print_string body
+   | Some p ->
+     let oc = open_out p in
+     output_string oc body;
+     close_out oc;
+     Printf.printf "wrote %s\n" p);
+  match (gate, !gate_violations) with
+  | None, _ | Some _, [] -> ()
+  | Some g, violations ->
+    List.iter
+      (fun (name, speedup) ->
+        Printf.eprintf
+          "bench: scaling regression: %s speedup %.2fx at jobs=%d is below \
+           the %.2fx gate\n"
+          name speedup gate_jobs g)
+      (List.rev violations);
+    exit 1
 
 (* ----------------------------------------------------- bechamel part -- *)
 
@@ -737,29 +783,42 @@ let () =
       | Some n when n > 0 -> n
       | Some _ | None -> bad "bench: bad %s %S" flag s
     in
-    let rec parse path repeat jobs_list cache_dir faults = function
-      | [] -> (path, repeat, jobs_list, cache_dir, faults)
+    let path = ref None and repeat = ref 1 and jobs_list = ref [] in
+    let cache_dir = ref None and faults = ref None in
+    let gate = ref None and allow_oversubscribe = ref false in
+    let rec parse = function
+      | [] -> ()
       | "--repeat" :: r :: rest ->
-        parse path (int_arg "--repeat" r) jobs_list cache_dir faults rest
+        repeat := int_arg "--repeat" r;
+        parse rest
       | "--jobs" :: l :: rest ->
-        let jobs =
-          List.map (int_arg "--jobs") (String.split_on_char ',' l)
-        in
-        parse path repeat jobs cache_dir faults rest
+        jobs_list := List.map (int_arg "--jobs") (String.split_on_char ',' l);
+        parse rest
       | "--cache" :: dir :: rest ->
-        parse path repeat jobs_list (Some dir) faults rest
+        cache_dir := Some dir;
+        parse rest
       | "--faults" :: spec :: rest -> (
         match Fault.Profile.parse spec with
-        | Ok p -> parse path repeat jobs_list cache_dir (Some p) rest
+        | Ok p -> faults := Some p; parse rest
         | Error msg -> bad "bench: %s" msg)
-      | [ ("--repeat" | "--jobs" | "--cache" | "--faults") as flag ] ->
+      | "--scaling-gate" :: g :: rest -> (
+        match float_of_string_opt g with
+        | Some v when v > 0.0 -> gate := Some v; parse rest
+        | Some _ | None -> bad "bench: bad --scaling-gate %S" g)
+      | "--allow-oversubscribe" :: rest ->
+        allow_oversubscribe := true;
+        parse rest
+      | [ ("--repeat" | "--jobs" | "--cache" | "--faults" | "--scaling-gate")
+          as flag ] ->
         bad "bench: %s needs a value" flag
-      | p :: rest -> parse (Some p) repeat jobs_list cache_dir faults rest
+      | p :: rest ->
+        path := Some p;
+        parse rest
     in
-    let path, repeat, jobs_list, cache_dir, faults =
-      parse None 1 [] None None rest
-    in
-    explorer_bench_json ?path ?cache_dir ?faults ~repeat ~jobs_list ()
+    parse rest;
+    explorer_bench_json ?path:!path ?cache_dir:!cache_dir ?faults:!faults
+      ~repeat:!repeat ~jobs_list:!jobs_list ?gate:!gate
+      ~allow_oversubscribe:!allow_oversubscribe ()
   | _ ->
   e4_pim_verification ();
   e123_table1 ();

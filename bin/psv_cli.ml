@@ -175,11 +175,32 @@ let jobs_arg =
   Arg.(value & opt int 1
        & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Explore with $(docv) worker domains (default 1, the \
-                 sequential explorer).  Verdicts and sup values are \
-                 identical for every $(docv); visited/stored counts may \
-                 differ with $(docv) > 1.")
+                 sequential explorer; 0 means one per available core).  \
+                 Values above the host's core count are clamped with a \
+                 warning — oversubscribed domains only add contention.  \
+                 Verdicts and sup values are identical for every \
+                 $(docv); visited/stored counts may differ with \
+                 $(docv) > 1.")
 
-let check_jobs n = if n < 1 then die "--jobs must be at least 1" else n
+(* More worker domains than cores is never faster — OCaml domains are
+   not green threads — so a too-large --jobs silently recording
+   worse-than-sequential numbers (as single-core hosts used to) is
+   treated as a spelling of "all cores", with a warning. *)
+let check_jobs n =
+  if n < 0 then die "--jobs must be at least 1 (or 0 for one per core)"
+  else begin
+    let avail = Mc.Parsearch.recommended_jobs () in
+    if n = 0 then avail
+    else if n > avail then begin
+      Fmt.epr
+        "psv: --jobs %d exceeds this host's %d available core%s; using %d@."
+        n avail
+        (if avail = 1 then "" else "s")
+        avail;
+      avail
+    end
+    else n
+  end
 
 let cache_arg =
   Arg.(value & opt (some string) None
@@ -326,9 +347,6 @@ let verify_cmd =
   let run file trigger response bound ceiling jobs budget_time budget_states
       budget_mem checkpoint resume json cache store_retries =
     let jobs = check_jobs jobs in
-    if jobs > 1 && (checkpoint <> None || resume <> None) then
-      die "--checkpoint/--resume require --jobs 1 (parallel runs do not \
-           emit snapshots)";
     if resume <> None && cache <> None then
       die "--resume and --cache are exclusive (a resumed search must \
            explore, not answer from the store)";

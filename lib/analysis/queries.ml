@@ -10,24 +10,17 @@ type delay_result = {
 let monitor_clock = "psv_delay_mon"
 
 let max_delay ?(jobs = 1) ?limit ?ctl ?resume net ~trigger ~response ~ceiling =
-  (match resume with
-   | Some _ when jobs > 1 ->
-     invalid_arg "Queries.max_delay: resume requires jobs = 1 \
-                  (parallel runs do not emit snapshots)"
-   | _ -> ());
   let monitor =
     Mc.Monitor.delay ~trigger ~response ~clock:monitor_clock ~ceiling ()
   in
   let t = Mc.Explorer.make ~monitor ?limit net in
+  (* Parsearch delegates jobs <= 1 to the sequential path; snapshots
+     use one format either way, so a checkpoint taken at any [jobs]
+     resumes at any other *)
   let o =
-    if jobs <= 1 then
-      Mc.Explorer.sup_clock ?ctl ?resume t
-        ~pred:(Mc.Explorer.mon_in t "Waiting")
-        ~clock:monitor_clock
-    else
-      Mc.Parsearch.sup_clock ~jobs ?ctl t
-        ~pred:(Mc.Explorer.mon_in t "Waiting")
-        ~clock:monitor_clock
+    Mc.Parsearch.sup_clock ~jobs ?ctl ?resume t
+      ~pred:(Mc.Explorer.mon_in t "Waiting")
+      ~clock:monitor_clock
   in
   { dr_trigger = trigger; dr_response = response;
     dr_sup = o.Mc.Explorer.so_sup;

@@ -26,8 +26,10 @@ type delay_result = {
     interrupted run from its snapshot — same trigger, response, ceiling
     and network required ({!Mc.Explorer.sup_clock} checks the
     fingerprint).  [jobs] (default 1) runs the exploration itself on
-    that many domains via {!Mc.Parsearch}: identical sup, no snapshot.
-    @raise Invalid_argument when [resume] is combined with [jobs > 1]. *)
+    that many domains via {!Mc.Parsearch}: identical sup, and the same
+    snapshot format — a checkpoint taken at any [jobs] resumes at any
+    other.
+    @raise Invalid_argument when the snapshot does not match. *)
 val max_delay :
   ?jobs:int -> ?limit:int -> ?ctl:Mc.Runctl.t -> ?resume:Mc.Explorer.snapshot ->
   Ta.Model.network ->

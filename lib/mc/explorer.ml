@@ -572,6 +572,46 @@ let load_snapshot path =
   | End_of_file -> Error "truncated snapshot"
   | Failure msg -> Error ("corrupt snapshot: " ^ msg)
 
+(* Shared resume guard: a snapshot replays correctly only into the same
+   search space (fingerprint), the same query kind (label), the same
+   dedup mode and the same zone dimension.  Used by the sequential
+   [search] below and by the parallel store restore (Parsearch). *)
+let check_snapshot t ~label ~subsume snap =
+  if not (Store.D128.equal snap.snap_fingerprint (fingerprint t)) then
+    invalid_arg
+      "Explorer: snapshot does not match this model/monitor/configuration";
+  if snap.snap_label <> label then
+    invalid_arg "Explorer: snapshot was taken by a different kind of query";
+  if snap.snap_subsume <> subsume then
+    invalid_arg "Explorer: snapshot subsumption mode differs";
+  if snap.snap_dim <> t.comp.Compiled.c_nclocks + 1 then
+    invalid_arg "Explorer: snapshot zone dimension differs"
+
+(* Accessors and a builder for foreign stores (the sharded parallel one)
+   that restore from and serialize to the same PSVSNAP2 format, so a
+   checkpoint taken at any [--jobs] resumes at any other. *)
+let snapshot_next_id s = s.snap_next_id
+let snapshot_visited s = s.snap_visited
+let snapshot_stored s = s.snap_stored
+let snapshot_entries s = s.snap_entries
+let snapshot_queue s = s.snap_queue
+let snapshot_trace s = s.snap_trace
+let snapshot_payload s = s.snap_payload
+
+let make_snapshot t ~label ~subsume ~next_id ~visited ~stored ~entries ~queue
+    ~trace ~payload =
+  { snap_fingerprint = fingerprint t;
+    snap_label = label;
+    snap_dim = t.comp.Compiled.c_nclocks + 1;
+    snap_subsume = subsume;
+    snap_next_id = next_id;
+    snap_visited = visited;
+    snap_stored = stored;
+    snap_entries = entries;
+    snap_queue = queue;
+    snap_trace = trace;
+    snap_payload = payload }
+
 (* --- search ------------------------------------------------------------ *)
 
 type search_result = {
@@ -725,15 +765,7 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
        | None -> ()
      end
    | Some snap ->
-     if not (Store.D128.equal snap.snap_fingerprint (fingerprint t)) then
-       invalid_arg
-         "Explorer: snapshot does not match this model/monitor/configuration";
-     if snap.snap_label <> label then
-       invalid_arg "Explorer: snapshot was taken by a different kind of query";
-     if snap.snap_subsume <> subsume then
-       invalid_arg "Explorer: snapshot subsumption mode differs";
-     if snap.snap_dim <> t.comp.Compiled.c_nclocks + 1 then
-       invalid_arg "Explorer: snapshot zone dimension differs";
+     check_snapshot t ~label ~subsume snap;
      next_id := snap.snap_next_id;
      visited := snap.snap_visited;
      stored := snap.snap_stored;

@@ -294,6 +294,58 @@ val describe_chain :
     once per state. *)
 val hash_discrete : int array -> int array -> int -> int
 
+(** {2 Snapshot plumbing}
+
+    The pieces a foreign passed/waiting store (the sharded one of
+    {!Parsearch}) needs to restore from and serialize to the same
+    PSVSNAP2 format as the sequential search, so a checkpoint taken at
+    any [--jobs] resumes at any other.  Library-internal in spirit. *)
+
+(** A stored state flattened for serialization: the raw discrete
+    vectors plus the zone's encoded bound matrix
+    ({!Zone.Dbm.to_ints}/{!Zone.Dbm.of_ints}). *)
+type snap_entry = {
+  se_id : int;
+  se_locs : int array;
+  se_vars : int array;
+  se_mon : int;
+  se_zone : int array;
+}
+
+(** [check_snapshot t ~label ~subsume snap] is the resume guard shared
+    by every store: fingerprint, query label, dedup mode and zone
+    dimension must all match.
+    @raise Invalid_argument when they do not (same messages as the
+    sequential resume path). *)
+val check_snapshot : t -> label:string -> subsume:bool -> snapshot -> unit
+
+val snapshot_next_id : snapshot -> int
+val snapshot_visited : snapshot -> int
+val snapshot_stored : snapshot -> int
+
+(** Every live passed/waiting state of the interrupted run. *)
+val snapshot_entries : snapshot -> snap_entry list
+
+(** Ids of the waiting (not yet expanded) entries, in the order the
+    producing store drained them. *)
+val snapshot_queue : snapshot -> int array
+
+(** Per id: parent id and the step's movers as
+    [(automaton, edge-index)] pairs; [(-1, [])] for roots and for ids
+    whose row the producing store no longer knew. *)
+val snapshot_trace : snapshot -> (int * (int * int) list) array
+
+(** The query's own accumulator (e.g. the marshalled running sup). *)
+val snapshot_payload : snapshot -> string
+
+(** [make_snapshot t ...] assembles a snapshot carrying [t]'s
+    fingerprint and zone dimension; the counters, store content and
+    payload come from the caller's store. *)
+val make_snapshot :
+  t -> label:string -> subsume:bool -> next_id:int -> visited:int ->
+  stored:int -> entries:snap_entry list -> queue:int array ->
+  trace:(int * (int * int) list) array -> payload:string -> snapshot
+
 (** DBM index and exact-reporting ceiling of a (typically monitor)
     clock, as resolved by {!sup_clock}. *)
 val monitor_clock_info : t -> string -> int * int

@@ -3,24 +3,31 @@
     [Parsearch] runs the same zone exploration as {!Explorer} across
     [jobs] domains:
 
-    - the passed/waiting store is {e sharded} by the discrete-state
-      hash ({!Explorer.hash_discrete}) into {!num_shards} mutex-guarded
-      shards, and subsumption is checked within the owning shard;
+    - work lives in {e per-worker deques}: the owner pushes and pops at
+      the back (one lock per pop), an idle worker steals a batch from
+      the front of a victim's deque, and victims are probed through a
+      lock-free size mirror — idle workers never contend a lock the
+      busy ones need;
+    - the passed store is sharded by the discrete-state hash
+      ({!Explorer.hash_discrete}) into {!num_shards} shards of atomic
+      buckets; successors transfer in {e batches}, one shard-lock
+      acquisition per batch, and both subsumption directions run
+      against a lock-free snapshot of the entry list {e outside} the
+      lock (stored zones are immutable and published through
+      [Atomic.t], so reads need no lock; publish decisions are
+      revalidated under the lock by pointer equality);
     - each worker owns a private DBM scratch pool
       ({!Explorer.fresh_pool}); a successor that survives insertion
-      transfers zone ownership to the store (stored zones are immutable
-      and never return to any pool, so cross-domain reads are safe);
-    - successors are pushed to the queue of the shard that owns their
-      discrete state, and an idle worker steals work by scanning the
-      other shards round-robin from its home position;
-    - termination is detected by a quiescence count: an atomic counter
-      of outstanding work (queued entries plus in-flight expansions)
-      that is incremented on push and decremented only {e after} an
-      expansion has pushed all its successors, so it reaches zero
-      exactly when the frontier is globally empty;
-    - {!Runctl} budgets and cancellation work unchanged — the token's
-      state is [Atomic.t], the visited counter is shared, and the first
-      worker to observe exhaustion stops the fleet.
+      transfers zone ownership to the store;
+    - sup queries order each batch {e max-delay-first} (scored by the
+      monitor clock's supremum), which reaches the final sup sooner and
+      lets subsumption prune the low-delay frontier;
+    - termination is a quiescence count of buffered successors, queued
+      entries and in-flight expansions; it reaches zero exactly when no
+      work exists anywhere and none can appear;
+    - {!Runctl} budgets and cancellation work unchanged; the visited
+      counter is reserved by CAS and can never pass the state budget,
+      even transiently.
 
     {b Determinism.}  For every [jobs], verdicts and sup values are
     identical to the sequential explorer: the search runs to the same
@@ -35,21 +42,38 @@
 
     [jobs <= 1] delegates to the sequential {!Explorer.search}
     byte-identically — same visited/stored counts, same snapshots.
-    Parallel runs ([jobs > 1]) do not emit snapshots and do not call
-    the progress hook.
+    Parallel runs do not call the progress hook.
+
+    {b Checkpoints.}  An interrupted parallel [sup_clock] emits a
+    PSVSNAP2 snapshot, same format as the sequential one: the fleet
+    finishes its in-flight expansions and flushes its buffers on a
+    budget/cancel interrupt, so the serialized store plus frontier is a
+    coherent cut of the search.  A snapshot taken at any [jobs] resumes
+    at any other [jobs], to the same sup and verdict as an
+    uninterrupted run.
 
     {b Supervision.}  A worker domain that raises does not kill the
     process: the first crash wins the stop cell, the remaining workers
     wind down at their next poll, and the search returns an interrupted
     result with {!Runctl.reason} [Crash] carrying the exception (and
     backtrace when recorded).  Callers observe a diagnosed [Unknown]
-    verdict — never an escaping exception — so one poisoned query
-    cannot take down a batch or the serve loop.  Crash results are
-    never cached ({!Store.Entry.reusable}). *)
+    verdict — never an escaping exception, and never a hang on the
+    quiescence count (workers exit on the stop cell regardless of
+    outstanding tokens) — so one poisoned query cannot take down a
+    batch or the serve loop.  Crash results are never cached
+    ({!Store.Entry.reusable}), and a crashed run emits no snapshot (its
+    cut may be incoherent). *)
 
-(** Shard count of the parallel passed/waiting store (a power of two,
-    well above any sane worker count so shard contention stays low). *)
+(** Shard count of the parallel passed store (a power of two, well
+    above any sane worker count so shard contention stays low). *)
 val num_shards : int
+
+(** [Domain.recommended_domain_count ()]: the number of workers this
+    host can actually run in parallel.  CLI layers clamp user-supplied
+    [--jobs] to it (more workers than cores only adds contention);
+    library functions do {e not} clamp, so tests can exercise
+    multi-domain schedules on any host. *)
+val recommended_jobs : unit -> int
 
 (** [reachable ~jobs t pred] is {!Explorer.reachable} on [jobs]
     domains.  The witness trace, when present, is feasible (it is a
@@ -68,10 +92,12 @@ val safe :
     domains: each worker folds a private running sup over the states it
     stores, and the per-worker results merge by max ([Sup_exceeds]
     dominates; at equal values a non-strict bound beats a strict one).
-    With [jobs > 1] the outcome never carries a snapshot; pass
-    [resume] work through the sequential path instead. *)
+    [resume] continues an interrupted run (sequential- or
+    parallel-written snapshot alike); an interrupted run carries a
+    snapshot in [so_snapshot].
+    @raise Invalid_argument when the snapshot does not match. *)
 val sup_clock :
-  ?jobs:int -> ?ctl:Runctl.t ->
+  ?jobs:int -> ?ctl:Runctl.t -> ?resume:Explorer.snapshot ->
   Explorer.t -> pred:(Explorer.state -> bool) -> clock:string ->
   Explorer.sup_outcome
 

@@ -45,15 +45,32 @@ let sample_mask = 255
 
 let word_bytes = Sys.word_size / 8
 
+(* The expensive sampled polls: wall clock and heap size. *)
+let slow_poll t =
+  let over_time =
+    match t.budget.b_time_s with
+    | Some limit when Unix.gettimeofday () -. t.started >= limit ->
+      Some (Time_budget limit)
+    | Some _ | None -> None
+  in
+  match over_time with
+  | Some _ as r -> r
+  | None ->
+    (match t.budget.b_mem_bytes with
+     | Some limit when (Gc.quick_stat ()).Gc.heap_words * word_bytes >= limit
+       ->
+       Some (Memory_budget limit)
+     | Some _ | None -> None)
+
+let over_states t ~visited =
+  match t.budget.b_states with
+  | Some n when visited >= n -> Some (State_budget n)
+  | Some _ | None -> None
+
 let check t ~visited =
   if Atomic.get t.is_cancelled then Some Cancelled
   else begin
-    let over_states =
-      match t.budget.b_states with
-      | Some n when visited >= n -> Some (State_budget n)
-      | Some _ | None -> None
-    in
-    match over_states with
+    match over_states t ~visited with
     | Some _ as r -> r
     | None ->
       (* [ticks = 0] on the first call, so a run that is already over
@@ -62,23 +79,19 @@ let check t ~visited =
          across workers, not per worker, keeping the clock/heap poll
          rate independent of the worker count. *)
       let sample = Atomic.fetch_and_add t.ticks 1 land sample_mask = 0 in
-      if not sample then None
-      else begin
-        let over_time =
-          match t.budget.b_time_s with
-          | Some limit when Unix.gettimeofday () -. t.started >= limit ->
-            Some (Time_budget limit)
-          | Some _ | None -> None
-        in
-        match over_time with
-        | Some _ as r -> r
-        | None ->
-          (match t.budget.b_mem_bytes with
-           | Some limit
-             when (Gc.quick_stat ()).Gc.heap_words * word_bytes >= limit ->
-             Some (Memory_budget limit)
-           | Some _ | None -> None)
-      end
+      if not sample then None else slow_poll t
+  end
+
+(* Sampling interval for [check_striped].  Tighter than [sample_mask]
+   because each worker ticks at roughly 1/jobs the fleet's rate. *)
+let striped_mask = 63
+
+let check_striped t ~visited ~tick =
+  if Atomic.get t.is_cancelled then Some Cancelled
+  else begin
+    match over_states t ~visited with
+    | Some _ as r -> r
+    | None -> if tick land striped_mask <> 0 then None else slow_poll t
   end
 
 let install_sigint t =

@@ -63,6 +63,16 @@ val cancelled : t -> bool
     samples the clock and the heap.  The first call always samples. *)
 val check : t -> visited:int -> reason option
 
+(** [check_striped t ~visited ~tick] is {!check} with the clock/heap
+    sampling driven by a caller-supplied tick counter instead of the
+    shared one: a parallel worker passes its worker-local expansion
+    count, so the hot path costs one atomic read (the cancel flag) and
+    no read-modify-write on a cache line shared by every worker.  The
+    sampling mask is tighter (every 64th tick) since each worker ticks
+    at roughly 1/jobs the fleet's rate; [tick = 0] samples, so a run
+    already over budget stops before its first expansion. *)
+val check_striped : t -> visited:int -> tick:int -> reason option
+
 (** Install a SIGINT handler that cancels [t].  A second SIGINT restores
     the default behavior (terminate), so a wedged run can still be
     killed.  No-op on platforms without [Sys.sigint] handling. *)

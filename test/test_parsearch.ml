@@ -252,24 +252,135 @@ let test_timed_witness_feasible () =
       | None -> Alcotest.failf "jobs=%d: no witness to Pump.Infusing" jobs)
     jobs_list
 
-let test_resume_rejected_in_parallel () =
-  let ctl =
+(* Checkpoint/resume across worker counts: a budget-cut run at any
+   [jobs] emits a snapshot that — through the on-disk PSVSNAP2
+   round-trip, as psv --checkpoint/--resume does — resumes at any
+   other [jobs] to the same sup as an uninterrupted run. *)
+let test_parallel_checkpoint_resume () =
+  let query ?jobs ?ctl ?resume () =
+    Analysis.Queries.max_delay ?jobs ?ctl ?resume
+      (Test_runctl.railroad_psm ()) ~trigger:"m_Train"
+      ~response:"c_GateDown" ~ceiling:320
+  in
+  let budget_ctl () =
     Mc.Runctl.create
       ~budget:{ Mc.Runctl.no_budget with Mc.Runctl.b_states = Some 200 }
       ()
   in
-  let cut =
-    Analysis.Queries.max_delay ~ctl (Test_runctl.railroad_psm ())
-      ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320
-  in
+  let full = query () in
+  Alcotest.(check bool) "reference run completes" true
+    (full.Analysis.Queries.dr_interrupt = None);
+  List.iter
+    (fun (cut_jobs, resume_jobs) ->
+      let cut = query ~jobs:cut_jobs ~ctl:(budget_ctl ()) () in
+      (match cut.Analysis.Queries.dr_interrupt with
+       | Some (Mc.Runctl.State_budget _) -> ()
+       | other ->
+         Alcotest.failf "cut at jobs=%d: expected a state-budget interrupt, got %a"
+           cut_jobs
+           Fmt.(option Mc.Runctl.pp_reason)
+           other);
+      let snap =
+        match cut.Analysis.Queries.dr_snapshot with
+        | Some s -> s
+        | None ->
+          Alcotest.failf "cut at jobs=%d: interrupted run carries no snapshot"
+            cut_jobs
+      in
+      let file = Filename.temp_file "psv_test_snap" ".psvsnap" in
+      Mc.Explorer.save_snapshot file snap;
+      let snap =
+        match Mc.Explorer.load_snapshot file with
+        | Ok s -> s
+        | Error msg -> Alcotest.failf "snapshot reload: %s" msg
+      in
+      Sys.remove file;
+      let resumed = query ~jobs:resume_jobs ~resume:snap () in
+      if resumed.Analysis.Queries.dr_interrupt <> None then
+        Alcotest.failf "resume at jobs=%d: run was interrupted" resume_jobs;
+      if resumed.Analysis.Queries.dr_sup <> full.Analysis.Queries.dr_sup then
+        Alcotest.failf
+          "cut jobs=%d -> resume jobs=%d: sup %a <> uninterrupted %a"
+          cut_jobs resume_jobs pp_sup resumed.Analysis.Queries.dr_sup pp_sup
+          full.Analysis.Queries.dr_sup)
+    [ (1, 4); (2, 1); (2, 4); (4, 4) ];
+  (* a mismatched snapshot is still rejected on the parallel path: the
+     fingerprint check runs before any state is restored *)
+  let cut = query ~ctl:(budget_ctl ()) () in
   let snap = Option.get cut.Analysis.Queries.dr_snapshot in
   match
     Analysis.Queries.max_delay ~jobs:2 ~resume:snap
       (Test_runctl.railroad_psm ()) ~trigger:"m_Train" ~response:"c_GateDown"
-      ~ceiling:320
+      ~ceiling:640
   with
-  | _ -> Alcotest.fail "resume with jobs > 1 was accepted"
+  | _ -> Alcotest.fail "mismatched snapshot was accepted at jobs=2"
   | exception Invalid_argument _ -> ()
+
+(* The visited counter is reserved by CAS against the budget: even with
+   many workers racing into the limit at once it must never pass it —
+   not even transiently, so the final count is exact. *)
+let test_budget_never_overshoots () =
+  for _ = 1 to 4 do
+    let ctl =
+      Mc.Runctl.create
+        ~budget:{ Mc.Runctl.no_budget with Mc.Runctl.b_states = Some 64 }
+        ()
+    in
+    let r =
+      Analysis.Queries.max_delay ~jobs:8 ~ctl (Test_runctl.railroad_psm ())
+        ~trigger:"m_Train" ~response:"c_GateDown" ~ceiling:320
+    in
+    (match r.Analysis.Queries.dr_interrupt with
+     | Some (Mc.Runctl.State_budget 64) -> ()
+     | other ->
+       Alcotest.failf "expected State_budget 64, got %a"
+         Fmt.(option Mc.Runctl.pp_reason)
+         other);
+    let v = r.Analysis.Queries.dr_stats.Mc.Explorer.visited in
+    if v > 64 then
+      Alcotest.failf "visited %d overshoots the 64-state budget" v
+  done
+
+(* Seeded random networks (test/gen.ml generators): safety verdicts and
+   sup values agree across worker counts, including oversubscribed
+   ones.  Verdict witnesses may legitimately differ, so only the
+   three-valued shape is compared. *)
+let test_random_networks_cross_jobs () =
+  let rand = Random.State.make [| 0x5eed; 42 |] in
+  let nets =
+    List.init 12 (fun _ -> QCheck.Gen.generate1 ~rand Gen.gen_network)
+  in
+  let verdict_shape = function
+    | Mc.Explorer.Proved -> "proved"
+    | Mc.Explorer.Refuted _ -> "refuted"
+    | Mc.Explorer.Unknown _ -> "unknown"
+  in
+  List.iteri
+    (fun i net ->
+      let safe jobs =
+        let t = Mc.Explorer.make net in
+        (* every generated automaton has locations L0..L{n-1}, n >= 2 *)
+        let pred = Mc.Explorer.at t ~aut:"B" ~loc:"L1" in
+        verdict_shape (fst (Mc.Parsearch.safe ~jobs t pred))
+      in
+      let sup jobs =
+        (Analysis.Queries.max_delay ~jobs net ~trigger:"bc" ~response:"bin"
+           ~ceiling:16)
+          .Analysis.Queries.dr_sup
+      in
+      let v1 = safe 1 and s1 = sup 1 in
+      List.iter
+        (fun jobs ->
+          let v = safe jobs in
+          if v <> v1 then
+            Alcotest.failf "net %d: jobs=%d verdict %s <> sequential %s" i
+              jobs v v1;
+          let s = sup jobs in
+          if s <> s1 then
+            Alcotest.failf "net %d: jobs=%d sup %a <> sequential %a" i jobs
+              pp_sup s pp_sup s1)
+        [ 2; 4; 8 ])
+    nets
 
 (* run_all: order-preserving, same answers as one-by-one evaluation. *)
 let test_run_all () =
@@ -321,13 +432,13 @@ let test_pool_map () =
    escape as an exception: the fleet winds down and the caller sees a
    diagnosed Unknown carrying the crash (never cached — see
    Store.Entry.reusable). *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_crash_supervised () =
   let t = Mc.Explorer.make (Test_runctl.railroad_psm ()) in
-  let contains hay needle =
-    let nh = String.length hay and nn = String.length needle in
-    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-    go 0
-  in
   List.iter
     (fun jobs ->
       match
@@ -345,6 +456,34 @@ let test_crash_supervised () =
         Alcotest.failf "jobs=%d: crash escaped supervision: %s" jobs
           (Printexc.to_string exn))
     [ 2; 4 ]
+
+(* A crash in the middle of the search, not on the seed: by then the
+   other workers hold quiescence tokens for buffered and queued work,
+   and they must exit on the stop cell regardless — a worker waiting
+   for [pending] to drain would hang this test (and the suite). *)
+let test_midsearch_crash_quiesces () =
+  List.iter
+    (fun jobs ->
+      let calls = Atomic.make 0 in
+      let pred _ =
+        if Atomic.fetch_and_add calls 1 = 100 then
+          failwith "mid-search crash"
+        else false
+      in
+      let t = Mc.Explorer.make (Test_runctl.railroad_psm ()) in
+      match Mc.Parsearch.safe ~jobs t pred with
+      | Mc.Explorer.Unknown (Mc.Runctl.Crash diag), _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d: diagnosis names the exception" jobs)
+          true
+          (contains diag "mid-search crash")
+      | v, _ ->
+        Alcotest.failf "jobs=%d: expected a crash-diagnosed Unknown, got %a"
+          jobs Mc.Explorer.pp_verdict v
+      | exception exn ->
+        Alcotest.failf "jobs=%d: crash escaped supervision: %s" jobs
+          (Printexc.to_string exn))
+    [ 2; 4; 8 ]
 
 (* Random railroad schemes: sequential and 4-domain sups agree. *)
 let prop_random_scheme =
@@ -423,10 +562,16 @@ let suite =
       test_budget_partial_sup;
     Alcotest.test_case "parallel witness replays" `Quick
       test_timed_witness_feasible;
-    Alcotest.test_case "resume rejected with jobs > 1" `Quick
-      test_resume_rejected_in_parallel;
+    Alcotest.test_case "checkpoint/resume across jobs" `Quick
+      test_parallel_checkpoint_resume;
+    Alcotest.test_case "state budget never overshoots" `Quick
+      test_budget_never_overshoots;
+    Alcotest.test_case "random networks agree across jobs" `Quick
+      test_random_networks_cross_jobs;
     Alcotest.test_case "run_all matches one-by-one" `Quick test_run_all;
     Alcotest.test_case "pool_map" `Quick test_pool_map;
     Alcotest.test_case "worker crash is supervised" `Quick
       test_crash_supervised;
+    Alcotest.test_case "mid-search crash quiesces" `Quick
+      test_midsearch_crash_quiesces;
     QCheck_alcotest.to_alcotest prop_random_scheme ]
