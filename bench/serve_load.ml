@@ -1,0 +1,457 @@
+(* Closed-loop multi-client load generator for the serve listener.
+
+   Two modes:
+   - embedded (default): spawns a Netserve listener in-process on a
+     Unix socket, with the GPCA bolus-only PSM as model "gpca" and a
+     fresh temp store as the cache — a self-contained latency /
+     shedding experiment.
+   - --connect ADDR: drives an external `psv serve --listen` process;
+     with --tolerate-disconnect a mid-run server exit (e.g. a SIGTERM
+     drain experiment) ends each client quietly instead of failing.
+
+   Each client thread runs closed-loop: send one request, wait for its
+   response, record the round-trip, repeat.  Every response must be
+   well-formed JSON with a known status — anything else is a protocol
+   error, and a response that never arrives is a hang; both fail the
+   run.  Results (p50/p90/p99, throughput, shed counts) go to stdout
+   and, with --json, into a BENCH_serve.json artifact. *)
+
+let clients_spec = ref "2,8"
+let requests = ref 100
+let queue = ref 64
+let jobs = ref 2
+let json_out = ref ""
+let distinct = ref false
+let expect_shed = ref false
+let connect_addr = ref ""
+let model_name = ref "gpca"
+let tolerate_disconnect = ref false
+
+let args =
+  [ ("--clients", Arg.Set_string clients_spec,
+     "N,M,.. client counts, one run each (default 2,8)");
+    ("--requests", Arg.Set_int requests,
+     "N requests per client per run (default 100)");
+    ("--queue", Arg.Set_int queue,
+     "N admission queue capacity of the embedded server (default 64)");
+    ("--jobs", Arg.Set_int jobs,
+     "N worker domains of the embedded server (default 2)");
+    ("--json", Arg.Set_string json_out, "FILE write results as JSON");
+    ("--distinct", Arg.Set distinct,
+     " every request unique: all cache misses, slow evaluations");
+    ("--expect-shed", Arg.Set expect_shed,
+     " fail unless the server shed at least one request");
+    ("--connect", Arg.Set_string connect_addr,
+     "ADDR drive an external listener (HOST:PORT or unix:PATH)");
+    ("--model", Arg.Set_string model_name,
+     "NAME model field sent in requests (default gpca; a path when \
+      driving an external server)");
+    ("--tolerate-disconnect", Arg.Set tolerate_disconnect,
+     " a server that closes mid-run ends the client, not the bench") ]
+
+let usage = "serve_load [options]"
+
+(* --- request mix ----------------------------------------------------------- *)
+
+(* Warm mix: cheap reachability queries that are store hits after the
+   first evaluation.  Distinct mix: sup queries with unique ceilings —
+   never a hit, ~1s each on the PSM, exactly what an overload needs. *)
+let warm_queries =
+  [| "E<> Pump_IO.Infusing";
+     "E<> Patient.Observing";
+     "A[] not (Pump_IO.Infusing and Patient.Rest)";
+     "E<> (Pump_IO.Idle and Patient.Rest)" |]
+
+let request_body ~client ~seq =
+  let id = (client * 1_000_000) + seq in
+  let query =
+    if !distinct then
+      Printf.sprintf "sup: m_BolusReq -> c_StartInfusion ceiling %d"
+        (3000 + (client * 97) + seq)
+    else warm_queries.(seq mod Array.length warm_queries)
+  in
+  (id, Printf.sprintf "{\"id\": %d, \"model\": %S, \"query\": %S}" id
+         !model_name query)
+
+(* --- client side ----------------------------------------------------------- *)
+
+type tally = {
+  mutable ok : int;
+  mutable busy : int;
+  mutable errors : int;
+  mutable hung : int;
+  mutable disconnected : bool;
+  mutable latencies : float list;  (* ms *)
+}
+
+let new_tally () =
+  { ok = 0; busy = 0; errors = 0; hung = 0; disconnected = false;
+    latencies = [] }
+
+let sockaddr_of addr =
+  if String.length addr > 5 && String.sub addr 0 5 = "unix:" then
+    Unix.ADDR_UNIX (String.sub addr 5 (String.length addr - 5))
+  else
+    match String.rindex_opt addr ':' with
+    | None -> failwith ("bad address: " ^ addr)
+    | Some i ->
+      let host = String.sub addr 0 i in
+      let port = int_of_string (String.sub addr (i + 1)
+                                  (String.length addr - i - 1)) in
+      let ip =
+        if host = "" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      Unix.ADDR_INET (ip, port)
+
+let connect addr =
+  let sa = sockaddr_of addr in
+  let dom = Unix.domain_of_sockaddr sa in
+  let fd = Unix.socket ~cloexec:true dom Unix.SOCK_STREAM 0 in
+  Unix.connect fd sa;
+  (match sa with
+  | Unix.ADDR_INET _ ->
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+  | Unix.ADDR_UNIX _ -> ());
+  fd
+
+(* Blocking line reader with a deadline; [None] = EOF, [Some ""] never
+   happens (responses are non-empty). *)
+let recv_line ?(timeout_s = 120.) fd buf_acc =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let chunk = Bytes.create 65536 in
+  let take () =
+    let s = Buffer.contents buf_acc in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear buf_acc;
+      Buffer.add_string buf_acc
+        (String.sub s (i + 1) (String.length s - i - 1));
+      Some (`Line (String.sub s 0 i))
+    | None -> None
+  in
+  let rec go () =
+    match take () with
+    | Some r -> Some r
+    | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0. then None
+      else (
+        match Unix.select [ fd ] [] [] (Float.min left 1.0) with
+        | [], _, _ -> go ()
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Some `Eof
+          | n ->
+            Buffer.add_subbytes buf_acc chunk 0 n;
+            go ()
+          | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+            Some `Eof
+          | exception Unix.Unix_error (EINTR, _, _) -> go ()))
+  in
+  go ()
+
+let client_thread addr client_idx n tally =
+  match connect addr with
+  | exception _ ->
+    if !tolerate_disconnect then tally.disconnected <- true
+    else tally.errors <- tally.errors + 1
+  | fd ->
+    let buf = Buffer.create 4096 in
+    let send line =
+      let line = line ^ "\n" in
+      ignore (Unix.write_substring fd line 0 (String.length line))
+    in
+    let classify line dt_ms =
+      match Store.Json.parse line with
+      | Error _ -> tally.errors <- tally.errors + 1
+      | Ok j -> (
+        match Store.Json.(Option.bind (member "status" j) to_str) with
+        | Some "ok" ->
+          tally.ok <- tally.ok + 1;
+          tally.latencies <- dt_ms :: tally.latencies
+        | Some "busy" -> tally.busy <- tally.busy + 1
+        | Some "error" ->
+          (* server-diagnosed request error: still a protocol-clean
+             answer, but the bench sends only valid requests, so any
+             error response is a finding *)
+          tally.errors <- tally.errors + 1
+        | Some _ | None -> tally.errors <- tally.errors + 1)
+    in
+    let rec loop seq =
+      if seq < n then begin
+        let _, body = request_body ~client:client_idx ~seq in
+        let t0 = Unix.gettimeofday () in
+        match send body with
+        | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          if !tolerate_disconnect then tally.disconnected <- true
+          else tally.errors <- tally.errors + 1
+        | () -> (
+          match recv_line fd buf with
+          | None -> tally.hung <- tally.hung + 1
+          | Some `Eof ->
+            if !tolerate_disconnect then tally.disconnected <- true
+            else tally.hung <- tally.hung + 1
+          | Some (`Line l) ->
+            classify l (1000. *. (Unix.gettimeofday () -. t0));
+            loop (seq + 1))
+      end
+    in
+    loop 0;
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Ask the server how much it shed, over a fresh connection. *)
+let probe_stats addr =
+  match connect addr with
+  | exception _ -> None
+  | fd ->
+    let buf = Buffer.create 1024 in
+    let line = "{\"id\": \"bench-stats\", \"stats\": true}\n" in
+    (try ignore (Unix.write_substring fd line 0 (String.length line))
+     with Unix.Unix_error _ -> ());
+    let r =
+      match recv_line ~timeout_s:10. fd buf with
+      | Some (`Line l) -> Store.Json.parse l |> Result.to_option
+      | _ -> None
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    r
+
+let shed_of_stats j =
+  let open Store.Json in
+  Option.bind j (member "stats")
+  |> Fun.flip Option.bind (member "queue")
+  |> Fun.flip Option.bind (member "shed")
+  |> Fun.flip Option.bind to_int
+
+(* --- percentiles ----------------------------------------------------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) i))
+
+(* --- one run --------------------------------------------------------------- *)
+
+let run_once addr n_clients =
+  let tallies = Array.init n_clients (fun _ -> new_tally ()) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init n_clients (fun i ->
+        Thread.create (fun () -> client_thread addr i !requests tallies.(i)) ())
+  in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sum f = Array.fold_left (fun a t -> a + f t) 0 tallies in
+  let ok = sum (fun t -> t.ok) in
+  let busy = sum (fun t -> t.busy) in
+  let errors = sum (fun t -> t.errors) in
+  let hung = sum (fun t -> t.hung) in
+  let answered = ok + busy in
+  let lat =
+    Array.of_list
+      (Array.fold_left (fun acc t -> t.latencies @ acc) [] tallies)
+  in
+  Array.sort compare lat;
+  let shed = shed_of_stats (probe_stats addr) in
+  let round3 v = Float.round (v *. 1000.) /. 1000. in
+  let open Store.Json in
+  let fields =
+    [ ("clients", Int n_clients);
+      ("requests_per_client", Int !requests);
+      ("total", Int (answered + errors + hung));
+      ("ok", Int ok);
+      ("busy", Int busy);
+      ("errors", Int errors);
+      ("hung", Int hung);
+      ("throughput_rps",
+       Float (round3 (float_of_int answered /. Float.max wall_s 1e-9)));
+      ("wall_s", Float (round3 wall_s)) ]
+  in
+  let fields =
+    if Array.length lat = 0 then fields
+    else
+      fields
+      @ [ ("p50_ms", Float (round3 (percentile lat 0.50)));
+          ("p90_ms", Float (round3 (percentile lat 0.90)));
+          ("p99_ms", Float (round3 (percentile lat 0.99))) ]
+  in
+  let fields =
+    match shed with None -> fields | Some s -> fields @ [ ("shed_total", Int s) ]
+  in
+  Printf.printf
+    "clients=%d ok=%d busy=%d errors=%d hung=%d wall=%.2fs rps=%.1f%s%s\n%!"
+    n_clients ok busy errors hung wall_s
+    (float_of_int answered /. Float.max wall_s 1e-9)
+    (if Array.length lat = 0 then ""
+     else
+       Printf.sprintf " p50=%.3fms p90=%.3fms p99=%.3fms"
+         (percentile lat 0.50) (percentile lat 0.90) (percentile lat 0.99))
+    (match shed with
+    | None -> ""
+    | Some s -> Printf.sprintf " shed_total=%d" s);
+  (Obj fields, ok, busy, errors, hung, shed)
+
+(* --- embedded server ------------------------------------------------------- *)
+
+let with_embedded_server f =
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psv_serve_load_%d" (Unix.getpid ()))
+  in
+  let sock = tmp ^ ".sock" in
+  let store_dir = tmp ^ ".store" in
+  let store =
+    match Store.Disk.open_ store_dir with
+    | Ok s -> s
+    | Error msg -> failwith ("store: " ^ msg)
+  in
+  let cache = Analysis.Qcache.make ~warn:(fun _ -> ()) store in
+  let psm =
+    lazy (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only Gpca.Params.default)
+  in
+  let load_model name =
+    if name = "gpca" then Ok (Lazy.force psm).Transform.psm_net
+    else Error (Printf.sprintf "unknown model %S" name)
+  in
+  let ncfg =
+    { Analysis.Netserve.default_config with
+      Analysis.Netserve.ns_addr = Analysis.Netserve.Unix_path sock;
+      ns_serve =
+        { Analysis.Serve.default_config with Analysis.Serve.sv_jobs = !jobs };
+      ns_queue = !queue }
+  in
+  let drain = Analysis.Serve.drain () in
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Analysis.Netserve.listen ncfg ~cache ~drain
+          ~on_ready:(fun _ -> Atomic.set ready true)
+          ~load_model ())
+  in
+  let deadline = Unix.gettimeofday () +. 10. in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  if not (Atomic.get ready) then failwith "embedded server did not come up";
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        Analysis.Serve.request_drain drain;
+        ignore (Domain.join server);
+        let rec rm path =
+          if Sys.file_exists path then
+            if Sys.is_directory path then begin
+              Array.iter
+                (fun g -> rm (Filename.concat path g))
+                (Sys.readdir path);
+              Unix.rmdir path
+            end
+            else Sys.remove path
+        in
+        (try rm store_dir with _ -> ());
+        try Sys.remove sock with _ -> ())
+      (fun () -> f ("unix:" ^ sock))
+  in
+  r
+
+(* --- main ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let client_counts =
+    String.split_on_char ',' !clients_spec
+    |> List.filter_map (fun s ->
+           match int_of_string_opt (String.trim s) with
+           | Some n when n > 0 -> Some n
+           | _ -> None)
+  in
+  if client_counts = [] then failwith "--clients needs at least one count";
+  (* One untimed pass over the warm mix so the store is populated
+     before any timed run: the latency runs measure warm-path service,
+     not the first cold evaluation of each query. *)
+  let warmup addr =
+    if not !distinct then
+      match connect addr with
+      | exception _ -> ()
+      | fd ->
+        let buf = Buffer.create 1024 in
+        Array.iteri
+          (fun i q ->
+            let line =
+              Printf.sprintf
+                "{\"id\": \"warm-%d\", \"model\": %S, \"query\": %S}\n" i
+                !model_name q
+            in
+            (try ignore (Unix.write_substring fd line 0 (String.length line))
+             with Unix.Unix_error _ -> ());
+            ignore (recv_line ~timeout_s:60. fd buf))
+          warm_queries;
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let drive addr =
+    warmup addr;
+    List.map (fun c -> run_once addr c) client_counts
+  in
+  let results =
+    if !connect_addr <> "" then drive !connect_addr
+    else with_embedded_server drive
+  in
+  let runs = List.map (fun (j, _, _, _, _, _) -> j) results in
+  let doc =
+    Store.Json.Obj
+      [ ("suite", String "serve");
+        ("generator",
+         String
+           "dune exec bench/serve_load.exe -- --clients LIST --requests N \
+            [--queue C] [--jobs J] [--distinct] [--expect-shed] [--json \
+            PATH] [--connect ADDR] [--model NAME] [--tolerate-disconnect]");
+        ("note",
+         String
+           "closed-loop clients against the psv serve --listen socket front \
+            end (embedded unless --connect): p50/p90/p99 are client-side \
+            round-trips of status-ok responses over a warm store; busy \
+            counts are shed responses from the admission queue; errors and \
+            hung must be 0 for the run to pass.  --distinct makes every \
+            request a distinct ~1s cache miss (the overload mix).");
+        ("queue", Int !queue);
+        ("jobs", Int !jobs);
+        ("distinct", Bool !distinct);
+        ("runs", List runs) ]
+  in
+  if !json_out <> "" then begin
+    let oc = open_out !json_out in
+    output_string oc (Store.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" !json_out
+  end;
+  let failed = ref false in
+  List.iter
+    (fun (_, _ok, _busy, errors, hung, _) ->
+      if errors > 0 then begin
+        Printf.eprintf "FAIL: %d protocol/request errors\n%!" errors;
+        failed := true
+      end;
+      if hung > 0 then begin
+        Printf.eprintf "FAIL: %d requests hung\n%!" hung;
+        failed := true
+      end)
+    results;
+  if !expect_shed then begin
+    let total_shed =
+      List.fold_left
+        (fun acc (_, _, busy, _, _, shed) ->
+          acc + Option.value shed ~default:busy)
+        0 results
+    in
+    if total_shed = 0 then begin
+      Printf.eprintf "FAIL: expected shedding, server shed nothing\n%!";
+      failed := true
+    end
+  end;
+  if !failed then exit 1

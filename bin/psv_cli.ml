@@ -1159,10 +1159,32 @@ let cache_cmd =
 
 (* --- serve (batch query service) ----------------------------------------- *)
 
+(* HOST:PORT, :PORT (any interface), or unix:PATH *)
+let parse_listen_addr s =
+  if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Analysis.Netserve.Unix_path (String.sub s 5 (String.length s - 5))
+  else
+    match String.rindex_opt s ':' with
+    | None ->
+      die "bad --listen %S: expected HOST:PORT, :PORT or unix:PATH" s
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 -> Analysis.Netserve.Tcp (host, p)
+      | Some _ | None -> die "bad --listen %S: port must be 0..65535" s)
+
+let sockaddr_to_string = function
+  | Unix.ADDR_UNIX p -> "unix:" ^ p
+  | Unix.ADDR_INET (ip, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+
 (* One line-delimited JSON request per line on stdin; a blank line (or
    EOF) flushes the batch.  The loop itself lives in Analysis.Serve —
    here we wire stdin/stdout, the model-file loader, and the signal
-   handlers, then map the outcome to the exit-code contract. *)
+   handlers, then map the outcome to the exit-code contract.  With
+   --listen the same protocol is served over a socket by
+   Analysis.Netserve instead. *)
 let serve_cmd =
   let request_timeout_arg =
     Arg.(value & opt (some string) None
@@ -1179,8 +1201,45 @@ let serve_cmd =
                    batch) once more than $(docv) error responses have \
                    been emitted.  Exit code 4.")
   in
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve the same protocol over a socket instead of \
+                   stdin/stdout: $(i,HOST:PORT), $(i,:PORT) (any \
+                   interface), or $(i,unix:PATH).  Port 0 binds an \
+                   ephemeral port, reported on stderr.  The process runs \
+                   until SIGTERM/SIGINT drains it (exit 2).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Listener admission-queue capacity.  A request arriving \
+                   at a full queue is refused immediately with a \
+                   $(i,busy) response, never left hanging.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 64
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent connection cap.  Over the cap a client gets \
+                   a $(i,busy) response and an orderly close.")
+  in
+  let read_deadline_arg =
+    Arg.(value & opt string "10s"
+         & info [ "read-deadline" ] ~docv:"DUR"
+             ~doc:"Longest a partial request line may sit without new \
+                   bytes before the connection is dropped with an error \
+                   response (slowloris protection).")
+  in
+  let model_cache_arg =
+    Arg.(value & opt int 16
+         & info [ "model-cache" ] ~docv:"N"
+             ~doc:"Parsed-model LRU capacity.  Bounds memory when a \
+                   long-lived server is asked about many distinct model \
+                   files.")
+  in
   let run jobs cache budget_time budget_states budget_mem request_timeout
-      max_errors store_retries =
+      max_errors store_retries listen queue max_conns read_deadline
+      model_cache =
     let jobs = check_jobs jobs in
     let cache = open_cache ~retries:store_retries cache in
     let budget =
@@ -1197,16 +1256,23 @@ let serve_cmd =
     (match max_errors with
      | Some n when n < 0 -> die "--max-errors must be non-negative"
      | Some _ | None -> ());
+    if queue < 1 then die "--queue must be at least 1";
+    if max_conns < 1 then die "--max-conns must be at least 1";
+    if model_cache < 1 then die "--model-cache must be at least 1";
+    let read_deadline =
+      match Mc.Runctl.parse_duration read_deadline with
+      | Ok v -> v
+      | Error msg -> die "bad --read-deadline %S: %s" read_deadline msg
+    in
     (* model files parsed once per path, shared across batches; requests
-       only read the parsed network, so the pool may share it *)
-    let models : (string, (Ta.Model.network, string) result) Hashtbl.t =
-      Hashtbl.create 8
+       only read the parsed network, so the pool may share it.  The LRU
+       bound matters for --listen: a persistent server fed distinct
+       model paths must not grow without limit. *)
+    let models : (string, (Ta.Model.network, string) result) Analysis.Lru.t =
+      Analysis.Lru.create ~capacity:model_cache ()
     in
     let load_model path =
-      match Hashtbl.find_opt models path with
-      | Some r -> r
-      | None ->
-        let r =
+      Analysis.Lru.find_or_add models path (fun path ->
           match
             let ic = open_in_bin path in
             Fun.protect
@@ -1217,10 +1283,7 @@ let serve_cmd =
             match Xta.Parse.network text with
             | Ok net -> Ok net
             | Error msg -> Error (path ^ ": " ^ msg))
-          | exception Sys_error msg -> Error msg
-        in
-        Hashtbl.replace models path r;
-        r
+          | exception Sys_error msg -> Error msg)
     in
     let drain = Analysis.Serve.drain () in
     (* SIGTERM/SIGINT request a graceful drain: stop reading, cancel
@@ -1245,32 +1308,68 @@ let serve_cmd =
         sv_request_timeout = request_timeout;
         sv_max_errors = max_errors }
     in
-    let read_line =
-      Analysis.Serve.fd_line_reader
-        ~draining:(fun () -> Analysis.Serve.draining drain)
-        Unix.stdin
-    in
-    let write_line s =
-      print_string s;
-      print_newline ();
-      flush stdout
-    in
-    let outcome =
-      Analysis.Serve.run cfg ?cache ~drain ~load_model ~read_line ~write_line
-        ()
-    in
-    report_cache cache;
-    (match outcome.Analysis.Serve.sv_stop with
-     | Analysis.Serve.Error_limit ->
-       Fmt.epr "serve: stopping after %d error responses (--max-errors)@."
-         outcome.Analysis.Serve.sv_errors;
-       exit 4
-     | Analysis.Serve.Drained ->
-       Fmt.epr "serve: drained (%d response%s written)@."
-         outcome.Analysis.Serve.sv_served
-         (if outcome.Analysis.Serve.sv_served = 1 then "" else "s");
-       exit 2
-     | Analysis.Serve.Eof -> exit_degraded cache)
+    match listen with
+    | Some addr ->
+      let ncfg =
+        { Analysis.Netserve.default_config with
+          Analysis.Netserve.ns_addr = parse_listen_addr addr;
+          ns_serve = cfg;
+          ns_queue = queue;
+          ns_max_conns = max_conns;
+          ns_read_deadline_s = read_deadline }
+      in
+      let on_ready sa =
+        Fmt.epr "serve: listening on %s (queue %d, max-conns %d, jobs %d)@."
+          (sockaddr_to_string sa) queue max_conns jobs
+      in
+      (match
+         Analysis.Netserve.listen ncfg ?cache ~drain ~on_ready ~load_model ()
+       with
+      | Error msg -> die "%s" msg
+      | Ok outcome ->
+        report_cache cache;
+        (match outcome.Analysis.Netserve.no_stop with
+         | Analysis.Netserve.Error_limit ->
+           Fmt.epr
+             "serve: stopping after %d error responses (--max-errors)@."
+             outcome.Analysis.Netserve.no_errors;
+           exit 4
+         | Analysis.Netserve.Drained ->
+           Fmt.epr
+             "serve: drained (%d response%s over %d connection%s, %d shed)@."
+             outcome.Analysis.Netserve.no_served
+             (if outcome.Analysis.Netserve.no_served = 1 then "" else "s")
+             outcome.Analysis.Netserve.no_conns
+             (if outcome.Analysis.Netserve.no_conns = 1 then "" else "s")
+             outcome.Analysis.Netserve.no_shed;
+           exit 2))
+    | None ->
+      let read_line =
+        Analysis.Serve.fd_line_reader
+          ~draining:(fun () -> Analysis.Serve.draining drain)
+          Unix.stdin
+      in
+      let write_line s =
+        print_string s;
+        print_newline ();
+        flush stdout
+      in
+      let outcome =
+        Analysis.Serve.run cfg ?cache ~drain ~load_model ~read_line
+          ~write_line ()
+      in
+      report_cache cache;
+      (match outcome.Analysis.Serve.sv_stop with
+       | Analysis.Serve.Error_limit ->
+         Fmt.epr "serve: stopping after %d error responses (--max-errors)@."
+           outcome.Analysis.Serve.sv_errors;
+         exit 4
+       | Analysis.Serve.Drained ->
+         Fmt.epr "serve: drained (%d response%s written)@."
+           outcome.Analysis.Serve.sv_served
+           (if outcome.Analysis.Serve.sv_served = 1 then "" else "s");
+         exit 2
+       | Analysis.Serve.Eof -> exit_degraded cache)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1282,13 +1381,19 @@ let serve_cmd =
              at a time.  Malformed, over-long or non-UTF-8 request lines \
              get JSON error responses; a worker exception is confined to \
              its request (error object carries the backtrace); SIGTERM or \
-             SIGINT drains gracefully.  Exit codes: 0 complete, 2 drained \
-             by a signal, 3 usage error, 4 degraded completion \
-             ($(b,--max-errors) tripped, or the store circuit breaker \
-             opened).")
+             SIGINT drains gracefully.  With $(b,--listen) the same \
+             protocol is served over TCP or a Unix-domain socket to many \
+             concurrent clients with admission control: a full request \
+             queue sheds with an immediate $(i,busy) response, and \
+             $(b,{\"stats\": true}) probes report live counters, queue \
+             gauges and latency percentiles.  Exit codes: 0 complete, 2 \
+             drained by a signal, 3 usage error (including a listener \
+             that cannot bind), 4 degraded completion ($(b,--max-errors) \
+             tripped, or the store circuit breaker opened).")
     Term.(const run $ jobs_arg $ cache_arg $ budget_time_arg
           $ budget_states_arg $ budget_mem_arg $ request_timeout_arg
-          $ max_errors_arg $ store_retries_arg)
+          $ max_errors_arg $ store_retries_arg $ listen_arg $ queue_arg
+          $ max_conns_arg $ read_deadline_arg $ model_cache_arg)
 
 let main =
   Cmd.group

@@ -1,0 +1,30 @@
+(** A small bounded least-recently-used cache.
+
+    Built for the serve loop's memoized model parses: a long-lived
+    [psv serve] process must not grow its parse cache without limit as
+    clients name ever more model files, so the memo table is bounded and
+    evicts the stalest entry on overflow.
+
+    Domain-safe: a mutex guards the table, and {!find_or_add} computes
+    missing values {e outside} the lock so one slow parse never blocks
+    concurrent lookups (two racing misses may both compute; one insert
+    wins, which is harmless for a pure loader). *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** [capacity] is clamped to at least 1. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on a hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** No-op when the key is already present; evicts the
+    least-recently-used entry when the cache is full. *)
+
+val find_or_add : ('k, 'v) t -> 'k -> ('k -> 'v) -> 'v
+(** [find_or_add t k f] is the cached value, or [f k] computed (outside
+    the lock), inserted and returned. *)

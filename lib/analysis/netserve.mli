@@ -1,0 +1,76 @@
+(** The socket front end of [psv serve]: a persistent listener (TCP or
+    Unix-domain) sharing one warm store and one worker-domain pool
+    across many concurrent client connections.
+
+    {b Architecture.}  A single event-loop domain owns the listener,
+    every connection, and every buffer; worker domains own nothing but
+    the bounded admission queue ({!Admission}) and a completion queue.
+    Workers never touch a socket: a stalled, slow, or vanished client
+    can at worst occupy a connection slot until a deadline reaps it —
+    it can never pin a worker or block another client's answer.
+
+    {b Wire protocol.}  Same LDJSON request/response documents as the
+    stdin/stdout batch mode, rendered by the shared {!Serve.prepare} /
+    {!Serve.evaluate} / {!Serve.reply_json} pipeline, so a request
+    that completes returns byte-identical JSON in either mode.  Two
+    listener-only frames exist: [{"status":"busy", ...}] when the
+    admission queue (or connection limit) sheds a request, and
+    [{"status":"stats", ...}] answering [{"stats": true}] probes with
+    live counters, queue gauges, latency percentiles and breaker
+    state.
+
+    {b Overload.}  A full admission queue never blocks and never
+    hangs a client: the request is refused with a diagnosed busy frame
+    immediately.  Output to each client is capped ([ns_max_out_bytes])
+    so a reader that never drains cannot hold server memory.
+
+    {b Drain.}  When the drain token fires (SIGTERM/SIGINT in the
+    CLI, or the [sv_max_errors] trip wire), the listener closes, reads
+    stop, in-flight evaluations are cancelled (answered as
+    [unknown]/[cancelled], never written to the store — the store
+    stays fsck-clean), queued-but-unstarted work is answered the same
+    way, pending output is flushed, and the loop exits. *)
+
+type addr =
+  | Tcp of string * int
+      (** host (name, dotted quad, [""]/["*"] for any) and port;
+          port [0] binds an ephemeral port — [on_ready] reports it *)
+  | Unix_path of string  (** Unix-domain socket path, replaced if stale *)
+
+type config = {
+  ns_addr : addr;
+  ns_serve : Serve.config;  (** jobs, budget, timeout, error trip wire *)
+  ns_queue : int;  (** admission queue capacity *)
+  ns_max_conns : int;  (** concurrent connection cap *)
+  ns_read_deadline_s : float;  (** max age of a partial request line *)
+  ns_max_out_bytes : int;  (** per-connection pending-output cap *)
+}
+
+val default_config : config
+(** Loopback TCP on an ephemeral port, queue 64, 64 connections, 10 s
+    read deadline, 64 MiB output cap. *)
+
+type stop = Drained | Error_limit
+
+type outcome = {
+  no_served : int;  (** response frames produced, busy/error included *)
+  no_errors : int;  (** error frames among them *)
+  no_shed : int;  (** requests refused by the admission queue *)
+  no_conns : int;  (** connections accepted over the lifetime *)
+  no_stop : stop;
+}
+
+val listen :
+  config ->
+  ?cache:Qcache.t ->
+  ?drain:Serve.drain ->
+  ?on_ready:(Unix.sockaddr -> unit) ->
+  load_model:(string -> (Ta.Model.network, string) result) ->
+  unit ->
+  (outcome, string) result
+(** Bind, listen, and serve until the drain token fires.  [Error msg]
+    only for listener setup failures (bind/resolve); everything after
+    a successful bind is confined per-request or per-connection.
+    [on_ready] runs with the bound address (the real port when an
+    ephemeral one was requested) just before the loop starts —
+    tests and the CLI use it to learn where to connect. *)

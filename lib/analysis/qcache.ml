@@ -27,6 +27,23 @@ let errors t = Atomic.get t.errors
 let breaker t = t.breaker
 let degraded t = Fault.Breaker.tripped t.breaker
 
+(* Counter export for the serve metrics surface: everything a stats
+   frame reports about the store, including the breaker's state machine
+   so degraded-mode flips are observable, not just a stderr line. *)
+let stats_json t =
+  let open Store.Json in
+  Obj
+    [ ("hits", Int (Atomic.get t.hits));
+      ("misses", Int (Atomic.get t.misses));
+      ("errors", Int (Atomic.get t.errors));
+      ("degraded", Bool (degraded t));
+      ( "breaker",
+        Obj
+          [ ("state", String (Fault.Breaker.state_name t.breaker));
+            ("trips", Int (Fault.Breaker.trips t.breaker));
+            ("probes", Int (Fault.Breaker.probes t.breaker));
+            ("failures", Int (Fault.Breaker.failures t.breaker)) ] ) ]
+
 let key net q = Store.Key.digest ~query:(Mc.Query.to_string q) net
 
 let entry_budget ?limit ?ctl () =

@@ -38,6 +38,13 @@ val breaker : t -> Fault.Breaker.t
     reflected in the CLI's degraded-completion exit code. *)
 val degraded : t -> bool
 
+(** The cache's live counters and breaker state as one JSON object —
+    [{"hits", "misses", "errors", "degraded", "breaker": {"state",
+    "trips", "probes", "failures"}}] — embedded in serve stats
+    frames.  All sources are atomic, so a snapshot may be taken while
+    worker domains evaluate. *)
+val stats_json : t -> Store.Json.t
+
 (** The cache key for evaluating [query] on [net] under the default
     explorer configuration: {!Store.Key.digest} over the canonical
     {!Mc.Query.to_string} text. *)

@@ -45,6 +45,17 @@ let register_ctl d ctl =
      cancelling here closes that race *)
   if Atomic.get d.dr_flag then Mc.Runctl.cancel ctl
 
+(* Removal by physical equality: a long-lived listener evaluates an
+   unbounded stream of requests against one drain token, so finished
+   tokens must leave the list or it leaks. *)
+let unregister_ctl d ctl =
+  let rec remove () =
+    let cur = Atomic.get d.dr_ctls in
+    let next = List.filter (fun c -> c != ctl) cur in
+    if not (Atomic.compare_and_set d.dr_ctls cur next) then remove ()
+  in
+  remove ()
+
 (* --- input hygiene ------------------------------------------------------- *)
 
 let utf8_seq_len c =
@@ -157,54 +168,80 @@ let fd_line_reader ?(poll_s = 0.1) ?(cap_bytes = 8 lsl 20) ~draining fd =
     in
     next ()
 
-(* --- the loop ------------------------------------------------------------ *)
+(* --- the wire protocol --------------------------------------------------- *)
+
+(* The request/evaluate/render pipeline is shared verbatim between the
+   stdin/stdout batch loop below and the socket listener
+   ({!Netserve}): a request that completes must render the same
+   response document no matter which front end carried it. *)
+
+type run_item = {
+  ri_id : Store.Json.t;
+  ri_net : Ta.Model.network;
+  ri_query : Mc.Query.t;
+  ri_limit : int option;
+  ri_key : Store.D128.t;
+  ri_budget : Store.Entry.budget;
+}
+
+type prepared =
+  [ `Err of Store.Json.t * string * string option
+  | `Hit of Store.Json.t * Store.Entry.t
+  | `Run of run_item
+  | `Stats of Store.Json.t ]
+
+type reply =
+  [ `Err of Store.Json.t * string * string option
+  | `Hit of Store.Json.t * Store.Entry.t
+  | `Ok of Store.Json.t * Mc.Query.result
+  | `Stats of Store.Json.t ]
+
+let effective_budget cfg =
+  match cfg.sv_request_timeout with
+  | None -> cfg.sv_budget
+  | Some tmo ->
+    let t =
+      match cfg.sv_budget.Mc.Runctl.b_time_s with
+      | None -> tmo
+      | Some b -> Float.min b tmo
+    in
+    { cfg.sv_budget with Mc.Runctl.b_time_s = Some t }
 
 let str_field name j =
   match Option.bind (Store.Json.member name j) Store.Json.to_str with
   | Some s -> Ok s
   | None -> Error (Printf.sprintf "request needs a %S string field" name)
 
-let run cfg ?cache ?drain:dtoken ~load_model ~read_line ~write_line () =
-  let served = ref 0 in
-  let errors = ref 0 in
-  let effective_budget =
-    match cfg.sv_request_timeout with
-    | None -> cfg.sv_budget
-    | Some tmo ->
-      let t =
-        match cfg.sv_budget.Mc.Runctl.b_time_s with
-        | None -> tmo
-        | Some b -> Float.min b tmo
+(* Validation before parsing: an over-long or non-UTF-8 line gets a
+   JSON error response (id unknowable), and whatever fragment of it an
+   error message echoes is sanitized so the output stream stays valid
+   UTF-8 LDJSON. *)
+let validate cfg line =
+  let n = String.length line in
+  if n > cfg.sv_max_request_bytes then
+    Error
+      (Printf.sprintf "request line too long (%d bytes; limit %d)" n
+         cfg.sv_max_request_bytes)
+  else if not (utf8_valid line) then Error "request line is not valid UTF-8"
+  else Ok ()
+
+let prepare cfg ?cache ~load_model line : prepared =
+  match validate cfg line with
+  | Error msg -> `Err (Store.Json.Null, msg, None)
+  | Ok () -> (
+    match Store.Json.parse line with
+    | Error msg -> `Err (Store.Json.Null, "bad request: " ^ msg, None)
+    | Ok j ->
+      let id =
+        Option.value (Store.Json.member "id" j) ~default:Store.Json.Null
       in
-      { cfg.sv_budget with Mc.Runctl.b_time_s = Some t }
-  in
-  (* Validation before parsing: an over-long or non-UTF-8 line gets a
-     JSON error response (id unknowable), and whatever fragment of it
-     an error message echoes is sanitized so the output stream stays
-     valid UTF-8 LDJSON. *)
-  let validate line =
-    let n = String.length line in
-    if n > cfg.sv_max_request_bytes then
-      Error
-        (Printf.sprintf "request line too long (%d bytes; limit %d)" n
-           cfg.sv_max_request_bytes)
-    else if not (utf8_valid line) then Error "request line is not valid UTF-8"
-    else Ok ()
-  in
-  let prepare line =
-    match validate line with
-    | Error msg -> `Err (Store.Json.Null, msg, None)
-    | Ok () -> (
-      match Store.Json.parse line with
-      | Error msg -> `Err (Store.Json.Null, "bad request: " ^ msg, None)
-      | Ok j ->
-        let id =
-          Option.value (Store.Json.member "id" j) ~default:Store.Json.Null
-        in
-        (match
-           Result.bind (str_field "model" j) (fun model ->
-               Result.map (fun query -> (model, query)) (str_field "query" j))
-         with
+      if Store.Json.member "stats" j = Some (Store.Json.Bool true) then
+        `Stats id
+      else (
+        match
+          Result.bind (str_field "model" j) (fun model ->
+              Result.map (fun query -> (model, query)) (str_field "query" j))
+        with
         | Error msg -> `Err (id, msg, None)
         | Ok (model, query) -> (
           let limit =
@@ -218,119 +255,176 @@ let run cfg ?cache ?drain:dtoken ~load_model ~read_line ~write_line () =
             match Mc.Query.parse query with
             | Error msg -> `Err (id, "query: " ^ msg, None)
             | Ok q -> (
+              let budget = effective_budget cfg in
               let requested =
                 { Store.Entry.bg_limit =
                     Option.value limit ~default:Mc.Explorer.default_limit;
-                  bg_states = effective_budget.Mc.Runctl.b_states;
-                  bg_time_s = effective_budget.Mc.Runctl.b_time_s;
-                  bg_mem_bytes = effective_budget.Mc.Runctl.b_mem_bytes }
+                  bg_states = budget.Mc.Runctl.b_states;
+                  bg_time_s = budget.Mc.Runctl.b_time_s;
+                  bg_mem_bytes = budget.Mc.Runctl.b_mem_bytes }
               in
-              let key = Qcache.key net q in
+              let item =
+                { ri_id = id;
+                  ri_net = net;
+                  ri_query = q;
+                  ri_limit = limit;
+                  ri_key = Qcache.key net q;
+                  ri_budget = requested }
+              in
               match cache with
               | Some c -> (
-                match Qcache.find c ~requested key with
+                match Qcache.find c ~requested item.ri_key with
                 | Some e -> `Hit (id, e)
-                | None -> `Run (id, net, q, limit, key, requested))
-              | None -> `Run (id, net, q, limit, key, requested))))))
-  in
-  (* Worker-side evaluation.  Any exception — a crashing predicate, a
-     model inconsistency, anything — is confined to this request; the
-     diagnosis (with backtrace when recorded) rides in the response's
-     error object.  A [Crash]-downgraded parallel search arrives here
-     as a normal Unknown outcome, not an exception. *)
-  let evaluate item =
-    match item with
-    | `Err e -> `Err e
-    | `Hit h -> `Hit h
-    | `Run (id, net, q, limit, key, requested) -> (
-      let ctl = Mc.Runctl.create ~budget:effective_budget () in
-      (match dtoken with None -> () | Some d -> register_ctl d ctl);
-      match
-        let t0 = Unix.gettimeofday () in
-        let r = Mc.Query.eval ~ctl ?limit net q in
-        let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
-        (r, wall_ms)
-      with
-      | r, wall_ms ->
-        (match cache with
-        | Some c ->
-          Qcache.insert c
-            { Store.Entry.en_key = key;
-              en_query = Mc.Query.to_string q;
-              en_outcome =
-                Qcache.outcome_to_entry r.Mc.Query.res_outcome;
-              en_stats = Qcache.stats_to_entry r.Mc.Query.res_stats;
-              en_budget = requested;
-              en_prov = Qcache.provenance ~jobs:1 ~wall_ms }
-        | None -> ());
-        `Ok (id, r)
-      | exception Not_found ->
-        `Err (id, "unknown process, location or variable", None)
-      | exception exn ->
-        `Err (id, Printexc.to_string exn, Some (Printexc.get_backtrace ())))
-  in
-  let degraded () =
-    match cache with
-    | Some c -> Qcache.degraded c
-    | None -> false
-  in
-  let respond item =
-    let open Store.Json in
-    let with_degraded fields =
-      if degraded () then fields @ [ ("degraded", Bool true) ] else fields
+                | None -> `Run item)
+              | None -> `Run item)))))
+
+(* Worker-side evaluation.  Any exception — a crashing predicate, a
+   model inconsistency, anything — is confined to this request; the
+   diagnosis (with backtrace when recorded) rides in the response's
+   error object.  A [Crash]-downgraded parallel search arrives here as
+   a normal Unknown outcome, not an exception. *)
+let evaluate cfg ?cache ?drain:dtoken (item : prepared) : reply =
+  match item with
+  | `Err _ | `Hit _ | `Stats _ as r -> (r :> reply)
+  | `Run ri -> (
+    let ctl = Mc.Runctl.create ~budget:(effective_budget cfg) () in
+    (match dtoken with None -> () | Some d -> register_ctl d ctl);
+    let finish (r : reply) =
+      (match dtoken with None -> () | Some d -> unregister_ctl d ctl);
+      r
     in
-    let doc =
-      match item with
-      | `Err (id, msg, bt) ->
-        incr errors;
-        let base =
-          [ ("id", id);
-            ("status", String "error");
-            ("error", String (sanitize_utf8 msg)) ]
-        in
-        let base =
-          match bt with
-          | Some b when String.trim b <> "" ->
-            base @ [ ("backtrace", String (sanitize_utf8 b)) ]
-          | _ -> base
-        in
-        Obj (with_degraded base)
-      | `Hit (id, (e : Store.Entry.t)) ->
-        Obj
-          (with_degraded
-             [ ("id", id);
-               ("status", String "ok");
-               ("cached", Bool true);
-               ("outcome", Store.Entry.outcome_to_json e.Store.Entry.en_outcome);
-               ("stats", Store.Entry.stats_to_json e.Store.Entry.en_stats) ])
-      | `Ok (id, (r : Mc.Query.result)) ->
-        Obj
-          (with_degraded
-             [ ("id", id);
-               ("status", String "ok");
-               ("cached", Bool false);
-               ( "outcome",
-                 Store.Entry.outcome_to_json
-                   (Qcache.outcome_to_entry r.Mc.Query.res_outcome) );
-               ( "stats",
-                 Store.Entry.stats_to_json
-                   (Qcache.stats_to_entry r.Mc.Query.res_stats) ) ])
+    match
+      let t0 = Unix.gettimeofday () in
+      let r = Mc.Query.eval ~ctl ?limit:ri.ri_limit ri.ri_net ri.ri_query in
+      let wall_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+      (r, wall_ms)
+    with
+    | r, wall_ms ->
+      (match cache with
+      | Some c ->
+        Qcache.insert c
+          { Store.Entry.en_key = ri.ri_key;
+            en_query = Mc.Query.to_string ri.ri_query;
+            en_outcome = Qcache.outcome_to_entry r.Mc.Query.res_outcome;
+            en_stats = Qcache.stats_to_entry r.Mc.Query.res_stats;
+            en_budget = ri.ri_budget;
+            en_prov = Qcache.provenance ~jobs:1 ~wall_ms }
+      | None -> ());
+      finish (`Ok (ri.ri_id, r))
+    | exception Not_found ->
+      finish (`Err (ri.ri_id, "unknown process, location or variable", None))
+    | exception exn ->
+      finish
+        (`Err
+          (ri.ri_id, Printexc.to_string exn, Some (Printexc.get_backtrace ()))))
+
+let with_degraded ?cache fields =
+  let degraded =
+    match cache with Some c -> Qcache.degraded c | None -> false
+  in
+  if degraded then fields @ [ ("degraded", Store.Json.Bool true) ] else fields
+
+let reply_json ?cache ?stats_json (reply : reply) =
+  let open Store.Json in
+  match reply with
+  | `Err (id, msg, bt) ->
+    let base =
+      [ ("id", id);
+        ("status", String "error");
+        ("error", String (sanitize_utf8 msg)) ]
     in
+    let base =
+      match bt with
+      | Some b when String.trim b <> "" ->
+        base @ [ ("backtrace", String (sanitize_utf8 b)) ]
+      | _ -> base
+    in
+    (Obj (with_degraded ?cache base), true)
+  | `Hit (id, (e : Store.Entry.t)) ->
+    ( Obj
+        (with_degraded ?cache
+           [ ("id", id);
+             ("status", String "ok");
+             ("cached", Bool true);
+             ("outcome", Store.Entry.outcome_to_json e.Store.Entry.en_outcome);
+             ("stats", Store.Entry.stats_to_json e.Store.Entry.en_stats) ]),
+      false )
+  | `Ok (id, (r : Mc.Query.result)) ->
+    ( Obj
+        (with_degraded ?cache
+           [ ("id", id);
+             ("status", String "ok");
+             ("cached", Bool false);
+             ( "outcome",
+               Store.Entry.outcome_to_json
+                 (Qcache.outcome_to_entry r.Mc.Query.res_outcome) );
+             ( "stats",
+               Store.Entry.stats_to_json
+                 (Qcache.stats_to_entry r.Mc.Query.res_stats) ) ]),
+      false )
+  | `Stats id ->
+    let body =
+      match stats_json with
+      | Some f -> f ()
+      | None -> (
+        match cache with
+        | Some c -> Obj [ ("cache", Qcache.stats_json c) ]
+        | None -> Obj [])
+    in
+    ( Obj
+        (with_degraded ?cache
+           [ ("id", id); ("status", String "stats"); ("stats", body) ]),
+      false )
+
+(* The shed response of the admission plane: the queue was full, the
+   request was never admitted, and the client learns so immediately —
+   a 429, not a hang. *)
+let busy_json ?cache ?(reason = "server busy: request queue full") id =
+  let open Store.Json in
+  Obj
+    (with_degraded ?cache
+       [ ("id", id); ("status", String "busy"); ("error", String reason) ])
+
+(* --- the batch loop ------------------------------------------------------ *)
+
+let run cfg ?cache ?drain:dtoken ~load_model ~read_line ~write_line () =
+  let served = ref 0 in
+  let errors = ref 0 in
+  let metrics = Metrics.create () in
+  let stats_json () =
+    Metrics.to_json metrics ?cache ()
+  in
+  let respond reply =
+    let doc, is_error = reply_json ?cache ~stats_json reply in
+    if is_error then begin
+      incr errors;
+      Metrics.incr_errors metrics
+    end;
     incr served;
-    write_line (to_string doc)
+    Metrics.incr_answered metrics;
+    write_line (Store.Json.to_string doc)
   in
   let flush_batch lines =
     match lines with
     | [] -> ()
     | lines ->
-      let prepared = List.map prepare lines in
+      let prepared =
+        List.map
+          (fun line ->
+            Metrics.incr_received metrics;
+            prepare cfg ?cache ~load_model line)
+          lines
+      in
       (* hits and errors pass through; only `Run items cost anything,
          and the pool spreads them over [sv_jobs] domains *)
       List.iter respond
-        (Queries.pool_map ~jobs:cfg.sv_jobs evaluate prepared);
-      (match dtoken with
-      | None -> ()
-      | Some d -> Atomic.set d.dr_ctls [])
+        (Queries.pool_map ~jobs:cfg.sv_jobs
+           (fun item ->
+             let t0 = Unix.gettimeofday () in
+             let r = evaluate cfg ?cache ?drain:dtoken item in
+             Metrics.record metrics (1000. *. (Unix.gettimeofday () -. t0));
+             r)
+           prepared)
   in
   let over_error_limit () =
     match cfg.sv_max_errors with None -> false | Some m -> !errors > m

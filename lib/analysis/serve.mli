@@ -66,6 +66,15 @@ val draining : drain -> bool
 val request_drain : drain -> unit
 (** Idempotent; safe from a signal handler. *)
 
+val register_ctl : drain -> Mc.Runctl.t -> unit
+(** Attach an in-flight evaluation's governance token to the drain
+    token: a drain request cancels it.  If the drain already fired the
+    token is cancelled immediately. *)
+
+val unregister_ctl : drain -> Mc.Runctl.t -> unit
+(** Detach a finished evaluation's token (physical equality) so a
+    long-lived listener does not accumulate dead tokens. *)
+
 (** {2 Input hygiene} *)
 
 val utf8_valid : string -> bool
@@ -89,6 +98,70 @@ val fd_line_reader :
     to the cap while the remainder is consumed and discarded — the
     over-long request is then rejected by the loop's line validation,
     with bounded memory. *)
+
+(** {2 Wire protocol}
+
+    The request/evaluate/render pipeline, shared between the batch loop
+    ({!run}) and the socket listener ({!Netserve}) so both front ends
+    render byte-identical response documents. *)
+
+(** A validated cache-miss request, ready for a worker. *)
+type run_item = {
+  ri_id : Store.Json.t;
+  ri_net : Ta.Model.network;
+  ri_query : Mc.Query.t;
+  ri_limit : int option;
+  ri_key : Store.D128.t;
+  ri_budget : Store.Entry.budget;
+}
+
+(** The outcome of parsing + cache lookup: an immediate error, a cache
+    hit, a stats request, or work for the pool. *)
+type prepared =
+  [ `Err of Store.Json.t * string * string option
+  | `Hit of Store.Json.t * Store.Entry.t
+  | `Run of run_item
+  | `Stats of Store.Json.t ]
+
+(** A completed request, ready to render. *)
+type reply =
+  [ `Err of Store.Json.t * string * string option
+  | `Hit of Store.Json.t * Store.Entry.t
+  | `Ok of Store.Json.t * Mc.Query.result
+  | `Stats of Store.Json.t ]
+
+val effective_budget : config -> Mc.Runctl.budget
+(** [sv_budget] with [b_time_s] tightened to [sv_request_timeout]. *)
+
+val prepare :
+  config ->
+  ?cache:Qcache.t ->
+  load_model:(string -> (Ta.Model.network, string) result) ->
+  string ->
+  prepared
+(** Validate, parse, resolve the model, parse the query, and consult
+    the cache.  Never raises; every failure is an [`Err] with the id
+    when one was recoverable. *)
+
+val evaluate : config -> ?cache:Qcache.t -> ?drain:drain -> prepared -> reply
+(** Run a [`Run] item under a fresh governance token (registered with
+    [drain] for the duration); pass everything else through.  Worker
+    exceptions are confined to the reply. *)
+
+val reply_json :
+  ?cache:Qcache.t ->
+  ?stats_json:(unit -> Store.Json.t) ->
+  reply ->
+  Store.Json.t * bool
+(** Render a reply document; [true] when it is an error response (for
+    the [sv_max_errors] trip wire).  [stats_json] supplies the body of
+    a [`Stats] reply; without it a minimal cache-only body is used. *)
+
+val busy_json :
+  ?cache:Qcache.t -> ?reason:string -> Store.Json.t -> Store.Json.t
+(** The shed response: the admission queue was full (default [reason])
+    and the request was refused, diagnosed immediately rather than
+    left to hang. *)
 
 (** {2 The loop} *)
 

@@ -9,6 +9,8 @@ type t = {
   total_failures : int Atomic.t;
   opened_at : float Atomic.t;
   ever_open : bool Atomic.t;
+  total_trips : int Atomic.t;
+  total_probes : int Atomic.t;
 }
 
 let create ?(threshold = 4) ?(cooldown_s = 5.0) ?(now = Unix.gettimeofday) () =
@@ -19,9 +21,17 @@ let create ?(threshold = 4) ?(cooldown_s = 5.0) ?(now = Unix.gettimeofday) () =
     consecutive = Atomic.make 0;
     total_failures = Atomic.make 0;
     opened_at = Atomic.make 0.;
-    ever_open = Atomic.make false }
+    ever_open = Atomic.make false;
+    total_trips = Atomic.make 0;
+    total_probes = Atomic.make 0 }
 
 let state t = Atomic.get t.st
+
+let state_name t =
+  match Atomic.get t.st with
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
 
 let allow t =
   match Atomic.get t.st with
@@ -31,11 +41,16 @@ let allow t =
     t.now () -. Atomic.get t.opened_at >= t.cooldown_s
     (* CAS so exactly one caller wins the probe slot. *)
     && Atomic.compare_and_set t.st Open Half_open
+    && begin
+      Atomic.incr t.total_probes;
+      true
+    end
 
 let trip t =
   Atomic.set t.opened_at (t.now ());
   Atomic.set t.st Open;
-  Atomic.set t.ever_open true
+  Atomic.set t.ever_open true;
+  Atomic.incr t.total_trips
 
 let success t =
   Atomic.set t.consecutive 0;
@@ -53,3 +68,5 @@ let failure t =
 
 let tripped t = Atomic.get t.ever_open
 let failures t = Atomic.get t.total_failures
+let trips t = Atomic.get t.total_trips
+let probes t = Atomic.get t.total_probes

@@ -18,6 +18,10 @@ val create : ?threshold:int -> ?cooldown_s:float -> ?now:(unit -> float) -> unit
 
 val state : t -> state
 
+val state_name : t -> string
+(** The current state as a lowercase tag ([closed] / [open] /
+    [half-open]) for metrics and stats frames. *)
+
 val allow : t -> bool
 (** May the caller touch the dependency right now?  [Closed] — yes.
     [Open] — no, unless the cooldown has elapsed, in which case the
@@ -38,3 +42,12 @@ val tripped : t -> bool
 
 val failures : t -> int
 (** Total failures recorded over the breaker's lifetime. *)
+
+val trips : t -> int
+(** How many times the breaker has transitioned to [Open] — each trip
+    is one degraded-mode flip, observable through the serve metrics
+    surface rather than only as a stderr warning. *)
+
+val probes : t -> int
+(** How many [Half_open] cooldown probes have been granted by
+    {!allow}. *)

@@ -26,4 +26,5 @@ let () =
       ("store", Test_store.suite);
       ("fault-plane", Test_fault.suite);
       ("chaos-store", Chaos_store.suite);
-      ("chaos-serve", Chaos_serve.suite) ]
+      ("chaos-serve", Chaos_serve.suite);
+      ("chaos-net", Chaos_net.suite) ]
