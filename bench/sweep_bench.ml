@@ -1,0 +1,202 @@
+(* Prefilter-vs-explorer race benchmark for `psv sweep-schemes`.
+
+   Runs the same scheme grid twice through Analysis.Sweep — once with
+   the analytic prefilter on (auditing every --audit-th analytic
+   decision against the explorer), once in explorer-everywhere baseline
+   mode — and compares them pointwise.  The run FAILS (exit 1) if:
+
+   - any point's verdict differs between the two modes (the prefilter
+     must be an optimisation, never an answer change),
+   - any audited analytic decision disagreed with the explorer,
+   - the skip rate lands under --min-skip-rate, or
+   - the end-to-end speedup lands under --min-speedup.
+
+   With --json the two columns (wall clock, mc runs, verdict counts),
+   the skip rate, the speedup and the Pareto frontier go to a
+   BENCH_sweep.json artifact. *)
+
+let axes_ref : string list ref = ref []
+let space = ref "small"
+let req = ref 0
+let audit = ref 97
+let jobs = ref 1
+let limit = ref 500_000
+let min_skip = ref 0.0
+let min_speedup = ref 0.0
+let json_out = ref ""
+
+let args =
+  [ ("--axis", Arg.String (fun s -> axes_ref := s :: !axes_ref),
+     "NAME=SPEC add a grid axis (repeatable); default: the calibrated \
+      10k-point GPCA grid");
+    ("--space", Arg.Set_string space,
+     "BASE base parameter set, small or table1 (default small)");
+    ("--req", Arg.Set_int req,
+     "BOUND requirement on the mc-boundary delay (default: the base's)");
+    ("--audit", Arg.Set_int audit,
+     "N explorer-audit every N-th analytic decision (default 97)");
+    ("--jobs", Arg.Set_int jobs, "N worker domains (default 1)");
+    ("--limit", Arg.Set_int limit, "N per-query state limit");
+    ("--min-skip-rate", Arg.Set_float min_skip,
+     "R fail if the prefilter decides less than R of the points (0..1)");
+    ("--min-speedup", Arg.Set_float min_speedup,
+     "X fail if prefilter mode is not at least X times faster");
+    ("--json", Arg.Set_string json_out, "FILE write results as JSON") ]
+
+let usage = "sweep_bench [options]"
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("sweep_bench: " ^ m); exit 1) fmt
+
+(* The calibrated default grid: wide enough that all three prefilter
+   outcomes (analytic pass, analytic fail, undecided band) and the
+   invalid combinations are all well represented, and the expensive
+   explorations (small periods) sit in the analytically decided region. *)
+let default_axes =
+  [ "period=10,20,30,40,60,80";
+    "poll=5,10,20,40,80,120,140,160";
+    "mech=0,1";
+    "buffer=1,2,4";
+    "policy=0,1";
+    "signal=0,1";
+    "in_dmax=2,5,10";
+    "out_dmax=5,10,20" ]
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let axis_specs = if !axes_ref = [] then default_axes else List.rev !axes_ref in
+  let parsed =
+    List.map
+      (fun s ->
+        match Scheme.Grid.parse_axis s with
+        | Ok ax -> ax
+        | Error msg -> fail "bad --axis %S: %s" s msg)
+      axis_specs
+  in
+  (match Gpca.Sweep_space.validate_axes (List.map fst parsed) with
+   | Ok () -> ()
+   | Error msg -> fail "%s" msg);
+  let grid =
+    match Scheme.Grid.make parsed with
+    | Ok g -> g
+    | Error msg -> fail "%s" msg
+  in
+  let base =
+    match Gpca.Sweep_space.base_of_string !space with
+    | Ok b -> b
+    | Error msg -> fail "%s" msg
+  in
+  let req =
+    if !req > 0 then !req
+    else
+      match base with
+      (* REQ1 scaled to sit inside the default grid's undecided band *)
+      | Gpca.Sweep_space.Small -> 150
+      | Gpca.Sweep_space.Table1 -> Gpca.Sweep_space.default_req base
+  in
+  let points = Scheme.Grid.cardinality grid in
+  let build = Gpca.Sweep_space.build ~base ~req grid in
+  Printf.eprintf "sweep_bench: %d points, base %s, req %d, audit %d\n%!"
+    points (Gpca.Sweep_space.base_name base) req !audit;
+  let verdicts prefilter audit =
+    let vs = Array.make points Analysis.Sweep.Unknown in
+    let cfg =
+      { Analysis.Sweep.default_config with
+        Analysis.Sweep.sw_prefilter = prefilter;
+        sw_jobs = !jobs;
+        sw_limit = Some !limit;
+        sw_audit = audit;
+        sw_emit =
+          Some
+            (fun pr ->
+              vs.(pr.Analysis.Sweep.pr_index) <- pr.Analysis.Sweep.pr_verdict) }
+    in
+    let o = Analysis.Sweep.run cfg ~points ~build in
+    (vs, o)
+  in
+  let pre_vs, pre = verdicts true !audit in
+  Printf.eprintf
+    "sweep_bench: prefilter   %.0f ms, %d mc runs, skip %.1f%%, %d audited\n%!"
+    pre.Analysis.Sweep.o_wall_ms pre.Analysis.Sweep.o_mc_runs
+    (100. *. pre.Analysis.Sweep.o_skip_rate)
+    pre.Analysis.Sweep.o_audited;
+  let base_vs, baseline = verdicts false 0 in
+  Printf.eprintf "sweep_bench: explorer-all %.0f ms, %d mc runs\n%!"
+    baseline.Analysis.Sweep.o_wall_ms baseline.Analysis.Sweep.o_mc_runs;
+  (* pointwise agreement: every point, not just a sample *)
+  let mismatches = ref [] in
+  for i = points - 1 downto 0 do
+    if pre_vs.(i) <> base_vs.(i) then mismatches := i :: !mismatches
+  done;
+  List.iteri
+    (fun n i ->
+      if n < 20 then
+        Printf.eprintf "sweep_bench: verdict mismatch at point %d: %s vs %s\n"
+          i
+          (Analysis.Sweep.verdict_name pre_vs.(i))
+          (Analysis.Sweep.verdict_name base_vs.(i)))
+    !mismatches;
+  let speedup =
+    baseline.Analysis.Sweep.o_wall_ms /. max 1e-9 pre.Analysis.Sweep.o_wall_ms
+  in
+  Printf.printf
+    "points %d | skip %.1f%% | speedup %.2fx | mismatches %d | audit \
+     mismatches %d | pareto %d\n%!"
+    points
+    (100. *. pre.Analysis.Sweep.o_skip_rate)
+    speedup
+    (List.length !mismatches)
+    (List.length pre.Analysis.Sweep.o_audit_mismatches)
+    (List.length pre.Analysis.Sweep.o_pareto);
+  if !json_out <> "" then begin
+    let column (o : Analysis.Sweep.outcome) =
+      Printf.sprintf
+        {|{"wall_ms": %.1f, "mc_runs": %d, "explored": %d, "memo_hits": %d, "pass": %d, "fail": %d, "unknown": %d, "invalid": %d, "analytic_pass": %d, "analytic_fail": %d, "skip_rate": %.4f}|}
+        o.Analysis.Sweep.o_wall_ms o.Analysis.Sweep.o_mc_runs
+        o.Analysis.Sweep.o_explored o.Analysis.Sweep.o_memo_hits
+        o.Analysis.Sweep.o_pass o.Analysis.Sweep.o_fail
+        o.Analysis.Sweep.o_unknown o.Analysis.Sweep.o_invalid
+        o.Analysis.Sweep.o_analytic_pass o.Analysis.Sweep.o_analytic_fail
+        o.Analysis.Sweep.o_skip_rate
+    in
+    let pareto =
+      String.concat ", "
+        (List.map
+           (fun (i, cost) ->
+             Printf.sprintf {|{"point": %d, "cost": [%s]}|} i
+               (String.concat ", "
+                  (Array.to_list (Array.map string_of_int cost))))
+           pre.Analysis.Sweep.o_pareto)
+    in
+    let doc =
+      Printf.sprintf
+        {|{"bench": "sweep", "points": %d, "base": "%s", "req": %d, "axes": [%s], "jobs": %d, "prefilter": %s, "explorer_everywhere": %s, "speedup": %.2f, "verdict_mismatches": %d, "audited": %d, "audit_mismatches": %d, "pareto_size": %d, "pareto": [%s]}|}
+        points (Gpca.Sweep_space.base_name base) req
+        (String.concat ", "
+           (List.map (fun s -> Printf.sprintf "%S" s) axis_specs))
+        !jobs (column pre) (column baseline) speedup
+        (List.length !mismatches)
+        pre.Analysis.Sweep.o_audited
+        (List.length pre.Analysis.Sweep.o_audit_mismatches)
+        (List.length pre.Analysis.Sweep.o_pareto)
+        pareto
+    in
+    let oc = open_out !json_out in
+    output_string oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "sweep_bench: wrote %s\n%!" !json_out
+  end;
+  if !mismatches <> [] then
+    fail "%d verdict mismatch%s between prefilter and explorer-everywhere"
+      (List.length !mismatches)
+      (if List.length !mismatches = 1 then "" else "es");
+  if pre.Analysis.Sweep.o_audit_mismatches <> [] then
+    fail "%d audited analytic decision%s contradicted by the explorer"
+      (List.length pre.Analysis.Sweep.o_audit_mismatches)
+      (if List.length pre.Analysis.Sweep.o_audit_mismatches = 1 then ""
+       else "s");
+  if pre.Analysis.Sweep.o_skip_rate < !min_skip then
+    fail "skip rate %.3f under the required %.3f"
+      pre.Analysis.Sweep.o_skip_rate !min_skip;
+  if speedup < !min_speedup then
+    fail "speedup %.2fx under the required %.2fx" speedup !min_speedup

@@ -2,12 +2,15 @@
    verification framework.
 
    Subcommands:
-     table1     reproduce Table I of the paper (verify + simulate)
-     verify     check or measure a response bound on a .xta model
-     transform  build the PSM of a .xta PIM under a scheme
-     bounds     print the analytic Lemma-1/2 bounds of a scheme
-     simulate   run the platform simulator on the GPCA case study
-     export     write the GPCA PIM / PSM as .xta text
+     table1         reproduce Table I of the paper (verify + simulate)
+     verify         check or measure a response bound on a .xta model
+     transform      build the PSM of a .xta PIM under a scheme
+     bounds         print the analytic Lemma-1/2 bounds of a scheme
+     sweep-schemes  grid sweep of implementation schemes, analytic
+                    prefilter racing the zone explorer per point
+     sweep          period sweep — thin alias over the same engine
+     simulate       run the platform simulator on the GPCA case study
+     export         write the GPCA PIM / PSM as .xta text
 
    Exit codes (verify/query/check):
      0  property proved / query holds / all queries pass
@@ -692,7 +695,241 @@ let check_cmd =
           $ budget_states_arg $ budget_mem_arg $ cache_arg $ json_arg
           $ store_retries_arg)
 
-(* --- sweep (GPCA scheme sweep) --------------------------------------------- *)
+(* --- sweep-schemes (grid sweep with analytic prefilter) ----------------- *)
+
+let json_cost cost =
+  "[" ^ String.concat ", " (Array.to_list (Array.map string_of_int cost)) ^ "]"
+
+let json_point (pr : Analysis.Sweep.point_result) =
+  Printf.sprintf
+    {|{"point": %d, "verdict": "%s", "decision": "%s", "ub": %d, "lb": %d%s, "cost": %s}|}
+    pr.Analysis.Sweep.pr_index
+    (Analysis.Sweep.verdict_name pr.Analysis.Sweep.pr_verdict)
+    (Analysis.Sweep.decision_name pr.Analysis.Sweep.pr_decision)
+    pr.Analysis.Sweep.pr_ub pr.Analysis.Sweep.pr_lb
+    (match pr.Analysis.Sweep.pr_sup with
+     | None -> ""
+     | Some s -> Printf.sprintf {|, "sup": %s|} (json_sup s))
+    (json_cost pr.Analysis.Sweep.pr_cost)
+
+let json_sweep_outcome ?(extra = "") (o : Analysis.Sweep.outcome) =
+  Printf.sprintf
+    {|{"points": %d, "pass": %d, "fail": %d, "unknown": %d, "invalid": %d, "analytic_pass": %d, "analytic_fail": %d, "explored": %d, "memo_hits": %d, "mc_runs": %d, "skip_rate": %.4f, "audited": %d, "audit_mismatches": %d, "interrupted": %d, "wall_ms": %.1f, "pareto": [%s]%s}|}
+    o.Analysis.Sweep.o_points o.Analysis.Sweep.o_pass o.Analysis.Sweep.o_fail
+    o.Analysis.Sweep.o_unknown o.Analysis.Sweep.o_invalid
+    o.Analysis.Sweep.o_analytic_pass o.Analysis.Sweep.o_analytic_fail
+    o.Analysis.Sweep.o_explored o.Analysis.Sweep.o_memo_hits
+    o.Analysis.Sweep.o_mc_runs o.Analysis.Sweep.o_skip_rate
+    o.Analysis.Sweep.o_audited
+    (List.length o.Analysis.Sweep.o_audit_mismatches)
+    o.Analysis.Sweep.o_interrupted o.Analysis.Sweep.o_wall_ms
+    (String.concat ", "
+       (List.map
+          (fun (i, cost) ->
+            Printf.sprintf {|{"point": %d, "cost": %s}|} i (json_cost cost))
+          o.Analysis.Sweep.o_pareto))
+    extra
+
+let pp_sweep_summary (o : Analysis.Sweep.outcome) =
+  Fmt.pr "%16s | %8s@." "----------------" "--------";
+  Fmt.pr "%16s | %8d@." "points" o.Analysis.Sweep.o_points;
+  Fmt.pr "%16s | %8d@." "pass" o.Analysis.Sweep.o_pass;
+  Fmt.pr "%16s | %8d@." "fail" o.Analysis.Sweep.o_fail;
+  Fmt.pr "%16s | %8d@." "unknown" o.Analysis.Sweep.o_unknown;
+  Fmt.pr "%16s | %8d@." "invalid" o.Analysis.Sweep.o_invalid;
+  Fmt.pr "%16s | %8d@." "analytic pass" o.Analysis.Sweep.o_analytic_pass;
+  Fmt.pr "%16s | %8d@." "analytic fail" o.Analysis.Sweep.o_analytic_fail;
+  Fmt.pr "%16s | %8d@." "explored" o.Analysis.Sweep.o_explored;
+  Fmt.pr "%16s | %8d@." "memo hits" o.Analysis.Sweep.o_memo_hits;
+  Fmt.pr "%16s | %8d@." "mc runs" o.Analysis.Sweep.o_mc_runs;
+  Fmt.pr "%16s | %7.1f%%@." "skip rate"
+    (100. *. o.Analysis.Sweep.o_skip_rate);
+  Fmt.pr "%16s | %8d@." "audited" o.Analysis.Sweep.o_audited;
+  Fmt.pr "%16s | %8d@." "audit mismatches"
+    (List.length o.Analysis.Sweep.o_audit_mismatches);
+  Fmt.pr "%16s | %8d@." "pareto points"
+    (List.length o.Analysis.Sweep.o_pareto);
+  Fmt.pr "%16s | %8.0f@." "wall ms" o.Analysis.Sweep.o_wall_ms
+
+(* shared by sweep-schemes and the sweep alias: run the engine with a
+   streaming sink, report, and fold the outcome into the exit-code
+   contract (1 audit mismatch, 2 interrupted, 4 degraded) *)
+let run_sweep_engine ~cfg ~points ~build ~cache ~json ~points_out ~extra_json =
+  let sink, close_sink =
+    match points_out with
+    | None -> (None, fun () -> ())
+    | Some path -> (
+      try
+        let oc = open_out path in
+        ( Some
+            (fun pr ->
+              output_string oc (json_point pr);
+              output_char oc '\n'),
+          fun () -> close_out_noerr oc )
+      with Sys_error msg -> die "--points-out: %s" msg)
+  in
+  let cfg = { cfg with Analysis.Sweep.sw_emit = sink } in
+  let outcome = Analysis.Sweep.run cfg ~points ~build in
+  close_sink ();
+  report_cache cache;
+  if json then print_endline (json_sweep_outcome ~extra:(extra_json outcome) outcome)
+  else pp_sweep_summary outcome;
+  List.iter
+    (fun (i, diag) -> Fmt.epr "sweep: audit mismatch at point %d: %s@." i diag)
+    outcome.Analysis.Sweep.o_audit_mismatches;
+  if outcome.Analysis.Sweep.o_audit_mismatches <> [] then exit 1
+  else if outcome.Analysis.Sweep.o_interrupted > 0 then begin
+    Fmt.epr "sweep: %d point%s interrupted@."
+      outcome.Analysis.Sweep.o_interrupted
+      (if outcome.Analysis.Sweep.o_interrupted = 1 then "" else "s");
+    exit 2
+  end
+  else exit_degraded cache
+
+let sweep_schemes_cmd =
+  let axis_arg =
+    Arg.(value & opt_all string []
+         & info [ "axis"; "a" ] ~docv:"NAME=SPEC"
+             ~doc:"Add a grid axis (repeatable): $(i,NAME=LO..HI) or \
+                   $(i,NAME=LO..HI/STEP) for a range, $(i,NAME=V1,V2,...) \
+                   for an explicit list.  Axis names: period, poll, \
+                   buffer, policy, comm, mech, signal, in_dmin, in_dmax, \
+                   out_dmin, out_dmax, wcet.  The grid is the cartesian \
+                   product; unnamed axes stay at the base preset's value.")
+  in
+  let space_arg =
+    Arg.(value & opt string "small"
+         & info [ "space" ] ~docv:"BASE"
+             ~doc:"Base parameter set the axes perturb: $(i,small) \
+                   (~10x-scaled-down constants, the grid preset) or \
+                   $(i,table1) (the paper's calibrated constants).")
+  in
+  let req_arg =
+    Arg.(value & opt (some int) None
+         & info [ "req" ] ~docv:"BOUND"
+             ~doc:"Requirement on the mc-boundary response delay \
+                   (default: the base's REQ1).")
+  in
+  let limit_arg =
+    Arg.(value & opt int 500_000
+         & info [ "limit" ] ~docv:"N" ~doc:"Per-query state limit.")
+  in
+  let no_prefilter_arg =
+    Arg.(value & flag
+         & info [ "no-prefilter" ]
+             ~doc:"Disable the analytic prefilter: model check every \
+                   valid point (the baseline the prefilter races; dedup \
+                   still applies).")
+  in
+  let audit_arg =
+    Arg.(value & opt int 0
+         & info [ "audit" ] ~docv:"N"
+             ~doc:"Also model check every $(docv)-th analytically decided \
+                   point and compare verdicts; any disagreement is \
+                   reported and exits 1.  0 disables auditing.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 4096
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Points decoded and classified per batch (bounds \
+                   memory; the grid itself is never materialised).")
+  in
+  let points_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "points-out" ] ~docv:"FILE"
+             ~doc:"Stream one JSON line per point to $(docv) (index \
+                   order): verdict, decision, bounds, verified sup, cost.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the summary as one JSON object on stdout instead \
+                   of the table.")
+  in
+  let run axes space req limit no_prefilter audit batch points_out json jobs
+      budget_time budget_states budget_mem cache store_retries =
+    if axes = [] then
+      die "no --axis given (e.g. --axis period=10..80/10 --axis mech=0,1)";
+    let base =
+      match Gpca.Sweep_space.base_of_string space with
+      | Ok b -> b
+      | Error msg -> die "--space: %s" msg
+    in
+    let parsed =
+      List.map
+        (fun spec ->
+          match Scheme.Grid.parse_axis spec with
+          | Ok ax -> ax
+          | Error msg -> die "bad --axis %S: %s" spec msg)
+        axes
+    in
+    (match Gpca.Sweep_space.validate_axes (List.map fst parsed) with
+     | Ok () -> ()
+     | Error msg -> die "--axis: %s" msg);
+    let grid =
+      match Scheme.Grid.make parsed with
+      | Ok g -> g
+      | Error msg -> die "--axis: %s" msg
+    in
+    let req =
+      match req with
+      | Some r -> if r <= 0 then die "--req must be positive" else r
+      | None -> Gpca.Sweep_space.default_req base
+    in
+    if audit < 0 then die "--audit must be non-negative";
+    if batch < 1 then die "--batch must be at least 1";
+    let jobs = check_jobs jobs in
+    let cache = open_cache ~retries:store_retries cache in
+    let ctl =
+      make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem
+    in
+    let points = Scheme.Grid.cardinality grid in
+    Fmt.epr "sweep: %d points (%s), req %d, prefilter %s@." points
+      (String.concat " x "
+         (List.map
+            (fun (name, vs) -> Printf.sprintf "%s:%d" name (List.length vs))
+            (Scheme.Grid.axes grid)))
+      req
+      (if no_prefilter then "off" else "on");
+    let cfg =
+      { Analysis.Sweep.default_config with
+        Analysis.Sweep.sw_prefilter = not no_prefilter;
+        sw_jobs = jobs;
+        sw_limit = Some limit;
+        sw_ctl = Some ctl;
+        sw_cache = cache;
+        sw_batch = batch;
+        sw_audit = audit }
+    in
+    run_sweep_engine ~cfg ~points
+      ~build:(Gpca.Sweep_space.build ~base ~req grid)
+      ~cache ~json ~points_out
+      ~extra_json:(fun _ ->
+        Printf.sprintf {|, "req": %d, "base": "%s"|} req
+          (Gpca.Sweep_space.base_name base))
+  in
+  Cmd.v
+    (Cmd.info "sweep-schemes"
+       ~doc:"Sweep a grid of GPCA implementation schemes — buffer sizes, \
+             periods, polling intervals, device delays, signal and \
+             read-policy choices — racing the Lemma-1/2 analytic bounds \
+             against the zone explorer on every point: an analytic upper \
+             bound under the requirement passes with zero model checking, \
+             an analytic lower bound above it fails likewise, and only \
+             the undecided band is explored ($(b,--jobs) at a time, \
+             deduplicated on the point's requirement cone so collapsed \
+             axes share one exploration).  Streams per-point JSON with \
+             $(b,--points-out), prints a summary table (or $(b,--json)) \
+             with the Pareto frontier of passing platform costs.  Exit \
+             codes: 0 complete, 1 an $(b,--audit) probe contradicted an \
+             analytic verdict, 2 some points interrupted, 3 usage error, \
+             4 complete but the store was degraded.")
+    Term.(const run $ axis_arg $ space_arg $ req_arg $ limit_arg
+          $ no_prefilter_arg $ audit_arg $ batch_arg $ points_out_arg
+          $ json_arg $ jobs_arg $ budget_time_arg $ budget_states_arg
+          $ budget_mem_arg $ cache_arg $ store_retries_arg)
+
+(* --- sweep (period-sweep alias over the same engine) -------------------- *)
 
 let sweep_cmd =
   let periods =
@@ -704,7 +941,11 @@ let sweep_cmd =
     Arg.(value & opt int 500_000
          & info [ "limit" ] ~docv:"N" ~doc:"Per-query state limit.")
   in
-  let run periods limit jobs budget_time budget_states budget_mem cache
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the summary as JSON on stdout.")
+  in
+  let run periods limit json jobs budget_time budget_states budget_mem cache
       store_retries =
     let jobs = check_jobs jobs in
     let cache = open_cache ~retries:store_retries cache in
@@ -716,75 +957,69 @@ let sweep_cmd =
           | Some _ | None -> die "bad --periods entry %S" s)
         (String.split_on_char ',' periods)
     in
-    let base = Gpca.Params.default in
-    (* one query per period x boundary; each spec rebuilds its PSM on
-       the worker domain, with the ceiling at twice the analytic bound
-       so the verified sup always lands below it *)
-    let specs =
-      List.concat_map
-        (fun period ->
-          let p =
-            { base with
-              Gpca.Params.period;
-              exec =
-                { Scheme.wcet_min = min 20 (period / 2); wcet_max = period } }
-          in
-          let a = Gpca.Experiment.analytic_bounds p in
-          let psm () =
-            (Gpca.Model.psm ~variant:Gpca.Model.Bolus_only p)
-              .Transform.psm_net
-          in
-          let name boundary = Printf.sprintf "p%d-%s" period boundary in
-          [ { Analysis.Queries.qs_name = name "input";
-              qs_net = psm;
-              qs_trigger = Gpca.Model.bolus_req;
-              qs_response = Transform.Names.input_chan Gpca.Model.bolus_req;
-              qs_ceiling = 2 * a.Gpca.Experiment.a_input };
-            { Analysis.Queries.qs_name = name "output";
-              qs_net = psm;
-              qs_trigger =
-                Transform.Names.output_chan Gpca.Model.start_infusion;
-              qs_response = Gpca.Model.start_infusion;
-              qs_ceiling = 2 * a.Gpca.Experiment.a_output };
-            { Analysis.Queries.qs_name = name "mc";
-              qs_net = psm;
-              qs_trigger = Gpca.Model.bolus_req;
-              qs_response = Gpca.Model.start_infusion;
-              qs_ceiling = 2 * a.Gpca.Experiment.a_mc } ])
-        periods
+    let periods = Array.of_list periods in
+    let base = Gpca.Sweep_space.Table1 in
+    let req = Gpca.Sweep_space.default_req base in
+    (* thin alias over the sweep-schemes engine: one point per period,
+       execution window tied to the period as the original sweep did *)
+    let build i =
+      let period = periods.(i) in
+      Gpca.Sweep_space.spec_of_assignment ~base ~req
+        [ ("period", period); ("wcet", period) ]
     in
-    let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
-    let results = Analysis.Queries.run_all ~jobs ~limit ~ctl ?cache specs in
+    let ctl =
+      make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem
+    in
+    let results = ref [] in
+    let cfg =
+      { Analysis.Sweep.default_config with
+        Analysis.Sweep.sw_jobs = jobs;
+        sw_limit = Some limit;
+        sw_ctl = Some ctl;
+        sw_cache = cache;
+        sw_emit = Some (fun pr -> results := pr :: !results) }
+    in
+    let outcome =
+      Analysis.Sweep.run cfg ~points:(Array.length periods) ~build
+    in
     report_cache cache;
-    Fmt.pr "%14s | %8s | %13s | %8s@." "query" "ceiling" "verified" "states";
-    let interrupted = ref 0 in
-    List.iter
-      (fun ((spec : Analysis.Queries.query_spec), r) ->
-        (match r.Analysis.Queries.dr_interrupt with
-         | Some _ -> incr interrupted
-         | None -> ());
-        Fmt.pr "%14s | %8d | %13s | %8d%s@." spec.Analysis.Queries.qs_name
-          spec.Analysis.Queries.qs_ceiling
-          (Fmt.str "%a" Mc.Explorer.pp_sup_result r.Analysis.Queries.dr_sup)
-          r.Analysis.Queries.dr_stats.Mc.Explorer.visited
-          (match r.Analysis.Queries.dr_interrupt with
-           | Some reason ->
-             Fmt.str "  [interrupted: %a]" Mc.Runctl.pp_reason reason
-           | None -> ""))
-      results;
-    if !interrupted > 0 then begin
-      Fmt.pr "@.%d quer%s interrupted@." !interrupted
-        (if !interrupted = 1 then "y" else "ies");
+    if json then
+      print_endline
+        (json_sweep_outcome
+           ~extra:(Printf.sprintf {|, "req": %d|} req)
+           outcome)
+    else begin
+      Fmt.pr "%8s | %8s | %8s | %8s | %13s@." "period" "req" "ub" "verdict"
+        "verified";
+      List.iter
+        (fun (pr : Analysis.Sweep.point_result) ->
+          Fmt.pr "%8d | %8d | %8d | %8s | %13s@."
+            periods.(pr.Analysis.Sweep.pr_index)
+            req pr.Analysis.Sweep.pr_ub
+            (Analysis.Sweep.verdict_name pr.Analysis.Sweep.pr_verdict)
+            (match pr.Analysis.Sweep.pr_sup with
+             | Some s -> Fmt.str "%a" Mc.Explorer.pp_sup_result s
+             | None ->
+               Analysis.Sweep.decision_name pr.Analysis.Sweep.pr_decision))
+        (List.rev !results)
+    end;
+    if outcome.Analysis.Sweep.o_interrupted > 0 then begin
+      Fmt.epr "sweep: %d point%s interrupted@."
+        outcome.Analysis.Sweep.o_interrupted
+        (if outcome.Analysis.Sweep.o_interrupted = 1 then "" else "s");
       exit 2
     end
+    else exit_degraded cache
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Sweep GPCA invocation periods and verify the input/output/mc \
-             boundary delays of each scheme, $(b,--jobs) queries at a time \
-             on separate domains.  Exit codes: 0 complete, 2 some queries \
-             interrupted, 3 usage error.")
-    Term.(const run $ periods $ limit $ jobs_arg $ budget_time_arg
+       ~doc:"Sweep GPCA invocation periods against REQ1 — a thin front \
+             end to $(b,sweep-schemes) over the period axis (execution \
+             window tied to the period): each period is decided \
+             analytically when the bounds suffice and model checked \
+             otherwise, $(b,--jobs) at a time.  Exit codes: 0 complete, \
+             2 some points interrupted, 3 usage error, 4 degraded store.")
+    Term.(const run $ periods $ limit $ json_arg $ jobs_arg $ budget_time_arg
           $ budget_states_arg $ budget_mem_arg $ cache_arg $ store_retries_arg)
 
 (* --- trace ----------------------------------------------------------------- *)
@@ -1223,6 +1458,14 @@ let serve_cmd =
              ~doc:"Concurrent connection cap.  Over the cap a client gets \
                    a $(i,busy) response and an orderly close.")
   in
+  let max_inflight_arg =
+    Arg.(value & opt int 16
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"Per-connection cap on admitted-but-unanswered requests \
+                   (fairness): a client at its cap gets an immediate \
+                   diagnosed $(i,busy) response for the excess, so one \
+                   connection can never occupy the whole admission queue.")
+  in
   let read_deadline_arg =
     Arg.(value & opt string "10s"
          & info [ "read-deadline" ] ~docv:"DUR"
@@ -1238,8 +1481,8 @@ let serve_cmd =
                    files.")
   in
   let run jobs cache budget_time budget_states budget_mem request_timeout
-      max_errors store_retries listen queue max_conns read_deadline
-      model_cache =
+      max_errors store_retries listen queue max_conns max_inflight
+      read_deadline model_cache =
     let jobs = check_jobs jobs in
     let cache = open_cache ~retries:store_retries cache in
     let budget =
@@ -1258,6 +1501,7 @@ let serve_cmd =
      | Some _ | None -> ());
     if queue < 1 then die "--queue must be at least 1";
     if max_conns < 1 then die "--max-conns must be at least 1";
+    if max_inflight < 1 then die "--max-inflight must be at least 1";
     if model_cache < 1 then die "--model-cache must be at least 1";
     let read_deadline =
       match Mc.Runctl.parse_duration read_deadline with
@@ -1316,11 +1560,14 @@ let serve_cmd =
           ns_serve = cfg;
           ns_queue = queue;
           ns_max_conns = max_conns;
+          ns_max_inflight = max_inflight;
           ns_read_deadline_s = read_deadline }
       in
       let on_ready sa =
-        Fmt.epr "serve: listening on %s (queue %d, max-conns %d, jobs %d)@."
-          (sockaddr_to_string sa) queue max_conns jobs
+        Fmt.epr
+          "serve: listening on %s (queue %d, max-conns %d, max-inflight %d, \
+           jobs %d)@."
+          (sockaddr_to_string sa) queue max_conns max_inflight jobs
       in
       (match
          Analysis.Netserve.listen ncfg ?cache ~drain ~on_ready ~load_model ()
@@ -1393,15 +1640,16 @@ let serve_cmd =
     Term.(const run $ jobs_arg $ cache_arg $ budget_time_arg
           $ budget_states_arg $ budget_mem_arg $ request_timeout_arg
           $ max_errors_arg $ store_retries_arg $ listen_arg $ queue_arg
-          $ max_conns_arg $ read_deadline_arg $ model_cache_arg)
+          $ max_conns_arg $ max_inflight_arg $ read_deadline_arg
+          $ model_cache_arg)
 
 let main =
   Cmd.group
     (Cmd.info "psv" ~version:"1.0.0"
        ~doc:"Platform-specific timing verification in model-based implementation.")
-    [ table1_cmd; verify_cmd; query_cmd; check_cmd; sweep_cmd; serve_cmd;
-      cache_cmd; trace_cmd; transform_cmd; codegen_cmd; bounds_cmd;
-      simulate_cmd; export_cmd ]
+    [ table1_cmd; verify_cmd; query_cmd; check_cmd; sweep_cmd;
+      sweep_schemes_cmd; serve_cmd; cache_cmd; trace_cmd; transform_cmd;
+      codegen_cmd; bounds_cmd; simulate_cmd; export_cmd ]
 
 (* fold cmdliner's own error codes (124/125) into the documented
    exit-code contract: anything that is not a clean run is a usage error *)

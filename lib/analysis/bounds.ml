@@ -39,3 +39,34 @@ let detects_all_inputs is m ~min_interarrival =
   let spec = Scheme.input_spec is m in
   detection_latency spec + spec.Scheme.in_delay.Scheme.delay_max
   < min_interarrival
+
+(* A lower bound on the *worst-case* delay needs a witness run.  For a
+   polled input there is one: the environment is free to raise the
+   signal just after a poll tick, so the worst case waits (at least)
+   one full interval before detection — provided the signal is still
+   observable at the next tick, which [Scheme.check] guarantees for
+   every valid polled scheme (latched signals always; [Sustained d]
+   only passes the check when [d >= interval]; pulse + polling is
+   rejected outright).  Every run then still pays both devices'
+   minimum processing and the software's minimum internal delay. *)
+let detection_floor (spec : Scheme.mc_input) =
+  match spec.Scheme.in_read with
+  | Scheme.Interrupt _ -> 0
+  | Scheme.Polling interval -> interval
+
+let relaxed_mc_delay_min is ~input ~output ~internal_min =
+  let spec = Scheme.input_spec is input in
+  detection_floor spec
+  + spec.Scheme.in_delay.Scheme.delay_min
+  + output_delay_min is output
+  + internal_min
+
+(* Sufficient condition for loss-freedom on a serial input: when each
+   triggering is consumed by the code (Lemma 1: within [input_delay])
+   before the next one can arrive, at most one value is ever in flight
+   on the input path — no register overwrite, no missed poll, no
+   buffer overflow, whatever the capacity.  This is the cheap analytic
+   stand-in for Constraints 1-3, which are otherwise decided by model
+   checking and would defeat a prefilter. *)
+let loss_free_serial is m ~min_interarrival =
+  input_delay is m < min_interarrival

@@ -54,3 +54,28 @@ val relaxed_mc_delay :
     is below the environment's minimum inter-arrival time. *)
 val detects_all_inputs :
   Scheme.t -> string -> min_interarrival:int -> bool
+
+(** Analytic {e lower} bound on the {e worst-case} M-C delay — the dual
+    of {!relaxed_mc_delay}, used by the sweep prefilter to refute a
+    requirement without model checking.  Unlike {!input_delay_min}
+    (which bounds the best case), this bounds the supremum from below
+    by exhibiting a witness run: for a polled input the environment can
+    raise the signal just after a poll tick, forcing a full interval of
+    detection latency ({!Scheme.check}-valid polled schemes guarantee
+    the signal is still observable at the next tick), and every run
+    additionally pays both devices' minimum processing plus the
+    software's minimum internal delay [internal_min].  Whenever the
+    model-checked supremum is defined it is [>= ] this value — the
+    seeded property test in [test/test_sweep.ml] pins the invariant. *)
+val relaxed_mc_delay_min :
+  Scheme.t -> input:string -> output:string -> internal_min:int -> int
+
+(** Sufficient analytic condition for loss-freedom of a {e serial}
+    input (the environment never re-triggers before the previous
+    response): when [input_delay < min_interarrival], each triggering
+    is consumed before the next arrives, so at most one value is in
+    flight — no register overwrite, no missed poll, no buffer
+    overflow.  The cheap stand-in for Constraints 1-3 that lets the
+    sweep prefilter trust Lemma 2's upper bound without running the
+    model checker. *)
+val loss_free_serial : Scheme.t -> string -> min_interarrival:int -> bool

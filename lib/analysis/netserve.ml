@@ -12,6 +12,7 @@ type config = {
   ns_serve : Serve.config;
   ns_queue : int;
   ns_max_conns : int;
+  ns_max_inflight : int;
   ns_read_deadline_s : float;
   ns_max_out_bytes : int;
 }
@@ -21,6 +22,7 @@ let default_config =
     ns_serve = Serve.default_config;
     ns_queue = 64;
     ns_max_conns = 64;
+    ns_max_inflight = 16;
     ns_read_deadline_s = 10.;
     ns_max_out_bytes = 64 * 1024 * 1024 }
 
@@ -145,6 +147,7 @@ let listen cfg ?cache ?drain:dtoken ?on_ready ~load_model () =
     let conns_total = ref 0 in
     let served = ref 0 in
     let errors = ref 0 in
+    let shed_inflight = ref 0 in
     let stop_reason = ref Drained in
     let listener_open = ref true in
     let shutdown_t0 = ref nan in
@@ -189,7 +192,23 @@ let listen cfg ?cache ?drain:dtoken ?on_ready ~load_model () =
         let t0 = Unix.gettimeofday () in
         match Serve.prepare scfg ?cache ~load_model line with
         | `Run ri as item ->
-          if Admission.try_push queue { j_conn = id; j_item = item; j_t0 = t0 }
+          (* Per-client fairness: one connection may only occupy a
+             bounded share of the admission queue.  Past its cap the
+             client gets the same diagnosed busy frame a full queue
+             would produce — other clients' slots stay reachable. *)
+          if conn.c_inflight >= cfg.ns_max_inflight then begin
+            incr shed_inflight;
+            Metrics.incr_busy metrics;
+            send conn
+              (Store.Json.to_string
+                 (Serve.busy_json ?cache
+                    ~reason:
+                      "server busy: per-connection in-flight limit reached"
+                    ri.Serve.ri_id))
+              false
+          end
+          else if
+            Admission.try_push queue { j_conn = id; j_item = item; j_t0 = t0 }
           then conn.c_inflight <- conn.c_inflight + 1
           else begin
             Metrics.incr_busy metrics;
@@ -471,6 +490,6 @@ let listen cfg ?cache ?drain:dtoken ?on_ready ~load_model () =
         Ok
           { no_served = !served;
             no_errors = !errors;
-            no_shed = Admission.shed queue;
+            no_shed = Admission.shed queue + !shed_inflight;
             no_conns = !conns_total;
             no_stop = !stop_reason })

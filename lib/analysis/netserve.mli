@@ -42,20 +42,28 @@ type config = {
   ns_serve : Serve.config;  (** jobs, budget, timeout, error trip wire *)
   ns_queue : int;  (** admission queue capacity *)
   ns_max_conns : int;  (** concurrent connection cap *)
+  ns_max_inflight : int;
+      (** per-connection cap on admitted-but-unanswered requests: one
+          client can no longer fill the whole admission queue; its
+          excess requests get the diagnosed busy frame immediately
+          while other clients' slots stay reachable *)
   ns_read_deadline_s : float;  (** max age of a partial request line *)
   ns_max_out_bytes : int;  (** per-connection pending-output cap *)
 }
 
 val default_config : config
-(** Loopback TCP on an ephemeral port, queue 64, 64 connections, 10 s
-    read deadline, 64 MiB output cap. *)
+(** Loopback TCP on an ephemeral port, queue 64, 64 connections, 16
+    in-flight requests per connection, 10 s read deadline, 64 MiB
+    output cap. *)
 
 type stop = Drained | Error_limit
 
 type outcome = {
   no_served : int;  (** response frames produced, busy/error included *)
   no_errors : int;  (** error frames among them *)
-  no_shed : int;  (** requests refused by the admission queue *)
+  no_shed : int;
+      (** requests refused by the admission queue or the per-connection
+          in-flight cap *)
   no_conns : int;  (** connections accepted over the lifetime *)
   no_stop : stop;
 }

@@ -140,6 +140,9 @@ let pim ?(variant = Full) p =
   Transform.Pim.make (network ~variant p) ~software:"Pump"
     ~environment:"Patient"
 
+let psm_with ?(variant = Full) p scheme =
+  Transform.psm_of_pim (pim ~variant p) scheme
+
 let psm ?(variant = Full) p =
   let scheme =
     match variant with

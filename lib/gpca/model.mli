@@ -49,3 +49,9 @@ val pim : ?variant:variant -> Params.t -> Transform.Pim.t
 
 (** The PSM for the default Section-VI scheme. *)
 val psm : ?variant:variant -> Params.t -> Transform.psm
+
+(** The PSM under an explicit scheme — the sweep engine's
+    parameterization hook: [p] supplies the software/environment timing
+    (prep window, infusion hold), the scheme everything else.  The
+    scheme's channels must match the variant's boundary. *)
+val psm_with : ?variant:variant -> Params.t -> Scheme.t -> Transform.psm

@@ -129,6 +129,181 @@ let check is =
    | Periodic _ | Aperiodic _ -> ());
   List.rev !problems
 
+(* --- canonical point digests ------------------------------------------- *)
+
+(* A compact, byte-stable serialisation of everything that influences
+   the PSM transformation and the analytic bounds.  [is_name] is
+   deliberately excluded: two schemes differing only in their label
+   describe the same platform and must share one verification result.
+   Inputs and outputs are sorted by channel so construction order
+   cannot split equivalent schemes into distinct keys. *)
+let to_key is =
+  let b = Buffer.create 160 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let signal = function
+    | Pulse -> "p"
+    | Sustained d -> "s" ^ string_of_int d
+    | Sustained_until_read -> "l"
+  in
+  let read = function
+    | Interrupt Rising -> "ir"
+    | Interrupt Falling -> "if"
+    | Polling i -> "po" ^ string_of_int i
+  in
+  let comm = function
+    | Shared_variable -> "sv"
+    | Buffer (n, Read_one) -> Printf.sprintf "b%d.1" n
+    | Buffer (n, Read_all) -> Printf.sprintf "b%d.*" n
+  in
+  let by_chan (a, _) (b, _) = String.compare a b in
+  add "is|";
+  List.iter
+    (fun (m, s) ->
+      add "i:%s,%s,%s,%d,%d|" m (signal s.in_signal) (read s.in_read)
+        s.in_delay.delay_min s.in_delay.delay_max)
+    (List.sort by_chan is.is_inputs);
+  List.iter
+    (fun (c, s) ->
+      add "o:%s,%s,%d,%d|" c (signal s.out_signal) s.out_delay.delay_min
+        s.out_delay.delay_max)
+    (List.sort by_chan is.is_outputs);
+  add "ic:%s|oc:%s|" (comm is.is_input_comm) (comm is.is_output_comm);
+  (match is.is_invocation with
+   | Periodic p -> add "per%d|" p
+   | Aperiodic g -> add "ape%d|" g);
+  add "x%d:%d" is.is_exec.wcet_min is.is_exec.wcet_max;
+  Buffer.contents b
+
+(* --- grid enumeration --------------------------------------------------- *)
+
+module Grid = struct
+  type axis = {
+    ax_name : string;
+    ax_values : int array;
+  }
+
+  type t = {
+    g_axes : axis array;
+    g_card : int;
+  }
+
+  let make axes =
+    let seen = Hashtbl.create 8 in
+    let rec build acc card = function
+      | [] -> Ok { g_axes = Array.of_list (List.rev acc); g_card = card }
+      | (name, values) :: rest ->
+        if name = "" then Error "axis with an empty name"
+        else if Hashtbl.mem seen name then
+          Error (Printf.sprintf "duplicate axis %S" name)
+        else if values = [] then
+          Error (Printf.sprintf "axis %S has no values" name)
+        else begin
+          Hashtbl.add seen name ();
+          let n = List.length values in
+          (* cardinality stays exact or the grid is refused: a silent
+             overflow would make per-index decoding alias points *)
+          if card > max_int / n then
+            Error (Printf.sprintf "grid too large: axis %S overflows" name)
+          else
+            build
+              ({ ax_name = name; ax_values = Array.of_list values } :: acc)
+              (card * n) rest
+        end
+    in
+    build [] 1 axes
+
+  let cardinality g = g.g_card
+
+  let axes g =
+    Array.to_list
+      (Array.map (fun a -> (a.ax_name, Array.to_list a.ax_values)) g.g_axes)
+
+  (* Mixed-radix decode: the first axis varies fastest.  Points are
+     never materialised as a whole — callers enumerate indices in
+     batches and decode each on demand. *)
+  let point g i =
+    if i < 0 || i >= g.g_card then
+      invalid_arg
+        (Printf.sprintf "Grid.point: index %d outside 0..%d" i (g.g_card - 1));
+    let n = Array.length g.g_axes in
+    let acc = ref [] in
+    let idx = ref i in
+    for k = 0 to n - 1 do
+      let a = g.g_axes.(k) in
+      let len = Array.length a.ax_values in
+      acc := (a.ax_name, a.ax_values.(!idx mod len)) :: !acc;
+      idx := !idx / len
+    done;
+    List.rev !acc
+
+  (* axis spec syntax: NAME=LO..HI[/STEP] or NAME=V1,V2,... *)
+  let parse_axis s =
+    match String.index_opt s '=' with
+    | None -> Error (Printf.sprintf "bad axis %S: expected NAME=SPEC" s)
+    | Some eq -> (
+      let name = String.trim (String.sub s 0 eq) in
+      let spec = String.trim (String.sub s (eq + 1) (String.length s - eq - 1)) in
+      if name = "" then Error (Printf.sprintf "bad axis %S: empty name" s)
+      else
+        let int v =
+          match int_of_string_opt (String.trim v) with
+          | Some n -> Ok n
+          | None -> Error (Printf.sprintf "bad axis %S: %S is not an integer" s v)
+        in
+        let range lo rest =
+          let hi, step =
+            match String.index_opt rest '/' with
+            | None -> (rest, "1")
+            | Some sl ->
+              ( String.sub rest 0 sl,
+                String.sub rest (sl + 1) (String.length rest - sl - 1) )
+          in
+          match int lo, int hi, int step with
+          | Ok lo, Ok hi, Ok step ->
+            if step <= 0 then
+              Error (Printf.sprintf "bad axis %S: step must be positive" s)
+            else if hi < lo then
+              Error (Printf.sprintf "bad axis %S: empty range %d..%d" s lo hi)
+            else begin
+              let values = ref [] in
+              let v = ref lo in
+              while !v <= hi do
+                values := !v :: !values;
+                v := !v + step
+              done;
+              Ok (name, List.rev !values)
+            end
+          | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e)
+            -> (match e with Error m -> Error m | Ok _ -> assert false)
+        in
+        (* ".." separates a range; a leading "-" on LO still parses
+           because we search from index 1 *)
+        let dots =
+          let rec find i =
+            if i + 1 >= String.length spec then None
+            else if spec.[i] = '.' && spec.[i + 1] = '.' then Some i
+            else find (i + 1)
+          in
+          if spec = "" then None else find 1
+        in
+        match dots with
+        | Some d ->
+          range (String.sub spec 0 d)
+            (String.sub spec (d + 2) (String.length spec - d - 2))
+        | None ->
+          if spec = "" then Error (Printf.sprintf "bad axis %S: no values" s)
+          else
+            let parts = String.split_on_char ',' spec in
+            let rec ints acc = function
+              | [] -> Ok (name, List.rev acc)
+              | p :: rest -> (
+                match int p with
+                | Ok v -> ints (v :: acc) rest
+                | Error m -> Error m)
+            in
+            ints [] parts)
+end
+
 let pp_signal ppf = function
   | Pulse -> Fmt.string ppf "pulse"
   | Sustained d -> Fmt.pf ppf "sustained(%d)" d

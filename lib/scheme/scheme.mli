@@ -120,3 +120,41 @@ val period_opt : t -> int option
 val check : t -> string list
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Point digests}
+
+    A compact, byte-stable serialisation of everything that influences
+    the PSM transformation and the analytic bounds: signals, read
+    mechanisms, device delay windows, communication, invocation and the
+    execution window.  [is_name] is excluded and channel lists are
+    sorted, so two schemes describing the same platform always produce
+    the same key — the sweep engine and the result store dedup on it. *)
+val to_key : t -> string
+
+(** {1 Grid enumeration}
+
+    A sweep grid is a list of named integer axes; its points are the
+    cross product, addressed by a single index in [0, cardinality).
+    Points are decoded on demand (mixed-radix, first axis fastest) —
+    the grid is never materialised, so million-point spaces cost a few
+    hundred bytes. *)
+module Grid : sig
+  type t
+
+  (** [make axes] checks for duplicate or empty axes and refuses grids
+      whose cardinality overflows [max_int]. *)
+  val make : (string * int list) list -> (t, string) result
+
+  val cardinality : t -> int
+
+  val axes : t -> (string * int list) list
+
+  (** [point g i] decodes index [i] into an (axis, value) assignment in
+      axis order.
+      @raise Invalid_argument when [i] is outside the grid. *)
+  val point : t -> int -> (string * int) list
+
+  (** [parse_axis "NAME=LO..HI/STEP"] or ["NAME=V1,V2,..."] — the
+      compact CLI spec for one axis ([/STEP] optional, default 1). *)
+  val parse_axis : string -> (string * int list, string) result
+end

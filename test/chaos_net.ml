@@ -380,6 +380,70 @@ let test_queue_shed () =
     true
     (outcome.Analysis.Netserve.no_shed >= 3)
 
+(* --- per-connection fairness: one client cannot hog the queue -------------- *)
+
+let test_inflight_cap () =
+  (* queue 64 never sheds on capacity; the per-connection cap of 1 is
+     what refuses the excess.  One worker on a ~1s query guarantees the
+     event loop reads the whole burst before any completion returns. *)
+  let ncfg path =
+    { (default_ncfg path) with
+      Analysis.Netserve.ns_queue = 64;
+      ns_max_inflight = 1;
+      ns_serve =
+        { Analysis.Serve.default_config with Analysis.Serve.sv_jobs = 1 } }
+  in
+  let outcome, () =
+    with_server ~ncfg (fun path _drain ->
+        let greedy = connect path in
+        Fun.protect
+          ~finally:(fun () -> close greedy)
+          (fun () ->
+            let burst =
+              String.concat ""
+                (List.init 5 (fun i ->
+                     request ~id:(i + 1) ~model:"gpca" slow_query ^ "\n"))
+            in
+            send greedy burst;
+            (* a polite client on another connection is served while the
+               greedy one's slow request is still being evaluated *)
+            let polite = connect path in
+            Fun.protect
+              ~finally:(fun () -> close polite)
+              (fun () ->
+                send_line polite (request ~id:100 "E<> P.Busy");
+                let r = parse_response (recv_line ~timeout_s:60. polite) in
+                Alcotest.(check int) "other connections stay served" 100
+                  (int_id r));
+            let replies =
+              List.init 5 (fun _ ->
+                  parse_response (recv_line ~timeout_s:60. greedy))
+            in
+            let ids = List.sort compare (List.map int_id replies) in
+            Alcotest.(check (list int)) "every request answered"
+              [ 1; 2; 3; 4; 5 ] ids;
+            let busy, rest =
+              List.partition (fun j -> status j = "busy") replies
+            in
+            (* cap 1: exactly one admitted, the other four refused *)
+            Alcotest.(check int) "excess refused" 4 (List.length busy);
+            List.iter
+              (fun j ->
+                Alcotest.(check string) "the admitted request completes" "ok"
+                  (status j))
+              rest;
+            List.iter
+              (fun j ->
+                let msg = str (member "error" j) in
+                Alcotest.(check bool)
+                  (Printf.sprintf "busy frame names the in-flight cap: %s" msg)
+                  true
+                  (contains ~sub:"in-flight" msg))
+              busy))
+  in
+  Alcotest.(check int) "outcome counted the refusals" 4
+    outcome.Analysis.Netserve.no_shed
+
 (* --- drain under load: every admitted request answered, store clean -------- *)
 
 let test_drain_under_load () =
@@ -538,6 +602,7 @@ let suite =
       test_disconnect_mid_request;
     Alcotest.test_case "slowloris read deadline" `Quick test_slowloris;
     Alcotest.test_case "queue-full shedding" `Slow test_queue_shed;
+    Alcotest.test_case "per-connection in-flight cap" `Slow test_inflight_cap;
     Alcotest.test_case "drain under load, store fsck-clean" `Slow
       test_drain_under_load;
     Alcotest.test_case "stats frame" `Quick test_stats_frame;

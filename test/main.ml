@@ -27,4 +27,5 @@ let () =
       ("fault-plane", Test_fault.suite);
       ("chaos-store", Chaos_store.suite);
       ("chaos-serve", Chaos_serve.suite);
+      ("sweep", Test_sweep.suite);
       ("chaos-net", Chaos_net.suite) ]

@@ -1,0 +1,271 @@
+(* The sweep engine and its GPCA design space.
+
+   Three layers under test: Scheme.Grid (axis parsing and the mixed-radix
+   decode), the Analysis.Sweep race (analytic prefilter vs the explorer
+   must be an optimisation, never an answer change), and the bounds the
+   race rests on — the seeded property test pins the contract that for
+   every valid, loss-free scheme point the model-checked supremum lies
+   between the analytic lower and upper bounds. *)
+
+let small = Gpca.Sweep_space.Small
+
+let grid_of axes =
+  match Scheme.Grid.make axes with
+  | Ok g -> g
+  | Error msg -> Alcotest.failf "grid: %s" msg
+
+(* --- Grid: parsing and decode ------------------------------------------- *)
+
+let test_parse_axis () =
+  let ok spec = match Scheme.Grid.parse_axis spec with
+    | Ok (name, vs) -> (name, vs)
+    | Error msg -> Alcotest.failf "parse_axis %S: %s" spec msg
+  in
+  Alcotest.(check (pair string (list int))) "range"
+    ("period", [ 10; 20; 30; 40 ])
+    (ok "period=10..40/10");
+  Alcotest.(check (pair string (list int))) "range step 1"
+    ("b", [ 2; 3; 4 ]) (ok "b=2..4");
+  Alcotest.(check (pair string (list int))) "list"
+    ("poll", [ 5; 80; 7 ]) (ok "poll=5,80,7");
+  Alcotest.(check (pair string (list int))) "negative lo"
+    ("d", [ -2; 0; 2 ]) (ok "d=-2..2/2");
+  List.iter
+    (fun spec ->
+      match Scheme.Grid.parse_axis spec with
+      | Ok _ -> Alcotest.failf "parse_axis %S should fail" spec
+      | Error _ -> ())
+    [ "noequals"; "=1,2"; "x="; "x=1.."; "x=5..1"; "x=1..9/0"; "x=a,b" ]
+
+let test_grid_make () =
+  let g = grid_of [ ("a", [ 1; 2; 3 ]); ("b", [ 10; 20 ]) ] in
+  Alcotest.(check int) "cardinality" 6 (Scheme.Grid.cardinality g);
+  (match Scheme.Grid.make [ ("a", [ 1 ]); ("a", [ 2 ]) ] with
+   | Ok _ -> Alcotest.fail "duplicate axis accepted"
+   | Error _ -> ());
+  (match Scheme.Grid.make [ ("a", []) ] with
+   | Ok _ -> Alcotest.fail "empty axis accepted"
+   | Error _ -> ())
+
+let test_grid_decode () =
+  let g = grid_of [ ("a", [ 1; 2; 3 ]); ("b", [ 10; 20 ]) ] in
+  (* first axis fastest *)
+  Alcotest.(check (list (pair string int))) "point 0"
+    [ ("a", 1); ("b", 10) ] (Scheme.Grid.point g 0);
+  Alcotest.(check (list (pair string int))) "point 1"
+    [ ("a", 2); ("b", 10) ] (Scheme.Grid.point g 1);
+  Alcotest.(check (list (pair string int))) "point 5"
+    [ ("a", 3); ("b", 20) ] (Scheme.Grid.point g 5);
+  (* every index decodes to a distinct assignment *)
+  let seen = Hashtbl.create 16 in
+  for i = 0 to Scheme.Grid.cardinality g - 1 do
+    let asg = Scheme.Grid.point g i in
+    if Hashtbl.mem seen asg then Alcotest.failf "duplicate assignment %d" i;
+    Hashtbl.add seen asg ()
+  done;
+  (try
+     ignore (Scheme.Grid.point g 6);
+     Alcotest.fail "out-of-range decode accepted"
+   with Invalid_argument _ -> ())
+
+(* --- to_key and dedup ---------------------------------------------------- *)
+
+let spec_at asg = Gpca.Sweep_space.spec_of_assignment ~base:small ~req:60 asg
+
+let test_key_collapses_dead_axes () =
+  (* with an interrupt-driven input the poll interval is outside the
+     cone of influence: the keys must collide so the engine explores once *)
+  let a = spec_at [ ("mech", 0); ("poll", 5) ] in
+  let b = spec_at [ ("mech", 0); ("poll", 80) ] in
+  Alcotest.(check string) "poll collapses under interrupt"
+    a.Analysis.Sweep.sp_key b.Analysis.Sweep.sp_key;
+  let c = spec_at [ ("mech", 1); ("poll", 5) ] in
+  let d = spec_at [ ("mech", 1); ("poll", 80) ] in
+  Alcotest.(check bool) "poll matters when polling" false
+    (c.Analysis.Sweep.sp_key = d.Analysis.Sweep.sp_key)
+
+let test_key_separates () =
+  let pairs =
+    [ ([ ("buffer", 1) ], [ ("buffer", 2) ]);
+      ([ ("period", 20) ], [ ("period", 40) ]);
+      ([ ("policy", 0) ], [ ("policy", 1) ]);
+      ([ ("signal", 0) ], [ ("signal", 1) ]);
+      ([ ("in_dmax", 5) ], [ ("in_dmax", 9) ]) ]
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "keys differ (%s)"
+           (String.concat "," (List.map fst a)))
+        false
+        ((spec_at a).Analysis.Sweep.sp_key = (spec_at b).Analysis.Sweep.sp_key))
+    pairs
+
+(* --- Pareto -------------------------------------------------------------- *)
+
+let test_dominates () =
+  let d = Analysis.Sweep.dominates in
+  Alcotest.(check bool) "strictly less" true (d [| 1; 2 |] [| 2; 2 |]);
+  Alcotest.(check bool) "equal" false (d [| 1; 2 |] [| 1; 2 |]);
+  Alcotest.(check bool) "incomparable" false (d [| 1; 3 |] [| 2; 2 |]);
+  Alcotest.(check bool) "componentwise" true (d [| 1; 1 |] [| 2; 3 |])
+
+(* --- the race: prefilter vs explorer-everywhere -------------------------- *)
+
+(* a grid small enough to explore exhaustively in the test budget but
+   wide enough to hit all decision paths: analytic fail (poll=80 makes
+   the lower bound exceed req on polling points), undecided band, the
+   invalid pulse x polling corner, and interrupt points collapsing the
+   poll axis *)
+let race_axes =
+  [ ("period", [ 20; 40 ]);
+    ("poll", [ 5; 80 ]);
+    ("mech", [ 0; 1 ]);
+    ("signal", [ 0; 1 ]);
+    ("buffer", [ 1; 2 ]) ]
+
+let run_grid ~prefilter ~audit () =
+  let grid = grid_of race_axes in
+  let points = Scheme.Grid.cardinality grid in
+  let vs = Array.make points Analysis.Sweep.Unknown in
+  let cfg =
+    { Analysis.Sweep.default_config with
+      Analysis.Sweep.sw_prefilter = prefilter;
+      sw_limit = Some 300_000;
+      sw_audit = audit;
+      sw_batch = 7;  (* force several partial batches *)
+      sw_emit =
+        Some
+          (fun pr ->
+            vs.(pr.Analysis.Sweep.pr_index) <- pr.Analysis.Sweep.pr_verdict) }
+  in
+  let o =
+    Analysis.Sweep.run cfg ~points
+      ~build:(Gpca.Sweep_space.build ~base:small ~req:150 grid)
+  in
+  (vs, o)
+
+let test_race_verdicts_agree () =
+  let pre_vs, pre = run_grid ~prefilter:true ~audit:1 () in
+  let base_vs, baseline = run_grid ~prefilter:false ~audit:0 () in
+  Alcotest.(check (array (of_pp Fmt.(of_to_string Analysis.Sweep.verdict_name))))
+    "identical verdicts" base_vs pre_vs;
+  Alcotest.(check (list (pair int string))) "no audit mismatches" []
+    pre.Analysis.Sweep.o_audit_mismatches;
+  Alcotest.(check bool) "audited everything analytic" true
+    (pre.Analysis.Sweep.o_audited
+     >= pre.Analysis.Sweep.o_analytic_pass
+        + pre.Analysis.Sweep.o_analytic_fail);
+  Alcotest.(check bool) "prefilter actually skipped" true
+    (pre.Analysis.Sweep.o_skip_rate > 0.);
+  Alcotest.(check int) "baseline skips only invalids"
+    baseline.Analysis.Sweep.o_invalid
+    (baseline.Analysis.Sweep.o_points - baseline.Analysis.Sweep.o_explored);
+  (* counters tile the grid *)
+  Alcotest.(check int) "counts tile"
+    pre.Analysis.Sweep.o_points
+    (pre.Analysis.Sweep.o_pass + pre.Analysis.Sweep.o_fail
+     + pre.Analysis.Sweep.o_unknown + pre.Analysis.Sweep.o_invalid);
+  (* interrupt points collapse the poll axis: the explorer ran on
+     strictly fewer keys than undecided points *)
+  Alcotest.(check bool) "memo dedup happened" true
+    (pre.Analysis.Sweep.o_memo_hits > 0
+     || baseline.Analysis.Sweep.o_memo_hits > 0)
+
+let test_pareto_only_pass () =
+  let _, pre = run_grid ~prefilter:true ~audit:0 () in
+  List.iter
+    (fun (i, _) ->
+      let grid = grid_of race_axes in
+      let s =
+        Gpca.Sweep_space.build ~base:small ~req:150 grid i
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "pareto point %d is valid" i)
+        true
+        (s.Analysis.Sweep.sp_invalid = None))
+    pre.Analysis.Sweep.o_pareto;
+  (* no frontier member dominates another *)
+  let costs = List.map snd pre.Analysis.Sweep.o_pareto in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a != b then
+            Alcotest.(check bool) "frontier is an antichain" false
+              (Analysis.Sweep.dominates a b))
+        costs)
+    costs
+
+(* --- seeded property: lb <= verified sup <= ub --------------------------- *)
+
+(* random Small-base points kept cheap: short periods and polls so each
+   exploration finishes in milliseconds *)
+let gen_point =
+  QCheck.Gen.(
+    let* period = oneofl [ 20; 30; 40 ] in
+    let* poll = oneofl [ 5; 10; 20 ] in
+    let* mech = oneofl [ 0; 1 ] in
+    let* signal = oneofl [ 0; 1 ] in
+    let* buffer = oneofl [ 1; 2 ] in
+    let* policy = oneofl [ 0; 1 ] in
+    let* in_dmax = oneofl [ 2; 5 ] in
+    let* out_dmax = oneofl [ 5; 10 ] in
+    return
+      [ ("period", period); ("poll", poll); ("mech", mech);
+        ("signal", signal); ("buffer", buffer); ("policy", policy);
+        ("in_dmax", in_dmax); ("out_dmax", out_dmax) ])
+
+let arb_point =
+  QCheck.make
+    ~print:(fun asg ->
+      String.concat " "
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) asg))
+    gen_point
+
+let prop_bounds_bracket_sup =
+  QCheck.Test.make ~name:"analytic bounds bracket the verified sup" ~count:12
+    arb_point (fun asg ->
+      let s = Gpca.Sweep_space.spec_of_assignment ~base:small ~req:60 asg in
+      match s.Analysis.Sweep.sp_invalid with
+      | Some _ -> QCheck.assume_fail ()
+      | None ->
+        let r =
+          Analysis.Queries.max_delay
+            (s.Analysis.Sweep.sp_net ())
+            ~trigger:s.Analysis.Sweep.sp_trigger
+            ~response:s.Analysis.Sweep.sp_response
+            ~ceiling:(s.Analysis.Sweep.sp_ub + 1)
+        in
+        (match r.Analysis.Queries.dr_sup with
+         | Mc.Explorer.Sup (v, _) ->
+           (* the lower bound never overshoots, regardless of loss *)
+           if v < s.Analysis.Sweep.sp_lb then
+             QCheck.Test.fail_reportf "sup %d under analytic lb %d" v
+               s.Analysis.Sweep.sp_lb
+           (* the upper bound holds whenever the point is loss-free *)
+           else if s.Analysis.Sweep.sp_sound && v > s.Analysis.Sweep.sp_ub
+           then
+             QCheck.Test.fail_reportf "sup %d over analytic ub %d" v
+               s.Analysis.Sweep.sp_ub
+           else true
+         | Mc.Explorer.Sup_exceeds c ->
+           if s.Analysis.Sweep.sp_sound then
+             QCheck.Test.fail_reportf "sup exceeds %d despite ub %d" c
+               s.Analysis.Sweep.sp_ub
+           else true
+         | Mc.Explorer.Sup_unreached -> true))
+
+let suite =
+  [ Alcotest.test_case "grid: parse_axis" `Quick test_parse_axis;
+    Alcotest.test_case "grid: make" `Quick test_grid_make;
+    Alcotest.test_case "grid: decode" `Quick test_grid_decode;
+    Alcotest.test_case "key: dead axes collapse" `Quick
+      test_key_collapses_dead_axes;
+    Alcotest.test_case "key: live axes separate" `Quick test_key_separates;
+    Alcotest.test_case "pareto: dominates" `Quick test_dominates;
+    Alcotest.test_case "race: prefilter = explorer" `Slow
+      test_race_verdicts_agree;
+    Alcotest.test_case "pareto: frontier invariants" `Slow
+      test_pareto_only_pass;
+    QCheck_alcotest.to_alcotest prop_bounds_bracket_sup ]
