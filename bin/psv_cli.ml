@@ -224,6 +224,18 @@ let store_retries_arg =
                  trip the cache into degraded mode — queries compute \
                  from scratch instead of failing.")
 
+let delta_arg =
+  Arg.(value & flag
+       & info [ "delta" ]
+           ~doc:"Incremental re-verification: remember each query's \
+                 previous run (network, result, exploration graph) in \
+                 the $(b,--cache) store and answer edits through the \
+                 cheapest sound rung — store hit, cone-of-influence \
+                 hit, delta re-exploration — falling back to a full \
+                 run.  Verdicts and sups are identical to a \
+                 from-scratch sequential run.  Requires $(b,--cache); \
+                 forces sequential exploration.")
+
 (* open (creating if needed) the --cache store; corrupt entries warn on
    stderr so --json output on stdout stays byte-stable *)
 let open_cache ?(retries = 2) cache =
@@ -252,6 +264,17 @@ let report_cache = function
         errors
         (if errors = 1 then "" else "s")
         (if Analysis.Qcache.degraded cache then " (degraded)" else "")
+
+(* the incremental ladder needs somewhere to persist its sessions *)
+let incr_session ~cache ~tag =
+  match cache with
+  | None -> die "--delta requires --cache (sessions persist beside the store)"
+  | Some cache -> Incr.Session.make ~cache ~tag ()
+
+let report_rung (o : Incr.Session.outcome) wall_ms =
+  Fmt.epr "incr: %s rung (%d replayed, %d expanded, %.1f ms)@."
+    (Incr.Session.rung_name o.Incr.Session.so_rung)
+    o.Incr.Session.so_replayed o.Incr.Session.so_expanded wall_ms
 
 (* degraded completion: the run finished and every query was answered,
    but the result store was bypassed for part of the batch.  Documented
@@ -348,7 +371,7 @@ let verify_cmd =
              ~doc:"Emit the verdict and exploration statistics as JSON.")
   in
   let run file trigger response bound ceiling jobs budget_time budget_states
-      budget_mem checkpoint resume json cache store_retries =
+      budget_mem checkpoint resume json cache delta store_retries =
     let jobs = check_jobs jobs in
     if resume <> None && cache <> None then
       die "--resume and --cache are exclusive (a resumed search must \
@@ -360,6 +383,65 @@ let verify_cmd =
        exact and a partial sup can already refute it *)
     let ceiling = match bound with Some b -> b | None -> ceiling in
     let ctl = make_ctl ~time:budget_time ~states:budget_states ~mem:budget_mem in
+    if delta then begin
+      if jobs > 1 then die "--delta forces sequential exploration; drop --jobs";
+      if checkpoint <> None || resume <> None then
+        die "--delta is exclusive with --checkpoint/--resume";
+      let q =
+        match bound with
+        | Some b -> Mc.Query.Bounded_response { trigger; response; bound = b }
+        | None -> Mc.Query.Sup_delay { trigger; response; ceiling }
+      in
+      let sess = incr_session ~cache ~tag:file in
+      let t0 = Unix.gettimeofday () in
+      let o =
+        try Incr.Session.run ~ctl sess net q
+        with Not_found -> die "unknown channel %S or %S" trigger response
+      in
+      report_rung o (1000. *. (Unix.gettimeofday () -. t0));
+      report_cache cache;
+      let outcome = o.Incr.Session.so_result.Mc.Query.res_outcome in
+      let st = o.Incr.Session.so_result.Mc.Query.res_stats in
+      if json then begin
+        let verdict_str, reason =
+          match outcome with
+          | Mc.Query.Holds | Mc.Query.Sup _ -> ("proved", None)
+          | Mc.Query.Fails _ -> ("refuted", None)
+          | Mc.Query.Unknown (r, _) ->
+            ("unknown", Some (Mc.Runctl.reason_tag r))
+        in
+        Fmt.pr
+          {|{"verdict": "%s", "reason": %s, "bound": %s, "sup": %s, "stats": %s, "rung": "%s"}@.|}
+          verdict_str
+          (match reason with
+           | Some tag -> Printf.sprintf "%S" tag
+           | None -> "null")
+          (match bound with Some b -> string_of_int b | None -> "null")
+          (match outcome with
+           | Mc.Query.Sup s | Mc.Query.Unknown (_, Some s) -> json_sup s
+           | _ -> "null")
+          (json_stats st)
+          (Incr.Session.rung_name o.Incr.Session.so_rung)
+      end
+      else begin
+        (match bound with
+         | Some b ->
+           Fmt.pr "P(%d) %s -> %s: %s@." b trigger response
+             (match outcome with
+              | Mc.Query.Holds -> "SATISFIED"
+              | Mc.Query.Fails _ -> "VIOLATED"
+              | Mc.Query.Unknown (r, _) ->
+                Fmt.str "UNKNOWN (%a)" Mc.Runctl.pp_reason r
+              | Mc.Query.Sup _ -> "SATISFIED")
+         | None -> Fmt.pr "%a@." Mc.Query.pp_outcome outcome);
+        Fmt.pr "states: %d visited, %d stored, %d frontier@."
+          st.Mc.Explorer.visited st.Mc.Explorer.stored st.Mc.Explorer.frontier
+      end;
+      match outcome with
+      | Mc.Query.Fails _ -> exit 1
+      | Mc.Query.Unknown _ -> exit 2
+      | Mc.Query.Holds | Mc.Query.Sup _ -> exit_degraded cache; exit 0
+    end;
     let r =
       try
         match cache with
@@ -453,7 +535,8 @@ let verify_cmd =
              (interrupted by a budget or ^C), 3 usage or parse error.")
     Term.(const run $ file $ trigger $ response $ bound $ ceiling $ jobs_arg
           $ budget_time_arg $ budget_states_arg $ budget_mem_arg
-          $ checkpoint $ resume $ json $ cache_arg $ store_retries_arg)
+          $ checkpoint $ resume $ json $ cache_arg $ delta_arg
+          $ store_retries_arg)
 
 (* --- query ---------------------------------------------------------------- *)
 
@@ -468,9 +551,11 @@ let query_cmd =
              ~doc:"E<> PRED | A[] PRED | sup: CHAN -> CHAN [ceiling N] | \
                    bounded: CHAN -> CHAN within N")
   in
-  let run file query jobs budget_time budget_states budget_mem cache
+  let run file query jobs budget_time budget_states budget_mem cache delta
       store_retries =
     let jobs = check_jobs jobs in
+    if delta && jobs > 1 then
+      die "--delta forces sequential exploration; drop --jobs";
     let cache = open_cache ~retries:store_retries cache in
     let net = load_network file in
     match Mc.Query.parse query with
@@ -481,9 +566,17 @@ let query_cmd =
       in
       let result =
         try
-          match cache with
-          | Some cache -> Analysis.Qcache.eval cache ~jobs ~ctl net q
-          | None -> Mc.Query.eval ~jobs ~ctl net q
+          if delta then begin
+            let sess = incr_session ~cache ~tag:file in
+            let t0 = Unix.gettimeofday () in
+            let o = Incr.Session.run ~ctl sess net q in
+            report_rung o (1000. *. (Unix.gettimeofday () -. t0));
+            o.Incr.Session.so_result
+          end
+          else
+            match cache with
+            | Some cache -> Analysis.Qcache.eval cache ~jobs ~ctl net q
+            | None -> Mc.Query.eval ~jobs ~ctl net q
         with Not_found ->
           die "query names an unknown process, location or variable"
       in
@@ -507,7 +600,8 @@ let query_cmd =
        ~doc:"Evaluate an UPPAAL-style query on a .xta model.  Exit codes: \
              0 holds, 1 fails, 2 unknown, 3 usage or parse error.")
     Term.(const run $ file $ query $ jobs_arg $ budget_time_arg
-          $ budget_states_arg $ budget_mem_arg $ cache_arg $ store_retries_arg)
+          $ budget_states_arg $ budget_mem_arg $ cache_arg $ delta_arg
+          $ store_retries_arg)
 
 (* --- check (batch queries) -------------------------------------------------- *)
 
@@ -531,9 +625,12 @@ let check_cmd =
                    a cold run byte for byte.")
   in
   let run model queries jobs budget_time budget_states budget_mem cache json
-      store_retries =
+      delta store_retries =
     let jobs = check_jobs jobs in
+    if delta && jobs > 1 then
+      die "--delta forces sequential exploration; drop --jobs";
     let cache = open_cache ~retries:store_retries cache in
+    let sess = if delta then Some (incr_session ~cache ~tag:model) else None in
     let net = load_network model in
     let lines = String.split_on_char '\n' (read_file queries) in
     let numbered =
@@ -541,9 +638,12 @@ let check_cmd =
         (List.mapi (fun lineno line -> (lineno + 1, String.trim line)) lines)
     in
     let eval_one ~ctl q =
-      match cache with
-      | Some c -> Analysis.Qcache.eval c ~ctl net q
-      | None -> Mc.Query.eval ~ctl net q
+      match sess with
+      | Some sess -> (Incr.Session.run ~ctl sess net q).Incr.Session.so_result
+      | None -> (
+        match cache with
+        | Some c -> Analysis.Qcache.eval c ~ctl net q
+        | None -> Mc.Query.eval ~ctl net q)
     in
     let report (lineno, line, res) =
       match res with
@@ -678,6 +778,11 @@ let check_cmd =
         (if !failures = 1 then "" else "s")
         !unknowns;
     report_cache cache;
+    (match cache with
+     | Some c when delta ->
+       let cone, dl, fl = Analysis.Qcache.rung_counts c in
+       Fmt.epr "incr: %d cone, %d delta, %d full@." cone dl fl
+     | Some _ | None -> ());
     if !failures > 0 then exit 1
     else if !unknowns > 0 then exit 2
     else exit_degraded cache
@@ -693,7 +798,119 @@ let check_cmd =
              without the cache).")
     Term.(const run $ model $ queries $ jobs_arg $ budget_time_arg
           $ budget_states_arg $ budget_mem_arg $ cache_arg $ json_arg
-          $ store_retries_arg)
+          $ delta_arg $ store_retries_arg)
+
+(* --- watch (poll the model file, re-verify incrementally) ---------------- *)
+
+let watch_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MODEL.xta" ~doc:"Model file to watch.")
+  in
+  let queries =
+    Arg.(non_empty & opt_all string []
+         & info [ "q"; "query" ] ~docv:"QUERY"
+             ~doc:"Query to re-verify after each edit (repeatable).")
+  in
+  let poll_ms =
+    Arg.(value & opt int 200
+         & info [ "poll-ms" ] ~docv:"MS"
+             ~doc:"Polling interval — the watcher compares mtimes, no \
+                   inotify dependency (default 200).")
+  in
+  let max_edits =
+    Arg.(value & opt (some int) None
+         & info [ "max-edits" ] ~docv:"N"
+             ~doc:"Exit 0 after re-verifying $(docv) edits (the initial \
+                   run not counted) — for scripts and CI smoke tests.  \
+                   Default: watch until interrupted.")
+  in
+  let run file qtexts poll_ms max_edits budget_time budget_states budget_mem
+      cache store_retries =
+    if poll_ms <= 0 then die "--poll-ms must be positive";
+    let cache = open_cache ~retries:store_retries cache in
+    let queries =
+      List.map
+        (fun text ->
+          match Mc.Query.parse text with
+          | Ok q -> q
+          | Error msg -> die "query %S: %s" text msg)
+        qtexts
+    in
+    let sess =
+      match cache with
+      | Some cache -> Incr.Session.make ~cache ~tag:file ()
+      | None -> Incr.Session.make ~tag:file ()
+    in
+    let mtime () =
+      match Unix.stat file with
+      | st -> Some st.Unix.st_mtime
+      | exception Unix.Unix_error _ -> None
+    in
+    (* tolerant reads: an editor's rename-into-place can race the poll,
+       so a transient failure just waits for the next tick *)
+    let read () =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (really_input_string ic (in_channel_length ic)))
+      with Sys_error _ | End_of_file -> None
+    in
+    let verify_all ~label =
+      match read () with
+      | None -> Fmt.pr "[%s] cannot read %s@." label file
+      | Some text -> (
+        match Xta.Parse.network text with
+        | Error msg -> Fmt.pr "[%s] parse error: %s@." label msg
+        | Ok net ->
+          List.iter
+            (fun q ->
+              let ctl =
+                make_ctl ~time:budget_time ~states:budget_states
+                  ~mem:budget_mem
+              in
+              let t0 = Unix.gettimeofday () in
+              match Incr.Session.run ~ctl sess net q with
+              | o ->
+                Fmt.pr
+                  "[%s] %s: %a  (%s rung, %.1f ms, %d replayed, %d expanded)@."
+                  label (Mc.Query.to_string q) Mc.Query.pp_outcome
+                  o.Incr.Session.so_result.Mc.Query.res_outcome
+                  (Incr.Session.rung_name o.Incr.Session.so_rung)
+                  (1000. *. (Unix.gettimeofday () -. t0))
+                  o.Incr.Session.so_replayed o.Incr.Session.so_expanded
+              | exception Not_found ->
+                Fmt.pr "[%s] %s: ERROR unknown process, location or variable@."
+                  label (Mc.Query.to_string q))
+            queries)
+    in
+    let last = ref (mtime ()) in
+    verify_all ~label:"initial";
+    let edits = ref 0 in
+    let keep_going () =
+      match max_edits with Some m -> !edits < m | None -> true
+    in
+    while keep_going () do
+      Unix.sleepf (float_of_int poll_ms /. 1000.);
+      match mtime () with
+      | Some t when !last <> Some t ->
+        last := Some t;
+        incr edits;
+        verify_all ~label:(Printf.sprintf "edit %d" !edits)
+      | Some _ | None -> ()
+    done;
+    report_cache cache
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:"Watch a model file and re-verify the given queries after \
+             every edit, answering through the incremental ladder — \
+             store hit, cone-of-influence hit, delta re-exploration, \
+             full run — and printing the rung and wall time per edit.  \
+             With $(b,--cache) the session persists across restarts.")
+    Term.(const run $ file $ queries $ poll_ms $ max_edits $ budget_time_arg
+          $ budget_states_arg $ budget_mem_arg $ cache_arg $ store_retries_arg)
 
 (* --- sweep-schemes (grid sweep with analytic prefilter) ----------------- *)
 
@@ -1341,25 +1558,35 @@ let cache_stats_cmd =
   let run dir =
     let store = open_store_or_die dir in
     let s = Store.Disk.stats store in
-    Fmt.pr "%s: %d entr%s, %d corrupt, %d bytes@." dir s.Store.Disk.st_entries
+    (* corrupt bytes in their own column: exactly what gc would reclaim *)
+    Fmt.pr "%s: %d entr%s, %d bytes, %d corrupt, %d corrupt bytes@." dir
+      s.Store.Disk.st_entries
       (if s.Store.Disk.st_entries = 1 then "y" else "ies")
-      s.Store.Disk.st_corrupt s.Store.Disk.st_bytes
+      s.Store.Disk.st_bytes s.Store.Disk.st_corrupt
+      s.Store.Disk.st_corrupt_bytes;
+    let sessions = List.length (Store.Session.list store) in
+    if sessions > 0 then
+      Fmt.pr "%s: %d incremental session%s@." dir sessions
+        (if sessions = 1 then "" else "s")
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Entry count, corrupt-file count and total size.")
+    (Cmd.info "stats"
+       ~doc:"Entry count and size, corrupt-file count and size (the \
+             bytes $(b,gc) would reclaim), and incremental session count.")
     Term.(const run $ cache_dir_arg)
 
 let cache_gc_cmd =
   let run dir =
     let store = open_store_or_die dir in
-    let removed = Store.Disk.gc store in
+    let removed = Store.Disk.gc store + Store.Session.gc store in
     Fmt.pr "%s: removed %d file%s@." dir removed
       (if removed = 1 then "" else "s")
   in
   Cmd.v
     (Cmd.info "gc"
-       ~doc:"Delete corrupt entries and stale temp files.  Refuses to run \
-             on a directory that is not a recognized store.")
+       ~doc:"Delete corrupt entries, corrupt incremental sessions and \
+             stale temp files.  Refuses to run on a directory that is \
+             not a recognized store.")
     Term.(const run $ cache_dir_arg)
 
 let cache_fsck_cmd =
@@ -1372,18 +1599,33 @@ let cache_fsck_cmd =
     List.iter
       (fun file -> Fmt.pr "TMP  %s: orphaned temp file (writer dead)@." file)
       r.Store.Disk.fk_tmp;
+    (* the incremental sessions (v2 manifests + exploration graphs)
+       verify on the same pass: digests recomputed per automaton from
+       the reparsed network text *)
+    let sr = Store.Session.fsck store in
+    List.iter
+      (fun (file, problem) -> Fmt.pr "BAD  %s: %s@." file problem)
+      sr.Store.Session.sk_bad;
     Fmt.pr "%s: %d entr%s ok, %d bad, %d orphaned temp@." dir r.Store.Disk.fk_ok
       (if r.Store.Disk.fk_ok = 1 then "y" else "ies")
       (List.length r.Store.Disk.fk_bad)
       (List.length r.Store.Disk.fk_tmp);
-    if r.Store.Disk.fk_bad <> [] then exit 1
+    Fmt.pr "%s: %d session%s ok (v2 manifests), %d bad, %d graph%s@." dir
+      sr.Store.Session.sk_ok
+      (if sr.Store.Session.sk_ok = 1 then "" else "s")
+      (List.length sr.Store.Session.sk_bad)
+      sr.Store.Session.sk_graphs
+      (if sr.Store.Session.sk_graphs = 1 then "" else "s");
+    if r.Store.Disk.fk_bad <> [] || sr.Store.Session.sk_bad <> [] then exit 1
   in
   Cmd.v
     (Cmd.info "fsck"
-       ~doc:"Verify every entry: magic, checksum, length, JSON shape, and \
-             key/file-name agreement.  Orphaned temp files left by dead \
-             writers are reported (run $(b,cache gc) to remove them).  \
-             Exit 1 when any entry is bad.")
+       ~doc:"Verify every entry (magic, checksum, length, JSON shape, \
+             key/file-name agreement) and every incremental session \
+             (framing, key-v2 manifest with per-automaton digests \
+             recomputed from the stored network).  Orphaned temp files \
+             left by dead writers are reported (run $(b,cache gc) to \
+             remove them).  Exit 1 when anything is bad.")
     Term.(const run $ cache_dir_arg)
 
 let cache_cmd =
@@ -1647,7 +1889,7 @@ let main =
   Cmd.group
     (Cmd.info "psv" ~version:"1.0.0"
        ~doc:"Platform-specific timing verification in model-based implementation.")
-    [ table1_cmd; verify_cmd; query_cmd; check_cmd; sweep_cmd;
+    [ table1_cmd; verify_cmd; query_cmd; check_cmd; watch_cmd; sweep_cmd;
       sweep_schemes_cmd; serve_cmd; cache_cmd; trace_cmd; transform_cmd;
       codegen_cmd; bounds_cmd; simulate_cmd; export_cmd ]
 

@@ -3,6 +3,9 @@ type t = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   errors : int Atomic.t;
+  incr_cone : int Atomic.t;
+  incr_delta : int Atomic.t;
+  incr_full : int Atomic.t;
   breaker : Fault.Breaker.t;
   warn : string -> unit;
 }
@@ -17,6 +20,9 @@ let make ?(warn = default_warn) ?breaker disk =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     errors = Atomic.make 0;
+    incr_cone = Atomic.make 0;
+    incr_delta = Atomic.make 0;
+    incr_full = Atomic.make 0;
     breaker;
     warn }
 
@@ -26,6 +32,16 @@ let misses t = Atomic.get t.misses
 let errors t = Atomic.get t.errors
 let breaker t = t.breaker
 let degraded t = Fault.Breaker.tripped t.breaker
+
+(* Ladder-rung counters of the incremental layer ([Incr.Session]); the
+   store-hit rung is the plain [hits] counter above. *)
+let note_rung t = function
+  | `Cone -> Atomic.incr t.incr_cone
+  | `Delta -> Atomic.incr t.incr_delta
+  | `Full -> Atomic.incr t.incr_full
+
+let rung_counts t =
+  (Atomic.get t.incr_cone, Atomic.get t.incr_delta, Atomic.get t.incr_full)
 
 (* Counter export for the serve metrics surface: everything a stats
    frame reports about the store, including the breaker's state machine
@@ -37,6 +53,11 @@ let stats_json t =
       ("misses", Int (Atomic.get t.misses));
       ("errors", Int (Atomic.get t.errors));
       ("degraded", Bool (degraded t));
+      ( "incr",
+        Obj
+          [ ("cone", Int (Atomic.get t.incr_cone));
+            ("delta", Int (Atomic.get t.incr_delta));
+            ("full", Int (Atomic.get t.incr_full)) ] );
       ( "breaker",
         Obj
           [ ("state", String (Fault.Breaker.state_name t.breaker));

@@ -1,0 +1,196 @@
+module M = Ta.Model
+
+(* Per-automaton footprint: every channel, variable and clock name the
+   automaton can touch.  Reads and writes are not distinguished — the
+   influence graph is undirected and conservative. *)
+type footprint = {
+  fp_chans : string list;
+  fp_vars : string list;
+  fp_clocks : string list;
+}
+
+let dedup xs = List.sort_uniq String.compare xs
+
+let footprint (a : M.automaton) =
+  let chans = ref [] and vars = ref [] and clocks = ref [] in
+  List.iter
+    (fun (l : M.location) ->
+      clocks := Ta.Clockcons.clocks l.M.loc_inv @ !clocks)
+    a.M.aut_locations;
+  List.iter
+    (fun (e : M.edge) ->
+      (match e.M.edge_sync with
+       | M.Tau -> ()
+       | M.Send c | M.Recv c -> chans := c :: !chans);
+      clocks := Ta.Clockcons.clocks e.M.edge_guard @ e.M.edge_resets @ !clocks;
+      vars := Ta.Expr.vars_of_pred e.M.edge_pred @ !vars;
+      List.iter
+        (fun (v, rhs) -> vars := (v :: Ta.Expr.vars_of_expr rhs) @ !vars)
+        e.M.edge_updates)
+    a.M.aut_edges;
+  { fp_chans = dedup !chans; fp_vars = dedup !vars; fp_clocks = dedup !clocks }
+
+type t = {
+  cn_net : M.network;
+  cn_names : string array;
+  cn_feet : footprint array;
+  cn_comp : int array;  (* automaton index -> component id *)
+  cn_comp_inert : bool array;  (* component id -> all members time-inert *)
+}
+
+let automaton_inert (a : M.automaton) =
+  List.for_all
+    (fun (l : M.location) -> l.M.loc_kind = M.Normal && l.M.loc_inv = [])
+    a.M.aut_locations
+
+let intersects a b = List.exists (fun x -> List.mem x b) a
+
+let influences fa fb =
+  intersects fa.fp_chans fb.fp_chans
+  || intersects fa.fp_vars fb.fp_vars
+  || intersects fa.fp_clocks fb.fp_clocks
+
+let analyse net =
+  let autos = Array.of_list net.M.net_automata in
+  let n = Array.length autos in
+  let names = Array.map (fun a -> a.M.aut_name) autos in
+  let feet = Array.map footprint autos in
+  (* Union-find over the pairwise influence relation; n is the number
+     of automata in one network — quadratic is nothing here. *)
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if influences feet.(i) feet.(j) then union i j
+    done
+  done;
+  let comp = Array.init n find in
+  let comp_inert = Array.make n true in
+  Array.iteri
+    (fun i a ->
+      if not (automaton_inert a) then comp_inert.(find i) <- false)
+    autos;
+  { cn_net = net; cn_names = names; cn_feet = feet; cn_comp = comp;
+    cn_comp_inert = comp_inert }
+
+let index_of t name =
+  let n = Array.length t.cn_names in
+  let rec go i =
+    if i >= n then None
+    else if String.equal t.cn_names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Root automata of a query: the processes it names, every automaton
+   touching a variable it compares, every automaton synchronising on a
+   trigger/response channel of a timed query. *)
+let roots t q =
+  let acc = ref [] in
+  let add_name name =
+    match index_of t name with Some i -> acc := i :: !acc | None -> ()
+  in
+  let add_var v =
+    Array.iteri
+      (fun i fp -> if List.mem v fp.fp_vars then acc := i :: !acc)
+      t.cn_feet
+  in
+  let add_chan c =
+    Array.iteri
+      (fun i fp -> if List.mem c fp.fp_chans then acc := i :: !acc)
+      t.cn_feet
+  in
+  let rec pred = function
+    | Mc.Query.At (aut, _) -> add_name aut
+    | Mc.Query.Cmp (v, _, _) -> add_var v
+    | Mc.Query.Const _ -> ()
+    | Mc.Query.And (a, b) | Mc.Query.Or (a, b) -> pred a; pred b
+    | Mc.Query.Not a -> pred a
+  in
+  (match q with
+   | Mc.Query.Exists_eventually p | Mc.Query.Always p -> pred p
+   | Mc.Query.Sup_delay { trigger; response; _ }
+   | Mc.Query.Bounded_response { trigger; response; _ } ->
+     add_chan trigger;
+     add_chan response);
+  List.sort_uniq compare !acc
+
+let cone_indices t q =
+  let root_comps =
+    List.sort_uniq compare (List.map (fun i -> t.cn_comp.(i)) (roots t q))
+  in
+  let acc = ref [] in
+  Array.iteri
+    (fun i c -> if List.mem c root_comps then acc := i :: !acc)
+    t.cn_comp;
+  List.rev !acc
+
+let cone t q = List.map (fun i -> t.cn_names.(i)) (cone_indices t q)
+
+let same_component t a b =
+  match index_of t a, index_of t b with
+  | Some i, Some j -> t.cn_comp.(i) = t.cn_comp.(j)
+  | _ -> false
+
+let component_inert t a =
+  match index_of t a with
+  | Some i -> t.cn_comp_inert.(t.cn_comp.(i))
+  | None -> false
+
+(* --- the cone decision --------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* One side of the decision: every automaton in [changed] that exists
+   on this side must sit outside the query's cone, in a component that
+   is entirely time-inert. *)
+let side_ok ~side t q changed =
+  let cone_set = cone t q in
+  List.fold_left
+    (fun acc name ->
+      let* () = acc in
+      match index_of t name with
+      | None -> Ok ()  (* not present on this side *)
+      | Some i ->
+        if List.mem name cone_set then
+          Error
+            (Printf.sprintf "%s automaton %s is in the query's cone" side name)
+        else if not t.cn_comp_inert.(t.cn_comp.(i)) then
+          Error
+            (Printf.sprintf
+               "%s automaton %s sits in a component that constrains time" side
+               name)
+        else Ok ())
+    (Ok ()) changed
+
+let check ~old_net net q =
+  let m_old = Store.Key.manifest old_net in
+  let m_new = Store.Key.manifest net in
+  let* () =
+    if Store.D128.equal m_old.Store.Key.mf_decls m_new.Store.Key.mf_decls then
+      Ok ()
+    else Error "global declarations (clocks/variables/channels) changed"
+  in
+  (* Changed = digest moved, or present on only one side.  Membership
+     by name; a rename is a removal plus an addition. *)
+  let digest m name =
+    List.assoc_opt name m.Store.Key.mf_automata
+  in
+  let names m = List.map fst m.Store.Key.mf_automata in
+  let changed =
+    List.filter
+      (fun name ->
+        match digest m_old name, digest m_new name with
+        | Some a, Some b -> not (Store.D128.equal a b)
+        | _ -> true)
+      (List.sort_uniq String.compare (names m_old @ names m_new))
+  in
+  if changed = [] then Ok ()
+  else
+    let t_old = analyse old_net and t_new = analyse net in
+    let* () = side_ok ~side:"old" t_old q changed in
+    side_ok ~side:"edited" t_new q changed

@@ -1,0 +1,48 @@
+(** Static cone-of-influence analysis over a network of timed automata.
+
+    Two automata {e influence} each other when they share a channel, a
+    variable (read or written), or a clock; the influence graph is the
+    undirected graph those edges induce on the automata, and a query's
+    {e cone} is the union of the connected components containing the
+    query's roots — the automata the query names, the automata touching
+    the variables it compares, and (for the timed queries) the automata
+    synchronising on the trigger or response channel.
+
+    The cone decision {!check} answers: after an edit, can the old
+    result for this query still be returned even though the network
+    digest moved?  It can when (1) the global declarations are
+    unchanged, (2) no changed automaton lies in the query's cone —
+    under the {e old} and the {e new} influence graphs — and (3) every
+    component containing a changed (or added, or removed) automaton is
+    entirely {e time-inert} (every location [Normal] with a true
+    invariant) on its side.  Condition (3) is what makes the
+    disconnected rest truly invisible: a component that cannot block
+    delay, has no committed priority, and shares nothing with the cone
+    cannot alter any reachable projection the query observes — see
+    DESIGN.md for the full argument. *)
+
+type t
+
+val analyse : Ta.Model.network -> t
+
+(** Automaton names in the query's cone, in declaration order.
+    Root resolution is conservative: a root name that matches nothing
+    (e.g. a variable no automaton touches) contributes no automata, and
+    the constant value argument covers it. *)
+val cone : t -> Mc.Query.t -> string list
+
+(** [same_component t a b] — automata [a] and [b] are connected in the
+    influence graph (exposed for tests). *)
+val same_component : t -> string -> string -> bool
+
+(** The automaton's component is entirely time-inert: every location of
+    every member is [Normal] with an empty invariant (exposed for
+    tests). *)
+val component_inert : t -> string -> bool
+
+(** [check ~old_net net q] decides the cone rung: [Ok ()] when the old
+    result for [q] may be returned unchanged, [Error reason]
+    otherwise.  Identical networks trivially pass. *)
+val check :
+  old_net:Ta.Model.network -> Ta.Model.network -> Mc.Query.t ->
+  (unit, string) result

@@ -1,0 +1,28 @@
+(** Seeded random model edits, shared by [bench/incr_bench.ml] and the
+    chaos test.  Each mutator is deterministic in the supplied
+    {!Random.State.t} and returns a well-formed network (the edit
+    classes are chosen so {!Ta.Model.validate} stays clean); [None]
+    when the network offers no site for that edit class. *)
+
+type edit = {
+  ed_desc : string;  (** human-readable, e.g. ["Pump guard t <= 5 -> 6"] *)
+  ed_net : Ta.Model.network;
+}
+
+(** Bump one clock-constraint constant (guard or invariant) by a small
+    signed amount — the paper's edit-one-constant workflow. *)
+val tweak_constant : Random.State.t -> Ta.Model.network -> edit option
+
+(** Flip one non-[Eq] comparison between strict and non-strict
+    ([<]/[<=], [>]/[>=]). *)
+val tweak_guard : Random.State.t -> Ta.Model.network -> edit option
+
+(** Add a disconnected, time-inert two-location automaton (no channels,
+    variables or clocks — declarations unchanged), or remove one added
+    earlier.  Exercises the automaton add/remove path of the cone. *)
+val toggle_inert : Random.State.t -> Ta.Model.network -> edit option
+
+(** One random edit drawn from the applicable classes above.
+    @raise Invalid_argument if no class applies (a network with no
+    clock constraints at all). *)
+val random_edit : Random.State.t -> Ta.Model.network -> edit

@@ -251,6 +251,10 @@ let describe t cd =
 
 let movers cd = cd.cd_movers
 
+let candidate ~movers ~chan = { cd_movers = movers; cd_chan = chan }
+
+let candidate_chan cd = cd.cd_chan
+
 (* [fire t pool st cd] applies candidate [cd] to [st].  The successor
    zone is taken from [pool]; candidates whose guard (or target
    invariant) empties the zone return their scratch matrix to the pool
@@ -307,6 +311,115 @@ let fire t pool st cd =
       else Some { st_locs = locs'; st_vars = vars'; st_mon = mon'; st_zone = z }
     end
   end
+
+(* [fire_pre] is [fire] with the successor zone additionally exposed as it
+   stood just {e before} extrapolation.  Everything up to that point —
+   guards, updates, monitor step, resets, activity reduction, invariants,
+   delay closure — depends only on the model structure, never on the
+   extrapolation constants, so a recorded pre-extrapolation zone stays
+   valid across edits that merely move a maximal constant; the delta
+   explorer re-applies the {e current} extrapolation at replay time.
+   Emptiness is decided before extrapolation (widening cannot empty a
+   non-empty canonical zone), so [Fired_dead] is extrapolation-independent
+   too. *)
+type fired =
+  | Fired_dead
+  | Fired_live of {
+      fl_state : state option;
+      fl_locs : int array;
+      fl_vars : int array;
+      fl_mon : int;
+      fl_pre : int array;
+    }
+
+let fire_pre t pool st cd =
+  let z = Zone.Dbm.Pool.copy pool st.st_zone in
+  let dead () =
+    Zone.Dbm.Pool.release pool z;
+    Fired_dead
+  in
+  List.iter (fun (_, ce) -> apply_dconstraints z ce.Compiled.ce_guard)
+    cd.cd_movers;
+  if Zone.Dbm.is_empty z then dead ()
+  else begin
+    let locs' = Array.copy st.st_locs in
+    List.iter (fun (ai, ce) -> locs'.(ai) <- ce.Compiled.ce_dst) cd.cd_movers;
+    let vars' =
+      List.fold_left
+        (fun vals (_, ce) ->
+          if ce.Compiled.ce_updates = [] then vals
+          else Compiled.apply_updates t.comp vals ce.Compiled.ce_updates)
+        st.st_vars cd.cd_movers
+    in
+    let mon', mon_resets =
+      match cd.cd_chan with
+      | None -> (st.st_mon, [])
+      | Some ch ->
+        (match t.mon_step.(ch).(st.st_mon) with
+         | Some (dst, resets) -> (dst, resets)
+         | None -> (st.st_mon, []))
+    in
+    List.iter
+      (fun (_, ce) -> List.iter (Zone.Dbm.reset z) ce.Compiled.ce_resets)
+      cd.cd_movers;
+    List.iter (Zone.Dbm.reset z) mon_resets;
+    free_inactive_monitor_clocks t mon' z;
+    List.iter
+      (fun (ai, ce) ->
+        free_inactive_automaton_clocks t ai ce.Compiled.ce_dst z)
+      cd.cd_movers;
+    apply_invariants t locs' z;
+    if Zone.Dbm.is_empty z then dead ()
+    else begin
+      if not (no_delay_present t locs') then begin
+        Zone.Dbm.up z;
+        apply_invariants t locs' z
+      end;
+      let fl_pre = Zone.Dbm.to_ints z in
+      if t.use_lu then Zone.Dbm.extrapolate_lu z t.lconsts t.uconsts
+      else Zone.Dbm.extrapolate z t.k;
+      let fl_state =
+        if Zone.Dbm.is_empty z then begin
+          Zone.Dbm.Pool.release pool z;
+          None
+        end
+        else
+          Some { st_locs = locs'; st_vars = vars'; st_mon = mon'; st_zone = z }
+      in
+      Fired_live
+        { fl_state; fl_locs = locs'; fl_vars = vars'; fl_mon = mon'; fl_pre }
+    end
+  end
+
+(* Replay counterpart of [fire_pre]: rebuild a recorded successor from its
+   pre-extrapolation zone and finish with {e this} explorer's
+   extrapolation, so the state comes out exactly as [fire] on the current
+   model would produce it. *)
+let admit_pre t ~locs ~vars ~mon ~pre =
+  let dim = t.comp.Compiled.c_nclocks + 1 in
+  let z = Zone.Dbm.of_ints ~dim pre in
+  if t.use_lu then Zone.Dbm.extrapolate_lu z t.lconsts t.uconsts
+  else Zone.Dbm.extrapolate z t.k;
+  if Zone.Dbm.is_empty z then None
+  else Some { st_locs = locs; st_vars = vars; st_mon = mon; st_zone = z }
+
+(* [admit_post] rebuilds a successor from its recorded post-extrapolation
+   zone verbatim — no extrapolation, no re-canonicalisation.  Sound only
+   when this explorer extrapolates exactly like the recording one
+   ({!same_extrapolation}): the recorded encoding then already is what
+   [admit_pre] would recompute from the pre zone.  A zero-length [post]
+   records a successor that extrapolation emptied. *)
+let admit_post t ~locs ~vars ~mon ~post =
+  if Array.length post = 0 then None
+  else
+    let dim = t.comp.Compiled.c_nclocks + 1 in
+    Some
+      { st_locs = locs; st_vars = vars; st_mon = mon;
+        st_zone = Zone.Dbm.of_ints ~dim post }
+
+let same_extrapolation a b =
+  a.use_lu = b.use_lu && a.k = b.k && a.lconsts = b.lconsts
+  && a.uconsts = b.uconsts
 
 (* --- transition enumeration ------------------------------------------ *)
 
@@ -402,6 +515,7 @@ type entry = {
   e_id : int;
   e_state : state;
   e_zhash : int;  (* Dbm.hash of the zone; used only when not subsuming *)
+  e_sum : int;  (* Dbm.weight of the zone; used only when subsuming *)
   mutable e_dead : bool;
 }
 
@@ -633,8 +747,8 @@ type search_result = {
    and must match on resume; [payload] is called at snapshot time to
    save the caller's accumulator (e.g. the running sup). *)
 let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
-    ?(subsume = true) ?ctl ?resume ?(label = "") ?(payload = fun () -> "")
-    t visit =
+    ?(subsume = true) ?expand ?ctl ?resume ?(label = "")
+    ?(payload = fun () -> "") t visit =
   let pool = fresh_pool t in
   let store : (int, pw_node list ref) Hashtbl.t = Hashtbl.create 4096 in
   (* trace side table: (parent, movers) per stored id, for witness
@@ -691,11 +805,19 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
       bucket := n :: !bucket;
       n
   in
+  (* The per-entry weight ({!Zone.Dbm.weight}, a scalar dominance
+     measure) prefilters both subsumption scans: an entry can cover the
+     newcomer only when at least as heavy, and be covered by it only
+     when no heavier — so most probes are an integer compare instead of
+     an O(dim^2) inclusion walk.  Scan {e decisions} are unchanged
+     (covered is an existence check, pruning removes a set). *)
   let add_state parent movers st =
     let node = node_for st in
     let zhash = if subsume then 0 else Zone.Dbm.hash st.st_zone in
+    let w = if subsume then Zone.Dbm.weight st.st_zone else 0 in
     let covered e =
-      if subsume then Zone.Dbm.includes e.e_state.st_zone st.st_zone
+      if subsume then
+        e.e_sum >= w && Zone.Dbm.includes e.e_state.st_zone st.st_zone
       else e.e_zhash = zhash && Zone.Dbm.equal e.e_state.st_zone st.st_zone
     in
     if List.exists covered node.pw_entries then begin
@@ -714,7 +836,10 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
           match l with
           | [] -> l
           | e :: rest ->
-            if Zone.Dbm.includes st.st_zone e.e_state.st_zone then begin
+            if
+              e.e_sum <= w
+              && Zone.Dbm.includes st.st_zone e.e_state.st_zone
+            then begin
               e.e_dead <- true;
               if e.e_id <> !expanding then
                 Zone.Dbm.Pool.release pool e.e_state.st_zone;
@@ -730,7 +855,9 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
       incr next_id;
       incr stored;
       record_trace id parent movers;
-      let e = { e_id = id; e_state = st; e_zhash = zhash; e_dead = false } in
+      let e =
+        { e_id = id; e_state = st; e_zhash = zhash; e_sum = w; e_dead = false }
+      in
       node.pw_entries <- e :: node.pw_entries;
       Queue.push e waiting;
       Some e
@@ -783,10 +910,9 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
                movers ))
        snap.snap_trace;
      let by_id = Hashtbl.create 4096 in
-     (* [snap_entries] was built by consing off each node's newest-first
-        list; consing again here restores the original per-node order
-        (order is semantically neutral, but keeping it makes a resumed
-        run bit-identical to an uninterrupted one) *)
+     (* entries were saved in reverse bucket order, so consing here
+        rebuilds each PW node's list bit-identically to the moment the
+        snapshot was taken *)
      List.iter
        (fun se ->
          let st =
@@ -794,8 +920,10 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
              st_zone = Zone.Dbm.of_ints ~dim:snap.snap_dim se.se_zone }
          in
          let zhash = if subsume then 0 else Zone.Dbm.hash st.st_zone in
+         let w = if subsume then Zone.Dbm.weight st.st_zone else 0 in
          let e =
-           { e_id = se.se_id; e_state = st; e_zhash = zhash; e_dead = false }
+           { e_id = se.se_id; e_state = st; e_zhash = zhash; e_sum = w;
+             e_dead = false }
          in
          Hashtbl.replace by_id se.se_id e;
          let node = node_for st in
@@ -831,20 +959,33 @@ let search ?(on_expanded = fun _ _ -> `Continue) ?(on_transition = fun _ -> ())
              pr_queue = Queue.length waiting }
        | Some _ | None -> ());
       expanding := e.e_id;
-      let cds = candidates t e.e_state in
       let successors = ref 0 in
-      List.iter
-        (fun cd ->
-          if !stopped = None then
-            match fire t pool e.e_state cd with
-            | None -> ()
-            | Some st ->
-              incr successors;
-              on_transition cd;
-              (match add_state e.e_id cd.cd_movers st with
-               | Some e' -> consider e'
-               | None -> ()))
-        cds;
+      let handle cd st =
+        incr successors;
+        on_transition cd;
+        match add_state e.e_id cd.cd_movers st with
+        | Some e' -> consider e'
+        | None -> ()
+      in
+      (match expand with
+       | None ->
+         List.iter
+           (fun cd ->
+             if !stopped = None then
+               match fire t pool e.e_state cd with
+               | None -> ()
+               | Some st -> handle cd st)
+           (candidates t e.e_state)
+       | Some f ->
+         (* an expansion override produces the whole (candidate,
+            successor) list up front; processing still honors [`Stop]
+            exactly like the inline path, so verdicts, counters and
+            callback order are byte-identical *)
+         List.iter
+           (fun (cd, succ) ->
+             if !stopped = None then
+               match succ with None -> () | Some st -> handle cd st)
+           (f pool e.e_state));
       if !stopped = None then
         match on_expanded e.e_state !successors with
         | `Stop -> stopped := Some e
@@ -924,9 +1065,9 @@ type reach_result = {
   r_interrupt : Runctl.reason option;
 }
 
-let reachable ?ctl t pred =
+let reachable ?expand ?ctl t pred =
   let visit st = if pred st then `Stop else `Continue in
-  let r = search ?ctl ~label:"reachable" t visit in
+  let r = search ?expand ?ctl ~label:"reachable" t visit in
   { r_trace = Option.map (describe_chain t) r.sr_chain;
     r_stats = r.sr_stats;
     r_interrupt = r.sr_interrupt }
@@ -950,7 +1091,7 @@ type sup_outcome = {
   so_snapshot : snapshot option;
 }
 
-let sup_clock ?ctl ?resume t ~pred ~clock =
+let sup_clock ?expand ?ctl ?resume t ~pred ~clock =
   let ci, ceiling = monitor_clock_info t clock in
   (* the running sup travels with the snapshot: on interrupt it is
      marshalled into the payload, on resume restored from it, so the
@@ -979,7 +1120,7 @@ let sup_clock ?ctl ?resume t ~pred ~clock =
   in
   let label = "sup:" ^ clock in
   let payload () = Marshal.to_string !best [] in
-  let r = search ?ctl ?resume ~label ~payload t update in
+  let r = search ?expand ?ctl ?resume ~label ~payload t update in
   { so_sup = !best;
     so_stats = r.sr_stats;
     so_interrupt = r.sr_interrupt;

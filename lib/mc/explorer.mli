@@ -129,6 +129,13 @@ val mon_in : t -> string -> state -> bool
     ({!Runctl.create}); without one, only the explorer's state limit
     applies. *)
 
+(** A candidate discrete transition out of a state: the moving edges in
+    update order plus the synchronising channel, precomputed by
+    {!candidates} (declared here because the [expand] hooks below name
+    it; the expansion engine itself lives at the end of this
+    interface). *)
+type candidate
+
 type reach_result = {
   r_trace : string list option;
       (** edge descriptions from the initial state, when found *)
@@ -139,8 +146,11 @@ type reach_result = {
           "unreachable" *)
 }
 
-(** [reachable t pred] is the UPPAAL query [E<> pred]. *)
-val reachable : ?ctl:Runctl.t -> t -> (state -> bool) -> reach_result
+(** [reachable t pred] is the UPPAAL query [E<> pred].  [expand]
+    overrides successor generation as in {!search}. *)
+val reachable :
+  ?expand:(Zone.Dbm.Pool.t -> state -> (candidate * state option) list) ->
+  ?ctl:Runctl.t -> t -> (state -> bool) -> reach_result
 
 (** [safe t pred] is [A[] not pred]: [Proved] when no reachable state
     satisfies [pred], [Refuted] with the witness trace otherwise,
@@ -175,6 +185,7 @@ type sup_outcome = {
     stored counts as an uninterrupted one.
     @raise Invalid_argument when the snapshot does not match. *)
 val sup_clock :
+  ?expand:(Zone.Dbm.Pool.t -> state -> (candidate * state option) list) ->
   ?ctl:Runctl.t -> ?resume:snapshot ->
   t -> pred:(state -> bool) -> clock:string -> sup_outcome
 
@@ -262,11 +273,6 @@ val state_limit : t -> int
     are single-domain: a parallel search creates one per worker. *)
 val fresh_pool : t -> Zone.Dbm.Pool.t
 
-(** A candidate discrete transition out of a state: the moving edges in
-    update order plus the synchronising channel, precomputed by
-    {!candidates}. *)
-type candidate
-
 (** All discrete transition candidates enabled in (the discrete part of)
     a state, in the deterministic enumeration order of the sequential
     search.  Zone satisfiability is {e not} checked here — {!fire}
@@ -280,9 +286,64 @@ val candidates : t -> state -> candidate list
     returned state's zone is owned by the caller. *)
 val fire : t -> Zone.Dbm.Pool.t -> state -> candidate -> state option
 
+(** The result of {!fire_pre}.  [Fired_dead] means the successor zone
+    emptied {e before} extrapolation — a fact independent of the
+    extrapolation constants.  [Fired_live] carries the successor's
+    discrete part, its zone as it stood just before extrapolation
+    ([fl_pre], {!Zone.Dbm.to_ints} encoding) and the ordinary {!fire}
+    result ([fl_state]; [None] only in the never-observed case of
+    extrapolation emptying the zone, kept for exact [fire] parity). *)
+type fired =
+  | Fired_dead
+  | Fired_live of {
+      fl_state : state option;
+      fl_locs : int array;
+      fl_vars : int array;
+      fl_mon : int;
+      fl_pre : int array;
+    }
+
+(** [fire] with the pre-extrapolation successor zone exposed — the
+    recording primitive of the incremental explorer ([Incr.Delta]).
+    Identical pipeline and zone results to {!fire}. *)
+val fire_pre : t -> Zone.Dbm.Pool.t -> state -> candidate -> fired
+
+(** [admit_pre t ~locs ~vars ~mon ~pre] rebuilds a successor recorded by
+    {!fire_pre}: decodes [pre], applies {e this} explorer's
+    extrapolation, and returns exactly what {!fire} would have — so a
+    replayed successor is byte-identical to a freshly fired one even
+    when the maximal constants moved between recording and replay. *)
+val admit_pre :
+  t -> locs:int array -> vars:int array -> mon:int -> pre:int array ->
+  state option
+
+(** [admit_post t ~locs ~vars ~mon ~post] rebuilds a successor from its
+    recorded {e post}-extrapolation zone, skipping extrapolation and the
+    O(n³) re-canonicalisation it entails.  Sound only when this
+    explorer's extrapolation equals the recording explorer's
+    ({!same_extrapolation}); the recorded encoding then already is
+    exactly what {!admit_pre} would recompute.  A zero-length [post]
+    denotes a successor extrapolation emptied, and yields [None]. *)
+val admit_post :
+  t -> locs:int array -> vars:int array -> mon:int -> post:int array ->
+  state option
+
+(** Whether two explorers extrapolate identically — same scheme
+    (k-norm vs LU) and equal per-clock constant tables — so zones
+    recorded under one admit verbatim under the other. *)
+val same_extrapolation : t -> t -> bool
+
 (** The moving edges of a candidate, as [(automaton index, edge)] pairs —
     the per-step payload of a witness chain. *)
 val movers : candidate -> (int * Ta.Compiled.cedge) list
+
+(** [candidate ~movers ~chan] rebuilds a candidate from its parts (the
+    replay counterpart of {!movers}/{!candidate_chan}); [chan] is the
+    synchronising channel index, [None] for internal moves. *)
+val candidate :
+  movers:(int * Ta.Compiled.cedge) list -> chan:int option -> candidate
+
+val candidate_chan : candidate -> int option
 
 (** Human-readable description of each step of a witness chain. *)
 val describe_chain :
@@ -368,11 +429,21 @@ type search_result = {
     equality instead of inclusion.  [label] names the query kind (must
     match on [resume]); [payload] saves the caller's accumulator into
     the snapshot.  All higher-level queries — sequential and the
-    [jobs = 1] parallel path — go through here. *)
+    [jobs = 1] parallel path — go through here.
+
+    [expand] overrides successor generation for one popped state: it
+    must return, in the enumeration order of {!candidates}, every
+    candidate that {!fire} would return a successor for, paired with
+    that successor ([None] pairs are permitted and skipped).  The loop
+    then runs the identical bookkeeping (visit order, subsumption,
+    counters, [`Stop] short-circuit) over the list, so a correct
+    override — e.g. the memoized replay of [Incr.Delta] — yields
+    byte-identical results and statistics to the inline path. *)
 val search :
   ?on_expanded:(state -> int -> [ `Stop | `Continue ]) ->
   ?on_transition:(candidate -> unit) ->
   ?subsume:bool ->
+  ?expand:(Zone.Dbm.Pool.t -> state -> (candidate * state option) list) ->
   ?ctl:Runctl.t ->
   ?resume:snapshot ->
   ?label:string ->

@@ -97,6 +97,7 @@ let recommended_jobs () = Domain.recommended_domain_count ()
 type entry = {
   p_id : int;
   p_state : Explorer.state;
+  p_sum : int;  (* Dbm.weight of the zone, prefilters subsumption probes *)
   p_parent : entry option;
   p_movers : (int * Compiled.cedge) list;
   p_score : int;
@@ -306,22 +307,32 @@ let run_parallel ~jobs ?ctl ?order ?resume ?snapshot_label
     in
     go nodes
   in
+  (* both subsumption scans prefilter on the scalar zone weight (a
+     dominance measure, see {!Zone.Dbm.weight}): an entry can cover the
+     newcomer only when at least as heavy, and be covered only when no
+     heavier, so most probes skip the O(dim^2) inclusion walk *)
   let covered_by entries (st : Explorer.state) =
+    let w = Zone.Dbm.weight st.Explorer.st_zone in
     List.exists
       (fun e ->
-        Zone.Dbm.includes e.p_state.Explorer.st_zone st.Explorer.st_zone)
+        e.p_sum >= w
+        && Zone.Dbm.includes e.p_state.Explorer.st_zone st.Explorer.st_zone)
       entries
   in
   (* survivors vs. entries the newcomer covers *)
   let split_killed entries (st : Explorer.state) =
+    let w = Zone.Dbm.weight st.Explorer.st_zone in
     List.partition
       (fun e ->
-        not (Zone.Dbm.includes st.Explorer.st_zone e.p_state.Explorer.st_zone))
+        e.p_sum > w
+        || not
+             (Zone.Dbm.includes st.Explorer.st_zone e.p_state.Explorer.st_zone))
       entries
   in
   let fresh_entry it =
     { p_id = Atomic.fetch_and_add next_id 1;
       p_state = it.c_state;
+      p_sum = Zone.Dbm.weight it.c_state.Explorer.st_zone;
       p_parent = it.c_parent;
       p_movers = it.c_movers;
       p_score = it.c_score;
@@ -660,6 +671,7 @@ let run_parallel ~jobs ?ctl ?order ?resume ?snapshot_label
           let e =
             { p_id = se.Explorer.se_id;
               p_state = st;
+              p_sum = Zone.Dbm.weight st.Explorer.st_zone;
               p_parent = None;
               p_movers = [];
               p_score = score_of st;

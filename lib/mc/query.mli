@@ -80,3 +80,9 @@ val pp_outcome : Format.formatter -> outcome -> unit
     {!Explorer.reachable} or {!Explorer.timed_trace}.
     @raise Not_found on unknown names. *)
 val compile_pred : Explorer.t -> pred -> Explorer.state -> bool
+
+(** The reserved clock name of the delay monitor {!eval} composes for
+    the timed queries — exposed so an alternative evaluation engine
+    (the incremental explorer) builds a monitor with the identical
+    fingerprint. *)
+val delay_monitor_clock : string

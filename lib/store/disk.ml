@@ -196,7 +196,12 @@ let fold ?(warn = default_warn) t ~init ~f =
         acc)
     init (entry_files t)
 
-type stats = { st_entries : int; st_corrupt : int; st_bytes : int }
+type stats = {
+  st_entries : int;
+  st_corrupt : int;
+  st_bytes : int;
+  st_corrupt_bytes : int;
+}
 
 let stats t =
   List.fold_left
@@ -207,8 +212,10 @@ let stats t =
       | Hit _ ->
         { acc with st_entries = acc.st_entries + 1; st_bytes = acc.st_bytes + bytes }
       | Miss | Corrupt _ | Unavailable _ ->
-        { acc with st_corrupt = acc.st_corrupt + 1; st_bytes = acc.st_bytes + bytes })
-    { st_entries = 0; st_corrupt = 0; st_bytes = 0 }
+        { acc with
+          st_corrupt = acc.st_corrupt + 1;
+          st_corrupt_bytes = acc.st_corrupt_bytes + bytes })
+    { st_entries = 0; st_corrupt = 0; st_bytes = 0; st_corrupt_bytes = 0 }
     (entry_files t)
 
 let gc t =

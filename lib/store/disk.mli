@@ -84,7 +84,9 @@ val fold :
 type stats = {
   st_entries : int;       (** well-formed entries *)
   st_corrupt : int;       (** unreadable [.psve] files *)
-  st_bytes : int;         (** total size of all [.psve] files *)
+  st_bytes : int;         (** total size of well-formed entries only *)
+  st_corrupt_bytes : int;
+      (** bytes held by unreadable files — what [gc] would reclaim *)
 }
 
 val stats : t -> stats

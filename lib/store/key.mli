@@ -26,3 +26,33 @@ val network_digest : Ta.Model.network -> D128.t
 val digest :
   ?tight:bool -> ?lu:bool -> ?reduce:bool -> query:string ->
   Ta.Model.network -> D128.t
+
+(** {1 psv-key-v2: per-automaton manifests}
+
+    The v1 key digests the whole printed network, so any edit moves
+    every key.  The v2 manifest splits the network into independently
+    digested parts — the global declarations (clocks, variables,
+    channels) and one digest per automaton — so the incremental layer
+    ({!Incr.Cone}) can tell {e which} automata an edit touched and
+    reuse results whose cone of influence avoids them.  v1 result keys
+    are unchanged: the manifest rides alongside, it does not replace
+    them. *)
+
+type manifest = {
+  mf_decls : D128.t;
+      (** digest of net name, clocks, variable declarations (name,
+          init, min, max) and channel declarations (name, kind) *)
+  mf_automata : (string * D128.t) list;
+      (** per-automaton digests over the canonical
+          {!Ta.Model.pp_automaton} text, in declaration order *)
+}
+
+(** [manifest net] computes the per-part digests under the
+    ["psv-key-v2"] schema. *)
+val manifest : Ta.Model.network -> manifest
+
+(** Single digest summarising a whole manifest (used by session
+    fingerprints and fsck). *)
+val manifest_digest : manifest -> D128.t
+
+val manifest_equal : manifest -> manifest -> bool

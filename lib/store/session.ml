@@ -1,0 +1,280 @@
+let magic_sess = "PSVSESS1"
+let magic_graph = "PSVGRAPH1"
+let schema = "psv-sess-v1"
+
+type t = {
+  ss_tag : string;
+  ss_query : string;
+  ss_net : string;
+  ss_result_key : D128.t;
+  ss_manifest : Key.manifest;
+}
+
+let session_key ~tag ~query =
+  let st = D128.builder () in
+  D128.add_string st schema;
+  D128.add_string st tag;
+  D128.add_string st query;
+  D128.value st
+
+let sess_name key = D128.to_hex key ^ ".psvs"
+let graph_name key = D128.to_hex key ^ ".psvg"
+let path disk name = Filename.concat (Disk.dir disk) name
+
+(* Same framing as PSVSTORE1 entries: magic, payload digest, payload
+   length, payload.  The digest is verified before the payload is
+   interpreted, so truncation and bit rot surface as [Error], never as
+   a parse crash (or, for graphs, a [Marshal] segfault). *)
+let frame magic payload =
+  Printf.sprintf "%s\n%s\n%d\n%s" magic
+    (D128.to_hex (D128.of_string payload))
+    (String.length payload) payload
+
+let unframe magic raw =
+  let ( let* ) = Result.bind in
+  let line_end from =
+    match String.index_from_opt raw from '\n' with
+    | Some i -> Ok i
+    | None -> Error "truncated header"
+  in
+  let* e1 = line_end 0 in
+  let* () =
+    if String.sub raw 0 e1 = magic then Ok () else Error "bad magic"
+  in
+  let* e2 = line_end (e1 + 1) in
+  let* digest =
+    match D128.of_hex (String.sub raw (e1 + 1) (e2 - e1 - 1)) with
+    | Some d -> Ok d
+    | None -> Error "bad payload digest line"
+  in
+  let* e3 = line_end (e2 + 1) in
+  let* len =
+    match int_of_string_opt (String.sub raw (e2 + 1) (e3 - e2 - 1)) with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error "bad payload length line"
+  in
+  let body_start = e3 + 1 in
+  let* () =
+    if String.length raw - body_start = len then Ok ()
+    else Error "payload length mismatch (truncated?)"
+  in
+  let payload = String.sub raw body_start len in
+  if D128.equal (D128.of_string payload) digest then Ok payload
+  else Error "payload digest mismatch"
+
+let read_raw p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publish via tmp + rename, mirroring [Disk.insert]. *)
+let tmp_counter = Atomic.make 0
+
+let write_raw disk name content =
+  let tmp =
+    Filename.concat (Disk.dir disk)
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+         (Atomic.fetch_and_add tmp_counter 1))
+  in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Unix.rename tmp (path disk name)
+  with
+  | () -> ()
+  | exception exn ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise exn
+
+let manifest_to_json (m : Key.manifest) =
+  Json.Obj
+    [
+      ("decls", Json.String (D128.to_hex m.Key.mf_decls));
+      ( "automata",
+        Json.List
+          (List.map
+             (fun (name, d) ->
+               Json.List [ Json.String name; Json.String (D128.to_hex d) ])
+             m.Key.mf_automata) );
+    ]
+
+let manifest_of_json j =
+  let ( let* ) = Option.bind in
+  let* decls = Json.member "decls" j in
+  let* decls = Json.to_str decls in
+  let* decls = D128.of_hex decls in
+  let* autos = Json.member "automata" j in
+  let* autos = Json.to_list autos in
+  let* autos =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Json.List [ Json.String name; Json.String hex ] ->
+          let* d = D128.of_hex hex in
+          Some ((name, d) :: acc)
+        | _ -> None)
+      (Some []) autos
+  in
+  Some { Key.mf_decls = decls; mf_automata = List.rev autos }
+
+let to_json s =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("tag", Json.String s.ss_tag);
+      ("query", Json.String s.ss_query);
+      ("net", Json.String s.ss_net);
+      ("result_key", Json.String (D128.to_hex s.ss_result_key));
+      ("manifest", manifest_to_json s.ss_manifest);
+    ]
+
+let of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* sc = str "schema" in
+  let* () = if sc = schema then Ok () else Error ("unknown schema " ^ sc) in
+  let* ss_tag = str "tag" in
+  let* ss_query = str "query" in
+  let* ss_net = str "net" in
+  let* key_hex = str "result_key" in
+  let* ss_result_key =
+    match D128.of_hex key_hex with
+    | Some k -> Ok k
+    | None -> Error "bad result_key"
+  in
+  let* ss_manifest =
+    match Option.bind (Json.member "manifest" j) manifest_of_json with
+    | Some m -> Ok m
+    | None -> Error "bad manifest"
+  in
+  Ok { ss_tag; ss_query; ss_net; ss_result_key; ss_manifest }
+
+let save disk s =
+  write_raw disk
+    (sess_name (session_key ~tag:s.ss_tag ~query:s.ss_query))
+    (frame magic_sess (Json.to_string (to_json s)))
+
+let load disk key =
+  let p = path disk (sess_name key) in
+  if not (Sys.file_exists p) then Error "no session"
+  else
+    match read_raw p with
+    | exception (Sys_error msg) -> Error msg
+    | raw ->
+      let ( let* ) = Result.bind in
+      let* payload = unframe magic_sess raw in
+      let* json = Json.parse payload in
+      of_json json
+
+let save_graph disk key blob =
+  write_raw disk (graph_name key) (frame magic_graph blob)
+
+let load_graph disk key =
+  let p = path disk (graph_name key) in
+  if not (Sys.file_exists p) then None
+  else
+    match read_raw p with
+    | exception (Sys_error _) -> None
+    | raw -> (
+      match unframe magic_graph raw with
+      | Ok payload -> Some payload
+      | Error _ -> None)
+
+let remove disk key =
+  List.iter
+    (fun name ->
+      try Sys.remove (path disk name) with Sys_error _ -> ())
+    [ sess_name key; graph_name key ]
+
+let files disk suffix =
+  match Sys.readdir (Disk.dir disk) with
+  | exception Sys_error _ -> []
+  | arr ->
+    Array.to_list arr
+    |> List.filter (fun f -> Filename.check_suffix f suffix)
+    |> List.sort String.compare
+
+let list disk = files disk ".psvs"
+
+type fsck = {
+  sk_ok : int;
+  sk_bad : (string * string) list;
+  sk_graphs : int;
+}
+
+(* A session passes fsck only if its stored manifest matches a fresh
+   recomputation from the stored network text — digest per automaton,
+   not just the roll-up — so a stale or hand-edited manifest is caught
+   even when the framing digest is internally consistent. *)
+let check_session disk file =
+  let ( let* ) = Result.bind in
+  let* raw =
+    match read_raw (path disk file) with
+    | raw -> Ok raw
+    | exception (Sys_error msg) -> Error msg
+  in
+  let* payload = unframe magic_sess raw in
+  let* json = Json.parse payload in
+  let* s = of_json json in
+  let* () =
+    if sess_name (session_key ~tag:s.ss_tag ~query:s.ss_query) = file then Ok ()
+    else Error "session key does not match file name"
+  in
+  let* net =
+    match Xta.Parse.network s.ss_net with
+    | Ok net -> Ok net
+    | Error msg -> Error ("stored network does not parse: " ^ msg)
+  in
+  if Key.manifest_equal (Key.manifest net) s.ss_manifest then Ok ()
+  else Error "manifest does not match recomputed per-automaton digests"
+
+let check_graph disk file =
+  match read_raw (path disk file) with
+  | exception (Sys_error msg) -> Error msg
+  | raw -> Result.map (fun _ -> ()) (unframe magic_graph raw)
+
+let fsck disk =
+  let acc =
+    List.fold_left
+      (fun acc file ->
+        match check_session disk file with
+        | Ok () -> { acc with sk_ok = acc.sk_ok + 1 }
+        | Error msg -> { acc with sk_bad = (file, msg) :: acc.sk_bad })
+      { sk_ok = 0; sk_bad = []; sk_graphs = 0 }
+      (list disk)
+  in
+  let acc =
+    List.fold_left
+      (fun acc file ->
+        match check_graph disk file with
+        | Ok () -> { acc with sk_graphs = acc.sk_graphs + 1 }
+        | Error msg -> { acc with sk_bad = (file, msg) :: acc.sk_bad })
+      acc (files disk ".psvg")
+  in
+  { acc with sk_bad = List.rev acc.sk_bad }
+
+let gc disk =
+  let removed = ref 0 in
+  let sweep suffix check =
+    List.iter
+      (fun file ->
+        match check disk file with
+        | Ok () -> ()
+        | Error _ -> (
+          try
+            Sys.remove (path disk file);
+            incr removed
+          with Sys_error _ -> ()))
+      (files disk suffix)
+  in
+  sweep ".psvs" check_session;
+  sweep ".psvg" check_graph;
+  !removed

@@ -161,6 +161,22 @@ let hash z =
     !h land max_int
   end
 
+(* Clamped sum of the encoded bounds: a dominance measure.  Clamping is
+   monotone and [Bound.infinity] (= [max_int]) is the only encoding
+   above the cap, so [includes a b] implies [weight a >= weight b], and
+   equal weights with pointwise dominance force the zones equal.  Used
+   by the explorer to order passed-list buckets so subsumption probes
+   scan only the entries that could possibly dominate. *)
+let weight_cap = 1 lsl 40
+
+let weight z =
+  let s = ref 0 in
+  for i = 0 to Array.length z.m - 1 do
+    let b = z.m.(i) in
+    s := !s + (if b > weight_cap then weight_cap else b)
+  done;
+  !s
+
 let to_ints z = Array.copy z.m
 
 let of_ints ~dim m =

@@ -64,6 +64,14 @@ val equal : t -> t -> bool
     be canonical.  O(dim^2). *)
 val hash : t -> int
 
+(** Clamped sum of the encoded bounds: a scalar dominance measure.
+    [includes a b] implies [weight a >= weight b], and equal weights
+    together with pointwise dominance force the zones equal — so a
+    collection ordered by descending weight confines subsumption probes
+    of a new zone to the at-least-as-heavy prefix (candidates to cover
+    it) and the strictly lighter suffix (candidates it covers). *)
+val weight : t -> int
+
 (** [to_ints z] is the raw encoded bound matrix, row-major, as a fresh
     array — the serialization counterpart of {!of_ints}.  The encoding
     is the internal one; treat it as opaque. *)

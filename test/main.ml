@@ -28,4 +28,6 @@ let () =
       ("chaos-store", Chaos_store.suite);
       ("chaos-serve", Chaos_serve.suite);
       ("sweep", Test_sweep.suite);
-      ("chaos-net", Chaos_net.suite) ]
+      ("chaos-net", Chaos_net.suite);
+      ("incr", Test_incr.suite);
+      ("chaos-incr", Chaos_incr.suite) ]

@@ -1,0 +1,550 @@
+(* Tests of the incremental re-verification subsystem: the psv-key-v2
+   manifest, the cone-of-influence decision, the delta record/replay
+   engine (byte-equality with from-scratch sequential runs is the hard
+   bar), the session ladder with its persistence, and the corrupt-bytes
+   split in the disk stats. *)
+
+module M = Ta.Model
+module Q = Mc.Query
+
+let tmp_counter = ref 0
+
+let with_store_dir f =
+  incr tmp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "psv_incr_test_%d_%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with _ -> ()) (fun () -> f dir)
+
+let query text =
+  match Q.parse text with
+  | Ok q -> q
+  | Error msg -> Alcotest.failf "bad query %S: %s" text msg
+
+(* --- the toy network --------------------------------------------------
+
+   Sender --c--> Receiver form one influence component (channel [c] and
+   the flag [v] Receiver writes and the query reads).  Idler is a
+   disconnected, time-inert component; Capped is a disconnected
+   component that constrains time (an invariant on its private clock
+   [y]), so edits to it must refuse the cone rung. *)
+
+let sender =
+  M.automaton ~name:"Sender" ~initial:"Idle"
+    [ M.location ~inv:[ Ta.Clockcons.le "x" 10 ] "Idle"; M.location "Work" ]
+    [ M.edge ~guard:[ Ta.Clockcons.ge "x" 2 ] ~sync:(M.Send "c")
+        ~resets:[ "x" ] "Idle" "Work";
+      M.edge ~guard:[ Ta.Clockcons.ge "x" 1 ] ~resets:[ "x" ] "Work" "Idle" ]
+
+let receiver =
+  M.automaton ~name:"Receiver" ~initial:"Wait"
+    [ M.location "Wait"; M.location "Busy" ]
+    [ M.edge ~sync:(M.Recv "c")
+        ~updates:[ ("v", Ta.Expr.int 1) ]
+        "Wait" "Busy";
+      M.edge "Busy" "Wait" ]
+
+let idler =
+  M.automaton ~name:"Idler" ~initial:"A"
+    [ M.location "A"; M.location "B" ]
+    [ M.edge "A" "B"; M.edge "B" "A" ]
+
+let capped =
+  M.automaton ~name:"Capped" ~initial:"Run"
+    [ M.location ~inv:[ Ta.Clockcons.le "y" 50 ] "Run" ]
+    [ M.edge ~guard:[ Ta.Clockcons.ge "y" 1 ] ~resets:[ "y" ] "Run" "Run" ]
+
+let toy_net =
+  M.network ~name:"toy" ~clocks:[ "x"; "y" ]
+    ~vars:[ ("v", M.flag ()) ]
+    ~channels:[ ("c", M.Binary) ]
+    [ sender; receiver; idler; capped ]
+
+(* An edit helper: replace one automaton wholesale. *)
+let with_automaton net name a = M.replace_automaton net name a
+
+let idler' =
+  (* same names, one edge fewer: digest moves, still inert *)
+  M.automaton ~name:"Idler" ~initial:"A"
+    [ M.location "A"; M.location "B" ]
+    [ M.edge "A" "B" ]
+
+let sender_tweaked =
+  M.automaton ~name:"Sender" ~initial:"Idle"
+    [ M.location ~inv:[ Ta.Clockcons.le "x" 10 ] "Idle"; M.location "Work" ]
+    [ M.edge ~guard:[ Ta.Clockcons.ge "x" 3 ] ~sync:(M.Send "c")
+        ~resets:[ "x" ] "Idle" "Work";
+      M.edge ~guard:[ Ta.Clockcons.ge "x" 1 ] ~resets:[ "x" ] "Work" "Idle" ]
+
+(* --- Store.Key v2 manifest -------------------------------------------- *)
+
+let test_manifest () =
+  let m = Store.Key.manifest toy_net in
+  Alcotest.(check int) "one digest per automaton" 4
+    (List.length m.Store.Key.mf_automata);
+  Alcotest.(check bool) "self-equal" true (Store.Key.manifest_equal m m);
+  (* editing one automaton moves exactly its digest *)
+  let m' = Store.Key.manifest (with_automaton toy_net "Idler" idler') in
+  Alcotest.(check bool) "decls digest stable" true
+    (Store.D128.equal m.Store.Key.mf_decls m'.Store.Key.mf_decls);
+  List.iter2
+    (fun (name, d) (name', d') ->
+      Alcotest.(check string) "same automaton order" name name';
+      Alcotest.(check bool)
+        (Printf.sprintf "digest of %s %s" name
+           (if name = "Idler" then "moves" else "stays"))
+        (name <> "Idler")
+        (Store.D128.equal d d'))
+    m.Store.Key.mf_automata m'.Store.Key.mf_automata;
+  (* a declaration change moves the decls digest *)
+  let net_decl =
+    M.network ~name:"toy" ~clocks:[ "x"; "y" ]
+      ~vars:[ ("v", M.flag ()); ("w", M.flag ()) ]
+      ~channels:[ ("c", M.Binary) ]
+      [ sender; receiver; idler; capped ]
+  in
+  let md = Store.Key.manifest net_decl in
+  Alcotest.(check bool) "decls digest moves" false
+    (Store.D128.equal m.Store.Key.mf_decls md.Store.Key.mf_decls);
+  Alcotest.(check bool) "manifest_digest separates" false
+    (Store.D128.equal
+       (Store.Key.manifest_digest m)
+       (Store.Key.manifest_digest md))
+
+(* --- cone ------------------------------------------------------------- *)
+
+let test_cone_components () =
+  let t = Incr.Cone.analyse toy_net in
+  Alcotest.(check bool) "channel links Sender-Receiver" true
+    (Incr.Cone.same_component t "Sender" "Receiver");
+  Alcotest.(check bool) "Idler disconnected" false
+    (Incr.Cone.same_component t "Sender" "Idler");
+  Alcotest.(check bool) "Capped disconnected" false
+    (Incr.Cone.same_component t "Receiver" "Capped");
+  Alcotest.(check bool) "Idler inert" true (Incr.Cone.component_inert t "Idler");
+  Alcotest.(check bool) "Capped not inert" false
+    (Incr.Cone.component_inert t "Capped");
+  Alcotest.(check bool) "Sender component not inert (invariant)" false
+    (Incr.Cone.component_inert t "Sender")
+
+let test_cone_channel_chain () =
+  (* A -c1-> B -c2-> C: transitively one component, D apart. *)
+  let auto name edges locs = M.automaton ~name ~initial:"I" locs edges in
+  let a =
+    auto "A"
+      [ M.edge ~sync:(M.Send "c1") "I" "I" ]
+      [ M.location "I" ]
+  and b =
+    auto "B"
+      [ M.edge ~sync:(M.Recv "c1") "I" "J"; M.edge ~sync:(M.Send "c2") "J" "I" ]
+      [ M.location "I"; M.location "J" ]
+  and c =
+    auto "C"
+      [ M.edge ~sync:(M.Recv "c2") "I" "I" ]
+      [ M.location "I" ]
+  and d = auto "D" [ M.edge "I" "I" ] [ M.location "I" ] in
+  let net =
+    M.network ~name:"chain" ~clocks:[] ~vars:[]
+      ~channels:[ ("c1", M.Binary); ("c2", M.Binary) ]
+      [ a; b; c; d ]
+  in
+  let t = Incr.Cone.analyse net in
+  Alcotest.(check bool) "A-C linked through B" true
+    (Incr.Cone.same_component t "A" "C");
+  Alcotest.(check (list string)) "cone of E<> A.I" [ "A"; "B"; "C" ]
+    (Incr.Cone.cone t (query "E<> A.I"));
+  Alcotest.(check (list string)) "cone of a D query" [ "D" ]
+    (Incr.Cone.cone t (query "E<> D.I"))
+
+let test_cone_var_aliasing () =
+  (* No channels: W writes [v], R reads it in a guard — shared-variable
+     aliasing must link them. *)
+  let w =
+    M.automaton ~name:"W" ~initial:"I"
+      [ M.location "I" ]
+      [ M.edge ~updates:[ ("v", Ta.Expr.int 1) ] "I" "I" ]
+  and r =
+    M.automaton ~name:"R" ~initial:"I"
+      [ M.location "I"; M.location "J" ]
+      [ M.edge ~pred:(Ta.Expr.var_eq "v" 1) "I" "J" ]
+  in
+  let net =
+    M.network ~name:"alias" ~clocks:[]
+      ~vars:[ ("v", M.flag ()) ]
+      ~channels:[] [ w; r ]
+  in
+  let t = Incr.Cone.analyse net in
+  Alcotest.(check bool) "aliased" true (Incr.Cone.same_component t "W" "R");
+  Alcotest.(check (list string)) "v-query cone covers both" [ "W"; "R" ]
+    (Incr.Cone.cone t (query "E<> v == 1"))
+
+let test_cone_check () =
+  let q = query "E<> Receiver.Busy" in
+  let ok = function
+    | Ok () -> true
+    | Error _ -> false
+  in
+  (* identical nets trivially hit *)
+  Alcotest.(check bool) "identical nets hit" true
+    (ok (Incr.Cone.check ~old_net:toy_net toy_net q));
+  (* inert disconnected edit hits *)
+  Alcotest.(check bool) "Idler edit hits" true
+    (ok
+       (Incr.Cone.check ~old_net:toy_net
+          (with_automaton toy_net "Idler" idler')
+          q));
+  (* removing the inert automaton hits too *)
+  let removed =
+    { toy_net with
+      M.net_automata =
+        List.filter
+          (fun (a : M.automaton) -> a.M.aut_name <> "Idler")
+          toy_net.M.net_automata }
+  in
+  Alcotest.(check bool) "Idler removal hits" true
+    (ok (Incr.Cone.check ~old_net:toy_net removed q));
+  (* an edit inside the cone misses *)
+  Alcotest.(check bool) "Sender edit misses" false
+    (ok
+       (Incr.Cone.check ~old_net:toy_net
+          (with_automaton toy_net "Sender" sender_tweaked)
+          q));
+  (* an edit in a time-constraining component misses even though it is
+     outside the cone *)
+  let capped' =
+    M.automaton ~name:"Capped" ~initial:"Run"
+      [ M.location ~inv:[ Ta.Clockcons.le "y" 40 ] "Run" ]
+      [ M.edge ~guard:[ Ta.Clockcons.ge "y" 1 ] ~resets:[ "y" ] "Run" "Run" ]
+  in
+  Alcotest.(check bool) "Capped edit misses (time)" false
+    (ok
+       (Incr.Cone.check ~old_net:toy_net
+          (with_automaton toy_net "Capped" capped')
+          q));
+  (* a declaration change misses *)
+  let net_decl =
+    M.network ~name:"toy" ~clocks:[ "x"; "y"; "z" ]
+      ~vars:[ ("v", M.flag ()) ]
+      ~channels:[ ("c", M.Binary) ]
+      [ sender; receiver; idler; capped ]
+  in
+  Alcotest.(check bool) "decl change misses" false
+    (ok (Incr.Cone.check ~old_net:toy_net net_decl q))
+
+(* --- delta record/replay ---------------------------------------------- *)
+
+let result_json (r : Q.result) =
+  Store.Json.to_string
+    (Store.Json.Obj
+       [ ("outcome",
+          Store.Entry.outcome_to_json
+            (Analysis.Qcache.outcome_to_entry r.Q.res_outcome));
+         ("stats",
+          Store.Entry.stats_to_json
+            (Analysis.Qcache.stats_to_entry r.Q.res_stats)) ])
+
+let check_scratch_equal label net q (r : Q.result) =
+  let scratch = Q.eval ~jobs:1 net q in
+  Alcotest.(check string) label (result_json scratch) (result_json r)
+
+let test_delta_record_matches_scratch () =
+  List.iter
+    (fun qtext ->
+      let q = query qtext in
+      let run = Incr.Delta.record toy_net q in
+      check_scratch_equal ("record " ^ qtext) toy_net q run.Incr.Delta.dr_result;
+      Alcotest.(check bool) ("graph nonempty " ^ qtext) true
+        (Incr.Delta.size run.Incr.Delta.dr_graph > 0))
+    [ "E<> Receiver.Busy"; "A[] v == 0"; "A[] not Sender.Work" ]
+
+let test_delta_replay_identical_net () =
+  let q = query "A[] v == 0" in
+  let base = Incr.Delta.record toy_net q in
+  match
+    Incr.Delta.replay ~old_net:toy_net ~graph:base.Incr.Delta.dr_graph toy_net q
+  with
+  | Error msg -> Alcotest.failf "identical-net replay refused: %s" msg
+  | Ok run ->
+    check_scratch_equal "identical replay" toy_net q run.Incr.Delta.dr_result;
+    Alcotest.(check int) "no real expansions" 0 run.Incr.Delta.dr_expanded;
+    Alcotest.(check bool) "everything replayed" true
+      (run.Incr.Delta.dr_replayed > 0)
+
+let test_delta_replay_after_edit () =
+  let q = query "E<> Receiver.Busy" in
+  let base = Incr.Delta.record toy_net q in
+  let edited = with_automaton toy_net "Sender" sender_tweaked in
+  match
+    Incr.Delta.replay ~old_net:toy_net ~graph:base.Incr.Delta.dr_graph edited q
+  with
+  | Error msg -> Alcotest.failf "edited replay refused: %s" msg
+  | Ok run ->
+    check_scratch_equal "edited replay" edited q run.Incr.Delta.dr_result
+
+let test_delta_fallback_triggers () =
+  let q = query "E<> Receiver.Busy" in
+  let base = Incr.Delta.record toy_net q in
+  let refused net =
+    match
+      Incr.Delta.replay ~old_net:toy_net ~graph:base.Incr.Delta.dr_graph net q
+    with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  (* added clock *)
+  Alcotest.(check bool) "clock added refused" true
+    (refused
+       (M.network ~name:"toy" ~clocks:[ "x"; "y"; "z" ]
+          ~vars:[ ("v", M.flag ()) ]
+          ~channels:[ ("c", M.Binary) ]
+          [ sender; receiver; idler; capped ]));
+  (* added automaton *)
+  Alcotest.(check bool) "automaton added refused" true
+    (refused
+       (M.add_automata toy_net
+          [ M.automaton ~name:"Extra" ~initial:"I"
+              [ M.location "I" ]
+              [ M.edge "I" "I" ] ]));
+  (* urgency added *)
+  let urgent_idler =
+    M.automaton ~name:"Idler" ~initial:"A"
+      [ M.location "A"; M.location ~kind:M.Urgent "B" ]
+      [ M.edge "A" "B"; M.edge "B" "A" ]
+  in
+  Alcotest.(check bool) "urgency added refused" true
+    (refused (with_automaton toy_net "Idler" urgent_idler));
+  (* wrong graph: different query *)
+  (match
+     Incr.Delta.replay ~old_net:toy_net ~graph:base.Incr.Delta.dr_graph toy_net
+       (query "A[] v == 0")
+   with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "foreign query accepted")
+
+let test_graph_codec () =
+  let q = query "A[] v == 0" in
+  let run = Incr.Delta.record toy_net q in
+  let blob = Incr.Delta.encode run.Incr.Delta.dr_graph in
+  (match Incr.Delta.decode blob with
+   | Ok g ->
+     Alcotest.(check int) "size round-trips"
+       (Incr.Delta.size run.Incr.Delta.dr_graph)
+       (Incr.Delta.size g)
+   | Error msg -> Alcotest.failf "decode failed: %s" msg);
+  (match Incr.Delta.decode "garbage" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "decoded garbage")
+
+(* --- sup-query delta --------------------------------------------------- *)
+
+(* Sender->Receiver delay: trigger [c], response [d] (Receiver's
+   acknowledgement), so the timed queries run with a monitor. *)
+let timed_receiver =
+  M.automaton ~name:"Receiver" ~initial:"Wait"
+    [ M.location ~inv:[ Ta.Clockcons.le "r" 7 ] "Busy"; M.location "Wait" ]
+    [ M.edge ~sync:(M.Recv "c") ~resets:[ "r" ]
+        ~updates:[ ("v", Ta.Expr.int 1) ]
+        "Wait" "Busy";
+      M.edge ~guard:[ Ta.Clockcons.ge "r" 3 ] ~sync:(M.Send "d") "Busy" "Wait" ]
+
+let timed_net =
+  M.network ~name:"timed" ~clocks:[ "x"; "r" ]
+    ~vars:[ ("v", M.flag ()) ]
+    ~channels:[ ("c", M.Binary); ("d", M.Broadcast) ]
+    [ sender; timed_receiver ]
+
+let test_delta_sup_query () =
+  let q = query "sup: c -> d ceiling 100" in
+  let run = Incr.Delta.record timed_net q in
+  check_scratch_equal "sup record" timed_net q run.Incr.Delta.dr_result;
+  (* constant edit inside the receiver, then replay *)
+  let receiver' =
+    M.automaton ~name:"Receiver" ~initial:"Wait"
+      [ M.location ~inv:[ Ta.Clockcons.le "r" 9 ] "Busy"; M.location "Wait" ]
+      [ M.edge ~sync:(M.Recv "c") ~resets:[ "r" ]
+          ~updates:[ ("v", Ta.Expr.int 1) ]
+          "Wait" "Busy";
+        M.edge ~guard:[ Ta.Clockcons.ge "r" 3 ] ~sync:(M.Send "d") "Busy"
+          "Wait" ]
+  in
+  let edited = with_automaton timed_net "Receiver" receiver' in
+  match
+    Incr.Delta.replay ~old_net:timed_net ~graph:run.Incr.Delta.dr_graph edited q
+  with
+  | Error msg -> Alcotest.failf "sup replay refused: %s" msg
+  | Ok r2 ->
+    check_scratch_equal "sup replay" edited q r2.Incr.Delta.dr_result;
+    (* bounded: same monitor, different ladder *)
+    let qb = query "bounded: c -> d within 20" in
+    let rb = Incr.Delta.record edited qb in
+    check_scratch_equal "bounded record" edited qb rb.Incr.Delta.dr_result
+
+(* --- session ladder ---------------------------------------------------- *)
+
+let test_session_ladder () =
+  with_store_dir (fun dir ->
+      let disk =
+        match Store.Disk.open_ dir with
+        | Ok d -> d
+        | Error msg -> Alcotest.failf "open store: %s" msg
+      in
+      let cache = Analysis.Qcache.make disk in
+      let sess = Incr.Session.make ~cache ~tag:"test-toy" () in
+      let q = query "E<> Receiver.Busy" in
+      let o1 = Incr.Session.run sess toy_net q in
+      Alcotest.(check string) "cold run answers on the full rung" "full"
+        (Incr.Session.rung_name o1.Incr.Session.so_rung);
+      check_scratch_equal "full result" toy_net q o1.Incr.Session.so_result;
+      (* identical rerun: store rung *)
+      let o2 = Incr.Session.run sess toy_net q in
+      Alcotest.(check string) "identical rerun hits the store" "store"
+        (Incr.Session.rung_name o2.Incr.Session.so_rung);
+      (* invisible edit: cone rung *)
+      let inert_edit = with_automaton toy_net "Idler" idler' in
+      let o3 = Incr.Session.run sess inert_edit q in
+      Alcotest.(check string) "invisible edit hits the cone" "cone"
+        (Incr.Session.rung_name o3.Incr.Session.so_rung);
+      Alcotest.(check string) "cone returns the cached verdict"
+        (result_json o1.Incr.Session.so_result)
+        (result_json o3.Incr.Session.so_result);
+      (* visible constant edit: delta rung, scratch-identical *)
+      let edited = with_automaton toy_net "Sender" sender_tweaked in
+      let o4 = Incr.Session.run sess edited q in
+      Alcotest.(check string) "visible edit re-explores on delta" "delta"
+        (Incr.Session.rung_name o4.Incr.Session.so_rung);
+      check_scratch_equal "delta result" edited q o4.Incr.Session.so_result;
+      (* rung counters surfaced through the cache stats *)
+      let cone, delta, full = Analysis.Qcache.rung_counts cache in
+      Alcotest.(check (list int)) "rung counters" [ 1; 1; 1 ]
+        [ cone; delta; full ];
+      (match
+         Store.Json.member "incr" (Analysis.Qcache.stats_json cache)
+       with
+       | Some (Store.Json.Obj _) -> ()
+       | _ -> Alcotest.fail "stats_json lacks the incr object"))
+
+let test_session_persistence () =
+  with_store_dir (fun dir ->
+      let disk =
+        match Store.Disk.open_ dir with
+        | Ok d -> d
+        | Error msg -> Alcotest.failf "open store: %s" msg
+      in
+      let cache = Analysis.Qcache.make disk in
+      let q = query "A[] v == 0" in
+      let sess1 = Incr.Session.make ~cache ~tag:"persist" () in
+      let _ = Incr.Session.run sess1 toy_net q in
+      (* a new session (fresh process, same store) resumes the ladder *)
+      let sess2 = Incr.Session.make ~cache ~tag:"persist" () in
+      let edited = with_automaton toy_net "Sender" sender_tweaked in
+      let o = Incr.Session.run sess2 edited q in
+      Alcotest.(check string) "fresh session replays from disk" "delta"
+        (Incr.Session.rung_name o.Incr.Session.so_rung);
+      check_scratch_equal "persisted delta result" edited q
+        o.Incr.Session.so_result;
+      (* session files verify *)
+      let fsck = Store.Session.fsck disk in
+      Alcotest.(check int) "one good session" 1 fsck.Store.Session.sk_ok;
+      Alcotest.(check int) "one good graph" 1 fsck.Store.Session.sk_graphs;
+      Alcotest.(check (list (pair string string))) "no bad session files" []
+        fsck.Store.Session.sk_bad)
+
+let test_session_fsck_catches_corruption () =
+  with_store_dir (fun dir ->
+      let disk =
+        match Store.Disk.open_ dir with
+        | Ok d -> d
+        | Error msg -> Alcotest.failf "open store: %s" msg
+      in
+      let cache = Analysis.Qcache.make disk in
+      let sess = Incr.Session.make ~cache ~tag:"corrupt" () in
+      let _ = Incr.Session.run sess toy_net (query "A[] v == 0") in
+      let sessions = Store.Session.list disk in
+      Alcotest.(check int) "one session file" 1 (List.length sessions);
+      let path = Filename.concat dir (List.hd sessions) in
+      let oc = open_out_bin path in
+      output_string oc "PSVSESS1\ndeadbeef\n0\n";
+      close_out oc;
+      let fsck = Store.Session.fsck disk in
+      Alcotest.(check int) "no good sessions" 0 fsck.Store.Session.sk_ok;
+      Alcotest.(check bool) "corruption reported" true
+        (fsck.Store.Session.sk_bad <> []);
+      let removed = Store.Session.gc disk in
+      Alcotest.(check int) "gc removes the bad session" 1 removed;
+      let fsck' = Store.Session.fsck disk in
+      Alcotest.(check (list (pair string string))) "clean after gc" []
+        fsck'.Store.Session.sk_bad)
+
+(* --- disk stats corrupt-bytes split ------------------------------------ *)
+
+let test_stats_corrupt_bytes () =
+  with_store_dir (fun dir ->
+      let disk =
+        match Store.Disk.open_ dir with
+        | Ok d -> d
+        | Error msg -> Alcotest.failf "open store: %s" msg
+      in
+      let entry key =
+        { Store.Entry.en_key = key;
+          en_query = "E<> true";
+          en_outcome = Store.Entry.Holds;
+          en_stats = { Store.Entry.visited = 1; stored = 1; frontier = 0 };
+          en_budget = Store.Entry.unlimited;
+          en_prov =
+            { Store.Entry.pv_tool = "test";
+              pv_jobs = 1;
+              pv_wall_ms = 0.;
+              pv_created = 0. } }
+      in
+      let k1 = Store.D128.of_string "one" and k2 = Store.D128.of_string "two" in
+      Store.Disk.insert disk (entry k1);
+      Store.Disk.insert disk (entry k2);
+      let s0 = Store.Disk.stats disk in
+      Alcotest.(check int) "two entries" 2 s0.Store.Disk.st_entries;
+      Alcotest.(check int) "no corrupt bytes yet" 0
+        s0.Store.Disk.st_corrupt_bytes;
+      (* smash one entry *)
+      let victim = Filename.concat dir (Store.D128.to_hex k2 ^ ".psve") in
+      let garbage = String.make 100 'x' in
+      let oc = open_out_bin victim in
+      output_string oc garbage;
+      close_out oc;
+      let s = Store.Disk.stats disk in
+      Alcotest.(check int) "one well-formed" 1 s.Store.Disk.st_entries;
+      Alcotest.(check int) "one corrupt" 1 s.Store.Disk.st_corrupt;
+      Alcotest.(check int) "corrupt bytes separated" 100
+        s.Store.Disk.st_corrupt_bytes;
+      Alcotest.(check bool) "good bytes exclude the corrupt file" true
+        (s.Store.Disk.st_bytes < s0.Store.Disk.st_bytes))
+
+let suite =
+  [ Alcotest.test_case "key-v2 manifest" `Quick test_manifest;
+    Alcotest.test_case "cone components" `Quick test_cone_components;
+    Alcotest.test_case "cone channel chain" `Quick test_cone_channel_chain;
+    Alcotest.test_case "cone var aliasing" `Quick test_cone_var_aliasing;
+    Alcotest.test_case "cone check" `Quick test_cone_check;
+    Alcotest.test_case "delta record = scratch" `Quick
+      test_delta_record_matches_scratch;
+    Alcotest.test_case "delta replay identical net" `Quick
+      test_delta_replay_identical_net;
+    Alcotest.test_case "delta replay after edit" `Quick
+      test_delta_replay_after_edit;
+    Alcotest.test_case "delta fallback triggers" `Quick
+      test_delta_fallback_triggers;
+    Alcotest.test_case "graph codec" `Quick test_graph_codec;
+    Alcotest.test_case "delta sup queries" `Quick test_delta_sup_query;
+    Alcotest.test_case "session ladder" `Quick test_session_ladder;
+    Alcotest.test_case "session persistence" `Quick test_session_persistence;
+    Alcotest.test_case "session fsck" `Quick
+      test_session_fsck_catches_corruption;
+    Alcotest.test_case "stats corrupt bytes" `Quick test_stats_corrupt_bytes ]
