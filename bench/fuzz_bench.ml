@@ -1,0 +1,138 @@
+(* Differential-fuzzing throughput benchmark: generate a seeded corpus
+   round-robin over the four shapes, run the full oracle on every
+   instance, and write BENCH_fuzz.json (instances/sec overall and per
+   shape, wall-time breakdown, discrepancy count).  Exits 1 on any
+   discrepancy — the bench doubles as a long-running self-check — or
+   when --min-rate is given and the overall throughput falls below it.
+
+   Usage: fuzz_bench [--count N] [--seed N] [--jobs N] [--scenarios N]
+                     [--min-rate R] [-o FILE] *)
+
+let shapes = Diff.Gen.all_shapes
+
+type shape_row = {
+  mutable sr_count : int;
+  mutable sr_ms : float;
+  mutable sr_sup_min : int;
+  mutable sr_sup_max : int;
+  mutable sr_discrepant : int;
+}
+
+let () =
+  let count = ref 400
+  and seed = ref 42
+  and jobs = ref 2
+  and scenarios = ref 2
+  and min_rate = ref 0.
+  and out = ref "BENCH_fuzz.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--count" :: v :: rest -> count := int_of_string v; parse rest
+    | "--seed" :: v :: rest -> seed := int_of_string v; parse rest
+    | "--jobs" :: v :: rest -> jobs := int_of_string v; parse rest
+    | "--scenarios" :: v :: rest -> scenarios := int_of_string v; parse rest
+    | "--min-rate" :: v :: rest -> min_rate := float_of_string v; parse rest
+    | "-o" :: v :: rest -> out := v; parse rest
+    | arg :: _ ->
+      Printf.eprintf "fuzz_bench: unknown argument %s\n" arg;
+      exit 3
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !count <= 0 then begin
+    Printf.eprintf "fuzz_bench: --count must be positive\n";
+    exit 3
+  end;
+  let cfg =
+    { Diff.Oracle.default with
+      Diff.Oracle.jobs = !jobs;
+      scenarios = !scenarios }
+  in
+  let rows =
+    List.map
+      (fun s ->
+        ( s,
+          { sr_count = 0; sr_ms = 0.; sr_sup_min = max_int; sr_sup_max = 0;
+            sr_discrepant = 0 } ))
+      shapes
+  in
+  let nshapes = List.length shapes in
+  let discrepancies = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for index = 0 to !count - 1 do
+    let shape = List.nth shapes (index mod nshapes) in
+    let inst = Diff.Gen.instance ~seed:!seed ~index shape in
+    let v = Diff.Oracle.run cfg inst in
+    let row = List.assoc shape rows in
+    row.sr_count <- row.sr_count + 1;
+    row.sr_ms <- row.sr_ms +. v.Diff.Oracle.v_wall_ms;
+    (match v.Diff.Oracle.v_sup with
+    | Some s ->
+      row.sr_sup_min <- min row.sr_sup_min s;
+      row.sr_sup_max <- max row.sr_sup_max s
+    | None -> ());
+    if v.Diff.Oracle.v_discrepancies <> [] then begin
+      row.sr_discrepant <- row.sr_discrepant + 1;
+      incr discrepancies;
+      List.iter
+        (fun d ->
+          Printf.eprintf "fuzz_bench: %s DISCREPANCY [%s] %s\n"
+            v.Diff.Oracle.v_id
+            (Diff.Oracle.check_name d.Diff.Oracle.d_check)
+            d.Diff.Oracle.d_detail)
+        v.Diff.Oracle.v_discrepancies
+    end
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let rate = float_of_int !count /. wall_s in
+  let shape_json (s, r) =
+    Store.Json.Obj
+      [ ("shape", Store.Json.String (Diff.Gen.shape_name s));
+        ("instances", Store.Json.Int r.sr_count);
+        ("wall_ms", Store.Json.Float r.sr_ms);
+        ( "rate_per_s",
+          Store.Json.Float
+            (if r.sr_ms > 0. then 1000. *. float_of_int r.sr_count /. r.sr_ms
+             else 0.) );
+        ( "sup_min",
+          if r.sr_sup_min = max_int then Store.Json.Null
+          else Store.Json.Int r.sr_sup_min );
+        ("sup_max", Store.Json.Int r.sr_sup_max);
+        ("discrepant", Store.Json.Int r.sr_discrepant) ]
+  in
+  let doc =
+    Store.Json.Obj
+      [ ("count", Store.Json.Int !count);
+        ("seed", Store.Json.Int !seed);
+        ("jobs", Store.Json.Int !jobs);
+        ("scenarios", Store.Json.Int !scenarios);
+        ("wall_s", Store.Json.Float wall_s);
+        ("rate_per_s", Store.Json.Float rate);
+        ("discrepancies", Store.Json.Int !discrepancies);
+        ("shapes", Store.Json.List (List.map shape_json rows)) ]
+  in
+  let oc = open_out !out in
+  output_string oc (Store.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  List.iter
+    (fun (s, r) ->
+      Printf.printf
+        "%-12s %4d instances  %7.1f ms  %7.1f/s  sup [%s, %d]  %d discrepant\n"
+        (Diff.Gen.shape_name s) r.sr_count r.sr_ms
+        (if r.sr_ms > 0. then 1000. *. float_of_int r.sr_count /. r.sr_ms
+         else 0.)
+        (if r.sr_sup_min = max_int then "-" else string_of_int r.sr_sup_min)
+        r.sr_sup_max r.sr_discrepant)
+    rows;
+  Printf.printf "%d instances in %.1fs (%.1f/s), %d discrepant\nwrote %s\n"
+    !count wall_s rate !discrepancies !out;
+  if !discrepancies > 0 then begin
+    Printf.eprintf "fuzz_bench: %d discrepanc%s\n" !discrepancies
+      (if !discrepancies = 1 then "y" else "ies");
+    exit 1
+  end;
+  if !min_rate > 0. && rate < !min_rate then begin
+    Printf.eprintf "fuzz_bench: rate gate violated: %.1f/s < %.1f/s\n" rate
+      !min_rate;
+    exit 1
+  end

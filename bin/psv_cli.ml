@@ -1464,6 +1464,304 @@ let simulate_cmd =
              optionally under an injected fault profile.")
     Term.(const run $ seed_arg $ scenarios_arg $ faults_arg $ fault_seed_arg)
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count"; "n" ] ~docv:"N"
+             ~doc:"Number of instances to generate and cross-check \
+                   (default 100).")
+  in
+  (* deliberately NOT check_jobs-clamped: the parallel answerer is under
+     test for determinism, not speed, and must run at the requested
+     domain count even on a single-core host *)
+  let fuzz_jobs_arg =
+    Arg.(value & opt int 2
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domain count of the parallel answerer (default 2).  \
+                   Unlike the other commands this is not clamped to the \
+                   host's cores: the point is cross-checking verdict \
+                   determinism, not throughput.")
+  in
+  let shapes_arg =
+    Arg.(value & opt string "all"
+         & info [ "shapes" ] ~docv:"LIST"
+             ~doc:"Comma-separated generator shapes: chain, fan-in, \
+                   pipeline, psm-scheme (default all four, round-robin).")
+  in
+  let fuzz_scenarios_arg =
+    Arg.(value & opt int 3
+         & info [ "scenarios" ] ~docv:"N"
+             ~doc:"Simulated measurement scenarios per psm-scheme \
+                   instance (default 3; 0 disables the sim answerer).")
+  in
+  let sim_faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "sim-faults" ] ~docv:"JITTER:DROP:DUP"
+             ~doc:"Measure under an injected platform fault profile \
+                   (syntax as $(b,psv simulate --faults)).  Faults only \
+                   ever stretch delays, so the analytic floor must still \
+                   hold; the sup-side comparison is skipped.")
+  in
+  let sim_fault_seed_arg =
+    Arg.(value & opt int 7
+         & info [ "sim-fault-seed" ] ~docv:"N"
+             ~doc:"Seed of the fault stream (independent of --seed).")
+  in
+  let shrink_arg =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"On a discrepancy, greedily minimise the instance \
+                   (re-running the oracle after each candidate \
+                   reduction) and write the reproducer into \
+                   $(b,--corpus).  Construction-bound discrepancies \
+                   (truth, analytic, bounded, sim) are persisted \
+                   unshrunk — the generator's answer key does not \
+                   survive surgery on the network.")
+  in
+  let corpus_arg =
+    Arg.(value & opt string "fuzz-corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Corpus directory for reproducers (default \
+                   fuzz-corpus): one subdirectory per discrepant \
+                   instance holding model.xta, query.q and meta.json.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Stream one JSON line per instance to stdout and a \
+                   final summary object instead of the human table.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Also write the per-instance JSON lines to $(docv).")
+  in
+  let skew_arg =
+    Arg.(value & opt int 0
+         & info [ "inject-sup-skew" ] ~docv:"K"
+             ~doc:"Test-only fault injection: report every jobs-1 sup as \
+                   its true value plus $(docv), so the harness's own \
+                   detection and shrinking paths can be demonstrated \
+                   end to end.  The injected bug is caught as a jobs \
+                   discrepancy.")
+  in
+  let run seed count jobs shapes scenarios faults_spec fault_seed shrink
+      corpus cache json out skew store_retries =
+    if count <= 0 then die "--count must be positive";
+    if jobs <= 0 then die "--jobs must be at least 1";
+    if scenarios < 0 then die "--scenarios must be at least 0";
+    let shapes =
+      if String.trim shapes = "all" then Diff.Gen.all_shapes
+      else
+        List.map
+          (fun s ->
+            match Diff.Gen.shape_of_name (String.trim s) with
+            | Some shape -> shape
+            | None ->
+              die "unknown shape %S (want chain, fan-in, pipeline or \
+                   psm-scheme)" s)
+          (String.split_on_char ',' shapes)
+    in
+    if shapes = [] then die "--shapes must name at least one shape";
+    let cache = open_cache ~retries:store_retries cache in
+    let sim_faults =
+      Option.map (parse_faults_spec ~seed:fault_seed) faults_spec
+    in
+    let cfg =
+      { Diff.Oracle.jobs;
+        scenarios;
+        sim_faults;
+        cache;
+        delta = true;
+        mutation =
+          (if skew = 0 then None else Some (Diff.Oracle.Sup_skew skew)) }
+    in
+    let out_chan = Option.map open_out out in
+    let emit doc =
+      let line = Store.Json.to_string doc in
+      if json then print_endline line;
+      Option.iter
+        (fun oc ->
+          output_string oc line;
+          output_string oc "\n")
+        out_chan
+    in
+    let n_shapes = List.length shapes in
+    let per_shape = Hashtbl.create 4 in
+    let bump shape discs ms =
+      let c, d, t =
+        Option.value ~default:(0, 0, 0.0) (Hashtbl.find_opt per_shape shape)
+      in
+      Hashtbl.replace per_shape shape (c + 1, d + discs, t +. ms)
+    in
+    let discrepant = ref 0 and shrunk = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for index = 0 to count - 1 do
+      let shape = List.nth shapes (index mod n_shapes) in
+      let inst = Diff.Gen.instance ~seed ~index shape in
+      let v = Diff.Oracle.run cfg inst in
+      let discs = v.Diff.Oracle.v_discrepancies in
+      bump shape (List.length discs) v.Diff.Oracle.v_wall_ms;
+      if discs <> [] then incr discrepant;
+      if not json then
+        List.iter
+          (fun (d : Diff.Oracle.discrepancy) ->
+            Fmt.pr "%s  DISCREPANCY [%s]  %s@." inst.Diff.Gen.id
+              (Diff.Oracle.check_name d.Diff.Oracle.d_check)
+              d.Diff.Oracle.d_detail)
+          discs;
+      let entry_dir =
+        if discs = [] || not shrink then None
+        else begin
+          (* shrink on the first construction-independent class; a
+             construction-bound discrepancy is persisted as-is *)
+          let shrinkable (d : Diff.Oracle.discrepancy) =
+            match d.Diff.Oracle.d_check with
+            | Diff.Oracle.Jobs | Diff.Oracle.Xta | Diff.Oracle.Store_trip
+            | Diff.Oracle.Delta_replay -> true
+            | Diff.Oracle.Truth | Diff.Oracle.Analytic | Diff.Oracle.Bounded
+            | Diff.Oracle.Sim -> false
+          in
+          let q = Diff.Gen.query inst in
+          let result =
+            match List.find_opt shrinkable discs with
+            | Some d ->
+              Some
+                ( d,
+                  Diff.Shrink.shrink cfg ~check:d.Diff.Oracle.d_check
+                    ~seed:(seed + index) ~q inst.Diff.Gen.net )
+            | None ->
+              Option.map
+                (fun (d : Diff.Oracle.discrepancy) ->
+                  ( d,
+                    { Diff.Shrink.sh_net = inst.Diff.Gen.net;
+                      sh_xta = Xta.Print.to_string inst.Diff.Gen.net;
+                      sh_accepted = 0;
+                      sh_tested = 0 } ))
+                (match discs with d :: _ -> Some d | [] -> None)
+          in
+          Option.map
+            (fun ((d : Diff.Oracle.discrepancy), r) ->
+              let open Store.Json in
+              let locs, edges = Ta.Model.size r.Diff.Shrink.sh_net in
+              let meta =
+                Obj
+                  [ ("id", String inst.Diff.Gen.id);
+                    ("seed", Int seed);
+                    ("index", Int index);
+                    ("shape", String (Diff.Gen.shape_name shape));
+                    ("check", String (Diff.Oracle.check_name
+                                        d.Diff.Oracle.d_check));
+                    ("detail", String d.Diff.Oracle.d_detail);
+                    ("query", String (Mc.Query.to_string q));
+                    ("shrink_accepted", Int r.Diff.Shrink.sh_accepted);
+                    ("shrink_tested", Int r.Diff.Shrink.sh_tested);
+                    ("locations", Int locs);
+                    ("edges", Int edges) ]
+              in
+              incr shrunk;
+              Diff.Shrink.write_entry ~dir:corpus ~id:inst.Diff.Gen.id
+                ~query_text:(Mc.Query.to_string q) ~meta_json:meta r)
+            result
+        end
+      in
+      let open Store.Json in
+      emit
+        (Obj
+           ([ ("id", String inst.Diff.Gen.id);
+              ("shape", String (Diff.Gen.shape_name shape));
+              ("seed", Int seed);
+              ("index", Int index);
+              ( "sup",
+                match v.Diff.Oracle.v_sup with
+                | Some s -> Int s
+                | None -> Null );
+              ("ms", Float v.Diff.Oracle.v_wall_ms);
+              ( "discrepancies",
+                List
+                  (List.map
+                     (fun (d : Diff.Oracle.discrepancy) ->
+                       Obj
+                         [ ( "check",
+                             String
+                               (Diff.Oracle.check_name d.Diff.Oracle.d_check)
+                           );
+                           ("detail", String d.Diff.Oracle.d_detail) ])
+                     discs) ) ]
+           @
+           match entry_dir with
+           | Some dir -> [ ("corpus", String dir) ]
+           | None -> []))
+    done;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let per_sec = float_of_int count /. wall_s in
+    let shape_rows =
+      List.filter_map
+        (fun shape ->
+          Option.map
+            (fun (c, d, t) -> (Diff.Gen.shape_name shape, c, d, t))
+            (Hashtbl.find_opt per_shape shape))
+        Diff.Gen.all_shapes
+    in
+    if json then
+      emit
+        (let open Store.Json in
+         Obj
+           [ ( "summary",
+               Obj
+                 [ ("instances", Int count);
+                   ("discrepant", Int !discrepant);
+                   ("shrunk", Int !shrunk);
+                   ("wall_s", Float wall_s);
+                   ("per_sec", Float per_sec);
+                   ( "shapes",
+                     Obj
+                       (List.map
+                          (fun (name, c, d, _) ->
+                            ( name,
+                              Obj
+                                [ ("instances", Int c);
+                                  ("discrepancies", Int d) ] ))
+                          shape_rows) ) ] ) ])
+    else begin
+      Fmt.pr "@.%-12s %10s %14s %10s@." "shape" "instances" "discrepancies"
+        "avg ms";
+      List.iter
+        (fun (name, c, d, t) ->
+          Fmt.pr "%-12s %10d %14d %10.1f@." name c d
+            (t /. float_of_int (max 1 c)))
+        shape_rows;
+      Fmt.pr "%d instance%s, %d discrepant, %d shrunk, %.1fs (%.1f/s)@."
+        count
+        (if count = 1 then "" else "s")
+        !discrepant !shrunk wall_s per_sec
+    end;
+    Option.iter close_out out_chan;
+    report_cache cache;
+    if !discrepant > 0 then exit 1 else exit_degraded cache
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generate seeded random timed-automata \
+             instances with known-by-construction delay bounds and \
+             cross-check every answerer the tool has — sequential \
+             explorer vs ground truth, parallel search at $(b,--jobs) \
+             domains, bounded verdicts on both sides of the sup, \
+             textual round-trip, store round-trip (with $(b,--cache)), \
+             incremental delta replay on a seeded edit, and simulated \
+             measurement for transformed PSM instances.  Any \
+             disagreement is a discrepancy; with $(b,--shrink) it is \
+             minimised and written into $(b,--corpus) as a replayable \
+             reproducer.  Exit codes: 0 all consistent, 1 any \
+             discrepancy, 3 usage error, 4 consistent but the store \
+             was degraded.")
+    Term.(const run $ seed_arg $ count_arg $ fuzz_jobs_arg $ shapes_arg
+          $ fuzz_scenarios_arg $ sim_faults_arg $ sim_fault_seed_arg
+          $ shrink_arg $ corpus_arg $ cache_arg $ json_arg $ out_arg
+          $ skew_arg $ store_retries_arg)
+
 (* --- codegen ----------------------------------------------------------------- *)
 
 let codegen_cmd =
@@ -1891,7 +2189,7 @@ let main =
        ~doc:"Platform-specific timing verification in model-based implementation.")
     [ table1_cmd; verify_cmd; query_cmd; check_cmd; watch_cmd; sweep_cmd;
       sweep_schemes_cmd; serve_cmd; cache_cmd; trace_cmd; transform_cmd;
-      codegen_cmd; bounds_cmd; simulate_cmd; export_cmd ]
+      codegen_cmd; bounds_cmd; simulate_cmd; fuzz_cmd; export_cmd ]
 
 (* fold cmdliner's own error codes (124/125) into the documented
    exit-code contract: anything that is not a clean run is a usage error *)

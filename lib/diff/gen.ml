@@ -1,0 +1,341 @@
+(* Seeded random model generator: see gen.mli for the shape catalogue
+   and the construction arguments behind each ground-truth bound. *)
+
+open Ta
+
+type shape = Chain | Fan_in | Pipeline | Psm_scheme
+
+let all_shapes = [ Chain; Fan_in; Pipeline; Psm_scheme ]
+
+let shape_name = function
+  | Chain -> "chain"
+  | Fan_in -> "fan-in"
+  | Pipeline -> "pipeline"
+  | Psm_scheme -> "psm-scheme"
+
+let shape_of_name = function
+  | "chain" -> Some Chain
+  | "fan-in" | "fanin" -> Some Fan_in
+  | "pipeline" -> Some Pipeline
+  | "psm-scheme" | "psm" -> Some Psm_scheme
+  | _ -> None
+
+let shape_code = function
+  | Chain -> 1
+  | Fan_in -> 2
+  | Pipeline -> 3
+  | Psm_scheme -> 4
+
+type truth = Exact of int | Between of int * int
+
+type sim_info = {
+  si_pim : Transform.Pim.t;
+  si_scheme : Scheme.t;
+  si_pmin : int;
+  si_pmax : int;
+}
+
+type instance = {
+  id : string;
+  seed : int;
+  index : int;
+  shape : shape;
+  net : Model.network;
+  trigger : string;
+  response : string;
+  ceiling : int;
+  truth : truth;
+  floor : int;
+  sim : sim_info option;
+}
+
+let loc = Model.location
+let edge = Model.edge
+
+(* inclusive uniform draw *)
+let int_in st lo hi = lo + Random.State.int st (hi - lo + 1)
+
+(* the one-shot observer: raises the trigger whenever it likes, then
+   waits for the response — the environment of every shape *)
+let observer ~trigger ~response =
+  Model.automaton ~name:"Env" ~initial:"E0"
+    [ loc "E0"; loc "E1"; loc "E2" ]
+    [ edge ~sync:(Model.Send trigger) "E0" "E1";
+      edge ~sync:(Model.Recv response) "E1" "E2" ]
+
+(* ----------------------------------------------------------- chain -- *)
+
+(* k relay stages in series; stage i holds the token for
+   [dmin_i, dmax_i].  Internal links are binary channels whose receiver
+   is always parked on its receive edge, so hand-offs are immediate:
+   the end-to-end delay is exactly the sum of the holds. *)
+let chain st ~seed ~index =
+  let k = int_in st 1 4 in
+  let stages =
+    List.init k (fun i ->
+        let dmin = int_in st (if i = 0 then 1 else 0) 6 in
+        (dmin, dmin + int_in st 0 6))
+  in
+  let trigger = "m_start" and response = "c_done" in
+  let chan_in i = if i = 0 then trigger else Printf.sprintf "lnk%d" i in
+  let chan_out i =
+    if i = k - 1 then response else Printf.sprintf "lnk%d" (i + 1)
+  in
+  let clock i = Printf.sprintf "cx%d" (i + 1) in
+  let stage i (dmin, dmax) =
+    Model.automaton
+      ~name:(Printf.sprintf "S%d" (i + 1))
+      ~initial:"W"
+      [ loc "W"; loc ~inv:[ Clockcons.le (clock i) dmax ] "P"; loc "D" ]
+      [ edge ~sync:(Model.Recv (chan_in i)) ~resets:[ clock i ] "W" "P";
+        edge
+          ~guard:[ Clockcons.ge (clock i) dmin ]
+          ~sync:(Model.Send (chan_out i)) "P" "D" ]
+  in
+  let links =
+    List.init (max 0 (k - 1)) (fun i ->
+        (Printf.sprintf "lnk%d" (i + 1), Model.Binary))
+  in
+  let net =
+    Model.network
+      ~name:(Printf.sprintf "chain_s%d_i%d" seed index)
+      ~clocks:(List.init k clock) ~vars:[]
+      ~channels:
+        ([ (trigger, Model.Broadcast); (response, Model.Broadcast) ] @ links)
+      (observer ~trigger ~response :: List.mapi stage stages)
+  in
+  let ub = List.fold_left (fun a (_, d) -> a + d) 0 stages in
+  let floor = List.fold_left (fun a (d, _) -> a + d) 0 stages in
+  (net, trigger, response, Exact ub, floor, ub, None)
+
+(* ---------------------------------------------------------- fan-in -- *)
+
+(* n branches released by one broadcast; branch i fires its completion
+   within [a_i, b_i].  The joiner counts completions and announces the
+   response from a committed location, so the response instant is the
+   last completion: worst case max b_i, floor max a_i. *)
+let fan_in st ~seed ~index =
+  let n = int_in st 2 4 in
+  let branches =
+    List.init n (fun _ ->
+        let a = int_in st 1 6 in
+        (a, a + int_in st 0 6))
+  in
+  let trigger = "m_go" and response = "c_done" in
+  let clock i = Printf.sprintf "by%d" (i + 1) in
+  let fin i = Printf.sprintf "fin%d" (i + 1) in
+  let branch i (a, b) =
+    Model.automaton
+      ~name:(Printf.sprintf "B%d" (i + 1))
+      ~initial:"B0"
+      [ loc "B0"; loc ~inv:[ Clockcons.le (clock i) b ] "B1"; loc "B2" ]
+      [ edge ~sync:(Model.Recv trigger) ~resets:[ clock i ] "B0" "B1";
+        edge
+          ~guard:[ Clockcons.ge (clock i) a ]
+          ~sync:(Model.Send (fin i)) "B1" "B2" ]
+  in
+  let bump = [ ("cnt", Expr.(var "cnt" + int 1)) ] in
+  let joiner =
+    Model.automaton ~name:"Join" ~initial:"J0"
+      [ loc "J0"; loc ~kind:Model.Committed "JD"; loc "End" ]
+      (List.concat
+         (List.init n (fun i ->
+              [ edge
+                  ~pred:(Expr.lt (Expr.var "cnt") (Expr.int (n - 1)))
+                  ~sync:(Model.Recv (fin i)) ~updates:bump "J0" "J0";
+                edge
+                  ~pred:(Expr.var_eq "cnt" (n - 1))
+                  ~sync:(Model.Recv (fin i)) ~updates:bump "J0" "JD" ]))
+      @ [ edge ~sync:(Model.Send response) "JD" "End" ])
+  in
+  let net =
+    Model.network
+      ~name:(Printf.sprintf "fanin_s%d_i%d" seed index)
+      ~clocks:(List.init n clock)
+      ~vars:[ ("cnt", Model.int_var ~min:0 ~max:n 0) ]
+      ~channels:
+        ([ (trigger, Model.Broadcast); (response, Model.Broadcast) ]
+        @ List.init n (fun i -> (fin i, Model.Binary)))
+      ((observer ~trigger ~response :: List.mapi branch branches) @ [ joiner ])
+  in
+  let ub = List.fold_left (fun a (_, b) -> max a b) 0 branches in
+  let floor = List.fold_left (fun m (a, _) -> max m a) 0 branches in
+  (net, trigger, response, Exact ub, floor, ub, None)
+
+(* -------------------------------------------------------- pipeline -- *)
+
+(* MIMOS-style multi-rate two-stage pipeline.  The trigger is latched
+   into flag v1; a period-P1 sampler forwards it (v2) at its next tick;
+   a period-P2 worker picks v2 up at its next tick, processes for
+   [e2min, e2max] and emits.  Free trigger phase makes both full-period
+   misses reachable simultaneously (tick coincidence at multiples of
+   lcm(P1, P2), tick ordered before the latch), so the worst case is
+   exactly P1 + P2 + e2max; the floor is e2min (both ticks hit). *)
+let pipeline st ~seed ~index =
+  let p1 = int_in st 2 6 and p2 = int_in st 2 6 in
+  let e2min = int_in st 1 4 in
+  let e2max = e2min + int_in st 0 4 in
+  let trigger = "m_in" and response = "c_out" in
+  let latch =
+    Model.automaton ~name:"Latch" ~initial:"L0"
+      [ loc "L0"; loc "L1" ]
+      [ edge ~sync:(Model.Recv trigger)
+          ~updates:[ ("v1", Expr.int 1) ]
+          "L0" "L1" ]
+  in
+  let stage1 =
+    Model.automaton ~name:"Stage1" ~initial:"A"
+      [ loc ~inv:[ Clockcons.le "px1" p1 ] "A"; loc "A1" ]
+      [ edge
+          ~guard:[ Clockcons.eq_ "px1" p1 ]
+          ~pred:(Expr.var_eq "v1" 0) ~resets:[ "px1" ] "A" "A";
+        edge
+          ~guard:[ Clockcons.eq_ "px1" p1 ]
+          ~pred:(Expr.var_eq "v1" 1)
+          ~updates:[ ("v2", Expr.int 1) ]
+          "A" "A1" ]
+  in
+  let stage2 =
+    Model.automaton ~name:"Stage2" ~initial:"B"
+      [ loc ~inv:[ Clockcons.le "px2" p2 ] "B";
+        loc ~inv:[ Clockcons.le "py" e2max ] "W";
+        loc "Done" ]
+      [ edge
+          ~guard:[ Clockcons.eq_ "px2" p2 ]
+          ~pred:(Expr.var_eq "v2" 0) ~resets:[ "px2" ] "B" "B";
+        edge
+          ~guard:[ Clockcons.eq_ "px2" p2 ]
+          ~pred:(Expr.var_eq "v2" 1) ~resets:[ "py" ] "B" "W";
+        edge
+          ~guard:[ Clockcons.ge "py" e2min ]
+          ~sync:(Model.Send response) "W" "Done" ]
+  in
+  let net =
+    Model.network
+      ~name:(Printf.sprintf "pipeline_s%d_i%d" seed index)
+      ~clocks:[ "px1"; "px2"; "py" ]
+      ~vars:[ ("v1", Model.flag ()); ("v2", Model.flag ()) ]
+      ~channels:[ (trigger, Model.Broadcast); (response, Model.Broadcast) ]
+      [ observer ~trigger ~response; latch; stage1; stage2 ]
+  in
+  let ub = p1 + p2 + e2max in
+  (net, trigger, response, Exact ub, e2min, ub, None)
+
+(* ------------------------------------------------------ psm-scheme -- *)
+
+(* One-shot request/acknowledge PIM pushed through the PIM->PSM
+   transformation under a random valid scheme.  The exact supremum is
+   not closed-form; the analytic Lemma-2 window brackets it.  The
+   software deadline pmax leaves a full invocation period plus one
+   execution window of slack above pmin, so the MIO can always honour
+   its location invariant inside some compute window — no platform
+   phase can strand the deadline (and the simulator agrees with the
+   verified model about which runs exist). *)
+let psm_scheme st ~seed ~index =
+  let trigger = "m_req" and response = "c_ack" in
+  let period = int_in st 4 10 in
+  let wcet_max = int_in st 1 (min 3 (period - 1)) in
+  let pmin = int_in st 1 5 in
+  let pmax = pmin + period + wcet_max + int_in st 0 4 in
+  let software =
+    Model.automaton ~name:"M" ~initial:"Idle"
+      [ loc "Idle"; loc ~inv:[ Clockcons.le "sx" pmax ] "Prep"; loc "Done" ]
+      [ edge ~sync:(Model.Recv trigger) ~resets:[ "sx" ] "Idle" "Prep";
+        edge
+          ~guard:[ Clockcons.ge "sx" pmin ]
+          ~sync:(Model.Send response) "Prep" "Done" ]
+  in
+  let pim_net =
+    Model.network
+      ~name:(Printf.sprintf "psm_s%d_i%d" seed index)
+      ~clocks:[ "sx" ] ~vars:[]
+      ~channels:[ (trigger, Model.Broadcast); (response, Model.Broadcast) ]
+      [ software; observer ~trigger ~response ]
+  in
+  let pim = Transform.Pim.make pim_net ~software:"M" ~environment:"Env" in
+  let imin = int_in st 1 3 in
+  let in_delay = Scheme.delay imin (imin + int_in st 0 3) in
+  let input =
+    if Random.State.bool st then Scheme.interrupt_input in_delay
+    else Scheme.polling_input ~interval:(int_in st 2 6) in_delay
+  in
+  let omin = int_in st 1 3 in
+  let output = Scheme.pulse_output (Scheme.delay omin (omin + int_in st 0 3)) in
+  let comm st =
+    if Random.State.bool st then Scheme.Shared_variable
+    else
+      Scheme.Buffer
+        ( int_in st 1 3,
+          if Random.State.bool st then Scheme.Read_all else Scheme.Read_one )
+  in
+  let scheme =
+    { Scheme.is_name = Printf.sprintf "fuzz_s%d_i%d" seed index;
+      is_inputs = [ (trigger, input) ];
+      is_outputs = [ (response, output) ];
+      is_input_comm = comm st;
+      is_output_comm = comm st;
+      is_invocation = Scheme.Periodic period;
+      is_exec = { Scheme.wcet_min = 1; wcet_max } }
+  in
+  (match Scheme.check scheme with
+  | [] -> ()
+  | ps ->
+    invalid_arg
+      (Printf.sprintf "Diff.Gen: generated invalid scheme (%s)"
+         (String.concat "; " ps)));
+  let psm = Transform.psm_of_pim pim scheme in
+  let ub =
+    Analysis.Bounds.relaxed_mc_delay scheme ~input:trigger ~output:response
+      ~internal:pmax
+  in
+  let lb =
+    Analysis.Bounds.relaxed_mc_delay_min scheme ~input:trigger
+      ~output:response ~internal_min:pmin
+  in
+  let floor =
+    Analysis.Bounds.input_delay_min scheme trigger
+    + pmin
+    + Analysis.Bounds.output_delay_min scheme response
+  in
+  ( psm.Transform.psm_net,
+    trigger,
+    response,
+    Between (lb, ub),
+    floor,
+    ub,
+    Some { si_pim = pim; si_scheme = scheme; si_pmin = pmin; si_pmax = pmax } )
+
+(* ------------------------------------------------------- dispatch -- *)
+
+let instance ~seed ~index shape =
+  let st = Random.State.make [| 0x5eed; seed; index; shape_code shape |] in
+  let net, trigger, response, truth, floor, ub, sim =
+    match shape with
+    | Chain -> chain st ~seed ~index
+    | Fan_in -> fan_in st ~seed ~index
+    | Pipeline -> pipeline st ~seed ~index
+    | Psm_scheme -> psm_scheme st ~seed ~index
+  in
+  (match Model.validate net with
+  | [] -> ()
+  | ps ->
+    invalid_arg
+      (Printf.sprintf "Diff.Gen: generated invalid network (%s)"
+         (String.concat "; " ps)));
+  { id = Printf.sprintf "%s-%06d" (shape_name shape) index;
+    seed;
+    index;
+    shape;
+    net;
+    trigger;
+    response;
+    ceiling = ub + max 32 (ub / 2);
+    truth;
+    floor;
+    sim }
+
+let query i =
+  Mc.Query.Sup_delay
+    { trigger = i.trigger; response = i.response; ceiling = i.ceiling }
+
+let ub i = match i.truth with Exact v -> v | Between (_, ub) -> ub

@@ -1,0 +1,91 @@
+(** Seeded random model generator for differential fuzzing.
+
+    Each generated {!instance} is a small, well-formed network of timed
+    automata together with one bounded-response requirement whose
+    worst-case trigger-to-response delay is {e known by construction}:
+    the shapes are built so the supremum is an arithmetic function of
+    the drawn parameters (sums, maxima, period alignments), giving the
+    differential oracle an answer key that involves no model checking.
+
+    Four shapes, in increasing platform realism:
+
+    - {b Chain} — [k] relay stages in series, stage [i] holding the
+      token for a nondeterministic [d_i in [dmin_i, dmax_i]].  The
+      worst-case end-to-end delay is exactly [sum dmax_i]; no complete
+      run beats [sum dmin_i].
+    - {b Fan_in} — [n] parallel branches released by one broadcast,
+      branch [i] firing its completion within [[a_i, b_i]]; a counting
+      joiner announces the response from a committed location the
+      instant the last branch lands.  Worst case exactly [max b_i];
+      floor [max a_i].
+    - {b Pipeline} — a MIMOS-style multi-rate two-stage pipeline: the
+      input is latched into a shared flag, sampled by a period-[P1]
+      task that forwards it to a period-[P2] task, which processes for
+      [e2 in [e2min, e2max]] and emits.  With free trigger phase the
+      worst case is exactly [P1 + P2 + e2max] (full miss of both rates
+      plus the longest processing), the floor [e2min].
+    - {b Psm_scheme} — a one-shot request/acknowledge PIM pushed
+      through {!Transform.psm_of_pim} under a randomly drawn (valid)
+      implementation scheme.  Here the exact supremum is not known in
+      closed form; the instance instead carries the analytic window
+      [[Bounds.relaxed_mc_delay_min, Bounds.relaxed_mc_delay]] (the
+      generator keeps the scheme inside the lemmas' sound fragment:
+      one serial stimulus, software deadline slack covering a full
+      invocation period) and the PIM + scheme ride along so the
+      simulator can measure the same boundary.
+
+    Generation is deterministic in [(seed, index, shape)] — same
+    inputs, byte-identical instance — which is what makes fuzz runs
+    reproducible and counterexamples replayable from their seed. *)
+
+type shape = Chain | Fan_in | Pipeline | Psm_scheme
+
+val all_shapes : shape list
+
+val shape_name : shape -> string
+
+(** Inverse of {!shape_name}; [None] on an unknown name. *)
+val shape_of_name : string -> shape option
+
+(** What is known about the worst-case trigger-to-response delay. *)
+type truth =
+  | Exact of int  (** the supremum is exactly this value *)
+  | Between of int * int  (** analytic window: [lb <= sup <= ub] *)
+
+(** Everything the simulator needs to measure a {!Psm_scheme} instance
+    at the same boundary the model checker verified. *)
+type sim_info = {
+  si_pim : Transform.Pim.t;
+  si_scheme : Scheme.t;
+  si_pmin : int;  (** software internal delay, lower bound *)
+  si_pmax : int;  (** software internal delay, upper bound (deadline) *)
+}
+
+type instance = {
+  id : string;  (** e.g. ["chain-000017"] — unique per (shape, index) *)
+  seed : int;
+  index : int;
+  shape : shape;
+  net : Ta.Model.network;
+  trigger : string;  (** the requirement's m-channel *)
+  response : string;  (** the requirement's c-channel *)
+  ceiling : int;  (** sup-query ceiling, comfortably above the truth *)
+  truth : truth;
+  floor : int;
+      (** every complete trigger-to-response run takes at least this
+          long, on any conforming platform, under any fault profile
+          that only stretches delays.  Always [>= 1], so [floor - 1]
+          is a valid always-failing bound. *)
+  sim : sim_info option;  (** present exactly on {!Psm_scheme} *)
+}
+
+(** [instance ~seed ~index shape] generates deterministically.  The
+    result validates cleanly ({!Ta.Model.validate} returns []). *)
+val instance : seed:int -> index:int -> shape -> instance
+
+(** The instance's sup query:
+    [sup: trigger -> response ceiling ceiling]. *)
+val query : instance -> Mc.Query.t
+
+(** Upper end of {!truth} ([Exact v] gives [v]). *)
+val ub : instance -> int

@@ -1,0 +1,89 @@
+(** The differential oracle: run one generated instance through every
+    independent answerer the repository has and assert pairwise
+    consistency.
+
+    Answerers and cross-checks, per instance:
+
+    - {b truth} — the sequential explorer's sup against the generator's
+      known-by-construction value ({!Gen.Exact}) or analytic Lemma-2
+      window ({!Gen.Between}, reported as the {!Analytic} check);
+    - {b jobs} — {!Mc.Parsearch} at [config.jobs] domains must return
+      the identical outcome (the library's determinism guarantee);
+    - {b bounded} — [bounded: t -> r within ub] must hold and
+      [within floor - 1] must fail, exercising the verdict path on both
+      sides of the sup;
+    - {b xta} — print → reparse → re-verify: the textual round-trip
+      must preserve the outcome byte-for-byte;
+    - {b store} — with a cache attached, the warm store answer must
+      equal the cold computed one (entry round-trip);
+    - {b delta} — a seeded {!Incr.Edit.random_edit} re-verified through
+      the {!Incr.Session} ladder must match a from-scratch run on the
+      edited network;
+    - {b sim} — for {!Gen.Psm_scheme} instances, measured M-C delays
+      over randomized scenarios must stay within [[floor, sup]]; under
+      a fault profile (which only ever stretches delays) the upper
+      comparison is skipped and the floor must still hold.
+
+    The [mutation] hook skews one answerer on purpose — the harness's
+    own smoke detector: a skewed jobs-1 sup must be caught as a [Jobs]
+    discrepancy and must survive shrinking. *)
+
+(** Test-only fault injection: report the jobs-1 sup as [v + k]. *)
+type mutation = Sup_skew of int
+
+type config = {
+  jobs : int;  (** domain count of the parallel answerer *)
+  scenarios : int;  (** sim scenarios per {!Gen.Psm_scheme} instance *)
+  sim_faults : Sim.Engine.faults option;
+      (** measure under a degraded platform; disables the sim upper
+          comparison, keeps the floor *)
+  cache : Analysis.Qcache.t option;  (** enables the store round-trip *)
+  delta : bool;  (** enables the incremental-replay cross-check *)
+  mutation : mutation option;
+}
+
+(** [jobs = 2], [scenarios = 3], no faults, no cache, [delta = true],
+    no mutation. *)
+val default : config
+
+type check =
+  | Truth
+  | Analytic
+  | Jobs
+  | Bounded
+  | Xta
+  | Store_trip
+  | Delta_replay
+  | Sim
+
+val check_name : check -> string
+val check_of_name : string -> check option
+
+type discrepancy = {
+  d_check : check;
+  d_detail : string;
+}
+
+type verdict = {
+  v_id : string;
+  v_shape : Gen.shape;
+  v_sup : int option;  (** the (unmutated) jobs-1 sup, when defined *)
+  v_discrepancies : discrepancy list;
+  v_wall_ms : float;
+}
+
+(** The construction-independent answerer pairs (jobs, xta, store,
+    delta) on a bare network + query — the subset that stays meaningful
+    on shrunk networks, where the generator's truth no longer applies.
+    Returns the jobs-1 result, its (possibly mutated) outcome, and the
+    discrepancies.  [seed] keys the delta edit.  May raise whatever
+    {!Mc.Query.eval} raises on a hostile network. *)
+val core :
+  config ->
+  net:Ta.Model.network ->
+  q:Mc.Query.t ->
+  seed:int ->
+  Mc.Query.result * Mc.Query.outcome * discrepancy list
+
+(** The full oracle on a generated instance. *)
+val run : config -> Gen.instance -> verdict

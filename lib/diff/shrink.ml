@@ -1,0 +1,280 @@
+(* Greedy deterministic counterexample shrinking — see shrink.mli. *)
+
+open Ta
+
+type result = {
+  sh_net : Model.network;
+  sh_xta : string;
+  sh_accepted : int;
+  sh_tested : int;
+}
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let map_nth l n f = List.mapi (fun i x -> if i = n then f x else x) l
+
+let map_auto net ai f =
+  { net with Model.net_automata = map_nth net.Model.net_automata ai f }
+
+let map_edge a ei f = { a with Model.aut_edges = map_nth a.Model.aut_edges ei f }
+
+let map_loc a li f =
+  { a with Model.aut_locations = map_nth a.Model.aut_locations li f }
+
+let atom_const = function
+  | Clockcons.Simple (_, _, n) | Clockcons.Diff (_, _, _, n) -> n
+
+let with_const atom n =
+  match atom with
+  | Clockcons.Simple (x, r, _) -> Clockcons.Simple (x, r, n)
+  | Clockcons.Diff (x, y, r, _) -> Clockcons.Diff (x, y, r, n)
+
+(* candidate reductions in canonical order; each is (description, net) *)
+let candidates (net : Model.network) =
+  let acc = ref [] in
+  let add desc n = acc := (desc, n) :: !acc in
+  let autos = net.Model.net_automata in
+  (* drop a whole automaton *)
+  if List.length autos > 1 then
+    List.iteri
+      (fun ai (a : Model.automaton) ->
+        add
+          (Printf.sprintf "drop automaton %s" a.Model.aut_name)
+          { net with Model.net_automata = remove_nth autos ai })
+      autos;
+  (* drop an edge *)
+  List.iteri
+    (fun ai (a : Model.automaton) ->
+      List.iteri
+        (fun ei (_ : Model.edge) ->
+          add
+            (Printf.sprintf "drop %s edge %d" a.Model.aut_name ei)
+            (map_auto net ai (fun a ->
+                 { a with Model.aut_edges = remove_nth a.Model.aut_edges ei })))
+        a.Model.aut_edges)
+    autos;
+  (* drop one invariant atom *)
+  List.iteri
+    (fun ai (a : Model.automaton) ->
+      List.iteri
+        (fun li (l : Model.location) ->
+          List.iteri
+            (fun ci _ ->
+              add
+                (Printf.sprintf "drop %s.%s invariant atom %d"
+                   a.Model.aut_name l.Model.loc_name ci)
+                (map_auto net ai (fun a ->
+                     map_loc a li (fun l ->
+                         { l with
+                           Model.loc_inv = remove_nth l.Model.loc_inv ci }))))
+            l.Model.loc_inv)
+        a.Model.aut_locations)
+    autos;
+  (* drop one guard atom / clear the data guard / drop a reset or update *)
+  List.iteri
+    (fun ai (a : Model.automaton) ->
+      List.iteri
+        (fun ei (e : Model.edge) ->
+          List.iteri
+            (fun ci _ ->
+              add
+                (Printf.sprintf "drop %s edge %d guard atom %d"
+                   a.Model.aut_name ei ci)
+                (map_auto net ai (fun a ->
+                     map_edge a ei (fun e ->
+                         { e with
+                           Model.edge_guard = remove_nth e.Model.edge_guard ci
+                         }))))
+            e.Model.edge_guard;
+          if e.Model.edge_pred <> Expr.True then
+            add
+              (Printf.sprintf "clear %s edge %d data guard" a.Model.aut_name
+                 ei)
+              (map_auto net ai (fun a ->
+                   map_edge a ei (fun e ->
+                       { e with Model.edge_pred = Expr.True })));
+          List.iteri
+            (fun ri _ ->
+              add
+                (Printf.sprintf "drop %s edge %d reset %d" a.Model.aut_name ei
+                   ri)
+                (map_auto net ai (fun a ->
+                     map_edge a ei (fun e ->
+                         { e with
+                           Model.edge_resets = remove_nth e.Model.edge_resets ri
+                         }))))
+            e.Model.edge_resets;
+          List.iteri
+            (fun ui _ ->
+              add
+                (Printf.sprintf "drop %s edge %d update %d" a.Model.aut_name
+                   ei ui)
+                (map_auto net ai (fun a ->
+                     map_edge a ei (fun e ->
+                         { e with
+                           Model.edge_updates =
+                             remove_nth e.Model.edge_updates ui
+                         }))))
+            e.Model.edge_updates)
+        a.Model.aut_edges)
+    autos;
+  (* shrink clock-constraint constants: halve, then decrement *)
+  (* invariant constants *)
+  List.iteri
+    (fun ai (a : Model.automaton) ->
+      List.iteri
+        (fun li (l : Model.location) ->
+          List.iteri
+            (fun ci atom ->
+              let n = atom_const atom in
+              List.iter
+                (fun n' ->
+                  add
+                    (Printf.sprintf "%s.%s invariant constant %d -> %d"
+                       a.Model.aut_name l.Model.loc_name n n')
+                    (map_auto net ai (fun a ->
+                         map_loc a li (fun l ->
+                             { l with
+                               Model.loc_inv =
+                                 map_nth l.Model.loc_inv ci (fun at ->
+                                     with_const at n')
+                             }))))
+                ((if n > 1 then [ n / 2 ] else [])
+                @ (if n > 0 then [ n - 1 ] else [])))
+            l.Model.loc_inv)
+        a.Model.aut_locations)
+    autos;
+  (* guard constants *)
+  List.iteri
+    (fun ai (a : Model.automaton) ->
+      List.iteri
+        (fun ei (e : Model.edge) ->
+          List.iteri
+            (fun ci atom ->
+              let n = atom_const atom in
+              List.iter
+                (fun n' ->
+                  add
+                    (Printf.sprintf "%s edge %d guard constant %d -> %d"
+                       a.Model.aut_name ei n n')
+                    (map_auto net ai (fun a ->
+                         map_edge a ei (fun e ->
+                             { e with
+                               Model.edge_guard =
+                                 map_nth e.Model.edge_guard ci (fun at ->
+                                     with_const at n')
+                             }))))
+                ((if n > 1 then [ n / 2 ] else [])
+                @ (if n > 0 then [ n - 1 ] else [])))
+            e.Model.edge_guard)
+        a.Model.aut_edges)
+    autos;
+  List.rev !acc
+
+(* declarations no automaton references any more (the query's channels
+   are pinned: the delay monitor needs them declared) *)
+let gc_declarations ~keep_channels (net : Model.network) =
+  let clocks = Hashtbl.create 8
+  and vars = Hashtbl.create 8
+  and chans = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace chans c ()) keep_channels;
+  let use tbl n = Hashtbl.replace tbl n () in
+  let use_atom atom =
+    match atom with
+    | Clockcons.Simple (x, _, _) -> use clocks x
+    | Clockcons.Diff (x, y, _, _) ->
+      use clocks x;
+      use clocks y
+  in
+  List.iter
+    (fun (a : Model.automaton) ->
+      List.iter
+        (fun (l : Model.location) -> List.iter use_atom l.Model.loc_inv)
+        a.Model.aut_locations;
+      List.iter
+        (fun (e : Model.edge) ->
+          List.iter use_atom e.Model.edge_guard;
+          List.iter (use clocks) e.Model.edge_resets;
+          List.iter (use vars) (Expr.vars_of_pred e.Model.edge_pred);
+          List.iter
+            (fun (x, ex) ->
+              use vars x;
+              List.iter (use vars) (Expr.vars_of_expr ex))
+            e.Model.edge_updates;
+          match e.Model.edge_sync with
+          | Model.Tau -> ()
+          | Model.Send c | Model.Recv c -> use chans c)
+        a.Model.aut_edges)
+    net.Model.net_automata;
+  { net with
+    Model.net_clocks =
+      List.filter (Hashtbl.mem clocks) net.Model.net_clocks;
+    net_vars = List.filter (fun (v, _) -> Hashtbl.mem vars v) net.Model.net_vars;
+    net_channels =
+      List.filter (fun (c, _) -> Hashtbl.mem chans c) net.Model.net_channels }
+
+let query_channels = function
+  | Mc.Query.Sup_delay { trigger; response; _ }
+  | Mc.Query.Bounded_response { trigger; response; _ } ->
+    [ trigger; response ]
+  | Mc.Query.Exists_eventually _ | Mc.Query.Always _ -> []
+
+let shrink cfg ~check ~seed ~q net =
+  let tested = ref 0 in
+  let reproduces n =
+    incr tested;
+    match Oracle.core cfg ~net:n ~q ~seed with
+    | _, _, discs -> List.exists (fun d -> d.Oracle.d_check = check) discs
+    | exception _ -> false
+  in
+  let accepted = ref 0 in
+  let rec fixpoint net =
+    let rec scan = function
+      | [] -> net
+      | (_, candidate) :: rest ->
+        if Model.validate candidate <> [] then scan rest
+        else if reproduces candidate then begin
+          incr accepted;
+          fixpoint candidate
+        end
+        else scan rest
+    in
+    scan (candidates net)
+  in
+  let minimal =
+    if reproduces net then begin
+      let reduced = fixpoint net in
+      let swept =
+        gc_declarations ~keep_channels:(query_channels q) reduced
+      in
+      if Model.validate swept = [] && reproduces swept then swept else reduced
+    end
+    else net
+  in
+  { sh_net = minimal;
+    sh_xta = Xta.Print.to_string minimal;
+    sh_accepted = !accepted;
+    sh_tested = !tested }
+
+(* --------------------------------------------------- corpus output -- *)
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdirs (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_entry ~dir ~id ~query_text ~meta_json r =
+  let entry_dir = Filename.concat dir id in
+  mkdirs entry_dir;
+  write_file (Filename.concat entry_dir "model.xta") r.sh_xta;
+  write_file (Filename.concat entry_dir "query.q") (query_text ^ "\n");
+  write_file
+    (Filename.concat entry_dir "meta.json")
+    (Store.Json.to_string meta_json ^ "\n");
+  entry_dir

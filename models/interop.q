@@ -1,0 +1,18 @@
+# Queries for the interoperable-medical-system case study
+# (models/interop.xta).  Run with:
+#   dune exec bin/psv_cli.exe -- check models/interop.xta models/interop.q
+#
+# The closed-loop safety requirement: a desaturation stops the pump
+# within 50 (one 20-unit sampling period + 5 oximeter processing
+# + 10 supervisor decision + 15 pump stop).
+bounded: m_Desat -> c_PumpStopped within 50
+# The bound is tight: one unit less fails.
+sup: m_Desat -> c_PumpStopped ceiling 200
+# Once the oximeter has published, the platform-side chain alone
+# completes within 25.
+bounded: spo2_low -> c_PumpStopped within 25
+# The pump really can stop, and the patient can reach safety.
+E<> Pump.Stopped
+E<> Patient.Safe
+# The pump never stops without a latched desaturation.
+A[] not Pump.Stopped or desat == 1

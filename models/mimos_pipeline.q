@@ -1,0 +1,13 @@
+# Queries for the multi-rate MIMOS-style pipeline
+# (models/mimos_pipeline.xta).  Run with:
+#   dune exec bin/psv_cli.exe -- check models/mimos_pipeline.xta models/mimos_pipeline.q
+#
+# End-to-end: one full sensor period + one full controller period
+# + worst-case processing = 10 + 25 + 8 = 43.
+bounded: m_Sample -> c_Actuate within 43
+sup: m_Sample -> c_Actuate ceiling 200
+# Both stages can complete.
+E<> Sensor.Forwarded
+E<> Controller.Done
+# The controller never actuates on a stale (never-staged) value.
+A[] not Controller.Done or staged == 1

@@ -30,4 +30,5 @@ let () =
       ("sweep", Test_sweep.suite);
       ("chaos-net", Chaos_net.suite);
       ("incr", Test_incr.suite);
-      ("chaos-incr", Chaos_incr.suite) ]
+      ("chaos-incr", Chaos_incr.suite);
+      ("diff", Test_diff.suite) ]
